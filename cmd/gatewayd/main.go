@@ -1,0 +1,203 @@
+// Command gatewayd runs one component database behind a MYRIAD gateway:
+// it boots a local DBMS from a SQL setup script, defines the export
+// relations offered to federations, and serves the gateway protocol
+// over TCP.
+//
+// Usage:
+//
+//	gatewayd -config site.json
+//
+// Config format (JSON):
+//
+//	{
+//	  "site": "east",
+//	  "dialect": "oracle",          // oracle | postgres | canonical
+//	  "listen": ":7101",
+//	  "timeout_ms": 2000,           // per-local-query timeout (deadlock knob)
+//	  "setup": ["CREATE TABLE ...", "INSERT INTO ..."],
+//	  "setup_files": ["seed.sql"],
+//	  "exports": [
+//	    {"name": "STUDENT", "table": "students",
+//	     "columns": [{"export": "id", "local": "sid"}],
+//	     "predicate": "yr >= 1"}
+//	  ]
+//	}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"myriad/internal/comm"
+	"myriad/internal/dialect"
+	"myriad/internal/gateway"
+	"myriad/internal/localdb"
+	"myriad/internal/sqlparser"
+)
+
+type exportConfig struct {
+	Name      string `json:"name"`
+	Table     string `json:"table"`
+	Columns   []col  `json:"columns,omitempty"`
+	Predicate string `json:"predicate,omitempty"`
+}
+
+type col struct {
+	Export string `json:"export"`
+	Local  string `json:"local"`
+}
+
+type config struct {
+	Site       string         `json:"site"`
+	Dialect    string         `json:"dialect"`
+	Listen     string         `json:"listen"`
+	TimeoutMs  int64          `json:"timeout_ms"`
+	Setup      []string       `json:"setup,omitempty"`
+	SetupFiles []string       `json:"setup_files,omitempty"`
+	Exports    []exportConfig `json:"exports"`
+	// Snapshot, when set, is loaded at boot (if present) and written on
+	// graceful shutdown, giving the component database restart
+	// durability.
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+func main() {
+	configPath := flag.String("config", "", "path to gateway config JSON (required)")
+	flag.Parse()
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath); err != nil {
+		log.Fatalf("gatewayd: %v", err)
+	}
+}
+
+func run(configPath string) error {
+	raw, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	var cfg config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %w", configPath, err)
+	}
+	if cfg.Site == "" {
+		return fmt.Errorf("config: site is required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = ":7101"
+	}
+
+	d, err := dialect.ForName(cfg.Dialect)
+	if err != nil {
+		return err
+	}
+	db := localdb.New(cfg.Site)
+
+	restored := false
+	if cfg.Snapshot != "" {
+		if f, err := os.Open(cfg.Snapshot); err == nil {
+			err = db.LoadSnapshot(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("loading snapshot %s: %w", cfg.Snapshot, err)
+			}
+			restored = true
+			log.Printf("gatewayd: restored snapshot %s", cfg.Snapshot)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+
+	ctx := context.Background()
+	apply := func(script, origin string) error {
+		stmts, err := sqlparser.ParseScript(script)
+		if err != nil {
+			return fmt.Errorf("%s: %w", origin, err)
+		}
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *sqlparser.Select:
+				return fmt.Errorf("%s: SELECT not allowed in setup", origin)
+			case *sqlparser.TxnStmt:
+				continue
+			default:
+				if _, err := db.Exec(ctx, s.String()); err != nil {
+					return fmt.Errorf("%s: %v", origin, err)
+				}
+			}
+		}
+		return nil
+	}
+	// Setup scripts only run on a fresh database; a restored snapshot
+	// already contains their effects.
+	if !restored {
+		for i, stmt := range cfg.Setup {
+			if err := apply(stmt, fmt.Sprintf("setup[%d]", i)); err != nil {
+				return err
+			}
+		}
+		for _, f := range cfg.SetupFiles {
+			script, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			if err := apply(string(script), f); err != nil {
+				return err
+			}
+		}
+	}
+
+	gw := gateway.New(cfg.Site, db, d)
+	if cfg.TimeoutMs > 0 {
+		gw.DefaultTimeout = time.Duration(cfg.TimeoutMs) * time.Millisecond
+	}
+	for _, e := range cfg.Exports {
+		exp := gateway.Export{Name: e.Name, LocalTable: e.Table, Predicate: e.Predicate}
+		for _, c := range e.Columns {
+			exp.Columns = append(exp.Columns, gateway.ExportColumn{Export: c.Export, Local: c.Local})
+		}
+		if err := gw.DefineExport(exp); err != nil {
+			return err
+		}
+	}
+
+	srv := comm.NewServer(gw)
+	addr, err := srv.Listen(cfg.Listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("gatewayd: site %s (%s dialect) serving on %s with %d exports",
+		cfg.Site, d.Name, addr, len(cfg.Exports))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("gatewayd: shutting down")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if cfg.Snapshot != "" {
+		f, err := os.Create(cfg.Snapshot)
+		if err != nil {
+			return err
+		}
+		if err := db.SaveSnapshot(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("gatewayd: wrote snapshot %s", cfg.Snapshot)
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Command myriadctl is the interactive federation console — the paper's
+// "easy-to-use query interface [that] allows federation users and DBAs
+// to browse/modify/create federated schemas and pose transaction as
+// well as query requests".
+//
+// Usage:
+//
+//	myriadctl -addr localhost:7100
+//
+// Console commands:
+//
+//	SELECT ...                pose a global query (inside the open
+//	                          transaction, if any)
+//	\explain [simple] <sql>   show the global plan
+//	\catalog                  browse the federated schema
+//	\d                        list integrated relations
+//	\define <file.json>       create an integrated relation from JSON
+//	\drop <name>              remove an integrated relation
+//	\begin                    open a global transaction
+//	\exec <site> <dml>        run DML at a site inside the transaction
+//	\commit | \rollback       finish the transaction (two-phase commit)
+//	\q                        quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"myriad/internal/fedclient"
+	"myriad/internal/fedserver"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7100", "myriadd address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	command := flag.String("c", "", "run one console command and exit")
+	flag.Parse()
+
+	client := fedclient.Dial(*addr, 2)
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	err := client.Ping(ctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "myriadctl: cannot reach %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+
+	if *command != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		var txn *fedclient.Txn
+		dispatch(ctx, client, &txn, *command)
+		return
+	}
+
+	fmt.Printf("connected to federation at %s; \\q to quit, \\catalog to browse\n", *addr)
+	repl(client, *timeout)
+}
+
+func repl(client *fedclient.Client, timeout time.Duration) {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var txn *fedclient.Txn
+
+	prompt := func() {
+		if txn != nil {
+			fmt.Printf("myriad[txn %d]> ", txn.ID())
+		} else {
+			fmt.Print("myriad> ")
+		}
+	}
+
+	for prompt(); scanner.Scan(); prompt() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		quit := dispatch(ctx, client, &txn, line)
+		cancel()
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch runs one console line; it reports whether to quit.
+func dispatch(ctx context.Context, client *fedclient.Client, txn **fedclient.Txn, line string) bool {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	}
+	switch {
+	case line == `\q` || line == `\quit`:
+		return true
+
+	case line == `\catalog`:
+		out, err := client.Catalog(ctx)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		fmt.Println(out)
+
+	case line == `\d`:
+		scs, err := client.IntegratedSchemas(ctx)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		for _, sc := range scs {
+			fmt.Println(sc)
+		}
+
+	case strings.HasPrefix(line, `\explain `):
+		arg := strings.TrimSpace(line[len(`\explain `):])
+		if strings.HasPrefix(arg, "simple ") {
+			arg = "simple:" + strings.TrimSpace(arg[len("simple "):])
+		}
+		out, err := client.Explain(ctx, arg)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		fmt.Println(out)
+
+	case strings.HasPrefix(line, `\drop `):
+		name := strings.TrimSpace(line[len(`\drop `):])
+		if err := client.Drop(ctx, name); err != nil {
+			fail(err)
+			return false
+		}
+		fmt.Printf("dropped integrated relation %s\n", name)
+
+	case strings.HasPrefix(line, `\define `):
+		path := strings.TrimSpace(line[len(`\define `):])
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		var def fedserver.IntegratedDefJSON
+		if err := json.Unmarshal(raw, &def); err != nil {
+			fail(err)
+			return false
+		}
+		if err := client.Define(ctx, &def); err != nil {
+			fail(err)
+			return false
+		}
+		fmt.Printf("defined integrated relation %s\n", def.Name)
+
+	case line == `\begin`:
+		if *txn != nil {
+			fail(fmt.Errorf("transaction %d already open", (*txn).ID()))
+			return false
+		}
+		t, err := client.Begin(ctx)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		*txn = t
+		fmt.Printf("global transaction %d started\n", t.ID())
+
+	case strings.HasPrefix(line, `\exec `):
+		if *txn == nil {
+			fail(fmt.Errorf(`no open transaction; \begin first`))
+			return false
+		}
+		rest := strings.TrimSpace(line[len(`\exec `):])
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 {
+			fail(fmt.Errorf(`usage: \exec <site> <dml>`))
+			return false
+		}
+		n, err := (*txn).ExecSite(ctx, parts[0], parts[1])
+		if err != nil {
+			fail(err)
+			if !(*txn).AliveAfter(err) {
+				*txn = nil
+			}
+			return false
+		}
+		fmt.Printf("%d row(s) affected at %s\n", n, parts[0])
+
+	case line == `\commit`:
+		if *txn == nil {
+			fail(fmt.Errorf("no open transaction"))
+			return false
+		}
+		if err := (*txn).Commit(ctx); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("committed (two-phase)")
+		}
+		*txn = nil
+
+	case line == `\rollback` || line == `\abort`:
+		if *txn == nil {
+			fail(fmt.Errorf("no open transaction"))
+			return false
+		}
+		if err := (*txn).Abort(ctx); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("rolled back")
+		}
+		*txn = nil
+
+	case strings.HasPrefix(line, `\`):
+		fail(fmt.Errorf("unknown command %s", line))
+
+	default:
+		// A global query, transactional when a transaction is open.
+		var err error
+		if *txn != nil {
+			rs, qerr := (*txn).Query(ctx, line)
+			if qerr == nil {
+				fmt.Print(rs.String())
+			}
+			err = qerr
+			if err != nil && !(*txn).AliveAfter(err) {
+				*txn = nil
+			}
+		} else {
+			rs, qerr := client.Query(ctx, line)
+			if qerr == nil {
+				fmt.Print(rs.String())
+			}
+			err = qerr
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+	return false
+}

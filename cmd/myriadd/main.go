@@ -1,0 +1,142 @@
+// Command myriadd runs a MYRIAD federation server: it connects to the
+// configured component gateways, installs the integrated relation
+// definitions, and serves the federation protocol (global queries,
+// global transactions, schema browsing) over TCP.
+//
+// Usage:
+//
+//	myriadd -config federation.json
+//
+// Config format (JSON):
+//
+//	{
+//	  "name": "university",
+//	  "listen": ":7100",
+//	  "strategy": "cost-based",            // or "simple"
+//	  "local_query_timeout_ms": 2000,      // deadlock-resolution timeout
+//	  "sites": [{"name": "east", "addr": "localhost:7101", "pool": 4}],
+//	  "integrated": [
+//	    {"name": "ALL_STUDENTS",
+//	     "columns": [{"name": "id", "type": "INTEGER"}, ...],
+//	     "key": ["id"],
+//	     "combine": "union all",           // union all | union | merge
+//	     "resolvers": {"email": "first"},
+//	     "sources": [{"site": "east", "export": "STUDENT",
+//	                  "map": {"id": "id", "name": "name"},
+//	                  "filter": "gpa > 0"}]}
+//	  ]
+//	}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"myriad/internal/comm"
+	"myriad/internal/core"
+	"myriad/internal/fedserver"
+	"myriad/internal/gateway"
+)
+
+type siteConfig struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	Pool int    `json:"pool,omitempty"`
+}
+
+type config struct {
+	Name           string                        `json:"name"`
+	Listen         string                        `json:"listen"`
+	Strategy       string                        `json:"strategy,omitempty"`
+	LocalTimeoutMs int64                         `json:"local_query_timeout_ms,omitempty"`
+	Sites          []siteConfig                  `json:"sites"`
+	Integrated     []fedserver.IntegratedDefJSON `json:"integrated"`
+}
+
+func main() {
+	configPath := flag.String("config", "", "path to federation config JSON (required)")
+	flag.Parse()
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath); err != nil {
+		log.Fatalf("myriadd: %v", err)
+	}
+}
+
+func run(configPath string) error {
+	raw, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	var cfg config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %w", configPath, err)
+	}
+	if cfg.Name == "" {
+		return fmt.Errorf("config: name is required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = ":7100"
+	}
+
+	fed := core.New(cfg.Name)
+	switch strings.ToLower(cfg.Strategy) {
+	case "", "cost-based", "costbased", "full":
+		fed.Strategy = core.StrategyCostBased
+	case "simple":
+		fed.Strategy = core.StrategySimple
+	default:
+		return fmt.Errorf("config: unknown strategy %q", cfg.Strategy)
+	}
+	if cfg.LocalTimeoutMs > 0 {
+		fed.SetLocalQueryTimeout(time.Duration(cfg.LocalTimeoutMs) * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, s := range cfg.Sites {
+		pool := s.Pool
+		if pool <= 0 {
+			pool = 4
+		}
+		conn := gateway.DialRemote(s.Name, s.Addr, pool)
+		if err := fed.AttachSite(ctx, conn); err != nil {
+			return fmt.Errorf("attaching %s (%s): %w", s.Name, s.Addr, err)
+		}
+		log.Printf("myriadd: attached site %s at %s", s.Name, s.Addr)
+	}
+	for i := range cfg.Integrated {
+		def, err := cfg.Integrated[i].ToDef()
+		if err != nil {
+			return fmt.Errorf("integrated[%d]: %w", i, err)
+		}
+		if err := fed.DefineIntegrated(def); err != nil {
+			return fmt.Errorf("integrated[%d]: %w", i, err)
+		}
+		log.Printf("myriadd: defined integrated relation %s", def.Name)
+	}
+
+	srv := comm.NewServer(fedserver.New(fed))
+	addr, err := srv.Listen(cfg.Listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("myriadd: federation %q serving on %s (%d sites, %d integrated relations, %v strategy)",
+		cfg.Name, addr, len(cfg.Sites), len(cfg.Integrated), fed.Strategy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("myriadd: shutting down")
+	return srv.Close()
+}

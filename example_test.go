@@ -1,0 +1,140 @@
+package myriad_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"myriad"
+)
+
+// Example shows the complete life of a two-site federation: component
+// databases, gateways with renamed exports, an integrated relation, a
+// global query, and an atomic cross-site transaction.
+func Example() {
+	ctx := context.Background()
+
+	// Two autonomous component databases with different schemas.
+	north := myriad.NewComponentDB("north")
+	north.MustExec(`CREATE TABLE staff (eid INTEGER PRIMARY KEY, ename TEXT NOT NULL, wage FLOAT)`)
+	north.MustExec(`INSERT INTO staff VALUES (1, 'amy', 52.5), (2, 'ben', 41.0)`)
+
+	south := myriad.NewComponentDB("south")
+	south.MustExec(`CREATE TABLE workers (id INTEGER PRIMARY KEY, name TEXT NOT NULL, hourly FLOAT)`)
+	south.MustExec(`INSERT INTO workers VALUES (10, 'dee', 38.7)`)
+
+	// Gateways translate between the federation's canonical SQL and
+	// each site's dialect, exposing renamed export relations.
+	gwNorth := myriad.NewGateway("north", north, myriad.DialectOracle())
+	check(gwNorth.DefineExport(myriad.Export{Name: "EMP", LocalTable: "staff",
+		Columns: []myriad.ExportColumn{
+			{Export: "id", Local: "eid"},
+			{Export: "name", Local: "ename"},
+			{Export: "rate", Local: "wage"},
+		}}))
+	gwSouth := myriad.NewGateway("south", south, myriad.DialectPostgres())
+	check(gwSouth.DefineExport(myriad.Export{Name: "EMP", LocalTable: "workers",
+		Columns: []myriad.ExportColumn{
+			{Export: "id", Local: "id"},
+			{Export: "name", Local: "name"},
+			{Export: "rate", Local: "hourly"},
+		}}))
+
+	// The federation integrates both sites behind one relation.
+	fed := myriad.NewFederation("example")
+	check(fed.AttachSite(ctx, myriad.LocalConn(gwNorth)))
+	check(fed.AttachSite(ctx, myriad.LocalConn(gwSouth)))
+	check(fed.DefineIntegrated(&myriad.IntegratedDef{
+		Name: "EMPLOYEES",
+		Columns: []myriad.Column{
+			{Name: "id", Type: myriad.TInt},
+			{Name: "name", Type: myriad.TText},
+			{Name: "rate", Type: myriad.TFloat},
+		},
+		Key:     []string{"id"},
+		Combine: myriad.UnionAll,
+		Sources: []myriad.SourceDef{
+			{Site: "north", Export: "EMP", ColumnMap: map[string]string{"id": "id", "name": "name", "rate": "rate"}},
+			{Site: "south", Export: "EMP", ColumnMap: map[string]string{"id": "id", "name": "name", "rate": "rate"}},
+		},
+	}))
+
+	// A global query spanning both component databases.
+	rs, err := fed.Query(ctx, `SELECT name FROM EMPLOYEES WHERE rate > 40 ORDER BY rate DESC`)
+	check(err)
+	for _, row := range rs.Rows {
+		fmt.Println(row[0].Text())
+	}
+
+	// An atomic cross-site raise, via two-phase commit.
+	txn := fed.Begin()
+	_, err = txn.ExecSite(ctx, "north", `UPDATE EMP SET rate = rate + 1 WHERE id = 1`)
+	check(err)
+	_, err = txn.ExecSite(ctx, "south", `UPDATE EMP SET rate = rate + 1 WHERE id = 10`)
+	check(err)
+	check(txn.Commit(ctx))
+	fmt.Println("raise committed")
+
+	// Output:
+	// amy
+	// ben
+	// raise committed
+}
+
+// ExampleFederation_Explain renders the plans the two optimization
+// strategies produce for the same query.
+func ExampleFederation_Explain() {
+	ctx := context.Background()
+	db := myriad.NewComponentDB("solo")
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v FLOAT)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 10), (2, 20)`)
+	gw := myriad.NewGateway("solo", db, myriad.DialectCanonical())
+	check(gw.DefineExport(myriad.Export{Name: "T", LocalTable: "t"}))
+	fed := myriad.NewFederation("explain-demo")
+	check(fed.AttachSite(ctx, myriad.LocalConn(gw)))
+	check(fed.DefineIntegrated(&myriad.IntegratedDef{
+		Name:    "DATA",
+		Columns: []myriad.Column{{Name: "id", Type: myriad.TInt}, {Name: "v", Type: myriad.TFloat}},
+		Combine: myriad.UnionAll,
+		Sources: []myriad.SourceDef{{Site: "solo", Export: "T", ColumnMap: map[string]string{"id": "id", "v": "v"}}},
+	}))
+
+	plan, err := fed.Explain(ctx, `SELECT id FROM DATA WHERE v > 15`, myriad.StrategyCostBased)
+	check(err)
+	fmt.Print(plan)
+	// Output:
+	// strategy: cost-based
+	// scan-set DATA (DATA, est 1 rows)
+	//   @solo: SELECT id AS id, v AS v FROM T WHERE v > 15 (est 1)
+	// residual: SELECT id FROM t0_0_data DATA WHERE v > 15
+}
+
+// ExampleRegisterIntegrationFunc installs a user-defined integration
+// function that resolves attribute conflicts during outerjoin-merge.
+func ExampleRegisterIntegrationFunc() {
+	myriad.RegisterIntegrationFunc("shortest", func(vals []myriad.Value) (myriad.Value, error) {
+		best := myriad.NullValue()
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() || len(v.Text()) < len(best.Text()) {
+				best = v
+			}
+		}
+		return best, nil
+	})
+	for _, name := range myriad.IntegrationFuncs() {
+		if name == "shortest" {
+			fmt.Println("registered")
+		}
+	}
+	// Output:
+	// registered
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

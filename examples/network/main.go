@@ -1,0 +1,121 @@
+// Network: the full wire deployment in one process — two gateway
+// servers and a federation server on TCP loopback (the paper ran the
+// same topology across SPARCstations with BSD sockets), driven through
+// the network client.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"myriad"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// ------------------------------------------------------------------
+	// Component sites, each served over TCP like a gatewayd process.
+
+	inv := myriad.NewComponentDB("inventory")
+	inv.MustExec(`CREATE TABLE items (sku TEXT PRIMARY KEY, descr TEXT, qty INTEGER)`)
+	inv.MustExec(`INSERT INTO items VALUES ('a1', 'anvil', 12), ('b2', 'bolt', 900), ('c3', 'crate', 41)`)
+	gwInv := myriad.NewGateway("inventory", inv, myriad.DialectOracle())
+	must(gwInv.DefineExport(myriad.Export{Name: "ITEM", LocalTable: "items"}))
+	invAddr, stopInv, err := myriad.ServeGateway(gwInv, "127.0.0.1:0")
+	must(err)
+	defer stopInv() //nolint:errcheck
+	fmt.Printf("gatewayd[inventory] on %s\n", invAddr)
+
+	sales := myriad.NewComponentDB("sales")
+	sales.MustExec(`CREATE TABLE sold (sku TEXT, n INTEGER, day TEXT, PRIMARY KEY (sku, day))`)
+	sales.MustExec(`INSERT INTO sold VALUES ('a1', 2, 'mon'), ('b2', 40, 'mon'), ('a1', 1, 'tue'), ('c3', 7, 'tue')`)
+	gwSales := myriad.NewGateway("sales", sales, myriad.DialectPostgres())
+	must(gwSales.DefineExport(myriad.Export{Name: "SALE", LocalTable: "sold"}))
+	salesAddr, stopSales, err := myriad.ServeGateway(gwSales, "127.0.0.1:0")
+	must(err)
+	defer stopSales() //nolint:errcheck
+	fmt.Printf("gatewayd[sales]     on %s\n", salesAddr)
+
+	// ------------------------------------------------------------------
+	// Federation server attaches to the gateways over TCP (myriadd).
+
+	fed := myriad.NewFederation("store")
+	must(fed.AttachSite(ctx, myriad.DialGateway("inventory", invAddr, 4)))
+	must(fed.AttachSite(ctx, myriad.DialGateway("sales", salesAddr, 4)))
+	must(fed.DefineIntegrated(&myriad.IntegratedDef{
+		Name: "STOCK",
+		Columns: []myriad.Column{
+			{Name: "sku", Type: myriad.TText},
+			{Name: "descr", Type: myriad.TText},
+			{Name: "qty", Type: myriad.TInt},
+		},
+		Key:     []string{"sku"},
+		Combine: myriad.UnionAll,
+		Sources: []myriad.SourceDef{{Site: "inventory", Export: "ITEM",
+			ColumnMap: map[string]string{"sku": "sku", "descr": "descr", "qty": "qty"}}},
+	}))
+	must(fed.DefineIntegrated(&myriad.IntegratedDef{
+		Name: "SALES",
+		Columns: []myriad.Column{
+			{Name: "sku", Type: myriad.TText},
+			{Name: "n", Type: myriad.TInt},
+			{Name: "day", Type: myriad.TText},
+		},
+		Combine: myriad.UnionAll,
+		Sources: []myriad.SourceDef{{Site: "sales", Export: "SALE",
+			ColumnMap: map[string]string{"sku": "sku", "n": "n", "day": "day"}}},
+	}))
+
+	fedAddr, stopFed, err := myriad.ServeFederation(fed, "127.0.0.1:0")
+	must(err)
+	defer stopFed() //nolint:errcheck
+	fmt.Printf("myriadd[store]      on %s\n\n", fedAddr)
+
+	// ------------------------------------------------------------------
+	// A network client (what myriadctl wraps).
+
+	client := myriad.DialFederation(fedAddr, 2)
+	defer client.Close() //nolint:errcheck
+
+	catalog, err := client.Catalog(ctx)
+	must(err)
+	fmt.Printf("== federated catalog ==\n%s\n", catalog)
+
+	q := `SELECT s.sku, st.descr, SUM(s.n) AS sold, st.qty AS in_stock
+	      FROM SALES s JOIN STOCK st ON s.sku = st.sku
+	      GROUP BY s.sku, st.descr, st.qty ORDER BY sold DESC`
+	rs, err := client.Query(ctx, q)
+	must(err)
+	fmt.Printf("== cross-site sales report ==\n%s\n", rs.String())
+
+	plan, err := client.Explain(ctx, q)
+	must(err)
+	fmt.Printf("== plan ==\n%s\n", plan)
+
+	// A global transaction over the wire: record a sale and decrement
+	// stock atomically across the two component databases.
+	txn, err := client.Begin(ctx)
+	must(err)
+	if _, err := txn.ExecSite(ctx, "sales", `INSERT INTO SALE (sku, n, day) VALUES ('c3', 3, 'wed')`); err != nil {
+		txn.Abort(ctx) //nolint:errcheck
+		log.Fatal(err)
+	}
+	if _, err := txn.ExecSite(ctx, "inventory", `UPDATE ITEM SET qty = qty - 3 WHERE sku = 'c3'`); err != nil {
+		txn.Abort(ctx) //nolint:errcheck
+		log.Fatal(err)
+	}
+	must(txn.Commit(ctx))
+	fmt.Println("recorded sale of 3 crates atomically across sites (2PC over TCP)")
+
+	rs, err = client.Query(ctx, `SELECT sku, qty FROM STOCK WHERE sku = 'c3'`)
+	must(err)
+	fmt.Print(rs.String())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

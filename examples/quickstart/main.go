@@ -1,0 +1,83 @@
+// Quickstart: the smallest complete MYRIAD deployment — two in-process
+// component databases, one integrated relation, one global query.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"myriad"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Two autonomous component databases. Each keeps its own schema;
+	// neither knows about the other.
+	north := myriad.NewComponentDB("north")
+	north.MustExec(`CREATE TABLE staff (eid INTEGER PRIMARY KEY, ename TEXT NOT NULL, wage FLOAT)`)
+	north.MustExec(`INSERT INTO staff VALUES (1, 'amy', 52.5), (2, 'ben', 41.0), (3, 'cho', 63.2)`)
+
+	south := myriad.NewComponentDB("south")
+	south.MustExec(`CREATE TABLE workers (id INTEGER PRIMARY KEY, name TEXT NOT NULL, hourly FLOAT)`)
+	south.MustExec(`INSERT INTO workers VALUES (10, 'dee', 38.7), (11, 'eli', 55.0)`)
+
+	// Gateways expose export relations; the two sites speak different
+	// SQL dialects, which the gateways translate transparently.
+	gwNorth := myriad.NewGateway("north", north, myriad.DialectOracle())
+	must(gwNorth.DefineExport(myriad.Export{Name: "EMP", LocalTable: "staff",
+		Columns: []myriad.ExportColumn{
+			{Export: "id", Local: "eid"},
+			{Export: "name", Local: "ename"},
+			{Export: "rate", Local: "wage"},
+		}}))
+
+	gwSouth := myriad.NewGateway("south", south, myriad.DialectPostgres())
+	must(gwSouth.DefineExport(myriad.Export{Name: "EMP", LocalTable: "workers",
+		Columns: []myriad.ExportColumn{
+			{Export: "id", Local: "id"},
+			{Export: "name", Local: "name"},
+			{Export: "rate", Local: "hourly"},
+		}}))
+
+	// The federation: one integrated relation spanning both sites.
+	fed := myriad.NewFederation("quickstart")
+	must(fed.AttachSite(ctx, myriad.LocalConn(gwNorth)))
+	must(fed.AttachSite(ctx, myriad.LocalConn(gwSouth)))
+	must(fed.DefineIntegrated(&myriad.IntegratedDef{
+		Name: "EMPLOYEES",
+		Columns: []myriad.Column{
+			{Name: "id", Type: myriad.TInt},
+			{Name: "name", Type: myriad.TText},
+			{Name: "rate", Type: myriad.TFloat},
+			{Name: "region", Type: myriad.TText},
+		},
+		Key:     []string{"id"},
+		Combine: myriad.UnionAll,
+		Sources: []myriad.SourceDef{
+			{Site: "north", Export: "EMP", ColumnMap: map[string]string{
+				"id": "id", "name": "name", "rate": "rate", "region": "'north'"}},
+			{Site: "south", Export: "EMP", ColumnMap: map[string]string{
+				"id": "id", "name": "name", "rate": "rate", "region": "'south'"}},
+		},
+	}))
+
+	// One global query, spanning both component databases.
+	rs, err := fed.Query(ctx, `SELECT name, rate, region FROM EMPLOYEES WHERE rate > 40 ORDER BY rate DESC`)
+	must(err)
+	fmt.Println("employees earning more than 40/hour, enterprise-wide:")
+	fmt.Print(rs.String())
+
+	// And the plan that produced it.
+	plan, err := fed.Explain(ctx, `SELECT name, rate, region FROM EMPLOYEES WHERE rate > 40`, myriad.StrategyCostBased)
+	must(err)
+	fmt.Println("\nplan (cost-based):")
+	fmt.Print(plan)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package catalog
+
+import (
+	"testing"
+
+	"myriad/internal/integration"
+	"myriad/internal/schema"
+)
+
+func exportSchemas() map[string]map[string]*schema.Schema {
+	st := &schema.Schema{
+		Table: "STUDENT",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TInt},
+			{Name: "name", Type: schema.TText},
+		},
+		Key: []string{"id"},
+	}
+	return map[string]map[string]*schema.Schema{
+		"east": {"student": st},
+		"west": {"student": st},
+	}
+}
+
+func validDef() *IntegratedDef {
+	return &IntegratedDef{
+		Name: "ALL_STUDENTS",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TInt},
+			{Name: "name", Type: schema.TText},
+		},
+		Key:     []string{"id"},
+		Combine: integration.UnionAll,
+		Sources: []SourceDef{
+			{Site: "east", Export: "STUDENT", ColumnMap: map[string]string{"id": "id", "name": "name"}},
+			{Site: "west", Export: "STUDENT", ColumnMap: map[string]string{"id": "id", "name": "name"}},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validDef().Validate(exportSchemas()); err != nil {
+		t.Fatalf("valid def rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*IntegratedDef)
+	}{
+		{"empty name", func(d *IntegratedDef) { d.Name = "" }},
+		{"no columns", func(d *IntegratedDef) { d.Columns = nil }},
+		{"no sources", func(d *IntegratedDef) { d.Sources = nil }},
+		{"bad key", func(d *IntegratedDef) { d.Key = []string{"ghost"} }},
+		{"merge without key", func(d *IntegratedDef) { d.Combine = integration.MergeOuter; d.Key = nil }},
+		{"unknown site", func(d *IntegratedDef) { d.Sources[0].Site = "mars" }},
+		{"unknown export", func(d *IntegratedDef) { d.Sources[0].Export = "GHOST" }},
+		{"map to unknown column", func(d *IntegratedDef) { d.Sources[0].ColumnMap["ghost"] = "id" }},
+		{"resolver for unknown column", func(d *IntegratedDef) { d.Resolvers = map[string]string{"ghost": "first"} }},
+		{"unknown resolver fn", func(d *IntegratedDef) { d.Resolvers = map[string]string{"name": "nope_fn"} }},
+		{"merge source missing key map", func(d *IntegratedDef) {
+			d.Combine = integration.MergeOuter
+			delete(d.Sources[1].ColumnMap, "id")
+		}},
+	}
+	for _, m := range mutations {
+		d := validDef()
+		m.mut(d)
+		if err := d.Validate(exportSchemas()); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestDefSchemaAndColIndex(t *testing.T) {
+	d := validDef()
+	sc := d.Schema()
+	if sc.Table != "ALL_STUDENTS" || len(sc.Columns) != 2 || sc.Key[0] != "id" {
+		t.Errorf("Schema(): %v", sc)
+	}
+	if d.ColIndex("NAME") != 1 || d.ColIndex("nope") != -1 {
+		t.Error("ColIndex")
+	}
+}
+
+func TestSourceMapFold(t *testing.T) {
+	s := &SourceDef{ColumnMap: map[string]string{"Id": "sid"}}
+	if v, ok := s.MapFold("ID"); !ok || v != "sid" {
+		t.Errorf("MapFold: %q %v", v, ok)
+	}
+	if _, ok := s.MapFold("nope"); ok {
+		t.Error("MapFold found missing key")
+	}
+}
+
+func TestCatalogLifecycle(t *testing.T) {
+	c := New("fed1")
+	if c.Federation() != "fed1" {
+		t.Error("federation name")
+	}
+	st := exportSchemas()["east"]["student"]
+	c.SetSiteExports("East", []*schema.Schema{st})
+	c.SetSiteExports("west", []*schema.Schema{st})
+
+	if got := c.Sites(); len(got) != 2 || got[0] != "east" {
+		t.Errorf("Sites: %v", got)
+	}
+	if _, ok := c.ExportSchema("EAST", "Student"); !ok {
+		t.Error("case-insensitive export lookup failed")
+	}
+	if _, ok := c.ExportSchema("mars", "student"); ok {
+		t.Error("unknown site export found")
+	}
+	if exps := c.SiteExports("east"); len(exps) != 1 {
+		t.Errorf("SiteExports: %v", exps)
+	}
+
+	if err := c.Define(validDef()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Integrated("all_students"); !ok {
+		t.Error("integrated lookup failed")
+	}
+	if names := c.IntegratedNames(); len(names) != 1 || names[0] != "all_students" {
+		t.Errorf("names: %v", names)
+	}
+	if err := c.Drop("ALL_STUDENTS"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("ALL_STUDENTS"); err == nil {
+		t.Error("double drop accepted")
+	}
+
+	// Define must fail against a catalog missing the sites.
+	empty := New("fed2")
+	if err := empty.Define(validDef()); err == nil {
+		t.Error("define with unknown sites accepted")
+	}
+}

@@ -1,0 +1,315 @@
+// Package comm is MYRIAD's communication substrate: a synchronous
+// request/response protocol of gob-encoded frames over TCP. It plays the
+// role of the BSD-socket message layer in the 1994 prototype.
+//
+// The same Request/Response pair serves the gateway protocol (federation
+// to component DBMS) and the federation's client protocol; which fields
+// are populated depends on Op.
+package comm
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"myriad/internal/schema"
+	"myriad/internal/storage"
+)
+
+// Op identifies a request type.
+type Op string
+
+// Gateway and federation protocol operations.
+const (
+	OpPing    Op = "ping"
+	OpSchema  Op = "schema"  // list export relations
+	OpStats   Op = "stats"   // table statistics for one export
+	OpQuery   Op = "query"   // SELECT (optionally inside a transaction)
+	OpExec    Op = "exec"    // DML/DDL (optionally inside a transaction)
+	OpBegin   Op = "begin"   // open a transaction branch
+	OpPrepare Op = "prepare" // 2PC phase one
+	OpCommit  Op = "commit"  // 2PC phase two (or one-phase commit)
+	OpAbort   Op = "abort"   // rollback
+
+	// Federation-protocol extensions (myriadd <-> myriadctl/clients).
+	OpExplain Op = "explain" // render the plan for SQL
+	OpDefine  Op = "define"  // install an integrated relation (JSON in SQL field)
+	OpDrop    Op = "drop"    // remove an integrated relation (name in Table)
+	OpCatalog Op = "catalog" // render the federation catalog
+	OpExecAt  Op = "execat"  // DML at one site inside a global txn (site in Table)
+)
+
+// Request is one protocol message from client to server.
+type Request struct {
+	Op        Op
+	TxnID     uint64 // 0 means autocommit
+	SQL       string
+	Table     string // for OpStats
+	TimeoutMs int64  // per-request server-side timeout (0 = none)
+}
+
+// ErrKind discriminates error causes across the wire.
+type ErrKind string
+
+// Error kinds carried in responses.
+const (
+	ErrNone    ErrKind = ""
+	ErrGeneric ErrKind = "error"
+	ErrTimeout ErrKind = "timeout" // lock/deadline expiry: presumed deadlock
+)
+
+// Response is one protocol message from server to client.
+type Response struct {
+	Err      string
+	Kind     ErrKind
+	TxnID    uint64
+	Rows     *schema.ResultSet
+	Affected int
+	Schemas  []*schema.Schema
+	Stats    *storage.TableStats
+}
+
+// TimeoutError is the client-side representation of a server-reported
+// timeout (presumed deadlock, per the paper's resolution policy).
+var TimeoutError = errors.New("comm: remote timeout (presumed deadlock)")
+
+// AsError converts a Response's error fields into a Go error.
+func (r *Response) AsError() error {
+	switch r.Kind {
+	case ErrNone:
+		return nil
+	case ErrTimeout:
+		return fmt.Errorf("%w: %s", TimeoutError, r.Err)
+	default:
+		return errors.New(r.Err)
+	}
+}
+
+// Handler serves decoded requests. Implementations must be safe for
+// concurrent use.
+type Handler interface {
+	Handle(ctx context.Context, req *Request) *Response
+}
+
+// Server accepts connections and pumps the request/response loop.
+type Server struct {
+	handler Handler
+
+	mu    sync.Mutex
+	ln    net.Listener
+	wg    sync.WaitGroup
+	conns map[net.Conn]bool
+
+	closed bool
+}
+
+// NewServer wraps handler; call Listen (or Serve) to start.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: make(map[net.Conn]bool)}
+}
+
+// Listen binds addr ("host:port"; ":0" picks a free port) and serves in
+// the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		ctx := context.Background()
+		cancel := func() {}
+		if req.TimeoutMs > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		}
+		resp := s.handler.Handle(ctx, &req)
+		cancel()
+		if resp == nil {
+			resp = &Response{}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes active connections, and waits for the
+// per-connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a connection pool speaking the protocol to one server. It is
+// safe for concurrent use; each in-flight request occupies one pooled
+// connection.
+type Client struct {
+	addr string
+	pool chan *clientConn
+	mu   sync.Mutex
+	all  []*clientConn
+	shut bool
+}
+
+type clientConn struct {
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// Dial creates a client with a pool of up to poolSize connections
+// (established lazily).
+func Dial(addr string, poolSize int) *Client {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	c := &Client{addr: addr, pool: make(chan *clientConn, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		c.pool <- nil // lazy slot
+	}
+	return c
+}
+
+func (c *Client) get(ctx context.Context) (*clientConn, error) {
+	select {
+	case cc := <-c.pool:
+		if cc != nil {
+			return cc, nil
+		}
+		d := net.Dialer{}
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err != nil {
+			c.pool <- nil // return the slot
+			return nil, err
+		}
+		cc = &clientConn{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+		c.mu.Lock()
+		c.all = append(c.all, cc)
+		c.mu.Unlock()
+		return cc, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Client) put(cc *clientConn, broken bool) {
+	if broken {
+		cc.conn.Close()
+		c.pool <- nil
+		return
+	}
+	c.pool <- cc
+}
+
+// Do performs one request/response exchange. The context deadline, if
+// any, is propagated to the server via TimeoutMs (when not already set)
+// and enforced locally on the socket.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	if dl, ok := ctx.Deadline(); ok && req.TimeoutMs == 0 {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMs = ms
+	}
+	cc, err := c.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Socket deadline slightly beyond the server timeout so the
+		// server's own timeout response wins when possible.
+		cc.conn.SetDeadline(dl.Add(250 * time.Millisecond)) //nolint:errcheck
+	} else {
+		cc.conn.SetDeadline(time.Time{}) //nolint:errcheck
+	}
+	if err := cc.enc.Encode(req); err != nil {
+		c.put(cc, true)
+		return nil, fmt.Errorf("comm: send to %s: %w", c.addr, err)
+	}
+	var resp Response
+	if err := cc.dec.Decode(&resp); err != nil {
+		c.put(cc, true)
+		return nil, fmt.Errorf("comm: receive from %s: %w", c.addr, err)
+	}
+	c.put(cc, false)
+	return &resp, nil
+}
+
+// Close tears down every pooled connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shut {
+		return nil
+	}
+	c.shut = true
+	for _, cc := range c.all {
+		cc.conn.Close()
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+// Package core implements the MYRIAD federation — the paper's primary
+// contribution. A Federation integrates independently developed
+// component databases (reached through their gateways) behind a set of
+// integrated relations, processes global SQL queries with a choice of
+// optimization strategies, and runs global transactions under two-phase
+// commit with timeout-based global deadlock resolution.
+//
+// Multiple federations can coexist over the same component databases;
+// each Federation value is fully independent (its own catalog,
+// connections, and coordinator), matching "In Myriad, multiple
+// federations can be formed."
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"myriad/internal/catalog"
+	"myriad/internal/executor"
+	"myriad/internal/gateway"
+	"myriad/internal/gtm"
+	"myriad/internal/planner"
+	"myriad/internal/schema"
+	"myriad/internal/sqlparser"
+	"myriad/internal/storage"
+)
+
+// Strategy re-exports the optimizer strategy choice.
+type Strategy = planner.Strategy
+
+// Optimizer strategies.
+const (
+	// StrategySimple is the paper's implemented strategy: fetch the
+	// referenced export relations essentially whole and evaluate the
+	// query at the federation.
+	StrategySimple = planner.Simple
+	// StrategyCostBased is the "full-fledged" optimizer: pushdown, join
+	// ordering, and semijoin reduction driven by gateway statistics.
+	StrategyCostBased = planner.CostBased
+)
+
+// Federation is one MYRIAD federation instance.
+type Federation struct {
+	name string
+	cat  *catalog.Catalog
+
+	mu    sync.RWMutex
+	conns map[string]gateway.Conn
+
+	coord *gtm.Coordinator
+
+	statsMu sync.Mutex
+	stats   map[string]*storage.TableStats // "site/export" -> stats
+
+	// Strategy is the default optimizer for Query; QueryWith overrides.
+	Strategy Strategy
+	// QueryTimeout bounds each remote subquery of autocommit global
+	// queries; zero disables. Global transactions use LocalQueryTimeout.
+	QueryTimeout time.Duration
+}
+
+// New creates an empty federation.
+func New(name string) *Federation {
+	f := &Federation{
+		name:     name,
+		cat:      catalog.New(name),
+		conns:    make(map[string]gateway.Conn),
+		stats:    make(map[string]*storage.TableStats),
+		Strategy: StrategyCostBased,
+	}
+	f.coord = gtm.New(connProvider{f})
+	return f
+}
+
+// connProvider adapts Federation to gtm.ConnProvider.
+type connProvider struct{ f *Federation }
+
+func (p connProvider) Conn(site string) (gateway.Conn, bool) { return p.f.Conn(site) }
+
+// Name returns the federation's name.
+func (f *Federation) Name() string { return f.name }
+
+// Catalog exposes the federation's metadata store.
+func (f *Federation) Catalog() *catalog.Catalog { return f.cat }
+
+// Coordinator exposes the global transaction manager (for its stats).
+func (f *Federation) Coordinator() *gtm.Coordinator { return f.coord }
+
+// SetLocalQueryTimeout sets the timeout attached to each local query
+// submitted to a gateway on behalf of a global transaction — the
+// paper's global-deadlock resolution knob.
+func (f *Federation) SetLocalQueryTimeout(d time.Duration) { f.coord.OpTimeout = d }
+
+// AttachSite registers a component database's gateway connection and
+// imports its export relation schemas into the catalog.
+func (f *Federation) AttachSite(ctx context.Context, conn gateway.Conn) error {
+	schemas, err := conn.ExportSchemas(ctx)
+	if err != nil {
+		return fmt.Errorf("core: attaching site %s: %w", conn.Site(), err)
+	}
+	f.mu.Lock()
+	f.conns[strings.ToLower(conn.Site())] = conn
+	f.mu.Unlock()
+	f.cat.SetSiteExports(conn.Site(), schemas)
+	return nil
+}
+
+// DetachSite removes a site (its integrated relations become invalid to
+// plan until redefined).
+func (f *Federation) DetachSite(site string) {
+	f.mu.Lock()
+	delete(f.conns, strings.ToLower(site))
+	f.mu.Unlock()
+}
+
+// RefreshSite re-imports a site's export schemas (after local DDL).
+func (f *Federation) RefreshSite(ctx context.Context, site string) error {
+	conn, ok := f.Conn(site)
+	if !ok {
+		return fmt.Errorf("core: unknown site %q", site)
+	}
+	schemas, err := conn.ExportSchemas(ctx)
+	if err != nil {
+		return err
+	}
+	f.cat.SetSiteExports(site, schemas)
+	f.InvalidateStats()
+	return nil
+}
+
+// Conn returns the gateway connection for site.
+func (f *Federation) Conn(site string) (gateway.Conn, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	c, ok := f.conns[strings.ToLower(site)]
+	return c, ok
+}
+
+// Sites lists attached sites, sorted.
+func (f *Federation) Sites() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.conns))
+	for s := range f.conns {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefineIntegrated validates and installs an integrated relation.
+func (f *Federation) DefineIntegrated(def *catalog.IntegratedDef) error {
+	return f.cat.Define(def)
+}
+
+// ---------------------------------------------------------------------
+// Statistics (for the cost-based strategy)
+
+// Stats implements planner.StatsProvider with a demand-filled cache.
+func (f *Federation) Stats(ctx context.Context, site, export string) (*storage.TableStats, bool) {
+	key := strings.ToLower(site) + "/" + strings.ToLower(export)
+	f.statsMu.Lock()
+	if ts, ok := f.stats[key]; ok {
+		f.statsMu.Unlock()
+		return ts, true
+	}
+	f.statsMu.Unlock()
+
+	conn, ok := f.Conn(site)
+	if !ok {
+		return nil, false
+	}
+	ts, err := conn.Stats(ctx, export)
+	if err != nil || ts == nil {
+		return nil, false
+	}
+	f.statsMu.Lock()
+	f.stats[key] = ts
+	f.statsMu.Unlock()
+	return ts, true
+}
+
+// InvalidateStats empties the statistics cache (e.g. after bulk loads).
+func (f *Federation) InvalidateStats() {
+	f.statsMu.Lock()
+	f.stats = make(map[string]*storage.TableStats)
+	f.statsMu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Global queries
+
+// autocommitRunner ships subqueries outside any global transaction.
+type autocommitRunner struct {
+	f       *Federation
+	timeout time.Duration
+}
+
+func (r autocommitRunner) QuerySite(ctx context.Context, site, sql string) (*schema.ResultSet, error) {
+	conn, ok := r.f.Conn(site)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", site)
+	}
+	if r.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
+	return conn.Query(ctx, 0, sql)
+}
+
+func (f *Federation) plan(ctx context.Context, sql string, strategy Strategy) (*planner.Plan, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: global queries must be SELECT, got %T", stmt)
+	}
+	pl := planner.New(f.cat, f)
+	return pl.Plan(ctx, sel, strategy)
+}
+
+// Query runs a global SELECT with the federation's default strategy.
+func (f *Federation) Query(ctx context.Context, sql string) (*schema.ResultSet, error) {
+	return f.QueryWith(ctx, sql, f.Strategy)
+}
+
+// QueryWith runs a global SELECT with an explicit strategy.
+func (f *Federation) QueryWith(ctx context.Context, sql string, strategy Strategy) (*schema.ResultSet, error) {
+	rs, _, err := f.QueryMetered(ctx, sql, strategy)
+	return rs, err
+}
+
+// QueryMetered additionally returns execution metrics (remote queries
+// issued, rows shipped, semijoin use) for the benchmark harness.
+func (f *Federation) QueryMetered(ctx context.Context, sql string, strategy Strategy) (*schema.ResultSet, *executor.Metrics, error) {
+	plan, err := f.plan(ctx, sql, strategy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return executor.ExecuteMetered(ctx, plan, autocommitRunner{f: f, timeout: f.QueryTimeout})
+}
+
+// QueryTx runs a global SELECT inside a global transaction, giving the
+// query serializable semantics via the sites' strict 2PL.
+func (f *Federation) QueryTx(ctx context.Context, txn *gtm.Txn, sql string) (*schema.ResultSet, error) {
+	plan, err := f.plan(ctx, sql, f.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	return executor.Execute(ctx, plan, txn)
+}
+
+// Explain plans the query and renders the plan.
+func (f *Federation) Explain(ctx context.Context, sql string, strategy Strategy) (string, error) {
+	plan, err := f.plan(ctx, sql, strategy)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe(), nil
+}
+
+// ---------------------------------------------------------------------
+// Global transactions
+
+// Begin opens a global transaction. Updates address export relations at
+// specific sites via ExecSite (updating integrated relations through
+// their mappings is the view-update problem, future work in 1994 and
+// future work here).
+func (f *Federation) Begin() *gtm.Txn { return f.coord.Begin() }
+
+// Transfer is a convenience for the canonical funds-transfer global
+// transaction used by the banking example and benches: debit at one
+// site, credit at another, atomically.
+func (f *Federation) Transfer(ctx context.Context, debitSite, debitSQL, creditSite, creditSQL string) error {
+	txn := f.Begin()
+	if _, err := txn.ExecSite(ctx, debitSite, debitSQL); err != nil {
+		txn.Abort(ctx)
+		return err
+	}
+	if _, err := txn.ExecSite(ctx, creditSite, creditSQL); err != nil {
+		txn.Abort(ctx)
+		return err
+	}
+	return txn.Commit(ctx)
+}
+
+// WithRetry runs fn inside a fresh global transaction, committing on
+// success. Transactions aborted by the timeout mechanism (presumed
+// global deadlock) are retried up to maxAttempts times — the standard
+// client idiom under MYRIAD's deadlock policy. fn must be safe to
+// re-run; any other error aborts and is returned as-is.
+func (f *Federation) WithRetry(ctx context.Context, maxAttempts int, fn func(*gtm.Txn) error) error {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		txn := f.Begin()
+		err := fn(txn)
+		if err == nil {
+			err = txn.Commit(ctx)
+		}
+		if err == nil {
+			return nil
+		}
+		txn.Abort(ctx) // idempotent; covers fn-reported failures
+		if !errors.Is(err, gtm.ErrAborted) || ctx.Err() != nil {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("core: giving up after %d attempts: %w", maxAttempts, lastErr)
+}

@@ -1,0 +1,115 @@
+// Package dialect captures the SQL heterogeneity between component
+// DBMSs. In the paper the gateways spoke Oracle's and Postgres's SQL; in
+// this reproduction the component engine is shared but every gateway
+// renders statements through its site's dialect, so the translation
+// machinery is exercised end to end: identifier quoting, row-limiting
+// syntax, boolean representation, and function-name differences.
+package dialect
+
+import (
+	"fmt"
+	"strings"
+
+	"myriad/internal/sqlparser"
+)
+
+// Dialect renders canonical MYRIAD SQL statements in a component DBMS's
+// native SQL and exposes the parser for that SQL (the shared grammar
+// accepts the union of the dialects' spellings).
+type Dialect struct {
+	// Name identifies the dialect ("oracle", "postgres", "canonical").
+	Name string
+
+	style sqlparser.Style
+}
+
+// ForName returns the dialect registered under name.
+func ForName(name string) (*Dialect, error) {
+	switch strings.ToLower(name) {
+	case "canonical", "":
+		return Canonical(), nil
+	case "oracle":
+		return Oracle(), nil
+	case "postgres", "postgresql":
+		return Postgres(), nil
+	default:
+		return nil, fmt.Errorf("dialect: unknown dialect %q", name)
+	}
+}
+
+// Canonical returns the dialect-neutral rendering used inside the
+// federation.
+func Canonical() *Dialect {
+	return &Dialect{Name: "canonical"}
+}
+
+// Oracle returns an Oracle-like dialect: upper-case double-quoted
+// identifiers, FETCH FIRST row limiting, 1/0 booleans, NVL/SUBSTR
+// function spellings.
+func Oracle() *Dialect {
+	return &Dialect{
+		Name: "oracle",
+		style: sqlparser.Style{
+			QuoteIdent: func(s string) string {
+				return `"` + strings.ToUpper(strings.ReplaceAll(s, `"`, `""`)) + `"`
+			},
+			Limit:     sqlparser.LimitStyleFetchFirst,
+			BoolAsInt: true,
+			FuncName: func(name string) string {
+				switch name {
+				case "COALESCE":
+					return "NVL"
+				case "SUBSTRING":
+					return "SUBSTR"
+				case "LENGTH":
+					return "LENGTH"
+				}
+				return name
+			},
+		},
+	}
+}
+
+// Postgres returns a Postgres-like dialect: lower-case identifiers,
+// LIMIT/OFFSET, native booleans.
+func Postgres() *Dialect {
+	return &Dialect{
+		Name: "postgres",
+		style: sqlparser.Style{
+			QuoteIdent: func(s string) string {
+				return `"` + strings.ToLower(strings.ReplaceAll(s, `"`, `""`)) + `"`
+			},
+			Limit: sqlparser.LimitStyleLimitOffset,
+			FuncName: func(name string) string {
+				switch name {
+				case "NVL":
+					return "COALESCE"
+				case "SUBSTR":
+					return "SUBSTRING"
+				}
+				return name
+			},
+		},
+	}
+}
+
+// Render produces the dialect's SQL text for a canonical statement.
+func (d *Dialect) Render(stmt sqlparser.Statement) string {
+	return sqlparser.FormatStatement(stmt, &d.style)
+}
+
+// RenderExpr produces the dialect's SQL text for an expression.
+func (d *Dialect) RenderExpr(e sqlparser.Expr) string {
+	return sqlparser.FormatExpr(e, &d.style)
+}
+
+// Parse parses dialect SQL into the canonical AST. Identifier case is
+// normalized back to lower case for quoted identifiers so the shared
+// engine resolves them uniformly.
+func (d *Dialect) Parse(sql string) (sqlparser.Statement, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("dialect %s: %w", d.Name, err)
+	}
+	return stmt, nil
+}

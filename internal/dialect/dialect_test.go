@@ -1,0 +1,122 @@
+package dialect
+
+import (
+	"strings"
+	"testing"
+
+	"myriad/internal/sqlparser"
+)
+
+func parse(t *testing.T, sql string) sqlparser.Statement {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return stmt
+}
+
+func TestForName(t *testing.T) {
+	for name, want := range map[string]string{
+		"oracle": "oracle", "postgres": "postgres", "postgresql": "postgres",
+		"canonical": "canonical", "": "canonical",
+	} {
+		d, err := ForName(name)
+		if err != nil || d.Name != want {
+			t.Errorf("ForName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ForName("db2"); err == nil {
+		t.Error("unknown dialect accepted")
+	}
+}
+
+func TestOracleRendering(t *testing.T) {
+	d := Oracle()
+	cases := []struct{ sql, want string }{
+		{`SELECT name FROM emp WHERE x = TRUE LIMIT 3 OFFSET 2`,
+			`SELECT "NAME" FROM "EMP" WHERE "X" = 1 OFFSET 2 ROWS FETCH FIRST 3 ROWS ONLY`},
+		{`SELECT COALESCE(a, b) FROM t`, `SELECT NVL("A", "B") FROM "T"`},
+		{`SELECT a FROM t LIMIT 5`, `SELECT "A" FROM "T" FETCH FIRST 5 ROWS ONLY`},
+	}
+	for _, c := range cases {
+		got := d.Render(parse(t, c.sql))
+		if got != c.want {
+			t.Errorf("oracle render %q:\n got %s\nwant %s", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestPostgresRendering(t *testing.T) {
+	d := Postgres()
+	cases := []struct{ sql, want string }{
+		{`SELECT Name FROM Emp WHERE x = TRUE LIMIT 3`,
+			`SELECT "name" FROM "emp" WHERE "x" = TRUE LIMIT 3`},
+		{`SELECT NVL(a, b) FROM t`, `SELECT COALESCE("a", "b") FROM "t"`},
+		{`SELECT SUBSTR(s, 1, 2) FROM t`, `SELECT SUBSTRING("s", 1, 2) FROM "t"`},
+	}
+	for _, c := range cases {
+		got := d.Render(parse(t, c.sql))
+		if got != c.want {
+			t.Errorf("postgres render %q:\n got %s\nwant %s", c.sql, got, c.want)
+		}
+	}
+}
+
+// TestDialectRoundTrip is the property the gateways rely on: rendering a
+// canonical statement in a dialect and re-parsing it yields a statement
+// with the same semantics (same canonical form up to identifier case).
+func TestDialectRoundTrip(t *testing.T) {
+	statements := []string{
+		`SELECT a, b FROM t WHERE a > 1 AND b LIKE 'x%' ORDER BY a DESC LIMIT 10 OFFSET 2`,
+		`SELECT COUNT(*), SUM(a) FROM t GROUP BY b HAVING COUNT(*) > 1`,
+		`SELECT t1.a FROM t1 JOIN t2 ON t1.id = t2.id WHERE t2.v IN (1, 2, 3)`,
+		`SELECT a FROM t WHERE x BETWEEN 1 AND 5 OR y IS NULL`,
+		`INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, NULL)`,
+		`UPDATE t SET a = a + 1 WHERE id = 3`,
+		`DELETE FROM t WHERE a < 5`,
+		`SELECT a FROM t UNION ALL SELECT b FROM u`,
+	}
+	for _, d := range []*Dialect{Oracle(), Postgres(), Canonical()} {
+		for _, sql := range statements {
+			orig := parse(t, sql)
+			native := d.Render(orig)
+			back, err := d.Parse(native)
+			if err != nil {
+				t.Errorf("[%s] re-parse of %q failed: %v", d.Name, native, err)
+				continue
+			}
+			// Compare canonical renderings case-insensitively (Oracle
+			// upper-cases identifiers, Postgres lower-cases them).
+			a := strings.ToLower(sqlparser.FormatStatement(orig, nil))
+			b := strings.ToLower(sqlparser.FormatStatement(back, nil))
+			if a != b {
+				t.Errorf("[%s] round trip changed semantics:\n orig: %s\n back: %s\n wire: %s", d.Name, a, b, native)
+			}
+		}
+	}
+}
+
+func TestRenderExpr(t *testing.T) {
+	e, err := sqlparser.ParseExpr(`a = 'x' AND b > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Oracle().RenderExpr(e); got != `"A" = 'x' AND "B" > 2` {
+		t.Errorf("oracle expr: %s", got)
+	}
+	if got := Postgres().RenderExpr(e); got != `"a" = 'x' AND "b" > 2` {
+		t.Errorf("postgres expr: %s", got)
+	}
+}
+
+func TestQuotedIdentifierEscaping(t *testing.T) {
+	stmt := &sqlparser.Select{
+		Items: []sqlparser.SelectItem{{Expr: &sqlparser.ColumnRef{Column: `we"ird`}}},
+		From:  []sqlparser.TableRef{{Name: "t"}},
+	}
+	got := Postgres().Render(stmt)
+	if !strings.Contains(got, `"we""ird"`) {
+		t.Errorf("embedded quote not escaped: %s", got)
+	}
+}

@@ -1,0 +1,215 @@
+// Package executor runs global query plans: it ships the plan's remote
+// subqueries to the gateways in parallel, applies the integration
+// combinators to the returned fragments, loads the integrated rows into
+// a per-query scratch instance of the component engine, and evaluates
+// the residual query there. The scratch engine is the federation's
+// "composite query processor" — it reuses the battle-tested local
+// executor instead of duplicating join/aggregate machinery.
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"myriad/internal/integration"
+	"myriad/internal/localdb"
+	"myriad/internal/planner"
+	"myriad/internal/schema"
+	"myriad/internal/sqlparser"
+	"myriad/internal/value"
+)
+
+// SiteRunner executes one canonical subquery at a component site. The
+// autocommit runner and the global-transaction runner (gtm) both
+// implement it.
+type SiteRunner interface {
+	QuerySite(ctx context.Context, site, sql string) (*schema.ResultSet, error)
+}
+
+// Metrics accumulates execution counters for experiments.
+type Metrics struct {
+	RemoteQueries int
+	RowsShipped   int
+	SemijoinUsed  bool
+	SemijoinSkip  bool // IN-list exceeded the bound; fell back to full scan
+}
+
+// Execute runs the plan and returns the final result.
+func Execute(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schema.ResultSet, error) {
+	rs, _, err := ExecuteMetered(ctx, plan, runner)
+	return rs, err
+}
+
+// ExecuteMetered runs the plan and also reports execution metrics.
+func ExecuteMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schema.ResultSet, *Metrics, error) {
+	m := &Metrics{}
+	scratch := localdb.New("scratch")
+
+	// Two waves: scan sets without semijoin dependencies, then probes.
+	var wave1, wave2 []*planner.ScanSet
+	byAlias := make(map[string]*planner.ScanSet)
+	for _, ss := range plan.ScanSets {
+		byAlias[strings.ToLower(ss.Alias)] = ss
+		if ss.SemiFrom == "" {
+			wave1 = append(wave1, ss)
+		} else {
+			wave2 = append(wave2, ss)
+		}
+	}
+
+	materialized := make(map[string]*schema.ResultSet)
+	var mu sync.Mutex
+	runWave := func(wave []*planner.ScanSet) error {
+		var wg sync.WaitGroup
+		errs := make([]error, len(wave))
+		for i, ss := range wave {
+			wg.Add(1)
+			go func(i int, ss *planner.ScanSet) {
+				defer wg.Done()
+				var inList []sqlparser.Expr
+				if ss.SemiFrom != "" {
+					mu.Lock()
+					build := materialized[strings.ToLower(ss.SemiFrom)]
+					mu.Unlock()
+					if build == nil {
+						errs[i] = fmt.Errorf("executor: semijoin build side %q missing", ss.SemiFrom)
+						return
+					}
+					vals, over := distinctValues(build, ss.SemiBuildCol, plan.MaxInList)
+					if over {
+						m.SemijoinSkip = true
+					} else {
+						m.SemijoinUsed = true
+						inList = vals
+					}
+				}
+				rs, err := materializeScanSet(ctx, ss, runner, inList, m, &mu)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				mu.Lock()
+				materialized[strings.ToLower(ss.Alias)] = rs
+				mu.Unlock()
+			}(i, ss)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := runWave(wave1); err != nil {
+		return nil, m, err
+	}
+	if err := runWave(wave2); err != nil {
+		return nil, m, err
+	}
+
+	// Load the scratch engine.
+	for _, ss := range plan.ScanSets {
+		if err := scratch.CreateTableDirect(ss.Schema); err != nil {
+			return nil, m, err
+		}
+		rs := materialized[strings.ToLower(ss.Alias)]
+		if rs == nil {
+			continue
+		}
+		if err := scratch.Load(ss.TempTable, rs.Rows); err != nil {
+			return nil, m, fmt.Errorf("executor: loading %s: %w", ss.TempTable, err)
+		}
+	}
+
+	// Residual evaluation.
+	rs, err := scratch.Query(ctx, sqlparser.FormatStatement(plan.Residual, nil))
+	if err != nil {
+		return nil, m, fmt.Errorf("executor: residual: %w", err)
+	}
+	return rs, m, nil
+}
+
+// materializeScanSet runs every source scan (in parallel), aligns the
+// fragments, and applies the integration combinator.
+func materializeScanSet(ctx context.Context, ss *planner.ScanSet, runner SiteRunner, inList []sqlparser.Expr, m *Metrics, mmu *sync.Mutex) (*schema.ResultSet, error) {
+	frags := make([]*schema.ResultSet, len(ss.Scans))
+	errs := make([]error, len(ss.Scans))
+	var wg sync.WaitGroup
+	for i, scan := range ss.Scans {
+		wg.Add(1)
+		go func(i int, scan *planner.RemoteScan) {
+			defer wg.Done()
+			sel := scan.Select
+			if len(inList) > 0 && scan.SemiProbe != nil {
+				probe := &sqlparser.InExpr{E: scan.SemiProbe, List: inList}
+				reduced := *sel
+				if reduced.Where == nil {
+					reduced.Where = probe
+				} else {
+					reduced.Where = &sqlparser.BinaryExpr{Op: "AND", L: reduced.Where, R: probe}
+				}
+				sel = &reduced
+			}
+			rs, err := runner.QuerySite(ctx, scan.Site, sqlparser.FormatStatement(sel, nil))
+			if err != nil {
+				errs[i] = fmt.Errorf("executor: scan at %s: %w", scan.Site, err)
+				return
+			}
+			mmu.Lock()
+			m.RemoteQueries++
+			m.RowsShipped += len(rs.Rows)
+			mmu.Unlock()
+			frags[i] = rs
+		}(i, scan)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return integration.Combine(ss.Spec, frags)
+}
+
+// distinctValues extracts up to max distinct non-NULL literals of the
+// named column; over=true when the bound is exceeded.
+func distinctValues(rs *schema.ResultSet, col string, max int) ([]sqlparser.Expr, bool) {
+	ci := rs.ColIndex(col)
+	if ci < 0 {
+		return nil, true
+	}
+	if max <= 0 {
+		max = 1000
+	}
+	seen := make(map[string]bool)
+	var vals []value.Value
+	for _, r := range rs.Rows {
+		v := r[ci]
+		if v.IsNull() {
+			continue
+		}
+		k := fmt.Sprintf("%d|%s", v.K, v.Text())
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		vals = append(vals, v)
+		if len(vals) > max {
+			return nil, true
+		}
+	}
+	// Deterministic order helps tests and plan caching.
+	sort.Slice(vals, func(a, b int) bool {
+		c, ok := value.Compare(vals[a], vals[b])
+		return ok && c < 0
+	})
+	out := make([]sqlparser.Expr, len(vals))
+	for i, v := range vals {
+		out[i] = &sqlparser.Literal{Val: v}
+	}
+	return out, false
+}

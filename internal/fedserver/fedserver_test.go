@@ -1,0 +1,138 @@
+package fedserver
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"myriad/internal/catalog"
+	"myriad/internal/comm"
+	"myriad/internal/core"
+	"myriad/internal/gateway"
+	"myriad/internal/integration"
+	"myriad/internal/localdb"
+	"myriad/internal/schema"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	db := localdb.New("s0")
+	db.MustExec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`)
+	db.MustExec(`INSERT INTO kv VALUES (1, 'a')`)
+	gw := gateway.New("s0", db, nil)
+	if err := gw.DefineExport(gateway.Export{Name: "KV", LocalTable: "kv"}); err != nil {
+		t.Fatal(err)
+	}
+	fed := core.New("unit")
+	if err := fed.AttachSite(context.Background(), &gateway.LocalConn{G: gw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.DefineIntegrated(&catalog.IntegratedDef{
+		Name:    "T",
+		Columns: []schema.Column{{Name: "k", Type: schema.TInt}, {Name: "v", Type: schema.TText}},
+		Combine: integration.UnionAll,
+		Sources: []catalog.SourceDef{{Site: "s0", Export: "KV",
+			ColumnMap: map[string]string{"k": "k", "v": "v"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return New(fed)
+}
+
+func TestHandleErrors(t *testing.T) {
+	s := testServer(t)
+	ctx := context.Background()
+
+	for _, req := range []*comm.Request{
+		{Op: "bogus"},
+		{Op: comm.OpQuery, SQL: "SELECT FROM"},
+		{Op: comm.OpQuery, TxnID: 999, SQL: "SELECT k FROM T"},
+		{Op: comm.OpExecAt, TxnID: 999, Table: "s0", SQL: "DELETE FROM KV"},
+		{Op: comm.OpCommit, TxnID: 999},
+		{Op: comm.OpDefine, SQL: "{not json"},
+		{Op: comm.OpDefine, SQL: `{"name":"X","combine":"zap"}`},
+		{Op: comm.OpDrop, Table: "GHOST"},
+		{Op: comm.OpExplain, SQL: "SELECT nope FROM GHOST"},
+	} {
+		if resp := s.Handle(ctx, req); resp.AsError() == nil {
+			t.Errorf("op %q with bad input succeeded", req.Op)
+		}
+	}
+	// Abort of an unknown transaction is benign (idempotent).
+	if resp := s.Handle(ctx, &comm.Request{Op: comm.OpAbort, TxnID: 999}); resp.AsError() != nil {
+		t.Errorf("abort of unknown txn errored: %v", resp.AsError())
+	}
+}
+
+func TestIntegratedDefJSONToDef(t *testing.T) {
+	j := &IntegratedDefJSON{
+		Name:    "X",
+		Columns: []ColumnJSON{{Name: "a", Type: "INTEGER"}, {Name: "b", Type: "VARCHAR"}},
+		Key:     []string{"a"},
+		Combine: "merge",
+		Sources: []SourceJSON{{Site: "s", Export: "E", Map: map[string]string{"a": "a", "b": "b"}, Filter: "a > 0"}},
+		Resolve: map[string]string{"b": "first"},
+	}
+	def, err := j.ToDef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Combine != integration.MergeOuter || def.Columns[1].Type != schema.TText {
+		t.Errorf("conversion: %+v", def)
+	}
+	if def.Sources[0].Filter != "a > 0" || def.Resolvers["b"] != "first" {
+		t.Errorf("conversion details: %+v", def)
+	}
+	j.Columns[0].Type = "BLOB"
+	if _, err := j.ToDef(); err == nil {
+		t.Error("bad type accepted")
+	}
+}
+
+func TestCatalogRendering(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(context.Background(), &comm.Request{Op: comm.OpCatalog})
+	if resp.AsError() != nil {
+		t.Fatal(resp.AsError())
+	}
+	var lines []string
+	for _, r := range resp.Rows.Rows {
+		lines = append(lines, r[0].Text())
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"federation unit", "site s0", "export KV", "integrated T", "from s0.KV"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("catalog missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestExplainStrategyPrefix(t *testing.T) {
+	s := testServer(t)
+	ctx := context.Background()
+	resp := s.Handle(ctx, &comm.Request{Op: comm.OpExplain, SQL: "simple:SELECT k FROM T"})
+	if resp.AsError() != nil {
+		t.Fatal(resp.AsError())
+	}
+	if !strings.Contains(resp.Rows.Rows[0][0].Text(), "simple") {
+		t.Errorf("strategy prefix ignored: %v", resp.Rows.Rows[0])
+	}
+}
+
+func TestQueryStrategyPrefix(t *testing.T) {
+	s := testServer(t)
+	ctx := context.Background()
+	for _, sql := range []string{
+		"SELECT v FROM T WHERE k = 1",
+		"simple:SELECT v FROM T WHERE k = 1",
+		"cost:SELECT v FROM T WHERE k = 1",
+	} {
+		resp := s.Handle(ctx, &comm.Request{Op: comm.OpQuery, SQL: sql})
+		if resp.AsError() != nil {
+			t.Fatalf("%q: %v", sql, resp.AsError())
+		}
+		if len(resp.Rows.Rows) != 1 || resp.Rows.Rows[0][0].Text() != "a" {
+			t.Errorf("%q: %v", sql, resp.Rows.Rows)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"myriad/internal/comm"
+	"myriad/internal/schema"
+	"myriad/internal/storage"
+)
+
+// Conn is the federation's view of a component site. Two
+// implementations exist: LocalConn calls the gateway in-process (used by
+// tests and the E6 transport baseline) and RemoteConn speaks the comm
+// protocol over TCP (the deployment the paper describes).
+type Conn interface {
+	Site() string
+	ExportSchemas(ctx context.Context) ([]*schema.Schema, error)
+	Stats(ctx context.Context, export string) (*storage.TableStats, error)
+	Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error)
+	Exec(ctx context.Context, txn uint64, sql string) (int, error)
+	Begin(ctx context.Context) (uint64, error)
+	Prepare(ctx context.Context, txn uint64) error
+	Commit(ctx context.Context, txn uint64) error
+	Abort(ctx context.Context, txn uint64) error
+	Close() error
+}
+
+// LocalConn adapts a Gateway to the Conn interface without a wire.
+type LocalConn struct {
+	G *Gateway
+}
+
+var _ Conn = (*LocalConn)(nil)
+
+// Site returns the gateway's site name.
+func (c *LocalConn) Site() string { return c.G.Site() }
+
+// ExportSchemas lists the gateway's export relations.
+func (c *LocalConn) ExportSchemas(ctx context.Context) ([]*schema.Schema, error) {
+	return c.G.ExportSchemas()
+}
+
+// Stats fetches optimizer statistics for an export.
+func (c *LocalConn) Stats(ctx context.Context, export string) (*storage.TableStats, error) {
+	return c.G.Stats(export)
+}
+
+// Query runs a canonical SELECT at the site.
+func (c *LocalConn) Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error) {
+	return c.G.Query(ctx, txn, sql)
+}
+
+// Exec runs canonical DML at the site.
+func (c *LocalConn) Exec(ctx context.Context, txn uint64, sql string) (int, error) {
+	return c.G.Exec(ctx, txn, sql)
+}
+
+// Begin opens a transaction branch.
+func (c *LocalConn) Begin(ctx context.Context) (uint64, error) { return c.G.Begin(ctx) }
+
+// Prepare votes in 2PC phase one.
+func (c *LocalConn) Prepare(ctx context.Context, txn uint64) error { return c.G.Prepare(ctx, txn) }
+
+// Commit applies 2PC phase two.
+func (c *LocalConn) Commit(ctx context.Context, txn uint64) error { return c.G.Commit(ctx, txn) }
+
+// Abort rolls the branch back.
+func (c *LocalConn) Abort(ctx context.Context, txn uint64) error { return c.G.Abort(ctx, txn) }
+
+// Close is a no-op for in-process connections.
+func (c *LocalConn) Close() error { return nil }
+
+// RemoteConn speaks the gateway protocol over TCP.
+type RemoteConn struct {
+	site   string
+	client *comm.Client
+}
+
+var _ Conn = (*RemoteConn)(nil)
+
+// DialRemote connects to a gatewayd at addr with a connection pool.
+func DialRemote(site, addr string, poolSize int) *RemoteConn {
+	return &RemoteConn{site: site, client: comm.Dial(addr, poolSize)}
+}
+
+// Site returns the remote site's name.
+func (c *RemoteConn) Site() string { return c.site }
+
+func (c *RemoteConn) do(ctx context.Context, req *comm.Request) (*comm.Response, error) {
+	resp, err := c.client.Do(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("gateway %s: %w", c.site, err)
+	}
+	if err := resp.AsError(); err != nil {
+		if errors.Is(err, comm.TimeoutError) {
+			return nil, fmt.Errorf("%w: site %s: %v", ErrTimeout, c.site, err)
+		}
+		return nil, fmt.Errorf("gateway %s: %w", c.site, err)
+	}
+	return resp, nil
+}
+
+// ExportSchemas lists the remote gateway's export relations.
+func (c *RemoteConn) ExportSchemas(ctx context.Context) ([]*schema.Schema, error) {
+	resp, err := c.do(ctx, &comm.Request{Op: comm.OpSchema})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Schemas, nil
+}
+
+// Stats fetches optimizer statistics for an export.
+func (c *RemoteConn) Stats(ctx context.Context, export string) (*storage.TableStats, error) {
+	resp, err := c.do(ctx, &comm.Request{Op: comm.OpStats, Table: export})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// Query runs a canonical SELECT at the remote site.
+func (c *RemoteConn) Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error) {
+	resp, err := c.do(ctx, &comm.Request{Op: comm.OpQuery, TxnID: txn, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Rows == nil {
+		resp.Rows = &schema.ResultSet{}
+	}
+	return resp.Rows, nil
+}
+
+// Exec runs canonical DML at the remote site.
+func (c *RemoteConn) Exec(ctx context.Context, txn uint64, sql string) (int, error) {
+	resp, err := c.do(ctx, &comm.Request{Op: comm.OpExec, TxnID: txn, SQL: sql})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Affected, nil
+}
+
+// Begin opens a transaction branch at the remote site.
+func (c *RemoteConn) Begin(ctx context.Context) (uint64, error) {
+	resp, err := c.do(ctx, &comm.Request{Op: comm.OpBegin})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TxnID, nil
+}
+
+// Prepare votes in 2PC phase one.
+func (c *RemoteConn) Prepare(ctx context.Context, txn uint64) error {
+	_, err := c.do(ctx, &comm.Request{Op: comm.OpPrepare, TxnID: txn})
+	return err
+}
+
+// Commit applies 2PC phase two.
+func (c *RemoteConn) Commit(ctx context.Context, txn uint64) error {
+	_, err := c.do(ctx, &comm.Request{Op: comm.OpCommit, TxnID: txn})
+	return err
+}
+
+// Abort rolls the branch back.
+func (c *RemoteConn) Abort(ctx context.Context, txn uint64) error {
+	_, err := c.do(ctx, &comm.Request{Op: comm.OpAbort, TxnID: txn})
+	return err
+}
+
+// Close tears down the connection pool.
+func (c *RemoteConn) Close() error { return c.client.Close() }

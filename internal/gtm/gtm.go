@@ -1,0 +1,321 @@
+// Package gtm implements MYRIAD's global transaction management: global
+// transactions spanning component DBMSs, two-phase commit over the
+// gateways (so serializable local schedules compose into a serializable
+// global schedule under strict 2PL), and the paper's global-deadlock
+// policy — a timeout attached to each local query; expiry is presumed to
+// be a global deadlock and aborts the entire global transaction.
+package gtm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"myriad/internal/gateway"
+	"myriad/internal/schema"
+)
+
+// Errors reported by the coordinator.
+var (
+	// ErrAborted means the global transaction was aborted (possibly
+	// automatically after a local timeout).
+	ErrAborted = errors.New("gtm: global transaction aborted")
+	// ErrDeadlockAbort wraps ErrAborted when the cause was a local
+	// query timeout (presumed global deadlock).
+	ErrDeadlockAbort = fmt.Errorf("%w: local timeout, presumed global deadlock", ErrAborted)
+	// ErrPrepareFailed is returned by Commit when a participant voted
+	// no; the transaction has been rolled back everywhere.
+	ErrPrepareFailed = errors.New("gtm: a participant failed to prepare; transaction rolled back")
+)
+
+// ConnProvider resolves a site name to its gateway connection.
+type ConnProvider interface {
+	Conn(site string) (gateway.Conn, bool)
+}
+
+// Stats counts transaction outcomes (atomic; safe to read concurrently).
+type Stats struct {
+	Begun         atomic.Int64
+	Committed     atomic.Int64
+	Aborted       atomic.Int64
+	TimeoutAborts atomic.Int64
+	PrepareNo     atomic.Int64
+}
+
+// Coordinator creates and finishes global transactions for one
+// federation.
+type Coordinator struct {
+	provider ConnProvider
+	// OpTimeout is attached to every local query/update submitted to a
+	// gateway on behalf of a global transaction (paper §2). Zero means
+	// no coordinator-imposed timeout.
+	OpTimeout time.Duration
+
+	nextID atomic.Uint64
+	Stats  Stats
+}
+
+// New returns a coordinator resolving sites through provider.
+func New(provider ConnProvider) *Coordinator {
+	return &Coordinator{provider: provider}
+}
+
+type txnState uint8
+
+const (
+	stActive txnState = iota
+	stCommitted
+	stAborted
+)
+
+// Txn is one global transaction.
+type Txn struct {
+	c  *Coordinator
+	id uint64
+
+	mu       sync.Mutex
+	state    txnState
+	branches map[string]branch // by site
+	// timedOut records that the abort was triggered by a local timeout.
+	timedOut bool
+}
+
+type branch struct {
+	conn gateway.Conn
+	id   uint64
+}
+
+// Begin opens a global transaction.
+func (c *Coordinator) Begin() *Txn {
+	c.Stats.Begun.Add(1)
+	return &Txn{c: c, id: c.nextID.Add(1), branches: make(map[string]branch)}
+}
+
+// ID returns the global transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Sites lists the sites this transaction has touched.
+func (t *Txn) Sites() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.branches))
+	for s := range t.branches {
+		out = append(out, s)
+	}
+	return out
+}
+
+// branchFor lazily opens the local transaction branch at site.
+func (t *Txn) branchFor(ctx context.Context, site string) (branch, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != stActive {
+		return branch{}, t.doneErr()
+	}
+	if br, ok := t.branches[site]; ok {
+		return br, nil
+	}
+	conn, ok := t.c.provider.Conn(site)
+	if !ok {
+		return branch{}, fmt.Errorf("gtm: unknown site %q", site)
+	}
+	id, err := conn.Begin(ctx)
+	if err != nil {
+		return branch{}, fmt.Errorf("gtm: begin at %s: %w", site, err)
+	}
+	br := branch{conn: conn, id: id}
+	t.branches[site] = br
+	return br, nil
+}
+
+func (t *Txn) doneErr() error {
+	if t.timedOut {
+		return ErrDeadlockAbort
+	}
+	if t.state == stAborted {
+		return ErrAborted
+	}
+	return fmt.Errorf("gtm: transaction %d already committed", t.id)
+}
+
+// opCtx attaches the coordinator's per-local-query timeout.
+func (t *Txn) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if t.c.OpTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, t.c.OpTimeout)
+}
+
+// handleErr aborts the whole global transaction when a local operation
+// timed out — the paper's presumed-deadlock rule.
+func (t *Txn) handleErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, gateway.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
+		t.abortInternal(true)
+		return fmt.Errorf("%w (site error: %v)", ErrDeadlockAbort, err)
+	}
+	return err
+}
+
+// QuerySite runs a canonical SELECT at one site inside the transaction.
+// It implements executor.SiteRunner, so global queries can run with
+// transactional (serializable) semantics.
+func (t *Txn) QuerySite(ctx context.Context, site, sql string) (*schema.ResultSet, error) {
+	br, err := t.branchFor(ctx, site)
+	if err != nil {
+		return nil, err
+	}
+	opctx, cancel := t.opCtx(ctx)
+	defer cancel()
+	rs, err := br.conn.Query(opctx, br.id, sql)
+	if err != nil {
+		return nil, t.handleErr(err)
+	}
+	return rs, nil
+}
+
+// ExecSite runs canonical DML at one site inside the transaction.
+func (t *Txn) ExecSite(ctx context.Context, site, sql string) (int, error) {
+	br, err := t.branchFor(ctx, site)
+	if err != nil {
+		return 0, err
+	}
+	opctx, cancel := t.opCtx(ctx)
+	defer cancel()
+	n, err := br.conn.Exec(opctx, br.id, sql)
+	if err != nil {
+		return 0, t.handleErr(err)
+	}
+	return n, nil
+}
+
+// Commit runs two-phase commit across every touched site: parallel
+// PREPARE, then parallel COMMIT when all vote yes; any no-vote (or
+// prepare error) aborts everywhere and returns ErrPrepareFailed.
+// Transactions that touched one site use one-phase commit.
+func (t *Txn) Commit(ctx context.Context) error {
+	t.mu.Lock()
+	if t.state != stActive {
+		err := t.doneErr()
+		t.mu.Unlock()
+		return err
+	}
+	branches := make(map[string]branch, len(t.branches))
+	for s, b := range t.branches {
+		branches[s] = b
+	}
+	t.mu.Unlock()
+
+	if len(branches) <= 1 {
+		for site, br := range branches {
+			if err := br.conn.Commit(ctx, br.id); err != nil {
+				t.abortInternal(false)
+				return fmt.Errorf("gtm: one-phase commit at %s: %w", site, err)
+			}
+		}
+		t.mu.Lock()
+		t.state = stCommitted
+		t.mu.Unlock()
+		t.c.Stats.Committed.Add(1)
+		return nil
+	}
+
+	// Phase one: prepare everywhere in parallel.
+	type vote struct {
+		site string
+		err  error
+	}
+	votes := make(chan vote, len(branches))
+	for site, br := range branches {
+		go func(site string, br branch) {
+			votes <- vote{site: site, err: br.conn.Prepare(ctx, br.id)}
+		}(site, br)
+	}
+	var prepareErr error
+	for range branches {
+		v := <-votes
+		if v.err != nil && prepareErr == nil {
+			prepareErr = fmt.Errorf("site %s: %w", v.site, v.err)
+		}
+	}
+	if prepareErr != nil {
+		t.c.Stats.PrepareNo.Add(1)
+		t.abortInternal(false)
+		return fmt.Errorf("%w (%v)", ErrPrepareFailed, prepareErr)
+	}
+
+	// Phase two: commit everywhere in parallel. Participants promised
+	// to commit after a successful prepare.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var commitErr error
+	for site, br := range branches {
+		wg.Add(1)
+		go func(site string, br branch) {
+			defer wg.Done()
+			if err := br.conn.Commit(ctx, br.id); err != nil {
+				mu.Lock()
+				if commitErr == nil {
+					commitErr = fmt.Errorf("gtm: phase-two commit at %s: %w", site, err)
+				}
+				mu.Unlock()
+			}
+		}(site, br)
+	}
+	wg.Wait()
+	t.mu.Lock()
+	t.state = stCommitted
+	t.mu.Unlock()
+	t.c.Stats.Committed.Add(1)
+	return commitErr
+}
+
+// Abort rolls back every branch. It is idempotent.
+func (t *Txn) Abort(ctx context.Context) {
+	t.abortInternal(false)
+}
+
+func (t *Txn) abortInternal(timeout bool) {
+	t.mu.Lock()
+	if t.state != stActive {
+		t.mu.Unlock()
+		return
+	}
+	t.state = stAborted
+	t.timedOut = timeout
+	branches := make(map[string]branch, len(t.branches))
+	for s, b := range t.branches {
+		branches[s] = b
+	}
+	t.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, br := range branches {
+		wg.Add(1)
+		go func(br branch) {
+			defer wg.Done()
+			// Abort must not be blocked by the failed operation's
+			// context; use a fresh, bounded one.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			br.conn.Abort(ctx, br.id) //nolint:errcheck // best-effort rollback
+		}(br)
+	}
+	wg.Wait()
+	t.c.Stats.Aborted.Add(1)
+	if timeout {
+		t.c.Stats.TimeoutAborts.Add(1)
+	}
+}
+
+// Active reports whether the transaction can still run operations.
+func (t *Txn) Active() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state == stActive
+}

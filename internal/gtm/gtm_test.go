@@ -1,0 +1,271 @@
+package gtm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"myriad/internal/gateway"
+	"myriad/internal/schema"
+	"myriad/internal/storage"
+)
+
+// fakeConn is a scriptable gateway.Conn for coordinator fault injection.
+type fakeConn struct {
+	site string
+
+	mu       sync.Mutex
+	nextTxn  uint64
+	prepared map[uint64]bool
+	commits  int
+	aborts   int
+
+	failPrepare bool
+	failExec    error
+}
+
+var _ gateway.Conn = (*fakeConn)(nil)
+
+func newFake(site string) *fakeConn {
+	return &fakeConn{site: site, prepared: make(map[uint64]bool)}
+}
+
+func (f *fakeConn) Site() string { return f.site }
+func (f *fakeConn) ExportSchemas(context.Context) ([]*schema.Schema, error) {
+	return nil, nil
+}
+func (f *fakeConn) Stats(context.Context, string) (*storage.TableStats, error) {
+	return &storage.TableStats{}, nil
+}
+func (f *fakeConn) Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error) {
+	if f.failExec != nil {
+		return nil, f.failExec
+	}
+	return &schema.ResultSet{}, nil
+}
+func (f *fakeConn) Exec(ctx context.Context, txn uint64, sql string) (int, error) {
+	if f.failExec != nil {
+		return 0, f.failExec
+	}
+	return 1, nil
+}
+func (f *fakeConn) Begin(context.Context) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextTxn++
+	return f.nextTxn, nil
+}
+func (f *fakeConn) Prepare(_ context.Context, txn uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failPrepare {
+		return fmt.Errorf("fake %s: prepare refused", f.site)
+	}
+	f.prepared[txn] = true
+	return nil
+}
+func (f *fakeConn) Commit(_ context.Context, txn uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.commits++
+	return nil
+}
+func (f *fakeConn) Abort(_ context.Context, txn uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.aborts++
+	return nil
+}
+func (f *fakeConn) Close() error { return nil }
+
+type fakeProvider map[string]*fakeConn
+
+func (p fakeProvider) Conn(site string) (gateway.Conn, bool) {
+	c, ok := p[site]
+	return c, ok
+}
+
+func twoSites() (fakeProvider, *Coordinator) {
+	p := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	return p, New(p)
+}
+
+func TestCommitTwoPhase(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+	txn := c.Begin()
+	if _, err := txn.ExecSite(ctx, "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.ExecSite(ctx, "b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(txn.Sites()); got != 2 {
+		t.Errorf("sites = %d", got)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(p["a"].prepared) != 1 || len(p["b"].prepared) != 1 {
+		t.Error("prepare not sent to both sites")
+	}
+	if p["a"].commits != 1 || p["b"].commits != 1 {
+		t.Error("commit not sent to both sites")
+	}
+	if c.Stats.Committed.Load() != 1 {
+		t.Error("commit not counted")
+	}
+	// Double commit fails.
+	if err := txn.Commit(ctx); err == nil {
+		t.Error("double commit accepted")
+	}
+}
+
+func TestOnePhaseForSingleSite(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+	txn := c.Begin()
+	if _, err := txn.ExecSite(ctx, "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(p["a"].prepared) != 0 {
+		t.Error("single-site commit used two phases")
+	}
+	if p["a"].commits != 1 {
+		t.Error("commit not sent")
+	}
+}
+
+func TestEmptyCommit(t *testing.T) {
+	_, c := twoSites()
+	txn := c.Begin()
+	if err := txn.Commit(context.Background()); err != nil {
+		t.Fatalf("empty commit: %v", err)
+	}
+}
+
+func TestPrepareNoAbortsEverywhere(t *testing.T) {
+	p, c := twoSites()
+	p["b"].failPrepare = true
+	ctx := context.Background()
+	txn := c.Begin()
+	txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+	txn.ExecSite(ctx, "b", "x") //nolint:errcheck
+	err := txn.Commit(ctx)
+	if !errors.Is(err, ErrPrepareFailed) {
+		t.Fatalf("want ErrPrepareFailed, got %v", err)
+	}
+	if p["a"].aborts != 1 || p["b"].aborts != 1 {
+		t.Errorf("aborts: a=%d b=%d", p["a"].aborts, p["b"].aborts)
+	}
+	if c.Stats.PrepareNo.Load() != 1 || c.Stats.Aborted.Load() != 1 {
+		t.Error("stats not updated")
+	}
+	// The transaction is dead.
+	if _, err := txn.ExecSite(ctx, "a", "x"); !errors.Is(err, ErrAborted) {
+		t.Errorf("exec after failed commit: %v", err)
+	}
+}
+
+func TestTimeoutAbortsGlobally(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+	txn := c.Begin()
+	if _, err := txn.ExecSite(ctx, "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	p["b"].failExec = fmt.Errorf("wrapped: %w", gateway.ErrTimeout)
+	_, err := txn.ExecSite(ctx, "b", "x")
+	if !errors.Is(err, ErrDeadlockAbort) {
+		t.Fatalf("want ErrDeadlockAbort, got %v", err)
+	}
+	// Every branch was rolled back, including site a.
+	if p["a"].aborts != 1 {
+		t.Error("site a not aborted after timeout at b")
+	}
+	if c.Stats.TimeoutAborts.Load() != 1 {
+		t.Error("timeout abort not counted")
+	}
+	if txn.Active() {
+		t.Error("transaction still active")
+	}
+	// Later operations report the deadlock abort.
+	if _, err := txn.QuerySite(ctx, "a", "x"); !errors.Is(err, ErrDeadlockAbort) {
+		t.Errorf("post-abort query: %v", err)
+	}
+}
+
+func TestNonTimeoutErrorKeepsTxnAlive(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+	txn := c.Begin()
+	p["a"].failExec = errors.New("syntax error")
+	if _, err := txn.ExecSite(ctx, "a", "x"); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if !txn.Active() {
+		t.Error("plain error killed the transaction")
+	}
+	p["a"].failExec = nil
+	if _, err := txn.ExecSite(ctx, "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortIdempotent(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+	txn := c.Begin()
+	txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+	txn.Abort(ctx)
+	txn.Abort(ctx)
+	if p["a"].aborts != 1 {
+		t.Errorf("aborts = %d", p["a"].aborts)
+	}
+	if c.Stats.Aborted.Load() != 1 {
+		t.Error("abort double-counted")
+	}
+}
+
+func TestUnknownSite(t *testing.T) {
+	_, c := twoSites()
+	txn := c.Begin()
+	if _, err := txn.ExecSite(context.Background(), "mars", "x"); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestConcurrentBranchCreation(t *testing.T) {
+	_, c := twoSites()
+	ctx := context.Background()
+	txn := c.Begin()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			site := "a"
+			if i%2 == 0 {
+				site = "b"
+			}
+			if _, err := txn.QuerySite(ctx, site, "q"); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(txn.Sites()); got != 2 {
+		t.Errorf("branches = %d, want 2 (one per site)", got)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

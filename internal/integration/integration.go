@@ -1,0 +1,427 @@
+// Package integration implements MYRIAD's schema-integration machinery:
+// the relational combinators that derive an integrated relation from the
+// export relations of several component databases, and the registry of
+// user-defined integration functions that resolve attribute conflicts
+// between sources (paper §2: "relations from these databases are merged
+// into integrated relations using relational operations as well as
+// user-defined integration functions").
+package integration
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"myriad/internal/schema"
+	"myriad/internal/value"
+)
+
+// CombineKind selects the relational operation deriving an integrated
+// relation from its sources.
+type CombineKind uint8
+
+// Supported combinators.
+const (
+	// UnionAll concatenates source rows (horizontal partitioning).
+	UnionAll CombineKind = iota
+	// UnionDistinct concatenates and removes duplicate rows.
+	UnionDistinct
+	// MergeOuter full-outer-joins sources on the integrated key and
+	// resolves column conflicts with integration functions (entity
+	// integration: the same real-world entity stored at several sites).
+	MergeOuter
+)
+
+// String names the combinator as used in catalog listings.
+func (k CombineKind) String() string {
+	switch k {
+	case UnionAll:
+		return "UNION ALL"
+	case UnionDistinct:
+		return "UNION"
+	case MergeOuter:
+		return "OUTERJOIN-MERGE"
+	default:
+		return fmt.Sprintf("CombineKind(%d)", uint8(k))
+	}
+}
+
+// ParseCombine maps catalog text to a CombineKind.
+func ParseCombine(s string) (CombineKind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "UNION ALL", "UNIONALL", "ALL":
+		return UnionAll, nil
+	case "UNION", "UNION DISTINCT", "DISTINCT":
+		return UnionDistinct, nil
+	case "OUTERJOIN-MERGE", "MERGE", "OUTERJOIN":
+		return MergeOuter, nil
+	default:
+		return 0, fmt.Errorf("integration: unknown combinator %q", s)
+	}
+}
+
+// Func is a user-defined integration function: it receives the candidate
+// values for one integrated attribute, ordered by source position (NULL
+// where a source has no row for the entity), and returns the resolved
+// value.
+type Func func(vals []value.Value) (value.Value, error)
+
+// registry of integration functions; guarded for concurrent DefineFunc
+// against query-time lookups.
+var (
+	regMu sync.RWMutex
+	funcs = map[string]Func{}
+)
+
+// Register installs (or replaces) a named integration function.
+func Register(name string, fn Func) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	funcs[strings.ToLower(name)] = fn
+}
+
+// Lookup finds a registered integration function.
+func Lookup(name string) (Func, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	fn, ok := funcs[strings.ToLower(name)]
+	return fn, ok
+}
+
+// Names lists the registered integration functions, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(funcs))
+	for n := range funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("coalesce", func(vals []value.Value) (value.Value, error) {
+		for _, v := range vals {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return value.Null(), nil
+	})
+	Register("first", func(vals []value.Value) (value.Value, error) {
+		for _, v := range vals {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return value.Null(), nil
+	})
+	Register("last", func(vals []value.Value) (value.Value, error) {
+		for i := len(vals) - 1; i >= 0; i-- {
+			if !vals[i].IsNull() {
+				return vals[i], nil
+			}
+		}
+		return value.Null(), nil
+	})
+	Register("max", func(vals []value.Value) (value.Value, error) {
+		out := value.Null()
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			if out.IsNull() {
+				out = v
+				continue
+			}
+			if c, ok := value.Compare(v, out); ok && c > 0 {
+				out = v
+			}
+		}
+		return out, nil
+	})
+	Register("min", func(vals []value.Value) (value.Value, error) {
+		out := value.Null()
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			if out.IsNull() {
+				out = v
+				continue
+			}
+			if c, ok := value.Compare(v, out); ok && c < 0 {
+				out = v
+			}
+		}
+		return out, nil
+	})
+	Register("sum", func(vals []value.Value) (value.Value, error) {
+		out := value.Null()
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			if out.IsNull() {
+				out = v
+				continue
+			}
+			var err error
+			if out, err = value.Arith("+", out, v); err != nil {
+				return value.Null(), err
+			}
+		}
+		return out, nil
+	})
+	Register("avg", func(vals []value.Value) (value.Value, error) {
+		var sum float64
+		var n int
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.Float()
+			if !ok {
+				return value.Null(), fmt.Errorf("integration avg: non-numeric %s", v.K)
+			}
+			sum += f
+			n++
+		}
+		if n == 0 {
+			return value.Null(), nil
+		}
+		return value.NewFloat(sum / float64(n)), nil
+	})
+	Register("count", func(vals []value.Value) (value.Value, error) {
+		var n int64
+		for _, v := range vals {
+			if !v.IsNull() {
+				n++
+			}
+		}
+		return value.NewInt(n), nil
+	})
+	Register("concat", func(vals []value.Value) (value.Value, error) {
+		var parts []string
+		for _, v := range vals {
+			if !v.IsNull() {
+				parts = append(parts, v.Text())
+			}
+		}
+		if len(parts) == 0 {
+			return value.Null(), nil
+		}
+		return value.NewText(strings.Join(parts, "/")), nil
+	})
+	// vote picks the most frequent non-NULL value (ties: first source).
+	Register("vote", func(vals []value.Value) (value.Value, error) {
+		counts := make(map[string]int)
+		rep := make(map[string]value.Value)
+		order := []string{}
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			k := fmt.Sprintf("%d|%s", v.K, v.Text())
+			if _, seen := counts[k]; !seen {
+				order = append(order, k)
+				rep[k] = v
+			}
+			counts[k]++
+		}
+		best, bestN := value.Null(), 0
+		for _, k := range order {
+			if counts[k] > bestN {
+				best, bestN = rep[k], counts[k]
+			}
+		}
+		return best, nil
+	})
+	// require_equal errs when sources disagree, the strictest policy.
+	Register("require_equal", func(vals []value.Value) (value.Value, error) {
+		out := value.Null()
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			if out.IsNull() {
+				out = v
+				continue
+			}
+			if eq, ok := value.Equal(out, v); !ok || !eq {
+				return value.Null(), fmt.Errorf("integration require_equal: sources disagree (%s vs %s)", out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// Spec describes how to combine N source result sets (positionally
+// aligned columns) into the integrated relation's rows.
+type Spec struct {
+	Kind CombineKind
+	// Columns is the integrated column list; every source ResultSet must
+	// already be projected/renamed to exactly these columns.
+	Columns []string
+	// KeyCols indexes Columns forming the integrated key (MergeOuter).
+	KeyCols []int
+	// Resolvers maps a column index to the integration function that
+	// resolves conflicts for MergeOuter; columns without an entry use
+	// "coalesce" (first non-NULL in source order).
+	Resolvers map[int]Func
+}
+
+// Combine merges the per-source results into integrated rows.
+func Combine(spec *Spec, sources []*schema.ResultSet) (*schema.ResultSet, error) {
+	out := &schema.ResultSet{Columns: spec.Columns}
+	switch spec.Kind {
+	case UnionAll, UnionDistinct:
+		for _, src := range sources {
+			if err := checkArity(spec, src); err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, src.Rows...)
+		}
+		if spec.Kind == UnionDistinct {
+			out.Rows = dedupe(out.Rows)
+		}
+		return out, nil
+	case MergeOuter:
+		return mergeOuter(spec, sources)
+	default:
+		return nil, fmt.Errorf("integration: unknown combinator %d", spec.Kind)
+	}
+}
+
+func checkArity(spec *Spec, src *schema.ResultSet) error {
+	if len(src.Columns) != len(spec.Columns) {
+		return fmt.Errorf("integration: source has %d columns, integrated relation has %d", len(src.Columns), len(spec.Columns))
+	}
+	return nil
+}
+
+func dedupe(rows []schema.Row) []schema.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := encodeRow(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func encodeRow(r schema.Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		if v.IsNull() {
+			b.WriteByte(0)
+		} else {
+			b.WriteByte(byte(v.K) + 1)
+			b.WriteString(v.Text())
+		}
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// mergeOuter groups rows from all sources by the integrated key and
+// resolves each non-key attribute with its integration function. Rows
+// with a NULL key column are dropped (they cannot be matched), mirroring
+// outer-join-on-key semantics.
+func mergeOuter(spec *Spec, sources []*schema.ResultSet) (*schema.ResultSet, error) {
+	if len(spec.KeyCols) == 0 {
+		return nil, fmt.Errorf("integration: OUTERJOIN-MERGE requires a key")
+	}
+	isKey := make(map[int]bool, len(spec.KeyCols))
+	for _, k := range spec.KeyCols {
+		isKey[k] = true
+	}
+
+	type entity struct {
+		key []value.Value
+		// vals[col][src] is the value contributed by source src; one
+		// row per source is retained (later duplicates within a source
+		// are resolved first-wins, deterministic in row order).
+		vals [][]value.Value
+	}
+	byKey := make(map[string]*entity)
+	var order []string
+
+	for si, src := range sources {
+		if err := checkArity(spec, src); err != nil {
+			return nil, err
+		}
+		for _, row := range src.Rows {
+			kvals := make([]value.Value, len(spec.KeyCols))
+			null := false
+			for i, kc := range spec.KeyCols {
+				kvals[i] = row[kc]
+				if row[kc].IsNull() {
+					null = true
+				}
+			}
+			if null {
+				continue
+			}
+			k := encodeRow(kvals)
+			e, ok := byKey[k]
+			if !ok {
+				e = &entity{key: kvals, vals: make([][]value.Value, len(spec.Columns))}
+				for c := range e.vals {
+					e.vals[c] = make([]value.Value, len(sources))
+				}
+				byKey[k] = e
+				order = append(order, k)
+			}
+			for c := range spec.Columns {
+				if isKey[c] {
+					continue
+				}
+				if e.vals[c][si].IsNull() {
+					e.vals[c][si] = row[c]
+				}
+			}
+		}
+	}
+
+	coalesce, _ := Lookup("coalesce")
+	out := &schema.ResultSet{Columns: spec.Columns}
+	for _, k := range order {
+		e := byKey[k]
+		row := make(schema.Row, len(spec.Columns))
+		ki := 0
+		for c := range spec.Columns {
+			if isKey[c] {
+				// Key columns come from the key itself, in KeyCols order.
+				row[c] = keyValueFor(spec, e.key, c)
+				ki++
+				continue
+			}
+			fn := spec.Resolvers[c]
+			if fn == nil {
+				fn = coalesce
+			}
+			v, err := fn(e.vals[c])
+			if err != nil {
+				return nil, fmt.Errorf("integration: column %s: %w", spec.Columns[c], err)
+			}
+			row[c] = v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func keyValueFor(spec *Spec, key []value.Value, col int) value.Value {
+	for i, kc := range spec.KeyCols {
+		if kc == col {
+			return key[i]
+		}
+	}
+	return value.Null()
+}

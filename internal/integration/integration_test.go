@@ -1,0 +1,293 @@
+package integration
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"myriad/internal/schema"
+	"myriad/internal/value"
+)
+
+func rs(cols []string, rows ...[]value.Value) *schema.ResultSet {
+	out := &schema.ResultSet{Columns: cols}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+func vi(i int64) value.Value  { return value.NewInt(i) }
+func vt(s string) value.Value { return value.NewText(s) }
+func vn() value.Value         { return value.Null() }
+
+func TestParseCombine(t *testing.T) {
+	cases := map[string]CombineKind{
+		"union all": UnionAll, "UNIONALL": UnionAll, "all": UnionAll,
+		"union": UnionDistinct, "DISTINCT": UnionDistinct,
+		"merge": MergeOuter, "OUTERJOIN-MERGE": MergeOuter,
+	}
+	for s, want := range cases {
+		got, err := ParseCombine(s)
+		if err != nil || got != want {
+			t.Errorf("ParseCombine(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseCombine("zip"); err == nil {
+		t.Error("bad combinator accepted")
+	}
+	if UnionAll.String() != "UNION ALL" || MergeOuter.String() != "OUTERJOIN-MERGE" {
+		t.Error("String() names")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"coalesce", "first", "last", "max", "min", "sum", "avg", "count", "concat", "vote", "require_equal"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin %q not registered", want)
+		}
+	}
+	Register("custom_test", func(vals []value.Value) (value.Value, error) { return vi(1), nil })
+	if _, ok := Lookup("CUSTOM_TEST"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	spec := &Spec{Kind: UnionAll, Columns: []string{"id", "v"}}
+	out, err := Combine(spec, []*schema.ResultSet{
+		rs(spec.Columns, []value.Value{vi(1), vt("a")}),
+		rs(spec.Columns, []value.Value{vi(1), vt("a")}, []value.Value{vi(2), vt("b")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 3 {
+		t.Errorf("union all rows = %d", len(out.Rows))
+	}
+}
+
+func TestUnionDistinct(t *testing.T) {
+	spec := &Spec{Kind: UnionDistinct, Columns: []string{"id", "v"}}
+	out, err := Combine(spec, []*schema.ResultSet{
+		rs(spec.Columns, []value.Value{vi(1), vt("a")}, []value.Value{vi(2), vt("b")}),
+		rs(spec.Columns, []value.Value{vi(1), vt("a")}, []value.Value{vi(3), vn()}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 3 {
+		t.Errorf("union distinct rows = %d", len(out.Rows))
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	spec := &Spec{Kind: UnionAll, Columns: []string{"a", "b"}}
+	_, err := Combine(spec, []*schema.ResultSet{rs([]string{"a"}, []value.Value{vi(1)})})
+	if err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestMergeOuter(t *testing.T) {
+	first, _ := Lookup("first")
+	cc, _ := Lookup("concat")
+	spec := &Spec{
+		Kind:    MergeOuter,
+		Columns: []string{"id", "email", "phone"},
+		KeyCols: []int{0},
+		Resolvers: map[int]Func{
+			1: first,
+			2: cc,
+		},
+	}
+	out, err := Combine(spec, []*schema.ResultSet{
+		rs(spec.Columns,
+			[]value.Value{vi(1), vt("a@east"), vn()},
+			[]value.Value{vi(2), vn(), vt("p2-east")},
+			[]value.Value{vi(3), vt("c@east"), vt("p3")},
+		),
+		rs(spec.Columns,
+			[]value.Value{vi(1), vt("a@west"), vt("p1-west")},
+			[]value.Value{vi(2), vt("b@west"), vn()},
+			[]value.Value{vi(4), vt("d@west"), vt("p4")},
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64][2]string{}
+	for _, r := range out.Rows {
+		id, _ := r[0].Int()
+		got[id] = [2]string{r[1].Text(), r[2].Text()}
+	}
+	if len(got) != 4 {
+		t.Fatalf("entities = %d", len(got))
+	}
+	if got[1] != [2]string{"a@east", "p1-west"} {
+		t.Errorf("entity 1: %v", got[1])
+	}
+	if got[2] != [2]string{"b@west", "p2-east"} {
+		t.Errorf("entity 2: %v", got[2])
+	}
+	if got[4] != [2]string{"d@west", "p4"} { // outer: survives with one source
+		t.Errorf("entity 4: %v", got[4])
+	}
+}
+
+func TestMergeOuterNullKeyDropped(t *testing.T) {
+	spec := &Spec{Kind: MergeOuter, Columns: []string{"id", "v"}, KeyCols: []int{0}}
+	out, err := Combine(spec, []*schema.ResultSet{
+		rs(spec.Columns, []value.Value{vn(), vt("ghost")}, []value.Value{vi(1), vt("a")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 {
+		t.Errorf("NULL-key row not dropped: %v", out.Rows)
+	}
+}
+
+func TestMergeOuterRequiresKey(t *testing.T) {
+	spec := &Spec{Kind: MergeOuter, Columns: []string{"a"}}
+	if _, err := Combine(spec, nil); err == nil {
+		t.Error("merge without key accepted")
+	}
+}
+
+func TestMergeOuterCompositeKey(t *testing.T) {
+	spec := &Spec{Kind: MergeOuter, Columns: []string{"a", "b", "v"}, KeyCols: []int{0, 1}}
+	out, err := Combine(spec, []*schema.ResultSet{
+		rs(spec.Columns, []value.Value{vi(1), vt("x"), vt("s0")}),
+		rs(spec.Columns, []value.Value{vi(1), vt("x"), vt("s1")}, []value.Value{vi(1), vt("y"), vt("s1")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("composite-key entities = %d", len(out.Rows))
+	}
+	for _, r := range out.Rows {
+		if r[0].IsNull() || r[1].IsNull() {
+			t.Errorf("key columns not populated: %v", r)
+		}
+	}
+}
+
+func TestResolvers(t *testing.T) {
+	get := func(name string) Func {
+		fn, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing resolver %q", name)
+		}
+		return fn
+	}
+	cases := []struct {
+		fn   string
+		in   []value.Value
+		want string
+	}{
+		{"coalesce", []value.Value{vn(), vt("b"), vt("c")}, "b"},
+		{"first", []value.Value{vn(), vt("b")}, "b"},
+		{"last", []value.Value{vt("a"), vt("b"), vn()}, "b"},
+		{"max", []value.Value{vi(3), vi(9), vi(1)}, "9"},
+		{"min", []value.Value{vi(3), vi(9), vi(1)}, "1"},
+		{"sum", []value.Value{vi(3), vn(), vi(4)}, "7"},
+		{"avg", []value.Value{vi(2), vi(4)}, "3"},
+		{"count", []value.Value{vi(2), vn(), vi(4)}, "2"},
+		{"concat", []value.Value{vt("a"), vn(), vt("b")}, "a/b"},
+		{"vote", []value.Value{vt("x"), vt("y"), vt("x")}, "x"},
+	}
+	for _, c := range cases {
+		got, err := get(c.fn)(c.in)
+		if err != nil {
+			t.Errorf("%s: %v", c.fn, err)
+			continue
+		}
+		if got.Text() != c.want {
+			t.Errorf("%s(%v) = %s, want %s", c.fn, c.in, got.Text(), c.want)
+		}
+	}
+
+	// All-NULL input resolves to NULL for every builtin.
+	for _, name := range []string{"coalesce", "first", "last", "max", "min", "sum", "avg", "concat", "vote"} {
+		got, err := get(name)(nil)
+		if err != nil || !got.IsNull() {
+			t.Errorf("%s(nil) = %v, %v; want NULL", name, got, err)
+		}
+	}
+
+	// require_equal.
+	re := get("require_equal")
+	if v, err := re([]value.Value{vi(5), vn(), vi(5)}); err != nil || v.Text() != "5" {
+		t.Errorf("require_equal agree: %v %v", v, err)
+	}
+	if _, err := re([]value.Value{vi(5), vi(6)}); err == nil {
+		t.Error("require_equal disagreement accepted")
+	}
+}
+
+// TestUnionDistinctIdempotentProperty checks dedupe(x ∪ x) == dedupe(x).
+func TestUnionDistinctIdempotentProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		spec := &Spec{Kind: UnionDistinct, Columns: []string{"v"}}
+		var rows []schema.Row
+		for _, v := range vals {
+			rows = append(rows, schema.Row{vi(int64(v))})
+		}
+		src := &schema.ResultSet{Columns: spec.Columns, Rows: rows}
+		src2 := &schema.ResultSet{Columns: spec.Columns, Rows: append([]schema.Row{}, rows...)}
+		once, err := Combine(spec, []*schema.ResultSet{src})
+		if err != nil {
+			return false
+		}
+		twice, err := Combine(spec, []*schema.ResultSet{
+			{Columns: spec.Columns, Rows: append(append([]schema.Row{}, once.Rows...), src2.Rows...)},
+		})
+		if err != nil {
+			return false
+		}
+		return len(once.Rows) == len(twice.Rows)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeOrderIndependenceOfEntitySet checks the set of entity keys is
+// independent of source order (values may differ, keys must not).
+func TestMergeOrderIndependenceOfEntitySet(t *testing.T) {
+	spec := &Spec{Kind: MergeOuter, Columns: []string{"id", "v"}, KeyCols: []int{0}}
+	a := rs(spec.Columns, []value.Value{vi(1), vt("a")}, []value.Value{vi(2), vt("b")})
+	b := rs(spec.Columns, []value.Value{vi(2), vt("B")}, []value.Value{vi(3), vt("C")})
+
+	keys := func(sources []*schema.ResultSet) string {
+		out, err := Combine(spec, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ks []string
+		for _, r := range out.Rows {
+			ks = append(ks, r[0].Text())
+		}
+		// Order-insensitive comparison.
+		for i := range ks {
+			for j := i + 1; j < len(ks); j++ {
+				if ks[j] < ks[i] {
+					ks[i], ks[j] = ks[j], ks[i]
+				}
+			}
+		}
+		return strings.Join(ks, ",")
+	}
+	if k1, k2 := keys([]*schema.ResultSet{a, b}), keys([]*schema.ResultSet{b, a}); k1 != k2 {
+		t.Errorf("entity sets differ by source order: %q vs %q", k1, k2)
+	}
+}

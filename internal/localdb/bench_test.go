@@ -1,0 +1,146 @@
+package localdb
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the component DBMS itself (the substrate the
+// federation's numbers stand on). Run with:
+//
+//	go test -bench=. -benchmem ./internal/localdb/
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := New("bench")
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, val FLOAT, name TEXT)`)
+	stmt := ""
+	for i := 0; i < rows; i++ {
+		if stmt != "" {
+			stmt += ", "
+		}
+		stmt += fmt.Sprintf("(%d, %d, %d.5, 'row-%d')", i, i%64, i%997, i)
+		if (i+1)%500 == 0 || i == rows-1 {
+			db.MustExec("INSERT INTO t VALUES " + stmt)
+			stmt = ""
+		}
+	}
+	return db
+}
+
+func BenchmarkPointLookup(b *testing.B) {
+	db := benchDB(b, 10000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(ctx, fmt.Sprintf(`SELECT name FROM t WHERE id = %d`, i%10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullScanFilter(b *testing.B) {
+	db := benchDB(b, 10000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(ctx, `SELECT id FROM t WHERE val < 100`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSecondaryIndexProbe(b *testing.B) {
+	db := benchDB(b, 10000)
+	db.MustExec(`CREATE INDEX t_grp ON t (grp)`)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(ctx, fmt.Sprintf(`SELECT COUNT(*) FROM t WHERE grp = %d`, i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 5000)
+	db.MustExec(`CREATE TABLE g (grp INTEGER PRIMARY KEY, label TEXT)`)
+	stmt := ""
+	for i := 0; i < 64; i++ {
+		if stmt != "" {
+			stmt += ", "
+		}
+		stmt += fmt.Sprintf("(%d, 'g%d')", i, i)
+	}
+	db.MustExec("INSERT INTO g VALUES " + stmt)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(ctx, `SELECT COUNT(*) FROM t JOIN g ON t.grp = g.grp WHERE g.label = 'g7'`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b, 10000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(ctx, `SELECT grp, COUNT(*), SUM(val) FROM t GROUP BY grp`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertTxn(b *testing.B) {
+	db := New("ins")
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if _, err := tx.Exec(ctx, fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v')`, i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateCommitVsRollback(b *testing.B) {
+	for _, mode := range []string{"commit", "rollback"} {
+		b.Run(mode, func(b *testing.B) {
+			db := benchDB(b, 1024)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := db.Begin()
+				if _, err := tx.Exec(ctx, fmt.Sprintf(`UPDATE t SET val = val + 1 WHERE id = %d`, i%1024)); err != nil {
+					b.Fatal(err)
+				}
+				if mode == "commit" {
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					tx.Rollback()
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParseOnly(b *testing.B) {
+	db := benchDB(b, 16)
+	ctx := context.Background()
+	// One representative mixed query; measures parse+plan+execute floor.
+	const q = `SELECT grp, COUNT(*) AS n FROM t WHERE val BETWEEN 1 AND 500 GROUP BY grp HAVING COUNT(*) > 0 ORDER BY n DESC LIMIT 5`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package localdb implements a complete in-memory component DBMS: a SQL
+// executor over the heap storage engine, strict two-phase locking via
+// the lock manager, undo-log transactions with rollback, and a PREPARE
+// step so the database can participate in the federation's two-phase
+// commit.
+//
+// In the paper the component DBMSs were Oracle and Postgres; here the
+// same engine is instantiated per site and heterogeneity is carried by
+// the SQL dialect each site's gateway speaks (internal/dialect).
+package localdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"myriad/internal/lockmgr"
+	"myriad/internal/schema"
+	"myriad/internal/sqlparser"
+	"myriad/internal/storage"
+)
+
+// Common error conditions surfaced by the engine.
+var (
+	ErrNoSuchTable   = errors.New("localdb: no such table")
+	ErrTxnDone       = errors.New("localdb: transaction already finished")
+	ErrTxnPrepared   = errors.New("localdb: transaction is prepared; only commit/abort allowed")
+	ErrNotPrepared   = errors.New("localdb: transaction is not prepared")
+	ErrTimeout       = lockmgr.ErrTimeout
+	ErrWriteConflict = errors.New("localdb: write conflict")
+)
+
+// DB is one component database instance.
+type DB struct {
+	name string
+
+	latch  sync.RWMutex // protects tables map and physical row access
+	tables map[string]*storage.Table
+
+	lm *lockmgr.Manager
+
+	txnMu   sync.Mutex
+	nextTxn lockmgr.TxnID
+	txns    map[lockmgr.TxnID]*Txn
+}
+
+// New creates an empty component database named name.
+func New(name string) *DB {
+	return &DB{
+		name:   name,
+		tables: make(map[string]*storage.Table),
+		lm:     lockmgr.New(),
+		txns:   make(map[lockmgr.TxnID]*Txn),
+	}
+}
+
+// Name returns the database's name.
+func (db *DB) Name() string { return db.name }
+
+// TableNames lists tables in no particular order.
+func (db *DB) TableNames() []string {
+	db.latch.RLock()
+	defer db.latch.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// TableSchema returns a copy of the named table's schema.
+func (db *DB) TableSchema(name string) (*schema.Schema, error) {
+	db.latch.RLock()
+	defer db.latch.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t.Schema.Clone(), nil
+}
+
+// TableStats computes statistics for the optimizer.
+func (db *DB) TableStats(name string) (storage.TableStats, error) {
+	db.latch.RLock()
+	defer db.latch.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return storage.TableStats{}, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t.Stats(), nil
+}
+
+func (db *DB) table(name string) (*storage.Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	db.txnMu.Lock()
+	db.nextTxn++
+	id := db.nextTxn
+	tx := &Txn{db: db, id: id}
+	db.txns[id] = tx
+	db.txnMu.Unlock()
+	return tx
+}
+
+// Resume returns the live transaction with the given id (used by the
+// gateway, which identifies transaction branches by id across requests).
+func (db *DB) Resume(id lockmgr.TxnID) (*Txn, bool) {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	tx, ok := db.txns[id]
+	return tx, ok
+}
+
+func (db *DB) forget(id lockmgr.TxnID) {
+	db.txnMu.Lock()
+	delete(db.txns, id)
+	db.txnMu.Unlock()
+}
+
+// Exec parses and executes a statement in autocommit mode.
+func (db *DB) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+	tx := db.Begin()
+	res, err := tx.Exec(ctx, sql)
+	if err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Query parses and executes a SELECT in autocommit mode.
+func (db *DB) Query(ctx context.Context, sql string) (*schema.ResultSet, error) {
+	tx := db.Begin()
+	rs, err := tx.Query(ctx, sql)
+	if err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// MustExec is a test/fixture helper: it panics on error.
+func (db *DB) MustExec(sql string) {
+	if _, err := db.Exec(context.Background(), sql); err != nil {
+		panic(fmt.Sprintf("localdb %s: %s: %v", db.name, sql, err))
+	}
+}
+
+// ExecResult reports the effect of a non-SELECT statement.
+type ExecResult struct {
+	RowsAffected int
+}
+
+// ---------------------------------------------------------------------
+// Transactions
+
+type txnState uint8
+
+const (
+	txnActive txnState = iota
+	txnPrepared
+	txnCommitted
+	txnAborted
+)
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota // compensate: delete
+	undoDelete                 // compensate: re-insert
+	undoUpdate                 // compensate: restore old image
+)
+
+type undoRec struct {
+	kind  undoKind
+	table string
+	id    storage.RowID
+	old   schema.Row
+}
+
+// Txn is one local transaction under strict 2PL.
+type Txn struct {
+	db    *DB
+	id    lockmgr.TxnID
+	mu    sync.Mutex
+	state txnState
+	undo  []undoRec
+}
+
+// ID returns the transaction id, used as the branch identifier in 2PC.
+func (tx *Txn) ID() uint64 { return uint64(tx.id) }
+
+func (tx *Txn) checkActive() error {
+	switch tx.state {
+	case txnActive:
+		return nil
+	case txnPrepared:
+		return ErrTxnPrepared
+	default:
+		return ErrTxnDone
+	}
+}
+
+// Exec parses and runs any statement inside the transaction.
+func (tx *Txn) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return tx.ExecStmt(ctx, stmt)
+}
+
+// ExecStmt runs a parsed statement inside the transaction.
+func (tx *Txn) ExecStmt(ctx context.Context, stmt sqlparser.Statement) (*ExecResult, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if err := tx.checkActive(); err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparser.Insert:
+		return tx.execInsert(ctx, s)
+	case *sqlparser.Update:
+		return tx.execUpdate(ctx, s)
+	case *sqlparser.Delete:
+		return tx.execDelete(ctx, s)
+	case *sqlparser.CreateTable:
+		return tx.execCreateTable(ctx, s)
+	case *sqlparser.DropTable:
+		return tx.execDropTable(ctx, s)
+	case *sqlparser.CreateIndex:
+		return tx.execCreateIndex(ctx, s)
+	case *sqlparser.Select:
+		return nil, fmt.Errorf("localdb: use Query for SELECT")
+	case *sqlparser.TxnStmt:
+		return nil, fmt.Errorf("localdb: transaction control is API-driven")
+	default:
+		return nil, fmt.Errorf("localdb: unsupported statement %T", stmt)
+	}
+}
+
+// Query parses and runs a SELECT inside the transaction.
+func (tx *Txn) Query(ctx context.Context, sql string) (*schema.ResultSet, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("localdb: Query requires SELECT, got %T", stmt)
+	}
+	return tx.QueryStmt(ctx, sel)
+}
+
+// QueryStmt runs a parsed SELECT inside the transaction.
+func (tx *Txn) QueryStmt(ctx context.Context, sel *sqlparser.Select) (*schema.ResultSet, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if err := tx.checkActive(); err != nil {
+		return nil, err
+	}
+	return tx.execSelect(ctx, sel)
+}
+
+// Prepare votes in two-phase commit: after a successful prepare the
+// transaction retains its locks and guarantees that Commit will succeed.
+func (tx *Txn) Prepare() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.state != txnActive {
+		return tx.checkActive()
+	}
+	tx.state = txnPrepared
+	return nil
+}
+
+// Commit makes the transaction's effects durable and releases locks.
+// Committing from the prepared state is the second phase of 2PC.
+func (tx *Txn) Commit() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.state != txnActive && tx.state != txnPrepared {
+		return ErrTxnDone
+	}
+	tx.state = txnCommitted
+	tx.undo = nil
+	tx.db.lm.ReleaseAll(tx.id)
+	tx.db.forget(tx.id)
+	return nil
+}
+
+// Rollback undoes every change and releases locks. It is idempotent.
+func (tx *Txn) Rollback() {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.state == txnCommitted || tx.state == txnAborted {
+		return
+	}
+	tx.db.latch.Lock()
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		t, err := tx.db.table(u.table)
+		if err != nil {
+			continue // table dropped by this txn's DDL undo
+		}
+		switch u.kind {
+		case undoInsert:
+			t.Delete(u.id) //nolint:errcheck // best-effort compensation
+		case undoDelete:
+			t.InsertAt(u.id, u.old) //nolint:errcheck
+		case undoUpdate:
+			t.Update(u.id, u.old) //nolint:errcheck
+		}
+	}
+	tx.db.latch.Unlock()
+	tx.undo = nil
+	tx.state = txnAborted
+	tx.db.lm.ReleaseAll(tx.id)
+	tx.db.forget(tx.id)
+}
+
+// State reports the transaction lifecycle stage as a string (for
+// monitoring and tests).
+func (tx *Txn) State() string {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	switch tx.state {
+	case txnActive:
+		return "active"
+	case txnPrepared:
+		return "prepared"
+	case txnCommitted:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// ---------------------------------------------------------------------
+// DDL (DDL is auto-committing in spirit: not undone on rollback, like
+// many 1990s engines; the federation only issues DDL at setup time)
+
+func (tx *Txn) execCreateTable(ctx context.Context, s *sqlparser.CreateTable) (*ExecResult, error) {
+	if err := tx.lockTable(ctx, s.Schema.Table, lockmgr.X); err != nil {
+		return nil, err
+	}
+	tx.db.latch.Lock()
+	defer tx.db.latch.Unlock()
+	lc := strings.ToLower(s.Schema.Table)
+	if _, exists := tx.db.tables[lc]; exists {
+		return nil, fmt.Errorf("localdb %s: table %s already exists", tx.db.name, s.Schema.Table)
+	}
+	t, err := storage.NewTable(s.Schema)
+	if err != nil {
+		return nil, err
+	}
+	tx.db.tables[lc] = t
+	return &ExecResult{}, nil
+}
+
+func (tx *Txn) execDropTable(ctx context.Context, s *sqlparser.DropTable) (*ExecResult, error) {
+	if err := tx.lockTable(ctx, s.Table, lockmgr.X); err != nil {
+		return nil, err
+	}
+	tx.db.latch.Lock()
+	defer tx.db.latch.Unlock()
+	lc := strings.ToLower(s.Table)
+	if _, exists := tx.db.tables[lc]; !exists {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	delete(tx.db.tables, lc)
+	return &ExecResult{}, nil
+}
+
+func (tx *Txn) execCreateIndex(ctx context.Context, s *sqlparser.CreateIndex) (*ExecResult, error) {
+	if err := tx.lockTable(ctx, s.Table, lockmgr.X); err != nil {
+		return nil, err
+	}
+	tx.db.latch.Lock()
+	defer tx.db.latch.Unlock()
+	t, err := tx.db.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.CreateIndex(s.Column); err != nil {
+		return nil, err
+	}
+	return &ExecResult{}, nil
+}
+
+// ---------------------------------------------------------------------
+// Lock helpers
+
+func tableResource(name string) string { return "t:" + strings.ToLower(name) }
+
+func keyResource(table, key string) string { return "k:" + strings.ToLower(table) + ":" + key }
+
+func (tx *Txn) lockTable(ctx context.Context, name string, mode lockmgr.Mode) error {
+	return tx.db.lm.Acquire(ctx, tx.id, tableResource(name), mode)
+}
+
+func (tx *Txn) lockKey(ctx context.Context, table, key string, mode lockmgr.Mode) error {
+	return tx.db.lm.Acquire(ctx, tx.id, keyResource(table, key), mode)
+}

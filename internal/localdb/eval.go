@@ -1,0 +1,608 @@
+package localdb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"myriad/internal/sqlparser"
+	"myriad/internal/value"
+)
+
+// resolver maps a (qualifier, column) reference to a slot in the runtime
+// row presented to compiled expressions.
+type resolver interface {
+	resolve(table, column string) (int, error)
+}
+
+// evalFn is a compiled expression evaluated against a runtime row.
+type evalFn func(row []value.Value) (value.Value, error)
+
+// compileExpr compiles e into an evalFn using r to bind column
+// references. Aggregate calls are rejected here; grouped contexts
+// rewrite them to slot references before compiling.
+func compileExpr(e sqlparser.Expr, r resolver) (evalFn, error) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		v := x.Val
+		return func([]value.Value) (value.Value, error) { return v, nil }, nil
+
+	case *sqlparser.ColumnRef:
+		slot, err := r.resolve(x.Table, x.Column)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []value.Value) (value.Value, error) {
+			if slot >= len(row) {
+				return value.Null(), fmt.Errorf("localdb: row too short for slot %d", slot)
+			}
+			return row[slot], nil
+		}, nil
+
+	case *sqlparser.SlotRef:
+		slot := x.Slot
+		return func(row []value.Value) (value.Value, error) {
+			if slot >= len(row) {
+				return value.Null(), fmt.Errorf("localdb: row too short for slot %d", slot)
+			}
+			return row[slot], nil
+		}, nil
+
+	case *sqlparser.BinaryExpr:
+		return compileBinary(x, r)
+
+	case *sqlparser.UnaryExpr:
+		sub, err := compileExpr(x.E, r)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			return func(row []value.Value) (value.Value, error) {
+				v, err := sub(row)
+				if err != nil {
+					return value.Null(), err
+				}
+				return value.Neg(v)
+			}, nil
+		case "NOT":
+			return func(row []value.Value) (value.Value, error) {
+				v, err := sub(row)
+				if err != nil {
+					return value.Null(), err
+				}
+				if v.IsNull() {
+					return value.Null(), nil
+				}
+				b, ok := v.Bool()
+				if !ok {
+					return value.Null(), fmt.Errorf("localdb: NOT applied to %s", v.K)
+				}
+				return value.NewBool(!b), nil
+			}, nil
+		default:
+			return nil, fmt.Errorf("localdb: unknown unary op %q", x.Op)
+		}
+
+	case *sqlparser.IsNullExpr:
+		sub, err := compileExpr(x.E, r)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(row []value.Value) (value.Value, error) {
+			v, err := sub(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.NewBool(v.IsNull() != not), nil
+		}, nil
+
+	case *sqlparser.InExpr:
+		sub, err := compileExpr(x.E, r)
+		if err != nil {
+			return nil, err
+		}
+		// All-literal lists (common for semijoin IN-lists shipped by the
+		// federation) compile to a hash probe instead of a linear scan.
+		if fn, ok := compileLiteralIn(x, sub); ok {
+			return fn, nil
+		}
+		items := make([]evalFn, len(x.List))
+		for i, it := range x.List {
+			if items[i], err = compileExpr(it, r); err != nil {
+				return nil, err
+			}
+		}
+		not := x.Not
+		return func(row []value.Value) (value.Value, error) {
+			v, err := sub(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if v.IsNull() {
+				return value.Null(), nil
+			}
+			sawNull := false
+			for _, item := range items {
+				iv, err := item(row)
+				if err != nil {
+					return value.Null(), err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				if eq, ok := value.Equal(v, iv); ok && eq {
+					return value.NewBool(!not), nil
+				}
+			}
+			if sawNull {
+				return value.Null(), nil // SQL: x IN (..., NULL) is UNKNOWN when no match
+			}
+			return value.NewBool(not), nil
+		}, nil
+
+	case *sqlparser.BetweenExpr:
+		sub, err := compileExpr(x.E, r)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileExpr(x.Lo, r)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileExpr(x.Hi, r)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(row []value.Value) (value.Value, error) {
+			v, err := sub(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			lv, err := lo(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			hv, err := hi(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			c1, ok1 := value.Compare(v, lv)
+			c2, ok2 := value.Compare(v, hv)
+			if !ok1 || !ok2 {
+				return value.Null(), nil
+			}
+			in := c1 >= 0 && c2 <= 0
+			return value.NewBool(in != not), nil
+		}, nil
+
+	case *sqlparser.FuncExpr:
+		if sqlparser.AggregateFuncs[x.Name] {
+			return nil, fmt.Errorf("localdb: aggregate %s not allowed here", x.Name)
+		}
+		return compileScalarFunc(x, r)
+
+	case *sqlparser.CaseExpr:
+		type arm struct{ cond, result evalFn }
+		arms := make([]arm, len(x.Whens))
+		for i, w := range x.Whens {
+			c, err := compileExpr(w.Cond, r)
+			if err != nil {
+				return nil, err
+			}
+			res, err := compileExpr(w.Result, r)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{c, res}
+		}
+		var elseFn evalFn
+		if x.Else != nil {
+			var err error
+			if elseFn, err = compileExpr(x.Else, r); err != nil {
+				return nil, err
+			}
+		}
+		return func(row []value.Value) (value.Value, error) {
+			for _, a := range arms {
+				cv, err := a.cond(row)
+				if err != nil {
+					return value.Null(), err
+				}
+				if b, ok := cv.Bool(); ok && b {
+					return a.result(row)
+				}
+			}
+			if elseFn != nil {
+				return elseFn(row)
+			}
+			return value.Null(), nil
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("localdb: unsupported expression %T", e)
+	}
+}
+
+func compileBinary(x *sqlparser.BinaryExpr, r resolver) (evalFn, error) {
+	l, err := compileExpr(x.L, r)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := compileExpr(x.R, r)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	switch op {
+	case "AND":
+		return func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if b, ok := lv.Bool(); ok && !b {
+				return value.NewBool(false), nil
+			}
+			rv, err := rt(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if b, ok := rv.Bool(); ok && !b {
+				return value.NewBool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return value.Null(), nil
+			}
+			return value.NewBool(true), nil
+		}, nil
+	case "OR":
+		return func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if b, ok := lv.Bool(); ok && b {
+				return value.NewBool(true), nil
+			}
+			rv, err := rt(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if b, ok := rv.Bool(); ok && b {
+				return value.NewBool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return value.Null(), nil
+			}
+			return value.NewBool(false), nil
+		}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			rv, err := rt(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			c, ok := value.Compare(lv, rv)
+			if !ok {
+				return value.Null(), nil
+			}
+			var b bool
+			switch op {
+			case "=":
+				b = c == 0
+			case "<>":
+				b = c != 0
+			case "<":
+				b = c < 0
+			case "<=":
+				b = c <= 0
+			case ">":
+				b = c > 0
+			case ">=":
+				b = c >= 0
+			}
+			return value.NewBool(b), nil
+		}, nil
+	case "LIKE":
+		return func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			rv, err := rt(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.Like(lv, rv)
+		}, nil
+	case "+", "-", "*", "/", "%", "||":
+		return func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			rv, err := rt(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.Arith(op, lv, rv)
+		}, nil
+	default:
+		return nil, fmt.Errorf("localdb: unknown binary op %q", op)
+	}
+}
+
+// compileLiteralIn builds a hash-probe evaluator for IN lists made
+// entirely of non-NULL literals.
+func compileLiteralIn(x *sqlparser.InExpr, sub evalFn) (evalFn, bool) {
+	if len(x.List) < 8 {
+		return nil, false
+	}
+	set := make(map[string]bool, len(x.List))
+	for _, it := range x.List {
+		lit, ok := it.(*sqlparser.Literal)
+		if !ok || lit.Val.IsNull() {
+			return nil, false
+		}
+		set[inKey(lit.Val)] = true
+	}
+	not := x.Not
+	return func(row []value.Value) (value.Value, error) {
+		v, err := sub(row)
+		if err != nil {
+			return value.Null(), err
+		}
+		if v.IsNull() {
+			return value.Null(), nil
+		}
+		return value.NewBool(set[inKey(v)] != not), nil
+	}, true
+}
+
+// inKey encodes a value so numerically equal ints and floats collide.
+func inKey(v value.Value) string {
+	if f, ok := v.Float(); ok && (v.K == value.KindInt || v.K == value.KindFloat) {
+		return "n" + strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return string([]byte{byte(v.K)}) + v.Text()
+}
+
+// compileScalarFunc compiles the scalar function library shared by every
+// component DBMS dialect.
+func compileScalarFunc(x *sqlparser.FuncExpr, r resolver) (evalFn, error) {
+	args := make([]evalFn, len(x.Args))
+	for i, a := range x.Args {
+		var err error
+		if args[i], err = compileExpr(a, r); err != nil {
+			return nil, err
+		}
+	}
+	evalArgs := func(row []value.Value) ([]value.Value, error) {
+		out := make([]value.Value, len(args))
+		for i, fn := range args {
+			v, err := fn(row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	arity := func(n int) error {
+		if len(x.Args) != n {
+			return fmt.Errorf("localdb: %s expects %d argument(s), got %d", x.Name, n, len(x.Args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "UPPER", "UCASE":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if vs[0].IsNull() {
+				return value.Null(), nil
+			}
+			return value.NewText(strings.ToUpper(vs[0].Text())), nil
+		}, nil
+	case "LOWER", "LCASE":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if vs[0].IsNull() {
+				return value.Null(), nil
+			}
+			return value.NewText(strings.ToLower(vs[0].Text())), nil
+		}, nil
+	case "LENGTH", "LEN":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if vs[0].IsNull() {
+				return value.Null(), nil
+			}
+			return value.NewInt(int64(len(vs[0].Text()))), nil
+		}, nil
+	case "ABS":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			v := vs[0]
+			switch {
+			case v.IsNull():
+				return value.Null(), nil
+			case v.K == value.KindInt:
+				if v.I < 0 {
+					return value.NewInt(-v.I), nil
+				}
+				return v, nil
+			default:
+				f, ok := v.Float()
+				if !ok {
+					return value.Null(), fmt.Errorf("localdb: ABS of %s", v.K)
+				}
+				return value.NewFloat(math.Abs(f)), nil
+			}
+		}, nil
+	case "ROUND":
+		if len(x.Args) != 1 && len(x.Args) != 2 {
+			return nil, fmt.Errorf("localdb: ROUND expects 1 or 2 arguments")
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if vs[0].IsNull() {
+				return value.Null(), nil
+			}
+			f, ok := vs[0].Float()
+			if !ok {
+				return value.Null(), fmt.Errorf("localdb: ROUND of %s", vs[0].K)
+			}
+			digits := int64(0)
+			if len(vs) == 2 {
+				if vs[1].IsNull() {
+					return value.Null(), nil
+				}
+				digits, _ = vs[1].Int()
+			}
+			scale := math.Pow(10, float64(digits))
+			return value.NewFloat(math.Round(f*scale) / scale), nil
+		}, nil
+	case "COALESCE", "NVL", "IFNULL":
+		if len(x.Args) == 0 {
+			return nil, fmt.Errorf("localdb: %s needs arguments", x.Name)
+		}
+		return func(row []value.Value) (value.Value, error) {
+			for _, fn := range args {
+				v, err := fn(row)
+				if err != nil {
+					return value.Null(), err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return value.Null(), nil
+		}, nil
+	case "NULLIF":
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if eq, ok := value.Equal(vs[0], vs[1]); ok && eq {
+				return value.Null(), nil
+			}
+			return vs[0], nil
+		}, nil
+	case "SUBSTR", "SUBSTRING":
+		if len(x.Args) != 2 && len(x.Args) != 3 {
+			return nil, fmt.Errorf("localdb: %s expects 2 or 3 arguments", x.Name)
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if vs[0].IsNull() || vs[1].IsNull() {
+				return value.Null(), nil
+			}
+			s := vs[0].Text()
+			start, _ := vs[1].Int()
+			if start < 1 {
+				start = 1
+			}
+			if int(start) > len(s) {
+				return value.NewText(""), nil
+			}
+			out := s[start-1:]
+			if len(vs) == 3 && !vs[2].IsNull() {
+				n, _ := vs[2].Int()
+				if n < 0 {
+					n = 0
+				}
+				if int(n) < len(out) {
+					out = out[:n]
+				}
+			}
+			return value.NewText(out), nil
+		}, nil
+	case "TRIM":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if vs[0].IsNull() {
+				return value.Null(), nil
+			}
+			return value.NewText(strings.TrimSpace(vs[0].Text())), nil
+		}, nil
+	case "MOD":
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		return func(row []value.Value) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.Arith("%", vs[0], vs[1])
+		}, nil
+	default:
+		return nil, fmt.Errorf("localdb: unknown function %s", x.Name)
+	}
+}
+
+// evalBool evaluates a compiled predicate with SQL semantics: NULL means
+// the row does not qualify.
+func evalBool(fn evalFn, row []value.Value) (bool, error) {
+	v, err := fn(row)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	b, ok := v.Bool()
+	if !ok {
+		return false, fmt.Errorf("localdb: predicate evaluated to %s", v.K)
+	}
+	return b, nil
+}

@@ -1,0 +1,345 @@
+package localdb
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// evalDB is a single-row fixture for expression evaluation tests.
+func evalDB(t *testing.T) *DB {
+	t.Helper()
+	db := New("eval")
+	db.MustExec(`CREATE TABLE r (i INTEGER, f FLOAT, s TEXT, b BOOLEAN, n INTEGER)`)
+	db.MustExec(`INSERT INTO r VALUES (7, 2.5, 'Hello', TRUE, NULL)`)
+	return db
+}
+
+// evalOne evaluates a scalar expression against the fixture row.
+func evalOne(t *testing.T, db *DB, expr string) string {
+	t.Helper()
+	rs, err := db.Query(context.Background(), "SELECT "+expr+" FROM r")
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("eval %q: %d rows", expr, len(rs.Rows))
+	}
+	return rs.Rows[0][0].Text()
+}
+
+func TestExpressionEvaluation(t *testing.T) {
+	db := evalDB(t)
+	cases := []struct{ expr, want string }{
+		// Arithmetic and precedence.
+		{`1 + 2 * 3`, "7"},
+		{`(1 + 2) * 3`, "9"},
+		{`i + 1`, "8"},
+		{`i / 2`, "3"},
+		{`i % 3`, "1"},
+		{`f * 2`, "5"},
+		{`-i`, "-7"},
+		{`i - -1`, "8"},
+		// Three-valued logic.
+		{`n + 1`, "NULL"},
+		{`n = n`, "NULL"},
+		{`n IS NULL`, "TRUE"},
+		{`n IS NOT NULL`, "FALSE"},
+		{`i IS NULL`, "FALSE"},
+		{`NOT (n = 1)`, "NULL"},
+		{`n = 1 OR TRUE`, "TRUE"},
+		{`n = 1 AND FALSE`, "FALSE"},
+		{`n = 1 OR FALSE`, "NULL"},
+		// Comparisons.
+		{`i = 7`, "TRUE"},
+		{`i <> 7`, "FALSE"},
+		{`i BETWEEN 5 AND 9`, "TRUE"},
+		{`i NOT BETWEEN 5 AND 9`, "FALSE"},
+		{`i IN (1, 7, 9)`, "TRUE"},
+		{`i NOT IN (1, 7, 9)`, "FALSE"},
+		{`i IN (1, 2)`, "FALSE"},
+		{`i IN (1, n)`, "NULL"},
+		{`2 IN (1, n, 2)`, "TRUE"},
+		// Text.
+		{`s || '!'`, "Hello!"},
+		{`UPPER(s)`, "HELLO"},
+		{`LOWER(s)`, "hello"},
+		{`LENGTH(s)`, "5"},
+		{`SUBSTR(s, 2, 3)`, "ell"},
+		{`SUBSTR(s, 2)`, "ello"},
+		{`TRIM('  x  ')`, "x"},
+		{`s LIKE 'He%'`, "TRUE"},
+		{`s LIKE 'he%'`, "FALSE"},
+		// Conditionals and null handling.
+		{`COALESCE(n, i)`, "7"},
+		{`NVL(n, 42)`, "42"},
+		{`NULLIF(i, 7)`, "NULL"},
+		{`NULLIF(i, 8)`, "7"},
+		{`CASE WHEN i > 5 THEN 'big' ELSE 'small' END`, "big"},
+		{`CASE WHEN i > 50 THEN 'big' END`, "NULL"},
+		{`CASE WHEN n = 1 THEN 'x' WHEN i = 7 THEN 'y' END`, "y"},
+		// Numeric functions.
+		{`ABS(-3)`, "3"},
+		{`ABS(f - 5)`, "2.5"},
+		{`ROUND(2.567, 1)`, "2.6"},
+		{`ROUND(2.4)`, "2"},
+		{`MOD(7, 3)`, "1"},
+		// Booleans.
+		{`b`, "TRUE"},
+		{`NOT b`, "FALSE"},
+		{`b AND i = 7`, "TRUE"},
+	}
+	for _, c := range cases {
+		if got := evalOne(t, db, c.expr); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestExpressionErrors(t *testing.T) {
+	db := evalDB(t)
+	ctx := context.Background()
+	for _, expr := range []string{
+		`1 / 0`,
+		`i % 0`,
+		`UNKNOWN_FN(i)`,
+		`UPPER(s, s)`,
+		`SUBSTR(s)`,
+		`ghostcol + 1`,
+		`SUM(i) + COUNT(i)`, // bare aggregates are fine...
+	} {
+		_, err := db.Query(ctx, "SELECT "+expr+" FROM r")
+		if expr == `SUM(i) + COUNT(i)` {
+			if err != nil {
+				t.Errorf("aggregate expr rejected: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("SELECT %s accepted", expr)
+		}
+	}
+}
+
+func TestLiteralInHashPath(t *testing.T) {
+	// ≥8 literals trigger the hash-probe compilation; semantics must
+	// not change, including NULL handling and int/float equivalence.
+	db := evalDB(t)
+	cases := []struct{ expr, want string }{
+		{`i IN (1, 2, 3, 4, 5, 6, 7, 8, 9)`, "TRUE"},
+		{`i IN (10, 20, 30, 40, 50, 60, 70, 80)`, "FALSE"},
+		{`i NOT IN (10, 20, 30, 40, 50, 60, 70, 80)`, "TRUE"},
+		{`f IN (1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5)`, "TRUE"},
+		{`7 IN (7.0, 1, 2, 3, 4, 5, 6, 8)`, "TRUE"}, // int/float identity
+		{`n IN (1, 2, 3, 4, 5, 6, 7, 8)`, "NULL"},
+	}
+	for _, c := range cases {
+		if got := evalOne(t, db, c.expr); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestOrderByVariants(t *testing.T) {
+	db := New("ord")
+	db.MustExec(`CREATE TABLE t (a INTEGER, b TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (3, 'c'), (1, 'a'), (2, 'b'), (NULL, 'z')`)
+	ctx := context.Background()
+
+	get := func(sql string) string {
+		rs, err := db.Query(ctx, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		var parts []string
+		for _, r := range rs.Rows {
+			parts = append(parts, r[0].Text())
+		}
+		return strings.Join(parts, ",")
+	}
+
+	if got := get(`SELECT b FROM t ORDER BY a`); got != "z,a,b,c" { // NULLs first
+		t.Errorf("order by col: %q", got)
+	}
+	if got := get(`SELECT b FROM t ORDER BY a DESC`); got != "c,b,a,z" {
+		t.Errorf("order desc: %q", got)
+	}
+	if got := get(`SELECT a AS x FROM t WHERE a IS NOT NULL ORDER BY x DESC`); got != "3,2,1" {
+		t.Errorf("order by alias: %q", got)
+	}
+	if got := get(`SELECT a FROM t WHERE a IS NOT NULL ORDER BY 1 DESC`); got != "3,2,1" {
+		t.Errorf("order by ordinal: %q", got)
+	}
+	if got := get(`SELECT b FROM t WHERE a IS NOT NULL ORDER BY a * -1`); got != "c,b,a" {
+		t.Errorf("order by expr: %q", got)
+	}
+}
+
+func TestDistinctAndFromless(t *testing.T) {
+	db := New("d")
+	db.MustExec(`CREATE TABLE t (a INTEGER, b TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'x'), (1, 'x'), (2, 'x'), (NULL, 'x'), (NULL, 'x')`)
+	ctx := context.Background()
+
+	rs, err := db.Query(ctx, `SELECT DISTINCT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 3 { // 1, 2, NULL
+		t.Errorf("distinct rows = %d", len(rs.Rows))
+	}
+
+	rs, err = db.Query(ctx, `SELECT 1 + 1 AS two, 'x' AS s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Text() != "2" || rs.Columns[0] != "two" {
+		t.Errorf("fromless: %v %v", rs.Columns, rs.Rows)
+	}
+}
+
+func TestGroupByEdgeCases(t *testing.T) {
+	db := New("g")
+	db.MustExec(`CREATE TABLE t (k TEXT, v INTEGER)`)
+	ctx := context.Background()
+
+	// Global aggregate over empty input yields one row.
+	rs, err := db.Query(ctx, `SELECT COUNT(*), SUM(v), MIN(v), AVG(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("empty global agg rows = %d", len(rs.Rows))
+	}
+	want := []string{"0", "NULL", "NULL", "NULL"}
+	for i, w := range want {
+		if rs.Rows[0][i].Text() != w {
+			t.Errorf("empty agg col %d = %s, want %s", i, rs.Rows[0][i].Text(), w)
+		}
+	}
+
+	// GROUP BY over empty input yields no rows.
+	rs, err = db.Query(ctx, `SELECT k, COUNT(*) FROM t GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 0 {
+		t.Errorf("empty grouped rows = %d", len(rs.Rows))
+	}
+
+	db.MustExec(`INSERT INTO t VALUES ('a', 1), ('a', NULL), ('b', 3), (NULL, 4)`)
+
+	// NULL group key forms its own group.
+	rs, err = db.Query(ctx, `SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 3 {
+		t.Fatalf("groups = %d", len(rs.Rows))
+	}
+
+	// COUNT(v) skips NULLs; COUNT(*) does not.
+	rs, err = db.Query(ctx, `SELECT COUNT(*), COUNT(v) FROM t WHERE k = 'a'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Text() != "2" || rs.Rows[0][1].Text() != "1" {
+		t.Errorf("count star/col: %v", rs.Rows[0])
+	}
+
+	// Ungrouped column reference is a SQL error.
+	if _, err := db.Query(ctx, `SELECT v, COUNT(*) FROM t GROUP BY k`); err == nil {
+		t.Error("ungrouped column accepted")
+	}
+
+	// HAVING without matching aggregate in items.
+	rs, err = db.Query(ctx, `SELECT k FROM t GROUP BY k HAVING COUNT(*) > 1 ORDER BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text() != "a" {
+		t.Errorf("having: %v", rs.Rows)
+	}
+
+	// Aggregate in ORDER BY only.
+	rs, err = db.Query(ctx, `SELECT k FROM t WHERE k IS NOT NULL GROUP BY k ORDER BY SUM(v) DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Text() != "b" {
+		t.Errorf("order by aggregate: %v", rs.Rows)
+	}
+
+	// Expression over aggregates.
+	rs, err = db.Query(ctx, `SELECT SUM(v) * 2 + COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Text() != "20" { // (1+3+4)*2 + 4
+		t.Errorf("agg expr: %v", rs.Rows[0][0])
+	}
+}
+
+func TestInsertColumnSubsets(t *testing.T) {
+	db := New("ins")
+	db.MustExec(`CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT, c FLOAT)`)
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, `INSERT INTO t (c, a) VALUES (1.5, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := db.Query(ctx, `SELECT a, b, c FROM t`)
+	r := rs.Rows[0]
+	if r[0].Text() != "1" || !r[1].IsNull() || r[2].Text() != "1.5" {
+		t.Errorf("column-subset insert: %v", r)
+	}
+	// Unknown column.
+	if _, err := db.Exec(ctx, `INSERT INTO t (zz) VALUES (1)`); err == nil {
+		t.Error("unknown insert column accepted")
+	}
+	// Arity mismatch.
+	if _, err := db.Exec(ctx, `INSERT INTO t (a, b) VALUES (2)`); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestUpdatePKEscalationAndChange(t *testing.T) {
+	db := New("upd")
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'a'), (2, 'b')`)
+	ctx := context.Background()
+
+	// Rewriting the PK works and re-keys the row.
+	if _, err := db.Exec(ctx, `UPDATE t SET id = 10 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := db.Query(ctx, `SELECT v FROM t WHERE id = 10`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text() != "a" {
+		t.Errorf("pk rewrite: %v", rs.Rows)
+	}
+	// Conflicting PK rewrite fails.
+	if _, err := db.Exec(ctx, `UPDATE t SET id = 2 WHERE id = 10`); err == nil {
+		t.Error("conflicting pk rewrite accepted")
+	}
+}
+
+func TestDDLVisibility(t *testing.T) {
+	db := New("ddl")
+	db.MustExec(`CREATE TABLE t (a INTEGER)`)
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, `CREATE TABLE t (a INTEGER)`); err == nil {
+		t.Error("duplicate CREATE TABLE accepted")
+	}
+	if _, err := db.Exec(ctx, `DROP TABLE ghost`); err == nil {
+		t.Error("DROP of missing table accepted")
+	}
+	if _, err := db.Exec(ctx, `DROP TABLE t`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(ctx, `SELECT a FROM t`); err == nil {
+		t.Error("dropped table still queryable")
+	}
+	names := db.TableNames()
+	if len(names) != 0 {
+		t.Errorf("tables after drop: %v", names)
+	}
+}

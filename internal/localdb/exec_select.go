@@ -1,0 +1,1362 @@
+package localdb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"myriad/internal/lockmgr"
+	"myriad/internal/schema"
+	"myriad/internal/sqlparser"
+	"myriad/internal/storage"
+	"myriad/internal/value"
+)
+
+// binding maps one FROM entry (by effective name) to a column range in
+// the executor's concatenated runtime row.
+type binding struct {
+	qual string
+	sc   *schema.Schema
+	off  int
+}
+
+// rowBinder resolves column references against the current bindings.
+type rowBinder struct {
+	bindings []binding
+	width    int
+}
+
+func (b *rowBinder) add(qual string, sc *schema.Schema) {
+	b.bindings = append(b.bindings, binding{qual: qual, sc: sc, off: b.width})
+	b.width += len(sc.Columns)
+}
+
+func (b *rowBinder) resolve(table, column string) (int, error) {
+	if table != "" {
+		for _, bd := range b.bindings {
+			if strings.EqualFold(bd.qual, table) {
+				ci := bd.sc.ColIndex(column)
+				if ci < 0 {
+					return 0, fmt.Errorf("localdb: no column %s.%s", table, column)
+				}
+				return bd.off + ci, nil
+			}
+		}
+		return 0, fmt.Errorf("localdb: unknown table or alias %q", table)
+	}
+	found := -1
+	for _, bd := range b.bindings {
+		if ci := bd.sc.ColIndex(column); ci >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("localdb: ambiguous column %q", column)
+			}
+			found = bd.off + ci
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("localdb: unknown column %q", column)
+	}
+	return found, nil
+}
+
+// refersOnlyTo reports whether every column in e resolves within the
+// single binding named qual (used for pushdown decisions).
+func refersOnlyTo(e sqlparser.Expr, qual string, sc *schema.Schema) bool {
+	ok := true
+	for _, c := range sqlparser.ColumnsIn(e) {
+		if c.Table != "" {
+			if !strings.EqualFold(c.Table, qual) {
+				ok = false
+			}
+			continue
+		}
+		if sc.ColIndex(c.Column) < 0 {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// execSelect evaluates sel and returns a materialized result. Callers
+// hold tx.mu.
+func (tx *Txn) execSelect(ctx context.Context, sel *sqlparser.Select) (*schema.ResultSet, error) {
+	// Flatten UNION chains; ORDER BY / LIMIT written on the final branch
+	// apply to the combined result.
+	if sel.Compound != nil {
+		return tx.execUnion(ctx, sel)
+	}
+	return tx.execSimpleSelect(ctx, sel)
+}
+
+func (tx *Txn) execUnion(ctx context.Context, sel *sqlparser.Select) (*schema.ResultSet, error) {
+	var branches []*sqlparser.Select
+	var alls []bool
+	cur := sel
+	for {
+		branches = append(branches, cur)
+		if cur.Compound == nil {
+			break
+		}
+		alls = append(alls, cur.Compound.All)
+		cur = cur.Compound.Right
+	}
+	last := branches[len(branches)-1]
+	orderBy, limit := last.OrderBy, last.Limit
+
+	var out *schema.ResultSet
+	distinct := false
+	for i, br := range branches {
+		core := *br
+		core.Compound = nil
+		core.OrderBy = nil
+		core.Limit = nil
+		rs, err := tx.execSimpleSelect(ctx, &core)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = rs
+			continue
+		}
+		if len(rs.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("localdb: UNION branches have %d and %d columns", len(out.Columns), len(rs.Columns))
+		}
+		out.Rows = append(out.Rows, rs.Rows...)
+		if !alls[i-1] {
+			distinct = true
+		}
+	}
+	if distinct {
+		out.Rows = dedupeRows(out.Rows)
+	}
+	if len(orderBy) > 0 {
+		if err := sortResultSet(out, orderBy); err != nil {
+			return nil, err
+		}
+	}
+	applyLimit(out, limit)
+	return out, nil
+}
+
+// sortResultSet orders a materialized result by output-column references
+// or ordinals (used for UNION results, where ORDER BY sees the union's
+// column list).
+func sortResultSet(rs *schema.ResultSet, orderBy []sqlparser.OrderItem) error {
+	type key struct {
+		col  int
+		desc bool
+	}
+	keys := make([]key, len(orderBy))
+	for i, o := range orderBy {
+		switch e := o.Expr.(type) {
+		case *sqlparser.ColumnRef:
+			ci := rs.ColIndex(e.Column)
+			if ci < 0 {
+				return fmt.Errorf("localdb: ORDER BY column %q not in result", e.Column)
+			}
+			keys[i] = key{col: ci, desc: o.Desc}
+		case *sqlparser.Literal:
+			n, ok := e.Val.Int()
+			if !ok || n < 1 || int(n) > len(rs.Columns) {
+				return fmt.Errorf("localdb: ORDER BY ordinal %s out of range", e.Val)
+			}
+			keys[i] = key{col: int(n) - 1, desc: o.Desc}
+		default:
+			return fmt.Errorf("localdb: UNION ORDER BY must reference output columns")
+		}
+	}
+	sort.SliceStable(rs.Rows, func(a, b int) bool {
+		ra, rb := rs.Rows[a], rs.Rows[b]
+		for _, k := range keys {
+			c := compareForSort(ra[k.col], rb[k.col])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// compareForSort orders values with NULLs first (ascending), matching
+// the engine's deterministic sort contract.
+func compareForSort(a, b value.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	c, ok := value.Compare(a, b)
+	if !ok {
+		return 0
+	}
+	return c
+}
+
+func applyLimit(rs *schema.ResultSet, limit *sqlparser.LimitClause) {
+	if limit == nil {
+		return
+	}
+	off := int(limit.Offset)
+	if off > len(rs.Rows) {
+		off = len(rs.Rows)
+	}
+	rs.Rows = rs.Rows[off:]
+	if limit.Count >= 0 && int(limit.Count) < len(rs.Rows) {
+		rs.Rows = rs.Rows[:limit.Count]
+	}
+}
+
+func dedupeRows(rows []schema.Row) []schema.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := rowKey(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// rowKey builds a collision-safe grouping key for a row.
+func rowKey(r []value.Value) string {
+	var b strings.Builder
+	for _, v := range r {
+		if v.IsNull() {
+			b.WriteByte(0)
+		} else {
+			b.WriteByte(byte(v.K) + 1)
+			b.WriteString(v.Text())
+		}
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// execSimpleSelect evaluates one SELECT core (no compound).
+func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*schema.ResultSet, error) {
+	if len(sel.From) == 0 {
+		return tx.execFromlessSelect(sel)
+	}
+
+	conjuncts := sqlparser.SplitConjuncts(sel.Where)
+	used := make([]bool, len(conjuncts))
+
+	// Materialize the first FROM entry, then fold in comma-joined tables
+	// and explicit JOINs left to right.
+	b := &rowBinder{}
+	rows, err := tx.scanBase(ctx, sel.From[0], conjuncts, used, b)
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range sel.From[1:] {
+		rows, err = tx.joinWith(ctx, rows, b, ref, sqlparser.JoinInner, nil, conjuncts, used)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range sel.Joins {
+		rows, err = tx.joinWith(ctx, rows, b, j.Table, j.Kind, j.On, conjuncts, used)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Residual WHERE conjuncts.
+	var residual []sqlparser.Expr
+	for i, c := range conjuncts {
+		if !used[i] {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		pred, err := compileExpr(sqlparser.JoinConjuncts(residual), b)
+		if err != nil {
+			return nil, err
+		}
+		kept := rows[:0]
+		for _, r := range rows {
+			ok, err := evalBool(pred, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	grouped := len(sel.GroupBy) > 0 || selectHasAggregates(sel)
+	if grouped {
+		return tx.execGrouped(sel, b, rows)
+	}
+
+	// Plain projection path.
+	items, err := expandItems(sel.Items, b)
+	if err != nil {
+		return nil, err
+	}
+	itemFns := make([]evalFn, len(items))
+	for i, it := range items {
+		if itemFns[i], err = compileExpr(it.Expr, b); err != nil {
+			return nil, err
+		}
+	}
+	// Sort keys evaluate in the input scope, with aliases and ordinals
+	// resolving to select items.
+	sortFns, descs, err := compileOrderBy(sel.OrderBy, b, items, itemFns)
+	if err != nil {
+		return nil, err
+	}
+
+	type outRow struct {
+		proj schema.Row
+		keys []value.Value
+	}
+	outs := make([]outRow, 0, len(rows))
+	for _, r := range rows {
+		proj := make(schema.Row, len(itemFns))
+		for i, fn := range itemFns {
+			v, err := fn(r)
+			if err != nil {
+				return nil, err
+			}
+			proj[i] = v
+		}
+		var keys []value.Value
+		if len(sortFns) > 0 {
+			keys = make([]value.Value, len(sortFns))
+			for i, fn := range sortFns {
+				v, err := fn(r)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+		}
+		outs = append(outs, outRow{proj: proj, keys: keys})
+	}
+	if len(sortFns) > 0 {
+		sort.SliceStable(outs, func(a, b int) bool {
+			for i := range sortFns {
+				c := compareForSort(outs[a].keys[i], outs[b].keys[i])
+				if c == 0 {
+					continue
+				}
+				if descs[i] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	rs := &schema.ResultSet{Columns: itemNames(items)}
+	for _, o := range outs {
+		rs.Rows = append(rs.Rows, o.proj)
+	}
+	if sel.Distinct {
+		rs.Rows = dedupeRows(rs.Rows)
+	}
+	applyLimit(rs, sel.Limit)
+	return rs, nil
+}
+
+func (tx *Txn) execFromlessSelect(sel *sqlparser.Select) (*schema.ResultSet, error) {
+	b := &rowBinder{}
+	items, err := expandItems(sel.Items, b)
+	if err != nil {
+		return nil, err
+	}
+	row := make(schema.Row, len(items))
+	for i, it := range items {
+		fn, err := compileExpr(it.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		if row[i], err = fn(nil); err != nil {
+			return nil, err
+		}
+	}
+	rs := &schema.ResultSet{Columns: itemNames(items), Rows: []schema.Row{row}}
+	applyLimit(rs, sel.Limit)
+	return rs, nil
+}
+
+// namedItem is a resolved select item (stars expanded).
+type namedItem struct {
+	Expr sqlparser.Expr
+	Name string
+}
+
+func expandItems(items []sqlparser.SelectItem, b *rowBinder) ([]namedItem, error) {
+	var out []namedItem
+	for _, it := range items {
+		switch {
+		case it.Star && it.Table == "":
+			if len(b.bindings) == 0 {
+				return nil, fmt.Errorf("localdb: SELECT * without FROM")
+			}
+			for _, bd := range b.bindings {
+				for _, c := range bd.sc.Columns {
+					out = append(out, namedItem{
+						Expr: &sqlparser.ColumnRef{Table: bd.qual, Column: c.Name},
+						Name: c.Name,
+					})
+				}
+			}
+		case it.Star:
+			matched := false
+			for _, bd := range b.bindings {
+				if !strings.EqualFold(bd.qual, it.Table) {
+					continue
+				}
+				matched = true
+				for _, c := range bd.sc.Columns {
+					out = append(out, namedItem{
+						Expr: &sqlparser.ColumnRef{Table: bd.qual, Column: c.Name},
+						Name: c.Name,
+					})
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("localdb: unknown table %q in %s.*", it.Table, it.Table)
+			}
+		default:
+			name := it.As
+			if name == "" {
+				if c, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+					name = c.Column
+				} else {
+					name = sqlparser.FormatExpr(it.Expr, nil)
+				}
+			}
+			out = append(out, namedItem{Expr: it.Expr, Name: name})
+		}
+	}
+	return out, nil
+}
+
+func itemNames(items []namedItem) []string {
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = it.Name
+	}
+	return names
+}
+
+// compileOrderBy compiles ORDER BY expressions against the input scope.
+// Aliases and ordinals refer to select items.
+func compileOrderBy(orderBy []sqlparser.OrderItem, b *rowBinder, items []namedItem, itemFns []evalFn) ([]evalFn, []bool, error) {
+	if len(orderBy) == 0 {
+		return nil, nil, nil
+	}
+	fns := make([]evalFn, len(orderBy))
+	descs := make([]bool, len(orderBy))
+	for i, o := range orderBy {
+		descs[i] = o.Desc
+		if lit, ok := o.Expr.(*sqlparser.Literal); ok {
+			if n, isInt := lit.Val.Int(); isInt {
+				if n < 1 || int(n) > len(items) {
+					return nil, nil, fmt.Errorf("localdb: ORDER BY position %d out of range", n)
+				}
+				fns[i] = itemFns[n-1]
+				continue
+			}
+		}
+		if cr, ok := o.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			if _, err := b.resolve("", cr.Column); err != nil {
+				// Not an input column: try select-item alias.
+				for j, it := range items {
+					if strings.EqualFold(it.Name, cr.Column) {
+						fns[i] = itemFns[j]
+						break
+					}
+				}
+				if fns[i] != nil {
+					continue
+				}
+			}
+		}
+		fn, err := compileExpr(o.Expr, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		fns[i] = fn
+	}
+	return fns, descs, nil
+}
+
+func selectHasAggregates(sel *sqlparser.Select) bool {
+	for _, it := range sel.Items {
+		if it.Expr != nil && sqlparser.HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	if sel.Having != nil && sqlparser.HasAggregate(sel.Having) {
+		return true
+	}
+	for _, o := range sel.OrderBy {
+		if sqlparser.HasAggregate(o.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Base scans and joins
+
+// scanBase materializes one base table applying pushdown conjuncts, with
+// locking: a primary-key point predicate takes IS + key S; anything else
+// takes a table S lock.
+func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts []sqlparser.Expr, used []bool, b *rowBinder) ([][]value.Value, error) {
+	tx.db.latch.RLock()
+	t, err := tx.db.table(ref.Name)
+	tx.db.latch.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	qual := ref.EffectiveName()
+	sc := t.Schema
+
+	// Identify pushable conjuncts and a possible PK point probe.
+	var local []sqlparser.Expr
+	var pointKey *value.Value
+	pkCol := ""
+	if len(sc.Key) == 1 {
+		pkCol = sc.Key[0]
+	}
+	for i, c := range conjuncts {
+		if used[i] || !refersOnlyTo(c, qual, sc) {
+			continue
+		}
+		local = append(local, c)
+		used[i] = true
+		if pkCol != "" && pointKey == nil {
+			if col, lit, ok := equalityLiteral(c); ok && strings.EqualFold(col, pkCol) {
+				v := lit
+				pointKey = &v
+			}
+		}
+	}
+
+	if pointKey != nil {
+		// Point read: IS on table, S on the key resource.
+		if err := tx.lockTable(ctx, ref.Name, lockmgr.IS); err != nil {
+			return nil, err
+		}
+		probe := make([]value.Value, 1)
+		probe[0] = *pointKey
+		tx.db.latch.RLock()
+		_, row, found := t.GetByKey(probe)
+		var keyEnc string
+		if found {
+			keyEnc, err = t.KeyString(row)
+		} else {
+			// Lock the key value even when absent to block phantom
+			// inserts of that key.
+			tmp := make(schema.Row, len(sc.Columns))
+			for i, ki := range sc.KeyIndexes() {
+				_ = i
+				tmp[ki] = *pointKey
+			}
+			keyEnc, err = t.KeyString(tmp)
+		}
+		tx.db.latch.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := tx.lockKey(ctx, ref.Name, keyEnc, lockmgr.S); err != nil {
+			return nil, err
+		}
+		// Re-read after acquiring the lock (the row may have changed
+		// while we waited).
+		tx.db.latch.RLock()
+		_, row, found = t.GetByKey(probe)
+		tx.db.latch.RUnlock()
+		b.add(qual, sc)
+		if !found {
+			return nil, nil
+		}
+		rows := [][]value.Value{append([]value.Value(nil), row...)}
+		return tx.filterLocal(rows, local, b, qual, sc)
+	}
+
+	// Full or index scan: table S lock.
+	if err := tx.lockTable(ctx, ref.Name, lockmgr.S); err != nil {
+		return nil, err
+	}
+	b.add(qual, sc)
+
+	// Secondary-index equality probe when available.
+	var idxRows []storage.RowID
+	useIdx := false
+	for _, c := range local {
+		if col, lit, ok := equalityLiteral(c); ok {
+			if ix, has := t.Index(col); has {
+				tx.db.latch.RLock()
+				idxRows = ix.Lookup(lit)
+				tx.db.latch.RUnlock()
+				useIdx = true
+				break
+			}
+		}
+	}
+
+	var rows [][]value.Value
+	tx.db.latch.RLock()
+	if useIdx {
+		for _, id := range idxRows {
+			if r := t.Get(id); r != nil {
+				rows = append(rows, append([]value.Value(nil), r...))
+			}
+		}
+	} else {
+		t.Scan(func(_ storage.RowID, r schema.Row) bool {
+			rows = append(rows, append([]value.Value(nil), r...))
+			return true
+		})
+	}
+	tx.db.latch.RUnlock()
+	return tx.filterLocal(rows, local, b, qual, sc)
+}
+
+func (tx *Txn) filterLocal(rows [][]value.Value, local []sqlparser.Expr, b *rowBinder, qual string, sc *schema.Schema) ([][]value.Value, error) {
+	if len(local) == 0 {
+		return rows, nil
+	}
+	// Compile against a binder containing only this table so offsets are
+	// relative to the scanned row, then shift is unnecessary because the
+	// binding was just added at the end — compile against the full
+	// binder but evaluate rows padded to the binder width.
+	pred, err := compileExpr(sqlparser.JoinConjuncts(local), b)
+	if err != nil {
+		return nil, err
+	}
+	off := b.bindings[len(b.bindings)-1].off
+	kept := rows[:0]
+	for _, r := range rows {
+		padded := r
+		if off > 0 {
+			padded = make([]value.Value, off+len(r))
+			copy(padded[off:], r)
+		}
+		ok, err := evalBool(pred, padded)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
+}
+
+// equalityLiteral matches "col = literal" or "literal = col".
+func equalityLiteral(e sqlparser.Expr) (string, value.Value, bool) {
+	bx, ok := e.(*sqlparser.BinaryExpr)
+	if !ok || bx.Op != "=" {
+		return "", value.Value{}, false
+	}
+	if c, ok := bx.L.(*sqlparser.ColumnRef); ok {
+		if l, ok := bx.R.(*sqlparser.Literal); ok {
+			return c.Column, l.Val, true
+		}
+	}
+	if c, ok := bx.R.(*sqlparser.ColumnRef); ok {
+		if l, ok := bx.L.(*sqlparser.Literal); ok {
+			return c.Column, l.Val, true
+		}
+	}
+	return "", value.Value{}, false
+}
+
+// joinWith folds the next table into the running row set. Equi-join
+// conditions drive a hash join; everything else nested-loops. The new
+// table's single-table pushdown conjuncts are applied at its scan.
+func (tx *Txn) joinWith(ctx context.Context, left [][]value.Value, b *rowBinder, ref sqlparser.TableRef, kind sqlparser.JoinKind, on sqlparser.Expr, conjuncts []sqlparser.Expr, used []bool) ([][]value.Value, error) {
+	leftWidth := b.width
+	leftBindings := len(b.bindings)
+
+	// WHERE conjuncts must not be pushed below the null-supplying side
+	// of a LEFT JOIN: they filter after padding, not before.
+	scanConjuncts, scanUsed := conjuncts, used
+	if kind == sqlparser.JoinLeft {
+		scanConjuncts, scanUsed = nil, nil
+	}
+	rightRows, err := tx.scanBase(ctx, ref, scanConjuncts, scanUsed, b)
+	if err != nil {
+		return nil, err
+	}
+	rightSc := b.bindings[len(b.bindings)-1].sc
+	rightWidth := len(rightSc.Columns)
+
+	// Gather join conditions: the ON clause plus, for inner joins,
+	// cross-binding WHERE conjuncts now resolvable.
+	conds := sqlparser.SplitConjuncts(on)
+	if kind == sqlparser.JoinInner {
+		for i, c := range conjuncts {
+			if used[i] {
+				continue
+			}
+			if exprResolvable(c, b) {
+				conds = append(conds, c)
+				used[i] = true
+			}
+		}
+	}
+
+	// Find hashable equality pairs: left side resolves in the old
+	// bindings, right side in the new table only.
+	var leftKeys, rightKeys []evalFn
+	var residual []sqlparser.Expr
+	leftBinder := &rowBinder{bindings: b.bindings[:leftBindings], width: leftWidth}
+	for _, c := range conds {
+		bx, ok := c.(*sqlparser.BinaryExpr)
+		if ok && bx.Op == "=" {
+			lf, rf, ok2 := splitEquiPair(bx, leftBinder, b, rightSc, leftWidth)
+			if ok2 {
+				leftKeys = append(leftKeys, lf)
+				rightKeys = append(rightKeys, rf)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	var residualFn evalFn
+	if len(residual) > 0 {
+		if residualFn, err = compileExpr(sqlparser.JoinConjuncts(residual), b); err != nil {
+			return nil, err
+		}
+	}
+
+	join := func(l, r []value.Value) []value.Value {
+		out := make([]value.Value, leftWidth+rightWidth)
+		copy(out, l)
+		copy(out[leftWidth:], r)
+		return out
+	}
+	nullRight := make([]value.Value, rightWidth)
+
+	var out [][]value.Value
+	if len(leftKeys) > 0 {
+		// Hash join: build on the right side.
+		build := make(map[string][][]value.Value, len(rightRows))
+		for _, r := range rightRows {
+			padded := make([]value.Value, leftWidth+rightWidth)
+			copy(padded[leftWidth:], r)
+			key, null, err := hashKeyOf(rightKeys, padded)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue
+			}
+			build[key] = append(build[key], r)
+		}
+		for _, l := range left {
+			key, null, err := hashKeyOf(leftKeys, l)
+			matched := false
+			if err != nil {
+				return nil, err
+			}
+			if !null {
+				for _, r := range build[key] {
+					combined := join(l, r)
+					if residualFn != nil {
+						ok, err := evalBool(residualFn, combined)
+						if err != nil {
+							return nil, err
+						}
+						if !ok {
+							continue
+						}
+					}
+					matched = true
+					out = append(out, combined)
+				}
+			}
+			if !matched && kind == sqlparser.JoinLeft {
+				out = append(out, join(l, nullRight))
+			}
+		}
+		return out, nil
+	}
+
+	// Nested loop join.
+	for _, l := range left {
+		matched := false
+		for _, r := range rightRows {
+			combined := join(l, r)
+			if residualFn != nil {
+				ok, err := evalBool(residualFn, combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = true
+			out = append(out, combined)
+		}
+		if !matched && kind == sqlparser.JoinLeft {
+			out = append(out, join(l, nullRight))
+		}
+	}
+	return out, nil
+}
+
+// exprResolvable reports whether every column in e binds in b.
+func exprResolvable(e sqlparser.Expr, b *rowBinder) bool {
+	ok := true
+	for _, c := range sqlparser.ColumnsIn(e) {
+		if _, err := b.resolve(c.Table, c.Column); err != nil {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// splitEquiPair checks whether bx is left-expr = right-expr with sides
+// separable across the join; both compiled fns evaluate against the
+// combined (padded) row.
+func splitEquiPair(bx *sqlparser.BinaryExpr, leftBinder, full *rowBinder, rightSc *schema.Schema, leftWidth int) (evalFn, evalFn, bool) {
+	rightQual := full.bindings[len(full.bindings)-1].qual
+	isLeft := func(e sqlparser.Expr) bool { return exprResolvable(e, leftBinder) }
+	isRight := func(e sqlparser.Expr) bool { return refersOnlyTo(e, rightQual, rightSc) && hasColumns(e) }
+
+	var lSide, rSide sqlparser.Expr
+	switch {
+	case isLeft(bx.L) && isRight(bx.R) && hasColumns(bx.L):
+		lSide, rSide = bx.L, bx.R
+	case isLeft(bx.R) && isRight(bx.L) && hasColumns(bx.R):
+		lSide, rSide = bx.R, bx.L
+	default:
+		return nil, nil, false
+	}
+	lf, err := compileExpr(lSide, full)
+	if err != nil {
+		return nil, nil, false
+	}
+	rf, err := compileExpr(rSide, full)
+	if err != nil {
+		return nil, nil, false
+	}
+	return lf, rf, true
+}
+
+func hasColumns(e sqlparser.Expr) bool { return len(sqlparser.ColumnsIn(e)) > 0 }
+
+// hashKeyOf evaluates the key fns and encodes a join key; null reports
+// any NULL key column (which never matches).
+func hashKeyOf(fns []evalFn, row []value.Value) (key string, null bool, err error) {
+	var b strings.Builder
+	for _, fn := range fns {
+		v, err := fn(row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		// Numeric kinds must encode equal when Equal: use float text.
+		if f, ok := v.Float(); ok && (v.K == value.KindInt || v.K == value.KindFloat) {
+			b.WriteByte(1)
+			b.WriteString(fmt.Sprintf("%g", f))
+		} else {
+			b.WriteByte(byte(v.K) + 2)
+			b.WriteString(v.Text())
+		}
+		b.WriteByte(0x1f)
+	}
+	return b.String(), false, nil
+}
+
+// ---------------------------------------------------------------------
+// Grouping and aggregation
+
+type aggSpec struct {
+	fn       *sqlparser.FuncExpr
+	key      string // canonical text, for matching references
+	argFn    evalFn // nil for COUNT(*)
+	distinct bool
+}
+
+type aggState struct {
+	count    int64
+	sumF     float64
+	sumI     int64
+	sumIsInt bool
+	min, max value.Value
+	seen     map[string]bool // DISTINCT tracking
+	inited   bool
+}
+
+func (tx *Txn) execGrouped(sel *sqlparser.Select, b *rowBinder, rows [][]value.Value) (*schema.ResultSet, error) {
+	items, err := expandItems(sel.Items, b)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect unique aggregate calls across items, HAVING, ORDER BY.
+	var aggs []*aggSpec
+	aggIndex := make(map[string]int)
+	collect := func(e sqlparser.Expr) error {
+		var werr error
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			f, ok := x.(*sqlparser.FuncExpr)
+			if !ok || !sqlparser.AggregateFuncs[f.Name] {
+				return true
+			}
+			key := sqlparser.FormatExpr(f, nil)
+			if _, dup := aggIndex[key]; dup {
+				return false
+			}
+			spec := &aggSpec{fn: f, key: key, distinct: f.Distinct}
+			if !f.Star {
+				if len(f.Args) != 1 {
+					werr = fmt.Errorf("localdb: %s expects one argument", f.Name)
+					return false
+				}
+				fn, err := compileExpr(f.Args[0], b)
+				if err != nil {
+					werr = err
+					return false
+				}
+				spec.argFn = fn
+			}
+			aggIndex[key] = len(aggs)
+			aggs = append(aggs, spec)
+			return false
+		})
+		return werr
+	}
+	for _, it := range items {
+		if err := collect(it.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := collect(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range sel.OrderBy {
+		if err := collect(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Compile group keys.
+	keyFns := make([]evalFn, len(sel.GroupBy))
+	keyStrs := make([]string, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		fn, err := compileExpr(g, b)
+		if err != nil {
+			return nil, err
+		}
+		keyFns[i] = fn
+		keyStrs[i] = sqlparser.FormatExpr(g, nil)
+	}
+
+	// Build groups.
+	type group struct {
+		keys   []value.Value
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range rows {
+		keys := make([]value.Value, len(keyFns))
+		for i, fn := range keyFns {
+			v, err := fn(r)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		gk := rowKey(keys)
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{keys: keys, states: make([]*aggState, len(aggs))}
+			for i := range g.states {
+				g.states[i] = &aggState{sumIsInt: true}
+				if aggs[i].distinct {
+					g.states[i].seen = make(map[string]bool)
+				}
+			}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		for i, spec := range aggs {
+			if err := accumulate(g.states[i], spec, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Global aggregate over an empty input still yields one group.
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{states: make([]*aggState, len(aggs))}
+		for i := range g.states {
+			g.states[i] = &aggState{sumIsInt: true}
+			if aggs[i].distinct {
+				g.states[i].seen = make(map[string]bool)
+			}
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	// Group output row layout: [group keys..., agg results...].
+	gb := &groupBinder{keyStrs: keyStrs, groupBy: sel.GroupBy, aggIndex: aggIndex, nKeys: len(keyStrs)}
+
+	itemFns := make([]evalFn, len(items))
+	for i, it := range items {
+		fn, err := gb.compile(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		itemFns[i] = fn
+	}
+	var havingFn evalFn
+	if sel.Having != nil {
+		if havingFn, err = gb.compile(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+	sortFns := make([]evalFn, len(sel.OrderBy))
+	descs := make([]bool, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		descs[i] = o.Desc
+		// Allow aliases and ordinals as in the plain path.
+		if lit, ok := o.Expr.(*sqlparser.Literal); ok {
+			if n, isInt := lit.Val.Int(); isInt && n >= 1 && int(n) <= len(items) {
+				sortFns[i] = itemFns[n-1]
+				continue
+			}
+		}
+		if cr, ok := o.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			found := false
+			for j, it := range items {
+				if strings.EqualFold(it.Name, cr.Column) {
+					sortFns[i] = itemFns[j]
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		fn, err := gb.compile(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		sortFns[i] = fn
+	}
+
+	type outRow struct {
+		proj schema.Row
+		keys []value.Value
+	}
+	var outs []outRow
+	for _, gk := range order {
+		g := groups[gk]
+		grow := make([]value.Value, len(keyStrs)+len(aggs))
+		copy(grow, g.keys)
+		for i, spec := range aggs {
+			grow[len(keyStrs)+i] = finalize(g.states[i], spec)
+		}
+		if havingFn != nil {
+			ok, err := evalBool(havingFn, grow)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		proj := make(schema.Row, len(itemFns))
+		for i, fn := range itemFns {
+			v, err := fn(grow)
+			if err != nil {
+				return nil, err
+			}
+			proj[i] = v
+		}
+		var keys []value.Value
+		if len(sortFns) > 0 {
+			keys = make([]value.Value, len(sortFns))
+			for i, fn := range sortFns {
+				v, err := fn(grow)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+		}
+		outs = append(outs, outRow{proj: proj, keys: keys})
+	}
+	if len(sortFns) > 0 {
+		sort.SliceStable(outs, func(a, b int) bool {
+			for i := range sortFns {
+				c := compareForSort(outs[a].keys[i], outs[b].keys[i])
+				if c == 0 {
+					continue
+				}
+				if descs[i] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	rs := &schema.ResultSet{Columns: itemNames(items)}
+	for _, o := range outs {
+		rs.Rows = append(rs.Rows, o.proj)
+	}
+	if sel.Distinct {
+		rs.Rows = dedupeRows(rs.Rows)
+	}
+	applyLimit(rs, sel.Limit)
+	return rs, nil
+}
+
+func accumulate(st *aggState, spec *aggSpec, row []value.Value) error {
+	if spec.fn.Star {
+		st.count++
+		return nil
+	}
+	v, err := spec.argFn(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if spec.distinct {
+		k := rowKey([]value.Value{v})
+		if st.seen[k] {
+			return nil
+		}
+		st.seen[k] = true
+	}
+	st.count++
+	switch spec.fn.Name {
+	case "SUM", "AVG":
+		if v.K == value.KindInt && st.sumIsInt {
+			st.sumI += v.I
+		} else {
+			if st.sumIsInt {
+				st.sumF = float64(st.sumI)
+				st.sumIsInt = false
+			}
+			f, ok := v.Float()
+			if !ok {
+				return fmt.Errorf("localdb: %s of non-numeric %s", spec.fn.Name, v.K)
+			}
+			st.sumF += f
+		}
+	case "MIN":
+		if !st.inited {
+			st.min = v
+			st.inited = true
+		} else if c, ok := value.Compare(v, st.min); ok && c < 0 {
+			st.min = v
+		}
+	case "MAX":
+		if !st.inited {
+			st.max = v
+			st.inited = true
+		} else if c, ok := value.Compare(v, st.max); ok && c > 0 {
+			st.max = v
+		}
+	}
+	return nil
+}
+
+func finalize(st *aggState, spec *aggSpec) value.Value {
+	switch spec.fn.Name {
+	case "COUNT":
+		return value.NewInt(st.count)
+	case "SUM":
+		if st.count == 0 {
+			return value.Null()
+		}
+		if st.sumIsInt {
+			return value.NewInt(st.sumI)
+		}
+		return value.NewFloat(st.sumF)
+	case "AVG":
+		if st.count == 0 {
+			return value.Null()
+		}
+		total := st.sumF
+		if st.sumIsInt {
+			total = float64(st.sumI)
+		}
+		return value.NewFloat(total / float64(st.count))
+	case "MIN":
+		if !st.inited {
+			return value.Null()
+		}
+		return st.min
+	case "MAX":
+		if !st.inited {
+			return value.Null()
+		}
+		return st.max
+	default:
+		return value.Null()
+	}
+}
+
+// groupBinder compiles post-grouping expressions against the group row
+// [keys..., aggs...]: whole subtrees matching a GROUP BY expression or a
+// collected aggregate are rewritten to slot references.
+type groupBinder struct {
+	keyStrs  []string
+	groupBy  []sqlparser.Expr
+	aggIndex map[string]int
+	nKeys    int
+}
+
+func (g *groupBinder) compile(e sqlparser.Expr) (evalFn, error) {
+	rewritten, err := g.rewrite(e)
+	if err != nil {
+		return nil, err
+	}
+	return compileExpr(rewritten, g)
+}
+
+// resolve handles column refs that survive rewriting: a bare column that
+// names a GROUP BY column is allowed; anything else is a SQL error.
+func (g *groupBinder) resolve(table, column string) (int, error) {
+	for i, ge := range g.groupBy {
+		if cr, ok := ge.(*sqlparser.ColumnRef); ok {
+			if strings.EqualFold(cr.Column, column) && (table == "" || strings.EqualFold(cr.Table, table)) {
+				return i, nil
+			}
+		}
+	}
+	name := column
+	if table != "" {
+		name = table + "." + column
+	}
+	return 0, fmt.Errorf("localdb: column %q must appear in GROUP BY or inside an aggregate", name)
+}
+
+func (g *groupBinder) rewrite(e sqlparser.Expr) (sqlparser.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	key := sqlparser.FormatExpr(e, nil)
+	for i, ks := range g.keyStrs {
+		if ks == key {
+			return &sqlparser.SlotRef{Slot: i}, nil
+		}
+	}
+	if f, ok := e.(*sqlparser.FuncExpr); ok && sqlparser.AggregateFuncs[f.Name] {
+		if i, ok := g.aggIndex[key]; ok {
+			return &sqlparser.SlotRef{Slot: g.nKeys + i}, nil
+		}
+		return nil, fmt.Errorf("localdb: uncollected aggregate %s", key)
+	}
+	// Recurse structurally.
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		l, err := g.rewrite(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.rewrite(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BinaryExpr{Op: x.Op, L: l, R: r}, nil
+	case *sqlparser.UnaryExpr:
+		sub, err := g.rewrite(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.UnaryExpr{Op: x.Op, E: sub}, nil
+	case *sqlparser.IsNullExpr:
+		sub, err := g.rewrite(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.IsNullExpr{E: sub, Not: x.Not}, nil
+	case *sqlparser.InExpr:
+		sub, err := g.rewrite(x.E)
+		if err != nil {
+			return nil, err
+		}
+		out := &sqlparser.InExpr{E: sub, Not: x.Not}
+		for _, it := range x.List {
+			ri, err := g.rewrite(it)
+			if err != nil {
+				return nil, err
+			}
+			out.List = append(out.List, ri)
+		}
+		return out, nil
+	case *sqlparser.BetweenExpr:
+		sub, err := g.rewrite(x.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := g.rewrite(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := g.rewrite(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BetweenExpr{E: sub, Not: x.Not, Lo: lo, Hi: hi}, nil
+	case *sqlparser.FuncExpr:
+		out := &sqlparser.FuncExpr{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		for _, a := range x.Args {
+			ra, err := g.rewrite(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, ra)
+		}
+		return out, nil
+	case *sqlparser.CaseExpr:
+		out := &sqlparser.CaseExpr{}
+		for _, w := range x.Whens {
+			c, err := g.rewrite(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			res, err := g.rewrite(w.Result)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, sqlparser.WhenClause{Cond: c, Result: res})
+		}
+		var err error
+		if out.Else, err = g.rewrite(x.Else); err != nil {
+			return nil, err
+		}
+		return out, nil
+	default:
+		return e, nil
+	}
+}

@@ -1,0 +1,44 @@
+package localdb
+
+import (
+	"fmt"
+	"strings"
+
+	"myriad/internal/schema"
+	"myriad/internal/storage"
+)
+
+// CreateTableDirect installs a table bypassing SQL and locking; it is
+// used by the federation's scratch engine, which is private to one query
+// execution.
+func (db *DB) CreateTableDirect(sc *schema.Schema) error {
+	t, err := storage.NewTable(sc)
+	if err != nil {
+		return err
+	}
+	db.latch.Lock()
+	defer db.latch.Unlock()
+	lc := strings.ToLower(sc.Table)
+	if _, exists := db.tables[lc]; exists {
+		return fmt.Errorf("localdb %s: table %s already exists", db.name, sc.Table)
+	}
+	db.tables[lc] = t
+	return nil
+}
+
+// Load bulk-inserts rows (coerced to the schema) without locking or undo
+// logging; scratch-engine use only.
+func (db *DB) Load(table string, rows []schema.Row) error {
+	db.latch.Lock()
+	defer db.latch.Unlock()
+	t, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

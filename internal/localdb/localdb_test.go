@@ -1,0 +1,307 @@
+package localdb
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"myriad/internal/lockmgr"
+	"myriad/internal/value"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := New("test")
+	db.MustExec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT NOT NULL, dept TEXT, salary FLOAT, boss INTEGER)`)
+	db.MustExec(`INSERT INTO emp (id, name, dept, salary, boss) VALUES
+		(1, 'alice', 'eng', 120000, NULL),
+		(2, 'bob', 'eng', 95000, 1),
+		(3, 'carol', 'sales', 80000, 1),
+		(4, 'dave', 'sales', 78000, 3),
+		(5, 'erin', 'hr', 60000, 1),
+		(6, 'frank', NULL, 55000, 5)`)
+	db.MustExec(`CREATE TABLE dept (name TEXT PRIMARY KEY, budget INTEGER, city TEXT)`)
+	db.MustExec(`INSERT INTO dept VALUES ('eng', 1000, 'mpls'), ('sales', 500, 'stpaul'), ('hr', 200, 'mpls')`)
+	return db
+}
+
+func mustQuery(t *testing.T, db *DB, sql string) [][]string {
+	t.Helper()
+	rs, err := db.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	out := make([][]string, len(rs.Rows))
+	for i, r := range rs.Rows {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.Text()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+func flat(rows [][]string) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = strings.Join(r, ",")
+	}
+	return strings.Join(parts, ";")
+}
+
+func TestSelectBasics(t *testing.T) {
+	db := testDB(t)
+	tests := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT name FROM emp WHERE id = 3`, "carol"},
+		{`SELECT name FROM emp WHERE salary > 90000 ORDER BY name`, "alice;bob"},
+		{`SELECT name FROM emp WHERE dept = 'eng' ORDER BY salary DESC`, "alice;bob"},
+		{`SELECT COUNT(*) FROM emp`, "6"},
+		{`SELECT name FROM emp WHERE dept IS NULL`, "frank"},
+		{`SELECT name FROM emp WHERE name LIKE 'a%'`, "alice"},
+		{`SELECT name FROM emp WHERE id IN (2, 4) ORDER BY id`, "bob;dave"},
+		{`SELECT name FROM emp WHERE salary BETWEEN 60000 AND 90000 ORDER BY id`, "carol;dave;erin"},
+		{`SELECT name FROM emp ORDER BY salary DESC LIMIT 2`, "alice;bob"},
+		{`SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1`, "bob;carol"},
+		{`SELECT UPPER(name) FROM emp WHERE id = 1`, "ALICE"},
+		{`SELECT name || '@co' FROM emp WHERE id = 2`, "bob@co"},
+		{`SELECT CASE WHEN salary >= 100000 THEN 'high' ELSE 'low' END FROM emp WHERE id = 1`, "high"},
+	}
+	for _, tc := range tests {
+		got := flat(mustQuery(t, db, tc.sql))
+		if got != tc.want {
+			t.Errorf("%s:\n got %q\nwant %q", tc.sql, got, tc.want)
+		}
+	}
+}
+
+func TestJoins(t *testing.T) {
+	db := testDB(t)
+	tests := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT e.name, d.city FROM emp e JOIN dept d ON e.dept = d.name WHERE e.id = 1`, "alice,mpls"},
+		{`SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.name`, "5"},
+		{`SELECT COUNT(*) FROM emp e LEFT JOIN dept d ON e.dept = d.name`, "6"},
+		{`SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.name WHERE d.city IS NULL`, "frank"},
+		{`SELECT e.name, b.name FROM emp e JOIN emp b ON e.boss = b.id WHERE e.id = 4`, "dave,carol"},
+		{`SELECT COUNT(*) FROM emp, dept`, "18"},
+		{`SELECT COUNT(*) FROM emp e, dept d WHERE e.dept = d.name`, "5"},
+	}
+	for _, tc := range tests {
+		got := flat(mustQuery(t, db, tc.sql))
+		if got != tc.want {
+			t.Errorf("%s:\n got %q\nwant %q", tc.sql, got, tc.want)
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := testDB(t)
+	tests := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT dept, COUNT(*) FROM emp WHERE dept IS NOT NULL GROUP BY dept ORDER BY dept`,
+			"eng,2;hr,1;sales,2"},
+		{`SELECT dept, SUM(salary) FROM emp GROUP BY dept HAVING SUM(salary) > 100000 ORDER BY dept`,
+			"eng,215000;sales,158000"},
+		{`SELECT AVG(salary) FROM emp WHERE dept = 'eng'`, "107500"},
+		{`SELECT MIN(salary), MAX(salary) FROM emp`, "55000,120000"},
+		{`SELECT COUNT(DISTINCT dept) FROM emp`, "3"},
+		{`SELECT COUNT(dept) FROM emp`, "5"},
+		{`SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY n DESC, dept LIMIT 1`, "eng,2"},
+	}
+	for _, tc := range tests {
+		got := flat(mustQuery(t, db, tc.sql))
+		if got != tc.want {
+			t.Errorf("%s:\n got %q\nwant %q", tc.sql, got, tc.want)
+		}
+	}
+}
+
+func TestUnionDistinctUpdateDelete(t *testing.T) {
+	db := testDB(t)
+	got := flat(mustQuery(t, db, `SELECT dept FROM emp WHERE dept IS NOT NULL UNION SELECT name FROM dept ORDER BY dept`))
+	if got != "eng;hr;sales" {
+		t.Fatalf("union distinct: %q", got)
+	}
+	got = flat(mustQuery(t, db, `SELECT COUNT(*) FROM emp WHERE dept = 'eng'`))
+	if got != "2" {
+		t.Fatalf("precondition: %q", got)
+	}
+
+	res, err := db.Exec(context.Background(), `UPDATE emp SET salary = salary * 2 WHERE dept = 'eng'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("update affected %d, want 2", res.RowsAffected)
+	}
+	got = flat(mustQuery(t, db, `SELECT salary FROM emp WHERE id = 1`))
+	if got != "240000" {
+		t.Fatalf("after update: %q", got)
+	}
+
+	res, err = db.Exec(context.Background(), `DELETE FROM emp WHERE dept = 'sales'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("delete affected %d, want 2", res.RowsAffected)
+	}
+	got = flat(mustQuery(t, db, `SELECT COUNT(*) FROM emp`))
+	if got != "4" {
+		t.Fatalf("after delete: %q", got)
+	}
+}
+
+func TestRollback(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if _, err := tx.Exec(ctx, `UPDATE emp SET salary = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `DELETE FROM emp WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `INSERT INTO emp (id, name) VALUES (99, 'zed')`); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+
+	got := flat(mustQuery(t, db, `SELECT salary FROM emp WHERE id = 1`))
+	if got != "120000" {
+		t.Fatalf("salary after rollback: %q", got)
+	}
+	got = flat(mustQuery(t, db, `SELECT COUNT(*) FROM emp`))
+	if got != "6" {
+		t.Fatalf("count after rollback: %q", got)
+	}
+}
+
+func TestPrepareCommit(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if _, err := tx.Exec(ctx, `UPDATE emp SET salary = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	// No more work allowed after prepare.
+	if _, err := tx.Exec(ctx, `UPDATE emp SET salary = 2 WHERE id = 2`); !errors.Is(err, ErrTxnPrepared) {
+		t.Fatalf("exec after prepare: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := flat(mustQuery(t, db, `SELECT salary FROM emp WHERE id = 1`))
+	if got != "1" {
+		t.Fatalf("after prepared commit: %q", got)
+	}
+}
+
+func TestLockConflictAndTimeout(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+
+	tx1 := db.Begin()
+	if _, err := tx1.Exec(ctx, `UPDATE emp SET salary = 2 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second writer on the same key must time out.
+	tx2 := db.Begin()
+	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	_, err := tx2.Exec(short, `UPDATE emp SET salary = 3 WHERE id = 1`)
+	if !errors.Is(err, lockmgr.ErrTimeout) {
+		t.Fatalf("want lock timeout, got %v", err)
+	}
+	tx2.Rollback()
+
+	// A writer on a different key proceeds (row-granularity locks).
+	tx3 := db.Begin()
+	if _, err := tx3.Exec(ctx, `UPDATE emp SET salary = 4 WHERE id = 2`); err != nil {
+		t.Fatalf("disjoint key update blocked: %v", err)
+	}
+	tx3.Rollback()
+	tx1.Rollback()
+}
+
+func TestDeadlockResolvedByTimeout(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+
+	tx1 := db.Begin()
+	tx2 := db.Begin()
+	if _, err := tx1.Exec(ctx, `UPDATE emp SET salary = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Exec(ctx, `UPDATE emp SET salary = 1 WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+		defer cancel()
+		_, errs[0] = tx1.Exec(c, `UPDATE emp SET salary = 1 WHERE id = 2`)
+	}()
+	go func() {
+		defer wg.Done()
+		c, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+		defer cancel()
+		_, errs[1] = tx2.Exec(c, `UPDATE emp SET salary = 1 WHERE id = 1`)
+	}()
+	wg.Wait()
+
+	if !errors.Is(errs[0], lockmgr.ErrTimeout) && !errors.Is(errs[1], lockmgr.ErrTimeout) {
+		t.Fatalf("expected at least one timeout, got %v / %v", errs[0], errs[1])
+	}
+	tx1.Rollback()
+	tx2.Rollback()
+}
+
+func TestInsertDuplicateKeyAtomicStatement(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+	_, err := db.Exec(ctx, `INSERT INTO emp (id, name) VALUES (50, 'x'), (1, 'dup')`)
+	if err == nil {
+		t.Fatal("expected duplicate key error")
+	}
+	// The partial insert of id=50 must have been undone.
+	got := flat(mustQuery(t, db, `SELECT COUNT(*) FROM emp WHERE id = 50`))
+	if got != "0" {
+		t.Fatalf("statement atomicity violated: %q", got)
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	db := testDB(t)
+	db.MustExec(`CREATE INDEX emp_dept ON emp (dept)`)
+	got := flat(mustQuery(t, db, `SELECT name FROM emp WHERE dept = 'sales' ORDER BY id`))
+	if got != "carol;dave" {
+		t.Fatalf("index scan: %q", got)
+	}
+}
+
+func TestValueTextRendering(t *testing.T) {
+	got := value.NewFloat(215000).Text()
+	if got != "215000" {
+		t.Fatalf("float text: %q", got)
+	}
+}

@@ -1,0 +1,171 @@
+package localdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"myriad/internal/lockmgr"
+)
+
+// TestSerializableTransfers is the single-site counterpart of the
+// federation's money-conservation test: concurrent read-modify-write
+// transfer transactions under strict 2PL with timeout retries must
+// conserve the account total and never observe torn states.
+func TestSerializableTransfers(t *testing.T) {
+	db := New("bank")
+	db.MustExec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER NOT NULL)`)
+	const accounts = 10
+	const initial = 1000
+	for i := 0; i < accounts; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO acct VALUES (%d, %d)`, i, initial))
+	}
+
+	const workers = 8
+	const opsPerWorker = 25
+	var wg sync.WaitGroup
+	var torn sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for op := 0; op < opsPerWorker; op++ {
+				from := rng.Intn(accounts)
+				to := (from + 1 + rng.Intn(accounts-1)) % accounts
+				amount := rng.Intn(20) + 1
+				for {
+					ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+					tx := db.Begin()
+					// Read-modify-write with an explicit read, so the
+					// schedule includes S->X upgrades.
+					rs, err := tx.Query(ctx, fmt.Sprintf(`SELECT bal FROM acct WHERE id = %d`, from))
+					if err == nil {
+						if bal, _ := rs.Rows[0][0].Int(); bal >= int64(amount) {
+							_, err = tx.Exec(ctx, fmt.Sprintf(`UPDATE acct SET bal = bal - %d WHERE id = %d`, amount, from))
+							if err == nil {
+								_, err = tx.Exec(ctx, fmt.Sprintf(`UPDATE acct SET bal = bal + %d WHERE id = %d`, amount, to))
+							}
+						}
+					}
+					cancel()
+					if err != nil {
+						tx.Rollback()
+						if errors.Is(err, lockmgr.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
+							continue // presumed deadlock: retry
+						}
+						torn.Store(fmt.Sprintf("w%d-op%d", w, op), err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						torn.Store(fmt.Sprintf("w%d-op%d-commit", w, op), err)
+						return
+					}
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	torn.Range(func(k, v any) bool {
+		t.Errorf("%v: %v", k, v)
+		return true
+	})
+
+	rs, err := db.Query(context.Background(), `SELECT SUM(bal), MIN(bal) FROM acct`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total, _ := rs.Rows[0][0].Int(); total != accounts*initial {
+		t.Fatalf("money not conserved: %d != %d", total, accounts*initial)
+	}
+	if minBal, _ := rs.Rows[0][1].Int(); minBal < 0 {
+		t.Fatalf("negative balance %d: write skew or lost read", minBal)
+	}
+}
+
+// TestReadYourOwnWrites verifies transaction-local visibility under the
+// statement executor.
+func TestReadYourOwnWrites(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if _, err := tx.Exec(ctx, `UPDATE emp SET salary = 777 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tx.Query(ctx, `SELECT salary FROM emp WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Text() != "777" {
+		t.Errorf("own write invisible: %s", rs.Rows[0][0].Text())
+	}
+	if _, err := tx.Exec(ctx, `DELETE FROM emp WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = tx.Query(ctx, `SELECT COUNT(*) FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Text() != "5" {
+		t.Errorf("own delete invisible: %s", rs.Rows[0][0].Text())
+	}
+	tx.Rollback()
+	rs, _ = db.Query(ctx, `SELECT COUNT(*) FROM emp`)
+	if rs.Rows[0][0].Text() != "6" {
+		t.Errorf("rollback lost rows: %s", rs.Rows[0][0].Text())
+	}
+}
+
+// TestReadersDoNotBlockReaders checks shared-lock concurrency.
+func TestReadersDoNotBlockReaders(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+	tx1 := db.Begin()
+	defer tx1.Rollback()
+	if _, err := tx1.Query(ctx, `SELECT COUNT(*) FROM emp`); err != nil {
+		t.Fatal(err)
+	}
+	// A second reader proceeds immediately despite tx1's table S lock.
+	tx2 := db.Begin()
+	defer tx2.Rollback()
+	c, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if _, err := tx2.Query(c, `SELECT COUNT(*) FROM emp`); err != nil {
+		t.Fatalf("reader blocked reader: %v", err)
+	}
+}
+
+// TestWriterBlocksScanner checks that a point writer excludes a
+// full-table scanner until commit (no dirty reads).
+func TestWriterBlocksScanner(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+	w := db.Begin()
+	if _, err := w.Exec(ctx, `UPDATE emp SET salary = 0 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	r := db.Begin()
+	c, cancel := context.WithTimeout(ctx, 60*time.Millisecond)
+	_, err := r.Query(c, `SELECT SUM(salary) FROM emp`)
+	cancel()
+	if !errors.Is(err, lockmgr.ErrTimeout) {
+		t.Fatalf("scanner read through a writer: %v", err)
+	}
+	r.Rollback()
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// After commit the scanner sees the new value.
+	rs, err := db.Query(ctx, `SELECT salary FROM emp WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Text() != "0" {
+		t.Errorf("committed write lost: %s", rs.Rows[0][0].Text())
+	}
+}

@@ -1,0 +1,88 @@
+package localdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+
+	"myriad/internal/schema"
+	"myriad/internal/storage"
+)
+
+// snapshot is the gob-encoded on-disk form of a database. Only committed
+// state is captured; the snapshot is taken under the database latch so
+// it is transactionally consistent with respect to applied statements.
+type snapshot struct {
+	Version int
+	Name    string
+	Tables  []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Schema  *schema.Schema
+	Rows    []schema.Row
+	Indexes []string // secondary-index column names
+}
+
+const snapshotVersion = 1
+
+// SaveSnapshot writes the database's committed state to w. Concurrent
+// readers are blocked for the duration (the 1994 prototype had no online
+// backup either).
+func (db *DB) SaveSnapshot(w io.Writer) error {
+	db.latch.RLock()
+	defer db.latch.RUnlock()
+
+	snap := snapshot{Version: snapshotVersion, Name: db.name}
+	for _, t := range db.tables {
+		ts := tableSnapshot{Schema: t.Schema.Clone()}
+		t.Scan(func(_ storage.RowID, r schema.Row) bool {
+			ts.Rows = append(ts.Rows, r.Clone())
+			return true
+		})
+		for _, col := range t.Schema.Columns {
+			if _, ok := t.Index(col.Name); ok {
+				ts.Indexes = append(ts.Indexes, col.Name)
+			}
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// LoadSnapshot replaces the database's contents with the snapshot read
+// from r. It must be called before the database serves transactions.
+func (db *DB) LoadSnapshot(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("localdb: reading snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("localdb: snapshot version %d not supported", snap.Version)
+	}
+
+	tables := make(map[string]*storage.Table, len(snap.Tables))
+	for _, ts := range snap.Tables {
+		t, err := storage.NewTable(ts.Schema)
+		if err != nil {
+			return fmt.Errorf("localdb: snapshot table %s: %w", ts.Schema.Table, err)
+		}
+		for _, row := range ts.Rows {
+			if _, err := t.Insert(row); err != nil {
+				return fmt.Errorf("localdb: snapshot row in %s: %w", ts.Schema.Table, err)
+			}
+		}
+		for _, col := range ts.Indexes {
+			if err := t.CreateIndex(col); err != nil {
+				return fmt.Errorf("localdb: snapshot index on %s.%s: %w", ts.Schema.Table, col, err)
+			}
+		}
+		tables[strings.ToLower(ts.Schema.Table)] = t
+	}
+
+	db.latch.Lock()
+	db.tables = tables
+	db.latch.Unlock()
+	return nil
+}

@@ -1,0 +1,278 @@
+// Package lockmgr implements the strict two-phase-locking manager used
+// by each component DBMS, mirroring the paper's "each integrated local
+// DBMS employs two-phase locking (2PL)".
+//
+// Lock modes form the classic hierarchy: intention locks (IS, IX) at
+// table granularity combined with S/X row locks, plus table-level S/X
+// for scans and bulk writes. Waits respect context deadlines; a timeout
+// surfaces as ErrTimeout, which the gateway reports upward so the global
+// transaction manager can presume a (possibly global) deadlock and abort
+// the whole global transaction — exactly the paper's resolution policy.
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes, weakest to strongest.
+const (
+	IS Mode = iota
+	IX
+	S
+	X
+)
+
+// String returns the conventional mode name.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// compatible reports whether two modes may be held simultaneously by
+// different transactions (standard multi-granularity matrix).
+func compatible(a, b Mode) bool {
+	switch a {
+	case IS:
+		return b != X
+	case IX:
+		return b == IS || b == IX
+	case S:
+		return b == IS || b == S
+	case X:
+		return false
+	}
+	return false
+}
+
+// stronger reports whether mode a subsumes mode b for the same holder.
+func stronger(a, b Mode) bool {
+	if a == b {
+		return true
+	}
+	switch a {
+	case X:
+		return true
+	case S:
+		return b == IS
+	case IX:
+		return b == IS
+	default:
+		return false
+	}
+}
+
+// upgrade returns the combined mode when a holder of cur requests want.
+func upgrade(cur, want Mode) Mode {
+	if stronger(cur, want) {
+		return cur
+	}
+	if stronger(want, cur) {
+		return want
+	}
+	// IX + S (or S + IX) = SIX in textbooks; X is a safe (conservative)
+	// stand-in in this engine and keeps the matrix small.
+	return X
+}
+
+// ErrTimeout is returned when a lock wait exceeds the context deadline.
+// The caller interprets it as a presumed deadlock.
+var ErrTimeout = errors.New("lockmgr: lock wait timeout (presumed deadlock)")
+
+// TxnID identifies a lock owner.
+type TxnID uint64
+
+// Manager is a lock table. The zero value is not usable; call New.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	held  map[TxnID]map[string]Mode // for ReleaseAll and re-entry
+}
+
+type lockState struct {
+	holders map[TxnID]Mode
+	// waiters are FIFO to prevent starvation.
+	waiters []*waiter
+}
+
+type waiter struct {
+	txn  TxnID
+	mode Mode
+	ch   chan struct{} // closed when granted
+}
+
+// New returns an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		locks: make(map[string]*lockState),
+		held:  make(map[TxnID]map[string]Mode),
+	}
+}
+
+// Acquire blocks until txn holds resource in mode (or stronger), the
+// context is done, or the wait times out. Strict 2PL: locks are only
+// released by ReleaseAll at commit/abort.
+func (m *Manager) Acquire(ctx context.Context, txn TxnID, resource string, mode Mode) error {
+	m.mu.Lock()
+	ls, ok := m.locks[resource]
+	if !ok {
+		ls = &lockState{holders: make(map[TxnID]Mode)}
+		m.locks[resource] = ls
+	}
+	cur, holding := ls.holders[txn]
+	if holding && stronger(cur, mode) {
+		m.mu.Unlock()
+		return nil
+	}
+	want := mode
+	if holding {
+		want = upgrade(cur, mode)
+	}
+	if m.grantable(ls, txn, want) {
+		ls.holders[txn] = want
+		m.note(txn, resource, want)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{txn: txn, mode: want, ch: make(chan struct{})}
+	ls.waiters = append(ls.waiters, w)
+	m.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		// Remove from the queue unless already granted in the race.
+		select {
+		case <-w.ch:
+			m.mu.Unlock()
+			return nil
+		default:
+		}
+		for i, q := range ls.waiters {
+			if q == w {
+				ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+				break
+			}
+		}
+		m.promote(resource, ls)
+		m.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return ErrTimeout
+		}
+		return ctx.Err()
+	}
+}
+
+// grantable reports whether txn can hold `mode` on ls given other
+// holders; callers hold m.mu. A transaction's own existing lock never
+// conflicts with its upgrade.
+func (m *Manager) grantable(ls *lockState, txn TxnID, mode Mode) bool {
+	for other, held := range ls.holders {
+		if other == txn {
+			continue
+		}
+		if !compatible(mode, held) {
+			return false
+		}
+	}
+	// FIFO fairness: a new request must also not jump over queued
+	// waiters it conflicts with (upgrades may, to avoid self-deadlock).
+	if _, upgrading := ls.holders[txn]; !upgrading {
+		for _, w := range ls.waiters {
+			if w.txn != txn && !compatible(mode, w.mode) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// note records a held lock for ReleaseAll; callers hold m.mu.
+func (m *Manager) note(txn TxnID, resource string, mode Mode) {
+	hm := m.held[txn]
+	if hm == nil {
+		hm = make(map[string]Mode)
+		m.held[txn] = hm
+	}
+	hm[resource] = mode
+}
+
+// promote grants queued waiters in FIFO order; callers hold m.mu.
+func (m *Manager) promote(resource string, ls *lockState) {
+	for len(ls.waiters) > 0 {
+		w := ls.waiters[0]
+		// Compute the effective request (upgrade if already holding).
+		want := w.mode
+		if cur, ok := ls.holders[w.txn]; ok {
+			want = upgrade(cur, w.mode)
+		}
+		granted := true
+		for other, held := range ls.holders {
+			if other != w.txn && !compatible(want, held) {
+				granted = false
+				break
+			}
+		}
+		if !granted {
+			return
+		}
+		ls.holders[w.txn] = want
+		m.note(w.txn, resource, want)
+		ls.waiters = ls.waiters[1:]
+		close(w.ch)
+	}
+	if len(ls.holders) == 0 && len(ls.waiters) == 0 {
+		delete(m.locks, resource)
+	}
+}
+
+// ReleaseAll drops every lock held by txn (commit/abort in strict 2PL)
+// and wakes eligible waiters.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for resource := range m.held[txn] {
+		ls := m.locks[resource]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, txn)
+		m.promote(resource, ls)
+		if len(ls.holders) == 0 && len(ls.waiters) == 0 {
+			delete(m.locks, resource)
+		}
+	}
+	delete(m.held, txn)
+}
+
+// Holding returns the mode txn holds on resource (ok=false when none).
+func (m *Manager) Holding(txn TxnID, resource string) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode, ok := m.held[txn][resource]
+	return mode, ok
+}
+
+// HeldCount returns how many resources txn currently locks.
+func (m *Manager) HeldCount(txn TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn])
+}

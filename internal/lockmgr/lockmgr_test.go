@@ -1,0 +1,269 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func bg() context.Context { return context.Background() }
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// The standard multi-granularity matrix.
+	cases := []struct {
+		a, b Mode
+		comp bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, X, false},
+		{IX, IS, true}, {IX, IX, true}, {IX, S, false}, {IX, X, false},
+		{S, IS, true}, {S, IX, false}, {S, S, true}, {S, X, false},
+		{X, IS, false}, {X, IX, false}, {X, S, false}, {X, X, false},
+	}
+	for _, c := range cases {
+		if got := compatible(c.a, c.b); got != c.comp {
+			t.Errorf("compatible(%v, %v) = %v, want %v", c.a, c.b, got, c.comp)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{IS: "IS", IX: "IX", S: "S", X: "X"} {
+		if m.String() != want {
+			t.Errorf("%v.String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	if err := m.Acquire(bg(), 1, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(bg(), 2, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldCount(1) != 1 || m.HeldCount(2) != 1 {
+		t.Error("held counts wrong")
+	}
+}
+
+func TestExclusiveBlocksAndTimesOut(t *testing.T) {
+	m := New()
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg(), 20*time.Millisecond)
+	defer cancel()
+	err := m.Acquire(ctx, 2, "r", S)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	m := New()
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Acquire(bg(), 2, "r", X)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken")
+	}
+}
+
+func TestReentrantAndUpgrade(t *testing.T) {
+	m := New()
+	// Re-entrant acquire of same or weaker mode is a no-op.
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(bg(), 1, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	// S -> X upgrade succeeds when alone.
+	if err := m.Acquire(bg(), 2, "r2", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(bg(), 2, "r2", X); err != nil {
+		t.Fatal(err)
+	}
+	if mode, ok := m.Holding(2, "r2"); !ok || mode != X {
+		t.Errorf("after upgrade: %v %v", mode, ok)
+	}
+	// S -> X upgrade blocks while another reader holds S.
+	m2 := New()
+	if err := m2.Acquire(bg(), 1, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Acquire(bg(), 2, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg(), 20*time.Millisecond)
+	defer cancel()
+	if err := m2.Acquire(ctx, 1, "r", X); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("upgrade past reader: %v", err)
+	}
+}
+
+func TestIntentionLocks(t *testing.T) {
+	m := New()
+	// IX + IX coexist (different rows).
+	if err := m.Acquire(bg(), 1, "t", IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(bg(), 2, "t", IX); err != nil {
+		t.Fatal(err)
+	}
+	// Table S conflicts with IX.
+	ctx, cancel := context.WithTimeout(bg(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Acquire(ctx, 3, "t", S); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("S past IX: %v", err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if err := m.Acquire(bg(), 3, "t", S); err != nil {
+		t.Fatal(err)
+	}
+	// IS coexists with S.
+	if err := m.Acquire(bg(), 4, "t", IS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOFairness(t *testing.T) {
+	// A waiting X must not be starved by a stream of later S requests.
+	m := New()
+	if err := m.Acquire(bg(), 1, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	xGranted := make(chan struct{})
+	go func() {
+		if err := m.Acquire(bg(), 2, "r", X); err == nil {
+			close(xGranted)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	// A later S request must queue behind the X.
+	sGranted := make(chan struct{})
+	go func() {
+		if err := m.Acquire(bg(), 3, "r", S); err == nil {
+			close(sGranted)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-sGranted:
+		t.Fatal("S jumped the queue past a waiting X")
+	default:
+	}
+
+	m.ReleaseAll(1)
+	select {
+	case <-xGranted:
+	case <-time.After(time.Second):
+		t.Fatal("X never granted")
+	}
+	m.ReleaseAll(2)
+	select {
+	case <-sGranted:
+	case <-time.After(time.Second):
+		t.Fatal("S never granted")
+	}
+}
+
+func TestCancelledWaiterRemoved(t *testing.T) {
+	m := New()
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg())
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(ctx, 2, "r", X) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	// The queue must not be wedged: a third txn gets the lock after
+	// release.
+	m.ReleaseAll(1)
+	if err := m.Acquire(bg(), 3, "r", X); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAllIdempotent(t *testing.T) {
+	m := New()
+	if err := m.Acquire(bg(), 1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(bg(), 1, "b", S); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(1) // no panic, no effect
+	if m.HeldCount(1) != 0 {
+		t.Error("locks survive ReleaseAll")
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	// Many goroutines lock random resources in X; the counter protected
+	// by each resource must never be written concurrently.
+	m := New()
+	const resources = 8
+	const workers = 16
+	counters := make([]int64, resources)
+	inCrit := make([]atomic.Int32, resources)
+
+	var wg sync.WaitGroup
+	var txnID atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := TxnID(txnID.Add(1))
+				r := (w + i) % resources
+				res := fmt.Sprintf("res%d", r)
+				if err := m.Acquire(bg(), id, res, X); err != nil {
+					t.Error(err)
+					return
+				}
+				if inCrit[r].Add(1) != 1 {
+					t.Errorf("mutual exclusion violated on %s", res)
+				}
+				counters[r]++
+				inCrit[r].Add(-1)
+				m.ReleaseAll(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range counters {
+		total += c
+	}
+	if total != workers*200 {
+		t.Errorf("lost updates: %d", total)
+	}
+}

@@ -1,0 +1,115 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"myriad/internal/sqlparser"
+)
+
+func TestAggregatePushdownApplies(t *testing.T) {
+	p := New(testCatalog(t), nil)
+	plan := mustPlan(t, p,
+		`SELECT campus, COUNT(*) AS n, ROUND(AVG(gpa), 2) AS a FROM S WHERE gpa > 1 GROUP BY campus`,
+		CostBased)
+
+	sql := scanSQL(plan)
+	if !strings.Contains(sql, "GROUP BY") {
+		t.Fatalf("scans not grouped:\n%s", sql)
+	}
+	if !strings.Contains(sql, "COUNT(*)") || !strings.Contains(sql, "SUM(") {
+		t.Errorf("partial aggregates missing:\n%s", sql)
+	}
+	res := sqlparser.FormatStatement(plan.Residual, nil)
+	if !strings.Contains(res, "COALESCE(SUM(") {
+		t.Errorf("COUNT not merged via SUM:\n%s", res)
+	}
+	if !strings.Contains(res, "NULLIF(SUM(") {
+		t.Errorf("AVG not merged as SUM/COUNT:\n%s", res)
+	}
+	// WHERE was consumed by the pushdown.
+	if strings.Contains(res, "WHERE") {
+		t.Errorf("residual still filters aggregated rows:\n%s", res)
+	}
+	// Temp schema: 1 key + count + avg(sum,cnt) = 4 columns.
+	if got := len(plan.ScanSets[0].Schema.Columns); got != 4 {
+		t.Errorf("partial temp schema has %d columns:\n%v", got, plan.ScanSets[0].Schema)
+	}
+}
+
+func TestAggregatePushdownGlobalAggregate(t *testing.T) {
+	p := New(testCatalog(t), nil)
+	plan := mustPlan(t, p, `SELECT COUNT(*), MIN(gpa), MAX(gpa) FROM S`, CostBased)
+	sql := scanSQL(plan)
+	if !strings.Contains(sql, "COUNT(*)") || !strings.Contains(sql, "MIN(") {
+		t.Fatalf("global aggregate not pushed:\n%s", sql)
+	}
+	for _, ss := range plan.ScanSets {
+		for _, sc := range ss.Scans {
+			if sc.EstRows != 1 {
+				t.Errorf("global aggregate scan est = %g", sc.EstRows)
+			}
+		}
+	}
+}
+
+func TestAggregatePushdownRejections(t *testing.T) {
+	p := New(testCatalog(t), nil)
+	reject := []struct {
+		name string
+		sql  string
+	}{
+		{"join", `SELECT COUNT(*) FROM S s JOIN E e ON s.id = e.sid`},
+		{"merge combine", `SELECT COUNT(*) FROM M`},
+		{"distinct agg", `SELECT COUNT(DISTINCT name) FROM S`},
+		{"non-column group", `SELECT COUNT(*) FROM S GROUP BY gpa + 1`},
+		{"non-pushable where", `SELECT COUNT(*) FROM S WHERE UPPER(ghostfn(name)) = 'X'`},
+		{"union", `SELECT COUNT(*) FROM S UNION SELECT COUNT(*) FROM S`},
+	}
+	for _, c := range reject {
+		stmt, err := sqlparser.Parse(c.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := p.Plan(contextBG(), stmt.(*sqlparser.Select), CostBased)
+		if err != nil {
+			continue // planner rejecting entirely is also fine for bogus funcs
+		}
+		for _, ss := range plan.ScanSets {
+			for _, sc := range ss.Scans {
+				if len(sc.Select.GroupBy) > 0 {
+					t.Errorf("%s: aggregate pushed where it must not:\n%s", c.name, sc.SQL())
+				}
+			}
+		}
+	}
+}
+
+func TestAggregatePushdownPreservesLimit(t *testing.T) {
+	p := New(testCatalog(t), nil)
+	plan := mustPlan(t, p, `SELECT campus, COUNT(*) FROM S GROUP BY campus ORDER BY campus LIMIT 1`, CostBased)
+	res := plan.Residual
+	if res.Limit == nil || res.Limit.Count != 1 {
+		t.Errorf("limit lost: %s", sqlparser.FormatStatement(res, nil))
+	}
+	if len(res.OrderBy) != 1 {
+		t.Errorf("order lost: %s", sqlparser.FormatStatement(res, nil))
+	}
+}
+
+func TestLimitNotPushedBelowAggregate(t *testing.T) {
+	// Regression: LIMIT under a global aggregate would truncate input.
+	p := New(testCatalog(t), nil)
+	stmt, err := sqlparser.Parse(`SELECT COUNT(*) FROM M LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M merges (no aggregate pushdown), so pushLimit is the only risk.
+	plan, err := p.Plan(contextBG(), stmt.(*sqlparser.Select), CostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(scanSQL(plan), "LIMIT") {
+		t.Errorf("limit pushed below aggregate:\n%s", scanSQL(plan))
+	}
+}

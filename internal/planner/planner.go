@@ -1,0 +1,883 @@
+// Package planner turns a global SQL query over integrated relations
+// into an executable plan: per-site remote subqueries (shipped through
+// gateways), integration combine steps, and a residual query evaluated
+// at the federation.
+//
+// Two strategies are provided, mirroring the paper's status in 1994:
+//
+//   - Simple: the implemented strategy — fetch every referenced export
+//     relation essentially whole (all mapped columns, no predicate
+//     pushdown) and evaluate the entire query at the federation.
+//   - CostBased: the "full-fledged query optimization ... currently
+//     being developed" — projection pruning, selection pushdown through
+//     the integration mappings, statistics-driven join ordering, LIMIT
+//     pushdown, and semijoin reduction for cross-site joins.
+package planner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"myriad/internal/catalog"
+	"myriad/internal/integration"
+	"myriad/internal/schema"
+	"myriad/internal/sqlparser"
+	"myriad/internal/storage"
+	"myriad/internal/value"
+)
+
+// Strategy selects the optimizer.
+type Strategy uint8
+
+// Optimizer strategies.
+const (
+	Simple Strategy = iota
+	CostBased
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == CostBased {
+		return "cost-based"
+	}
+	return "simple"
+}
+
+// StatsProvider supplies per-export statistics; implementations may
+// cache. ok=false degrades estimates to defaults.
+type StatsProvider interface {
+	Stats(ctx context.Context, site, export string) (*storage.TableStats, bool)
+}
+
+// NoStats is a StatsProvider with no information.
+type NoStats struct{}
+
+// Stats always reports no statistics.
+func (NoStats) Stats(context.Context, string, string) (*storage.TableStats, bool) {
+	return nil, false
+}
+
+// RemoteScan is one subquery shipped to one site's gateway.
+type RemoteScan struct {
+	Site   string
+	Select *sqlparser.Select // canonical SQL over the site's export relations
+	// SemiProbe, when the owning ScanSet participates as a semijoin
+	// probe, is the translated probe expression (in export terms) to
+	// which the executor attaches the IN-list.
+	SemiProbe sqlparser.Expr
+	EstRows   float64
+}
+
+// SQL renders the scan's canonical SQL.
+func (r *RemoteScan) SQL() string { return sqlparser.FormatStatement(r.Select, nil) }
+
+// ScanSet materializes one integrated-relation reference of the query.
+type ScanSet struct {
+	Alias     string // effective name in the query
+	TempTable string // table the executor loads at the federation
+	Schema    *schema.Schema
+	Def       *catalog.IntegratedDef
+	Scans     []*RemoteScan
+	Spec      *integration.Spec
+
+	// Semijoin reduction: when SemiFrom is non-empty the executor must
+	// materialize that scan set first, collect the distinct values of
+	// SemiBuildCol, and attach them as an IN-list to each scan's
+	// SemiProbe expression (skipped when the list exceeds MaxInList).
+	SemiFrom     string
+	SemiBuildCol string
+
+	EstRows float64
+}
+
+// Plan is an executable global query plan.
+type Plan struct {
+	Strategy Strategy
+	ScanSets []*ScanSet
+	// Residual is the query remaining after remote scans, phrased over
+	// the temp tables (aliases preserved).
+	Residual *sqlparser.Select
+	// MaxInList bounds semijoin IN-lists (0 = default 1000).
+	MaxInList int
+}
+
+// Describe renders a human-readable plan (myriadctl EXPLAIN).
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s\n", p.Strategy)
+	for _, ss := range p.ScanSets {
+		fmt.Fprintf(&b, "scan-set %s (%s, est %.0f rows)", ss.Alias, ss.Def.Name, ss.EstRows)
+		if ss.SemiFrom != "" {
+			fmt.Fprintf(&b, " [semijoin probe of %s on %s]", ss.SemiFrom, ss.SemiBuildCol)
+		}
+		b.WriteByte('\n')
+		for _, sc := range ss.Scans {
+			fmt.Fprintf(&b, "  @%s: %s (est %.0f)\n", sc.Site, sc.SQL(), sc.EstRows)
+		}
+	}
+	fmt.Fprintf(&b, "residual: %s\n", sqlparser.FormatStatement(p.Residual, nil))
+	return b.String()
+}
+
+// Planner builds plans against one federation catalog.
+type Planner struct {
+	Catalog *catalog.Catalog
+	Stats   StatsProvider
+	// SemiMaxBuild is the largest estimated build side considered for a
+	// semijoin (default 2000 rows).
+	SemiMaxBuild float64
+	// SemiMinRatio is the minimum probe/build size ratio to bother
+	// (default 4).
+	SemiMinRatio float64
+}
+
+// New returns a planner over cat using stats (NoStats{} if nil).
+func New(cat *catalog.Catalog, stats StatsProvider) *Planner {
+	if stats == nil {
+		stats = NoStats{}
+	}
+	return &Planner{Catalog: cat, Stats: stats, SemiMaxBuild: 2000, SemiMinRatio: 4}
+}
+
+// Plan compiles a parsed global SELECT.
+func (p *Planner) Plan(ctx context.Context, sel *sqlparser.Select, strategy Strategy) (*Plan, error) {
+	plan := &Plan{Strategy: strategy, MaxInList: 1000}
+	residual, err := p.planSelect(ctx, sel, strategy, plan, 0)
+	if err != nil {
+		return nil, err
+	}
+	plan.Residual = residual
+	return plan, nil
+}
+
+// planSelect plans one branch (and its UNION continuations).
+func (p *Planner) planSelect(ctx context.Context, sel *sqlparser.Select, strategy Strategy, plan *Plan, branch int) (*sqlparser.Select, error) {
+	out := *sel
+	// Copy the slices the planner rewrites so the caller's AST survives.
+	out.From = append([]sqlparser.TableRef{}, sel.From...)
+	out.Joins = append([]sqlparser.Join{}, sel.Joins...)
+
+	// Resolve the FROM references to integrated relations.
+	type refInfo struct {
+		ref  sqlparser.TableRef
+		def  *catalog.IntegratedDef
+		join *sqlparser.Join // nil for FROM entries
+	}
+	var refs []refInfo
+	for _, r := range sel.From {
+		def, ok := p.Catalog.Integrated(r.Name)
+		if !ok {
+			return nil, fmt.Errorf("planner: no integrated relation %q in federation %s", r.Name, p.Catalog.Federation())
+		}
+		refs = append(refs, refInfo{ref: r, def: def})
+	}
+	for i := range sel.Joins {
+		j := &sel.Joins[i]
+		def, ok := p.Catalog.Integrated(j.Table.Name)
+		if !ok {
+			return nil, fmt.Errorf("planner: no integrated relation %q in federation %s", j.Table.Name, p.Catalog.Federation())
+		}
+		refs = append(refs, refInfo{ref: j.Table, def: def, join: j})
+	}
+	if len(refs) == 0 {
+		// Table-free SELECT: residual evaluates it directly.
+		return &out, nil
+	}
+
+	aliasDef := make(map[string]*catalog.IntegratedDef, len(refs))
+	for _, ri := range refs {
+		alias := strings.ToLower(ri.ref.EffectiveName())
+		if _, dup := aliasDef[alias]; dup {
+			return nil, fmt.Errorf("planner: duplicate relation alias %q", ri.ref.EffectiveName())
+		}
+		aliasDef[alias] = ri.def
+	}
+
+	needed, err := neededColumns(sel, refs[0].def, aliasDef)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build a scan set per reference.
+	sets := make(map[string]*ScanSet, len(refs))
+	for i, ri := range refs {
+		alias := ri.ref.EffectiveName()
+		cols := needed[strings.ToLower(alias)]
+		ss, err := p.buildScanSet(ctx, ri.def, alias, cols, fmt.Sprintf("t%d_%d_%s", branch, i, strings.ToLower(alias)))
+		if err != nil {
+			return nil, err
+		}
+		plan.ScanSets = append(plan.ScanSets, ss)
+		sets[strings.ToLower(alias)] = ss
+	}
+
+	if strategy == CostBased {
+		p.pushSelections(sel, sets)
+		// Partial aggregation subsumes the remaining rewrites when it
+		// applies: the residual it returns already reads the temp
+		// table of per-site partial aggregates.
+		if residual, ok := p.pushAggregates(sel, sets); ok {
+			return residual, nil
+		}
+		p.pushLimit(sel, sets)
+		p.chooseSemijoin(sel, sets)
+		reorderJoins(&out, sets)
+	}
+
+	// Rewrite FROM/JOIN to the temp tables.
+	for i := range out.From {
+		ss := sets[strings.ToLower(out.From[i].EffectiveName())]
+		out.From[i] = sqlparser.TableRef{Name: ss.TempTable, Alias: ss.Alias}
+	}
+	for i := range out.Joins {
+		ss := sets[strings.ToLower(out.Joins[i].Table.EffectiveName())]
+		out.Joins[i].Table = sqlparser.TableRef{Name: ss.TempTable, Alias: ss.Alias}
+	}
+
+	if sel.Compound != nil {
+		right, err := p.planSelect(ctx, sel.Compound.Right, strategy, plan, branch+1)
+		if err != nil {
+			return nil, err
+		}
+		out.Compound = &sqlparser.CompoundSelect{All: sel.Compound.All, Right: right}
+	}
+	return &out, nil
+}
+
+// neededColumns computes, per alias, which integrated columns the query
+// references (plus merge keys). A star pulls in every column.
+func neededColumns(sel *sqlparser.Select, _ *catalog.IntegratedDef, aliasDef map[string]*catalog.IntegratedDef) (map[string][]string, error) {
+	need := make(map[string]map[string]bool, len(aliasDef))
+	for a := range aliasDef {
+		need[a] = make(map[string]bool)
+	}
+	addAll := func(alias string) {
+		for _, c := range aliasDef[alias].Columns {
+			need[alias][strings.ToLower(c.Name)] = true
+		}
+	}
+	addCol := func(table, col string) error {
+		if table != "" {
+			a := strings.ToLower(table)
+			def, ok := aliasDef[a]
+			if !ok {
+				return fmt.Errorf("planner: unknown relation %q", table)
+			}
+			if def.ColIndex(col) < 0 {
+				return fmt.Errorf("planner: relation %s has no column %q", table, col)
+			}
+			need[a][strings.ToLower(col)] = true
+			return nil
+		}
+		owner := ""
+		for a, def := range aliasDef {
+			if def.ColIndex(col) >= 0 {
+				if owner != "" {
+					return fmt.Errorf("planner: ambiguous column %q", col)
+				}
+				owner = a
+			}
+		}
+		if owner == "" {
+			return fmt.Errorf("planner: unknown column %q", col)
+		}
+		need[owner][strings.ToLower(col)] = true
+		return nil
+	}
+	var addExpr func(e sqlparser.Expr) error
+	addExpr = func(e sqlparser.Expr) error {
+		var werr error
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if cr, ok := x.(*sqlparser.ColumnRef); ok {
+				if err := addCol(cr.Table, cr.Column); err != nil && werr == nil {
+					werr = err
+				}
+			}
+			return true
+		})
+		return werr
+	}
+	// ORDER BY may reference select-item aliases or, in UNION queries,
+	// the union's output columns; those resolve only in the residual, so
+	// unknown columns are skipped rather than rejected here.
+	addExprLenient := func(e sqlparser.Expr) {
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if cr, ok := x.(*sqlparser.ColumnRef); ok {
+				addCol(cr.Table, cr.Column) //nolint:errcheck
+			}
+			return true
+		})
+	}
+
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.Table == "":
+			for a := range aliasDef {
+				addAll(a)
+			}
+		case it.Star:
+			a := strings.ToLower(it.Table)
+			if _, ok := aliasDef[a]; !ok {
+				return nil, fmt.Errorf("planner: unknown relation %q in star", it.Table)
+			}
+			addAll(a)
+		default:
+			if err := addExpr(it.Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := addExpr(sel.Where); err != nil {
+		return nil, err
+	}
+	for _, j := range sel.Joins {
+		if err := addExpr(j.On); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if err := addExpr(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := addExpr(sel.Having); err != nil {
+		return nil, err
+	}
+	for _, o := range sel.OrderBy {
+		addExprLenient(o.Expr)
+	}
+
+	out := make(map[string][]string, len(need))
+	for a, cols := range need {
+		def := aliasDef[a]
+		// Merge keys are always needed for correct integration.
+		for _, k := range def.Key {
+			cols[strings.ToLower(k)] = true
+		}
+		// Keep integrated-definition order for determinism.
+		var ordered []string
+		for _, c := range def.Columns {
+			if cols[strings.ToLower(c.Name)] {
+				ordered = append(ordered, c.Name)
+			}
+		}
+		if len(ordered) == 0 && len(def.Columns) > 0 {
+			// e.g. SELECT COUNT(*): any column will do; prefer the key.
+			if len(def.Key) > 0 {
+				ordered = append(ordered, def.Key...)
+			} else {
+				ordered = append(ordered, def.Columns[0].Name)
+			}
+		}
+		out[a] = ordered
+	}
+	return out, nil
+}
+
+// buildScanSet constructs the per-source scans for one integrated
+// relation reference projected to cols.
+func (p *Planner) buildScanSet(ctx context.Context, def *catalog.IntegratedDef, alias string, cols []string, temp string) (*ScanSet, error) {
+	sc := &schema.Schema{Table: temp}
+	for _, c := range cols {
+		ci := def.ColIndex(c)
+		sc.Columns = append(sc.Columns, schema.Column{Name: def.Columns[ci].Name, Type: def.Columns[ci].Type})
+	}
+	spec := &integration.Spec{Kind: def.Combine, Columns: make([]string, len(sc.Columns))}
+	for i, c := range sc.Columns {
+		spec.Columns[i] = c.Name
+	}
+	for _, k := range def.Key {
+		for i, c := range sc.Columns {
+			if strings.EqualFold(c.Name, k) {
+				spec.KeyCols = append(spec.KeyCols, i)
+			}
+		}
+	}
+	if len(def.Resolvers) > 0 {
+		spec.Resolvers = make(map[int]integration.Func)
+		for col, fname := range def.Resolvers {
+			fn, ok := integration.Lookup(fname)
+			if !ok {
+				return nil, fmt.Errorf("planner: unknown integration function %q", fname)
+			}
+			for i, c := range sc.Columns {
+				if strings.EqualFold(c.Name, col) {
+					spec.Resolvers[i] = fn
+				}
+			}
+		}
+	}
+
+	ss := &ScanSet{Alias: alias, TempTable: temp, Schema: sc, Def: def, Spec: spec}
+	for _, src := range def.Sources {
+		scan, est, err := p.buildScan(ctx, &src, sc)
+		if err != nil {
+			return nil, err
+		}
+		scan.EstRows = est
+		ss.Scans = append(ss.Scans, scan)
+		ss.EstRows += est
+	}
+	if def.Combine != integration.UnionAll && ss.EstRows > 1 {
+		// Dedup/merge reduces cardinality; assume mild overlap.
+		ss.EstRows *= 0.75
+	}
+	return ss, nil
+}
+
+// buildScan produces the canonical per-source subquery: each temp column
+// is either the mapped expression (aliased to the integrated name) or a
+// NULL literal, so all sources align positionally.
+func (p *Planner) buildScan(ctx context.Context, src *catalog.SourceDef, tempSchema *schema.Schema) (*RemoteScan, float64, error) {
+	sel := &sqlparser.Select{From: []sqlparser.TableRef{{Name: src.Export}}}
+	for _, c := range tempSchema.Columns {
+		mapped, ok := src.MapFold(c.Name)
+		var e sqlparser.Expr
+		if !ok {
+			e = &sqlparser.Literal{Val: value.Null()}
+		} else {
+			var err error
+			if e, err = sqlparser.ParseExpr(mapped); err != nil {
+				return nil, 0, fmt.Errorf("planner: source %s.%s column %s: %w", src.Site, src.Export, c.Name, err)
+			}
+		}
+		sel.Items = append(sel.Items, sqlparser.SelectItem{Expr: e, As: c.Name})
+	}
+	if src.Filter != "" {
+		f, err := sqlparser.ParseExpr(src.Filter)
+		if err != nil {
+			return nil, 0, fmt.Errorf("planner: source %s.%s filter: %w", src.Site, src.Export, err)
+		}
+		sel.Where = f
+	}
+
+	est := 1000.0
+	if ts, ok := p.Stats.Stats(ctx, src.Site, src.Export); ok {
+		est = float64(ts.Rows)
+		if src.Filter != "" {
+			if f, err := sqlparser.ParseExpr(src.Filter); err == nil {
+				est *= estimateSelectivity(f, ts)
+			}
+		}
+	}
+	return &RemoteScan{Site: src.Site, Select: sel}, est, nil
+}
+
+// ---------------------------------------------------------------------
+// Cost-based rewrites
+
+// pushSelections pushes WHERE conjuncts referencing a single alias into
+// that alias's source scans when the combine semantics allow it. The
+// residual keeps every conjunct (filters are idempotent), so partial
+// pushes stay correct.
+func (p *Planner) pushSelections(sel *sqlparser.Select, sets map[string]*ScanSet) {
+	for _, conj := range sqlparser.SplitConjuncts(sel.Where) {
+		alias, ok := singleAlias(conj, sets)
+		if !ok {
+			continue
+		}
+		ss := sets[alias]
+		if ss.Def.Combine == integration.MergeOuter && !onlyKeyColumns(conj, ss.Def) {
+			continue // non-key predicates are resolved post-merge
+		}
+		for i, src := range ss.Def.Sources {
+			translated, ok := translateExpr(conj, &src, ss.Alias)
+			if !ok {
+				continue // source lacks a mapping: filter in residual
+			}
+			scan := ss.Scans[i]
+			if scan.Select.Where == nil {
+				scan.Select.Where = translated
+			} else {
+				scan.Select.Where = &sqlparser.BinaryExpr{Op: "AND", L: scan.Select.Where, R: translated}
+			}
+			if ts, hasStats := p.Stats.Stats(context.Background(), src.Site, src.Export); hasStats {
+				scan.EstRows *= estimateSelectivity(translated, ts)
+			} else {
+				scan.EstRows *= 0.25
+			}
+		}
+		ss.EstRows = 0
+		for _, scan := range ss.Scans {
+			ss.EstRows += scan.EstRows
+		}
+	}
+}
+
+// pushLimit pushes LIMIT into single-relation, group-free UNION ALL
+// queries: each source needs only offset+count rows. With an ORDER BY
+// whose keys translate at every source this becomes top-K pushdown —
+// each site returns its own top (offset+count) candidates and the
+// residual re-sorts the merged candidate set.
+func (p *Planner) pushLimit(sel *sqlparser.Select, sets map[string]*ScanSet) {
+	if sel.Limit == nil || sel.Limit.Count < 0 || len(sets) != 1 {
+		return
+	}
+	if len(sel.GroupBy) > 0 || sel.Having != nil || sel.Distinct || sel.Compound != nil {
+		return
+	}
+	// LIMIT below an aggregate would truncate its input.
+	for _, it := range sel.Items {
+		if it.Expr != nil && sqlparser.HasAggregate(it.Expr) {
+			return
+		}
+	}
+	for _, ss := range sets {
+		if ss.Def.Combine != integration.UnionAll {
+			return
+		}
+		// Only safe when every WHERE conjunct is pushable at every
+		// source; a per-source Filter also populates scan WHEREs, so
+		// re-verify translation rather than trusting non-nil WHERE.
+		for _, conj := range sqlparser.SplitConjuncts(sel.Where) {
+			alias, ok := singleAlias(conj, sets)
+			if !ok || !strings.EqualFold(alias, strings.ToLower(ss.Alias)) {
+				return
+			}
+			for i := range ss.Def.Sources {
+				if _, ok := translateExpr(conj, &ss.Def.Sources[i], ss.Alias); !ok {
+					return
+				}
+			}
+		}
+		// Translate ORDER BY keys per source; any failure disables the
+		// pushdown entirely (the per-source top-K would be wrong).
+		perSource := make([][]sqlparser.OrderItem, len(ss.Scans))
+		if len(sel.OrderBy) > 0 {
+			for i := range ss.Def.Sources {
+				for _, o := range sel.OrderBy {
+					te, ok := translateExpr(o.Expr, &ss.Def.Sources[i], ss.Alias)
+					if !ok {
+						return
+					}
+					perSource[i] = append(perSource[i], sqlparser.OrderItem{Expr: te, Desc: o.Desc})
+				}
+			}
+		}
+		n := sel.Limit.Count + sel.Limit.Offset
+		for i, scan := range ss.Scans {
+			scan.Select.OrderBy = perSource[i]
+			scan.Select.Limit = &sqlparser.LimitClause{Count: n}
+			if scan.EstRows > float64(n) {
+				scan.EstRows = float64(n)
+			}
+		}
+	}
+}
+
+// chooseSemijoin finds one equi-join between two aliases where shipping
+// the small side's keys into the big side's scans pays off.
+func (p *Planner) chooseSemijoin(sel *sqlparser.Select, sets map[string]*ScanSet) {
+	conds := sqlparser.SplitConjuncts(sel.Where)
+	for _, j := range sel.Joins {
+		if j.Kind == sqlparser.JoinInner {
+			conds = append(conds, sqlparser.SplitConjuncts(j.On)...)
+		}
+	}
+	for _, c := range conds {
+		bx, ok := c.(*sqlparser.BinaryExpr)
+		if !ok || bx.Op != "=" {
+			continue
+		}
+		lc, lok := bx.L.(*sqlparser.ColumnRef)
+		rc, rok := bx.R.(*sqlparser.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		la, lcol, ok1 := ownerOf(lc, sets)
+		ra, rcol, ok2 := ownerOf(rc, sets)
+		if !ok1 || !ok2 || la == ra {
+			continue
+		}
+		small, big := sets[la], sets[ra]
+		smallCol, bigCol := lcol, rcol
+		if small.EstRows > big.EstRows {
+			small, big = big, small
+			smallCol, bigCol = bigCol, smallCol
+		}
+		if small.EstRows > p.SemiMaxBuild || big.EstRows < small.EstRows*p.SemiMinRatio {
+			continue
+		}
+		if big.SemiFrom != "" || small.SemiFrom != "" {
+			continue // one reduction per scan set; chains need the DAG executor ordering anyway
+		}
+		// Probe-side pushdown must be semantically safe, like selections.
+		if big.Def.Combine == integration.MergeOuter && !keyColumn(big.Def, bigCol) {
+			continue
+		}
+		// Every probe source must map the probe column.
+		probes := make([]sqlparser.Expr, len(big.Def.Sources))
+		allMapped := true
+		for i, src := range big.Def.Sources {
+			mapped, ok := src.MapFold(bigCol)
+			if !ok {
+				allMapped = false
+				break
+			}
+			e, err := sqlparser.ParseExpr(mapped)
+			if err != nil {
+				allMapped = false
+				break
+			}
+			probes[i] = e
+		}
+		if !allMapped {
+			continue
+		}
+		big.SemiFrom = small.Alias
+		big.SemiBuildCol = smallCol
+		for i := range big.Scans {
+			big.Scans[i].SemiProbe = probes[i]
+		}
+		return // one semijoin per query keeps the executor's DAG simple
+	}
+}
+
+// reorderJoins rewrites all-inner join trees into a FROM list ordered by
+// ascending estimated cardinality, folding ON conditions into WHERE; the
+// local engine then hash-joins left to right.
+func reorderJoins(sel *sqlparser.Select, sets map[string]*ScanSet) {
+	if len(sel.Joins) == 0 {
+		return
+	}
+	for _, j := range sel.Joins {
+		if j.Kind != sqlparser.JoinInner {
+			return
+		}
+	}
+	refs := append([]sqlparser.TableRef{}, sel.From...)
+	conds := []sqlparser.Expr{}
+	for _, j := range sel.Joins {
+		refs = append(refs, j.Table)
+		conds = append(conds, sqlparser.SplitConjuncts(j.On)...)
+	}
+	sort.SliceStable(refs, func(a, b int) bool {
+		sa, sb := sets[strings.ToLower(refs[a].EffectiveName())], sets[strings.ToLower(refs[b].EffectiveName())]
+		if sa == nil || sb == nil {
+			return false
+		}
+		return sa.EstRows < sb.EstRows
+	})
+	sel.From = refs
+	sel.Joins = nil
+	conds = append(conds, sqlparser.SplitConjuncts(sel.Where)...)
+	sel.Where = sqlparser.JoinConjuncts(conds)
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+
+// singleAlias reports the one alias an expression references (ok=false
+// when zero or several, or when a column is unknown).
+func singleAlias(e sqlparser.Expr, sets map[string]*ScanSet) (string, bool) {
+	owner := ""
+	ok := true
+	for _, cr := range sqlparser.ColumnsIn(e) {
+		a, _, found := ownerOf(cr, sets)
+		if !found {
+			ok = false
+			break
+		}
+		if owner == "" {
+			owner = a
+		} else if owner != a {
+			ok = false
+			break
+		}
+	}
+	return owner, ok && owner != ""
+}
+
+// ownerOf resolves a column reference to (alias, column).
+func ownerOf(cr *sqlparser.ColumnRef, sets map[string]*ScanSet) (string, string, bool) {
+	if cr.Table != "" {
+		a := strings.ToLower(cr.Table)
+		ss, ok := sets[a]
+		if !ok || ss.Def.ColIndex(cr.Column) < 0 {
+			return "", "", false
+		}
+		return a, cr.Column, true
+	}
+	owner := ""
+	for a, ss := range sets {
+		if ss.Def.ColIndex(cr.Column) >= 0 {
+			if owner != "" {
+				return "", "", false
+			}
+			owner = a
+		}
+	}
+	if owner == "" {
+		return "", "", false
+	}
+	return owner, cr.Column, true
+}
+
+// onlyKeyColumns reports whether e references only the integrated key.
+func onlyKeyColumns(e sqlparser.Expr, def *catalog.IntegratedDef) bool {
+	for _, cr := range sqlparser.ColumnsIn(e) {
+		if !keyColumn(def, cr.Column) {
+			return false
+		}
+	}
+	return true
+}
+
+func keyColumn(def *catalog.IntegratedDef, col string) bool {
+	for _, k := range def.Key {
+		if strings.EqualFold(k, col) {
+			return true
+		}
+	}
+	return false
+}
+
+// translateExpr rewrites a predicate over integrated columns into one
+// over the source export's columns via the ColumnMap; ok=false when some
+// referenced column is unmapped.
+func translateExpr(e sqlparser.Expr, src *catalog.SourceDef, alias string) (sqlparser.Expr, bool) {
+	ok := true
+	out := sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+		cr, isCol := x.(*sqlparser.ColumnRef)
+		if !isCol {
+			return x
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, alias) {
+			ok = false
+			return x
+		}
+		mapped, found := src.MapFold(cr.Column)
+		if !found {
+			ok = false
+			return x
+		}
+		me, err := sqlparser.ParseExpr(mapped)
+		if err != nil {
+			ok = false
+			return x
+		}
+		return me
+	})
+	if !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// estimateSelectivity is the classic System-R style rule set over
+// per-column statistics.
+func estimateSelectivity(e sqlparser.Expr, ts *storage.TableStats) float64 {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			return estimateSelectivity(x.L, ts) * estimateSelectivity(x.R, ts)
+		case "OR":
+			l, r := estimateSelectivity(x.L, ts), estimateSelectivity(x.R, ts)
+			return l + r - l*r
+		case "=":
+			if col, ok := columnSide(x); ok {
+				if cs, found := ts.Col(col); found && cs.Distinct > 0 {
+					return 1 / float64(cs.Distinct)
+				}
+			}
+			return 0.1
+		case "<", "<=", ">", ">=":
+			if col, lit, ok := columnLiteral(x); ok {
+				if s, found := rangeSelectivity(col, lit, x.Op, ts); found {
+					return s
+				}
+			}
+			return 1.0 / 3
+		case "<>":
+			return 0.9
+		case "LIKE":
+			return 0.25
+		}
+	case *sqlparser.InExpr:
+		if col, ok := x.E.(*sqlparser.ColumnRef); ok {
+			if cs, found := ts.Col(col.Column); found && cs.Distinct > 0 {
+				s := float64(len(x.List)) / float64(cs.Distinct)
+				if s > 1 {
+					s = 1
+				}
+				if x.Not {
+					return 1 - s
+				}
+				return s
+			}
+		}
+		return 0.2
+	case *sqlparser.BetweenExpr:
+		return 1.0 / 4
+	case *sqlparser.IsNullExpr:
+		if cr, ok := x.E.(*sqlparser.ColumnRef); ok {
+			if cs, found := ts.Col(cr.Column); found && ts.Rows > 0 {
+				s := float64(cs.Nulls) / float64(ts.Rows)
+				if x.Not {
+					return 1 - s
+				}
+				return s
+			}
+		}
+		return 0.05
+	case *sqlparser.UnaryExpr:
+		if x.Op == "NOT" {
+			return 1 - estimateSelectivity(x.E, ts)
+		}
+	}
+	return 1.0 / 3
+}
+
+func columnSide(x *sqlparser.BinaryExpr) (string, bool) {
+	if c, ok := x.L.(*sqlparser.ColumnRef); ok {
+		return c.Column, true
+	}
+	if c, ok := x.R.(*sqlparser.ColumnRef); ok {
+		return c.Column, true
+	}
+	return "", false
+}
+
+func columnLiteral(x *sqlparser.BinaryExpr) (string, value.Value, bool) {
+	if c, ok := x.L.(*sqlparser.ColumnRef); ok {
+		if l, ok := x.R.(*sqlparser.Literal); ok {
+			return c.Column, l.Val, true
+		}
+	}
+	if c, ok := x.R.(*sqlparser.ColumnRef); ok {
+		if l, ok := x.L.(*sqlparser.Literal); ok {
+			return c.Column, l.Val, true
+		}
+	}
+	return "", value.Value{}, false
+}
+
+// rangeSelectivity interpolates within [min, max] for numeric columns.
+func rangeSelectivity(col string, lit value.Value, op string, ts *storage.TableStats) (float64, bool) {
+	cs, found := ts.Col(col)
+	if !found || cs.Min.IsNull() || cs.Max.IsNull() {
+		return 0, false
+	}
+	lo, ok1 := cs.Min.Float()
+	hi, ok2 := cs.Max.Float()
+	v, ok3 := lit.Float()
+	if !ok1 || !ok2 || !ok3 || hi <= lo {
+		return 0, false
+	}
+	frac := (v - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch op {
+	case "<", "<=":
+		return frac, true
+	default: // ">", ">="
+		return 1 - frac, true
+	}
+}

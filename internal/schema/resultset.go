@@ -1,0 +1,66 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ResultSet is a materialized query result: column names plus rows. It
+// is the unit shipped from component DBMSs through gateways to the
+// federation and on to clients.
+type ResultSet struct {
+	Columns []string
+	Rows    []Row
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (rs *ResultSet) ColIndex(name string) int {
+	for i, c := range rs.Columns {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders a small ASCII table (for examples and myriadctl).
+func (rs *ResultSet) String() string {
+	widths := make([]int, len(rs.Columns))
+	for i, c := range rs.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rs.Rows))
+	for ri, r := range rs.Rows {
+		cells[ri] = make([]string, len(r))
+		for ci, v := range r {
+			s := v.Text()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(rs.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range cells {
+		writeRow(r)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(rs.Rows))
+	return b.String()
+}

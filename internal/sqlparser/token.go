@@ -1,0 +1,63 @@
+package sqlparser
+
+import "fmt"
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp      // punctuation and operators: ( ) , . + - * / % = <> != < <= > >= ||
+	tokKeyword // reserved word, normalized to upper case in val
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	val  string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.val)
+	default:
+		return fmt.Sprintf("%q", t.val)
+	}
+}
+
+// keywords is the reserved-word set of the MYRIAD SQL subset.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"UNION": true, "ALL": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "INDEX": true,
+	"PRIMARY": true, "KEY": true, "NOT": true, "NULL": true, "UNIQUE": true,
+	"AND": true, "OR": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"IS": true, "TRUE": true, "FALSE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "WORK": true,
+	"EXISTS": true, "FETCH": true, "FIRST": true, "ROWS": true, "ONLY": true,
+}
+
+// Error is a parse or lex error with the byte offset in the input.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"myriad/internal/schema"
+	"myriad/internal/value"
+)
+
+// ColumnStats summarizes one column for the optimizer's cost model.
+type ColumnStats struct {
+	Name     string
+	Distinct int64
+	Nulls    int64
+	Min, Max value.Value // NULL when the column is empty or non-comparable
+}
+
+// TableStats summarizes a table.
+type TableStats struct {
+	Table   string
+	Rows    int64
+	Columns []ColumnStats
+}
+
+// Stats computes fresh statistics with one scan. MYRIAD gateways call
+// this on demand and the federation caches the result; the component
+// databases in the paper exposed equivalent catalog views.
+func (t *Table) Stats() TableStats {
+	ts := TableStats{Table: t.Schema.Table, Rows: int64(t.Len())}
+	n := len(t.Schema.Columns)
+	distinct := make([]map[uint64]bool, n)
+	for i := range distinct {
+		distinct[i] = make(map[uint64]bool)
+	}
+	nulls := make([]int64, n)
+	mins := make([]value.Value, n)
+	maxs := make([]value.Value, n)
+	t.Scan(func(_ RowID, r schema.Row) bool {
+		for i, v := range r {
+			if v.IsNull() {
+				nulls[i]++
+				continue
+			}
+			distinct[i][v.Hash()] = true
+			if mins[i].IsNull() {
+				mins[i], maxs[i] = v, v
+				continue
+			}
+			if c, ok := value.Compare(v, mins[i]); ok && c < 0 {
+				mins[i] = v
+			}
+			if c, ok := value.Compare(v, maxs[i]); ok && c > 0 {
+				maxs[i] = v
+			}
+		}
+		return true
+	})
+	for i, col := range t.Schema.Columns {
+		ts.Columns = append(ts.Columns, ColumnStats{
+			Name:     col.Name,
+			Distinct: int64(len(distinct[i])),
+			Nulls:    nulls[i],
+			Min:      mins[i],
+			Max:      maxs[i],
+		})
+	}
+	return ts
+}
+
+// Col returns the stats for the named column, if present.
+func (ts *TableStats) Col(name string) (ColumnStats, bool) {
+	for _, c := range ts.Columns {
+		if equalFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return ColumnStats{}, false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,291 @@
+// Package storage implements the heap-table storage engine used by the
+// component DBMSs: append-only row slots with tombstones, a primary-key
+// hash index, optional secondary hash indexes, and per-column statistics
+// used by the federation's cost-based optimizer.
+//
+// The engine is deliberately not thread-safe: concurrency control is the
+// job of the lock manager (internal/lockmgr) driven by the DBMS
+// transaction layer, matching the paper's strict-2PL component DBMSs.
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"myriad/internal/schema"
+	"myriad/internal/value"
+)
+
+// RowID identifies a row slot within a table for the lifetime of the
+// table. Slots are never reused so undo records stay valid.
+type RowID int64
+
+// Table is one heap relation plus its indexes.
+type Table struct {
+	Schema *schema.Schema
+
+	rows    []schema.Row // nil entry = tombstone
+	live    int
+	pk      map[string]RowID      // primary-key index (composite keys joined)
+	indexes map[string]*HashIndex // secondary, by lower-cased column name
+}
+
+// NewTable creates an empty table for the schema (which is validated).
+func NewTable(sc *schema.Schema) (*Table, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Schema:  sc.Clone(),
+		indexes: make(map[string]*HashIndex),
+	}
+	if len(sc.Key) > 0 {
+		t.pk = make(map[string]RowID)
+	}
+	return t, nil
+}
+
+// keyString encodes the primary-key columns of a row for index lookup.
+func (t *Table) keyString(r schema.Row) (string, error) {
+	idx := t.Schema.KeyIndexes()
+	var b strings.Builder
+	for i, ki := range idx {
+		v := r[ki]
+		if v.IsNull() {
+			return "", fmt.Errorf("storage %s: NULL in primary key column %s", t.Schema.Table, t.Schema.Key[i])
+		}
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteByte(byte(v.K))
+		b.WriteString(v.Text())
+	}
+	return b.String(), nil
+}
+
+// KeyString exposes the PK encoding of a row (used by the lock manager's
+// row-resource naming).
+func (t *Table) KeyString(r schema.Row) (string, error) { return t.keyString(r) }
+
+// Insert adds a row (already coerced to the schema) and returns its
+// RowID. Violating the primary key is an error.
+func (t *Table) Insert(r schema.Row) (RowID, error) {
+	coerced, err := schema.CoerceRow(t.Schema, r)
+	if err != nil {
+		return 0, err
+	}
+	var key string
+	if t.pk != nil {
+		key, err = t.keyString(coerced)
+		if err != nil {
+			return 0, err
+		}
+		if _, dup := t.pk[key]; dup {
+			return 0, fmt.Errorf("storage %s: duplicate primary key %v", t.Schema.Table, key)
+		}
+	}
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, coerced)
+	t.live++
+	if t.pk != nil {
+		t.pk[key] = id
+	}
+	for col, ix := range t.indexes {
+		ci := t.Schema.ColIndex(col)
+		ix.add(coerced[ci], id)
+	}
+	return id, nil
+}
+
+// InsertAt re-inserts a row at a specific slot (undo of delete). The slot
+// must be a tombstone.
+func (t *Table) InsertAt(id RowID, r schema.Row) error {
+	if int(id) >= len(t.rows) || t.rows[id] != nil {
+		return fmt.Errorf("storage %s: slot %d not free", t.Schema.Table, id)
+	}
+	if t.pk != nil {
+		key, err := t.keyString(r)
+		if err != nil {
+			return err
+		}
+		if _, dup := t.pk[key]; dup {
+			return fmt.Errorf("storage %s: duplicate primary key on undo", t.Schema.Table)
+		}
+		t.pk[key] = id
+	}
+	t.rows[id] = r
+	t.live++
+	for col, ix := range t.indexes {
+		ci := t.Schema.ColIndex(col)
+		ix.add(r[ci], id)
+	}
+	return nil
+}
+
+// Get returns the row at id, or nil when deleted/out of range.
+func (t *Table) Get(id RowID) schema.Row {
+	if id < 0 || int(id) >= len(t.rows) {
+		return nil
+	}
+	return t.rows[id]
+}
+
+// GetByKey looks up a row by primary key values (in key order).
+func (t *Table) GetByKey(keyVals []value.Value) (RowID, schema.Row, bool) {
+	if t.pk == nil || len(keyVals) != len(t.Schema.Key) {
+		return 0, nil, false
+	}
+	probe := make(schema.Row, len(t.Schema.Columns))
+	for i, ki := range t.Schema.KeyIndexes() {
+		probe[ki] = keyVals[i]
+	}
+	key, err := t.keyString(probe)
+	if err != nil {
+		return 0, nil, false
+	}
+	id, ok := t.pk[key]
+	if !ok {
+		return 0, nil, false
+	}
+	return id, t.rows[id], true
+}
+
+// Delete removes the row at id and returns the old row for undo logging.
+func (t *Table) Delete(id RowID) (schema.Row, error) {
+	old := t.Get(id)
+	if old == nil {
+		return nil, fmt.Errorf("storage %s: delete of missing row %d", t.Schema.Table, id)
+	}
+	if t.pk != nil {
+		key, err := t.keyString(old)
+		if err == nil {
+			delete(t.pk, key)
+		}
+	}
+	for col, ix := range t.indexes {
+		ci := t.Schema.ColIndex(col)
+		ix.remove(old[ci], id)
+	}
+	t.rows[id] = nil
+	t.live--
+	return old, nil
+}
+
+// Update replaces the row at id and returns the old row for undo
+// logging. Primary-key changes are re-indexed (and may conflict).
+func (t *Table) Update(id RowID, r schema.Row) (schema.Row, error) {
+	old := t.Get(id)
+	if old == nil {
+		return nil, fmt.Errorf("storage %s: update of missing row %d", t.Schema.Table, id)
+	}
+	coerced, err := schema.CoerceRow(t.Schema, r)
+	if err != nil {
+		return nil, err
+	}
+	if t.pk != nil {
+		oldKey, err1 := t.keyString(old)
+		newKey, err2 := t.keyString(coerced)
+		if err2 != nil {
+			return nil, err2
+		}
+		if err1 == nil && oldKey != newKey {
+			if _, dup := t.pk[newKey]; dup {
+				return nil, fmt.Errorf("storage %s: duplicate primary key on update", t.Schema.Table)
+			}
+			delete(t.pk, oldKey)
+			t.pk[newKey] = id
+		}
+	}
+	for col, ix := range t.indexes {
+		ci := t.Schema.ColIndex(col)
+		if !value.Identical(old[ci], coerced[ci]) {
+			ix.remove(old[ci], id)
+			ix.add(coerced[ci], id)
+		}
+	}
+	t.rows[id] = coerced
+	return old, nil
+}
+
+// Scan visits every live row; the visitor returns false to stop.
+func (t *Table) Scan(visit func(RowID, schema.Row) bool) {
+	for i, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if !visit(RowID(i), r) {
+			return
+		}
+	}
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+// CreateIndex builds a secondary hash index on the column.
+func (t *Table) CreateIndex(column string) error {
+	ci := t.Schema.ColIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("storage %s: no column %q", t.Schema.Table, column)
+	}
+	lc := strings.ToLower(t.Schema.Columns[ci].Name)
+	if _, exists := t.indexes[lc]; exists {
+		return fmt.Errorf("storage %s: index on %q already exists", t.Schema.Table, column)
+	}
+	ix := NewHashIndex()
+	t.Scan(func(id RowID, r schema.Row) bool {
+		ix.add(r[ci], id)
+		return true
+	})
+	t.indexes[lc] = ix
+	return nil
+}
+
+// Index returns the secondary index on column, if any.
+func (t *Table) Index(column string) (*HashIndex, bool) {
+	ix, ok := t.indexes[strings.ToLower(column)]
+	return ix, ok
+}
+
+// HasPK reports whether the table has a primary-key index.
+func (t *Table) HasPK() bool { return t.pk != nil }
+
+// HashIndex is an equality index from value to row ids.
+type HashIndex struct {
+	m map[uint64][]entry
+}
+
+type entry struct {
+	v  value.Value
+	id RowID
+}
+
+// NewHashIndex returns an empty index.
+func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[uint64][]entry)} }
+
+func (ix *HashIndex) add(v value.Value, id RowID) {
+	h := v.Hash()
+	ix.m[h] = append(ix.m[h], entry{v: v, id: id})
+}
+
+func (ix *HashIndex) remove(v value.Value, id RowID) {
+	h := v.Hash()
+	es := ix.m[h]
+	for i, e := range es {
+		if e.id == id {
+			ix.m[h] = append(es[:i], es[i+1:]...)
+			return
+		}
+	}
+}
+
+// Lookup returns the row ids whose indexed value is Identical to v.
+func (ix *HashIndex) Lookup(v value.Value) []RowID {
+	var ids []RowID
+	for _, e := range ix.m[v.Hash()] {
+		if value.Identical(e.v, v) {
+			ids = append(ids, e.id)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,377 @@
+// Package value implements the typed, NULL-aware value system shared by
+// every layer of MYRIAD: the local DBMS storage and executor, the gateway
+// wire format, and the federation's integration and query operators.
+//
+// A Value is a small struct (no heap indirection for numerics) carrying a
+// Kind tag. SQL three-valued logic is represented by KindNull flowing
+// through comparisons and arithmetic.
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds supported by MYRIAD's SQL subset.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns an INTEGER value.
+func NewInt(i int64) Value { return Value{K: KindInt, I: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// NewText returns a TEXT value.
+func NewText(s string) Value { return Value{K: KindText, S: s} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(b bool) Value { return Value{K: KindBool, B: b} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Int returns the value as int64, truncating floats and parsing numeric
+// text. It reports whether the conversion succeeded.
+func (v Value) Int() (int64, bool) {
+	switch v.K {
+	case KindInt:
+		return v.I, true
+	case KindFloat:
+		return int64(v.F), true
+	case KindBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	case KindText:
+		i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+		return i, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// Float returns the value as float64, widening ints and parsing numeric
+// text. It reports whether the conversion succeeded.
+func (v Value) Float() (float64, bool) {
+	switch v.K {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	case KindBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	case KindText:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// Text returns the value rendered as a string (not SQL-quoted).
+func (v Value) Text() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindText:
+		return v.S
+	case KindBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return fmt.Sprintf("?%d", v.K)
+	}
+}
+
+// String implements fmt.Stringer; TEXT values are single-quoted so rows
+// print unambiguously.
+func (v Value) String() string {
+	if v.K == KindText {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return v.Text()
+}
+
+// Bool returns the truth value and whether the value is usable as a
+// boolean (NULL is not).
+func (v Value) Bool() (bool, bool) {
+	switch v.K {
+	case KindBool:
+		return v.B, true
+	case KindInt:
+		return v.I != 0, true
+	case KindFloat:
+		return v.F != 0, true
+	default:
+		return false, false
+	}
+}
+
+func (v Value) isNumeric() bool { return v.K == KindInt || v.K == KindFloat }
+
+// Compare orders two values: -1, 0, +1. NULLs are not comparable and make
+// ok false; mixed numeric kinds compare as floats; text compares
+// lexicographically; bools order false < true. Comparing text with
+// numerics attempts a numeric parse of the text, falling back to string
+// comparison of both renderings.
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	switch {
+	case a.K == KindInt && b.K == KindInt:
+		return cmpOrdered(a.I, b.I), true
+	case a.isNumeric() && b.isNumeric():
+		af, _ := a.Float()
+		bf, _ := b.Float()
+		return cmpFloat(af, bf), true
+	case a.K == KindText && b.K == KindText:
+		return strings.Compare(a.S, b.S), true
+	case a.K == KindBool && b.K == KindBool:
+		return cmpBool(a.B, b.B), true
+	case a.K == KindText && b.isNumeric():
+		if af, ok := a.Float(); ok {
+			bf, _ := b.Float()
+			return cmpFloat(af, bf), true
+		}
+		return strings.Compare(a.Text(), b.Text()), true
+	case a.isNumeric() && b.K == KindText:
+		c, ok := Compare(b, a)
+		return -c, ok
+	default:
+		return strings.Compare(a.Text(), b.Text()), true
+	}
+}
+
+func cmpOrdered(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports SQL equality. NULL = anything is unknown, reported as
+// (false, false).
+func Equal(a, b Value) (eq bool, ok bool) {
+	c, ok := Compare(a, b)
+	return c == 0, ok
+}
+
+// Identical reports Go-level identity used for grouping and DISTINCT:
+// NULLs are identical to each other, and 1 = 1.0.
+func Identical(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	eq, ok := Equal(a, b)
+	return ok && eq
+}
+
+// Hash returns a hash consistent with Identical: values that are
+// Identical hash equally (numerics hash via float64 representation).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	switch v.K {
+	case KindNull:
+		h.Write([]byte{0})
+	case KindInt, KindFloat:
+		f, _ := v.Float()
+		var buf [9]byte
+		buf[0] = 1
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	case KindText:
+		h.Write([]byte{2})
+		h.Write([]byte(v.S))
+	case KindBool:
+		if v.B {
+			h.Write([]byte{3, 1})
+		} else {
+			h.Write([]byte{3, 0})
+		}
+	}
+	return h.Sum64()
+}
+
+// Arith applies a binary arithmetic operator: + - * / %. A NULL operand
+// yields NULL. "||" concatenates text renderings.
+func Arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if op == "||" {
+		return NewText(a.Text() + b.Text()), nil
+	}
+	if a.K == KindInt && b.K == KindInt && op != "/" {
+		switch op {
+		case "+":
+			return NewInt(a.I + b.I), nil
+		case "-":
+			return NewInt(a.I - b.I), nil
+		case "*":
+			return NewInt(a.I * b.I), nil
+		case "%":
+			if b.I == 0 {
+				return Value{}, fmt.Errorf("value: division by zero")
+			}
+			return NewInt(a.I % b.I), nil
+		}
+	}
+	af, aok := a.Float()
+	bf, bok := b.Float()
+	if !aok || !bok {
+		return Value{}, fmt.Errorf("value: cannot apply %q to %s and %s", op, a.K, b.K)
+	}
+	switch op {
+	case "+":
+		return NewFloat(af + bf), nil
+	case "-":
+		return NewFloat(af - bf), nil
+	case "*":
+		return NewFloat(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return Value{}, fmt.Errorf("value: division by zero")
+		}
+		// Integer division stays integral, matching the local DBMS
+		// dialects the federation fronts.
+		if a.K == KindInt && b.K == KindInt {
+			return NewInt(a.I / b.I), nil
+		}
+		return NewFloat(af / bf), nil
+	case "%":
+		return NewFloat(math.Mod(af, bf)), nil
+	default:
+		return Value{}, fmt.Errorf("value: unknown operator %q", op)
+	}
+}
+
+// Neg returns the arithmetic negation; NULL negates to NULL.
+func Neg(v Value) (Value, error) {
+	switch v.K {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		return NewInt(-v.I), nil
+	case KindFloat:
+		return NewFloat(-v.F), nil
+	default:
+		return Value{}, fmt.Errorf("value: cannot negate %s", v.K)
+	}
+}
+
+// Like implements SQL LIKE with % and _ wildcards.
+func Like(s, pattern Value) (Value, error) {
+	if s.IsNull() || pattern.IsNull() {
+		return Null(), nil
+	}
+	return NewBool(likeMatch(s.Text(), pattern.Text())), nil
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative wildcard match with backtracking on '%'.
+	var si, pi int
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star != -1:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

@@ -1,0 +1,311 @@
+// Package workload builds the synthetic datasets and deployments used by
+// the examples and the benchmark harness. The original prototype was
+// demonstrated on hand-built Oracle/Postgres example databases; these
+// generators are their deterministic, parameterized stand-ins (seeded
+// math/rand, no external data).
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"myriad/internal/catalog"
+	"myriad/internal/core"
+	"myriad/internal/dialect"
+	"myriad/internal/gateway"
+	"myriad/internal/integration"
+	"myriad/internal/localdb"
+	"myriad/internal/schema"
+)
+
+// Site bundles a component database with its gateway.
+type Site struct {
+	Name    string
+	DB      *localdb.DB
+	Gateway *gateway.Gateway
+}
+
+// Deployment is a federation plus its component sites, ready to query.
+type Deployment struct {
+	Fed   *core.Federation
+	Sites []*Site
+	// Shutdown stops any network servers started for the deployment.
+	Shutdown func()
+}
+
+// dialectFor alternates Oracle-like and Postgres-like dialects so every
+// multi-site deployment is heterogeneous.
+func dialectFor(i int) *dialect.Dialect {
+	if i%2 == 0 {
+		return dialect.Oracle()
+	}
+	return dialect.Postgres()
+}
+
+// batchInsert loads rows with multi-row INSERT statements of bounded
+// size (exercising the real SQL path, like the paper's loaders did).
+func batchInsert(db *localdb.DB, table string, rows []string) {
+	const batch = 500
+	for len(rows) > 0 {
+		n := batch
+		if len(rows) < n {
+			n = len(rows)
+		}
+		db.MustExec(fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(rows[:n], ", ")))
+		rows = rows[n:]
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parts: uniform synthetic relation for selectivity sweeps (E2)
+
+// PartsSpec parameterizes the parts dataset.
+type PartsSpec struct {
+	Sites       int
+	RowsPerSite int
+	Seed        int64
+}
+
+// BuildParts creates a federation over Sites component DBs, each holding
+// RowsPerSite parts rows, integrated by UNION ALL into PARTS(id, name,
+// weight, price, category, site).
+//
+// weight is uniform in [0, 1000), so a predicate "weight < X" has
+// selectivity X/1000 — the knob E2 sweeps. category has 20 distinct
+// values; price is uniform in [1, 10000].
+func BuildParts(spec PartsSpec) *Deployment {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	dep := &Deployment{Fed: core.New("parts"), Shutdown: func() {}}
+	ctx := context.Background()
+
+	var sources []catalog.SourceDef
+	for s := 0; s < spec.Sites; s++ {
+		name := fmt.Sprintf("site%d", s)
+		db := localdb.New(name)
+		db.MustExec(`CREATE TABLE parts (pid INTEGER PRIMARY KEY, pname TEXT NOT NULL, weight FLOAT, price FLOAT, category TEXT)`)
+		rows := make([]string, 0, spec.RowsPerSite)
+		for i := 0; i < spec.RowsPerSite; i++ {
+			id := s*spec.RowsPerSite + i
+			rows = append(rows, fmt.Sprintf("(%d, 'part-%d', %.3f, %.2f, 'cat%02d')",
+				id, id, rng.Float64()*1000, 1+rng.Float64()*9999, rng.Intn(20)))
+		}
+		batchInsert(db, "parts", rows)
+
+		gw := gateway.New(name, db, dialectFor(s))
+		if err := gw.DefineExport(gateway.Export{Name: "PART", LocalTable: "parts"}); err != nil {
+			panic(err)
+		}
+		if err := dep.Fed.AttachSite(ctx, &gateway.LocalConn{G: gw}); err != nil {
+			panic(err)
+		}
+		dep.Sites = append(dep.Sites, &Site{Name: name, DB: db, Gateway: gw})
+		sources = append(sources, catalog.SourceDef{
+			Site: name, Export: "PART",
+			ColumnMap: map[string]string{
+				"id": "pid", "name": "pname", "weight": "weight",
+				"price": "price", "category": "category", "site": fmt.Sprintf("'%s'", name),
+			},
+		})
+	}
+	def := &catalog.IntegratedDef{
+		Name: "PARTS",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TInt},
+			{Name: "name", Type: schema.TText},
+			{Name: "weight", Type: schema.TFloat},
+			{Name: "price", Type: schema.TFloat},
+			{Name: "category", Type: schema.TText},
+			{Name: "site", Type: schema.TText},
+		},
+		Key:     []string{"id"},
+		Combine: integration.UnionAll,
+		Sources: sources,
+	}
+	if err := dep.Fed.DefineIntegrated(def); err != nil {
+		panic(err)
+	}
+	return dep
+}
+
+// ---------------------------------------------------------------------
+// Orders: customers (small, site A) and orders (large, site B) for
+// cross-site join and semijoin experiments (E3)
+
+// OrdersSpec parameterizes the customers/orders dataset.
+type OrdersSpec struct {
+	Customers  int
+	Orders     int
+	HotPercent float64 // fraction of customers marked 'gold'
+	Seed       int64
+}
+
+// BuildOrders creates a two-site federation: CUSTOMERS at site "crm"
+// and ORDERS at site "oltp", joined on customer id.
+func BuildOrders(spec OrdersSpec) *Deployment {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	dep := &Deployment{Fed: core.New("orders"), Shutdown: func() {}}
+	ctx := context.Background()
+
+	crm := localdb.New("crm")
+	crm.MustExec(`CREATE TABLE customers (cid INTEGER PRIMARY KEY, cname TEXT NOT NULL, tier TEXT, region TEXT)`)
+	rows := make([]string, 0, spec.Customers)
+	for i := 0; i < spec.Customers; i++ {
+		tier := "std"
+		if rng.Float64() < spec.HotPercent {
+			tier = "gold"
+		}
+		rows = append(rows, fmt.Sprintf("(%d, 'cust-%d', '%s', 'r%d')", i, i, tier, rng.Intn(8)))
+	}
+	batchInsert(crm, "customers", rows)
+	gwCRM := gateway.New("crm", crm, dialect.Oracle())
+	if err := gwCRM.DefineExport(gateway.Export{Name: "CUSTOMER", LocalTable: "customers"}); err != nil {
+		panic(err)
+	}
+
+	oltp := localdb.New("oltp")
+	oltp.MustExec(`CREATE TABLE orders (oid INTEGER PRIMARY KEY, cust INTEGER NOT NULL, amount FLOAT, item TEXT)`)
+	rows = rows[:0]
+	for i := 0; i < spec.Orders; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %.2f, 'item-%d')",
+			i, rng.Intn(spec.Customers), rng.Float64()*500, rng.Intn(1000)))
+	}
+	batchInsert(oltp, "orders", rows)
+	gwOLTP := gateway.New("oltp", oltp, dialect.Postgres())
+	if err := gwOLTP.DefineExport(gateway.Export{Name: "ORDER_T", LocalTable: "orders"}); err != nil {
+		panic(err)
+	}
+
+	if err := dep.Fed.AttachSite(ctx, &gateway.LocalConn{G: gwCRM}); err != nil {
+		panic(err)
+	}
+	if err := dep.Fed.AttachSite(ctx, &gateway.LocalConn{G: gwOLTP}); err != nil {
+		panic(err)
+	}
+	dep.Sites = append(dep.Sites,
+		&Site{Name: "crm", DB: crm, Gateway: gwCRM},
+		&Site{Name: "oltp", DB: oltp, Gateway: gwOLTP})
+
+	defs := []*catalog.IntegratedDef{
+		{
+			Name: "CUSTOMERS",
+			Columns: []schema.Column{
+				{Name: "cid", Type: schema.TInt},
+				{Name: "cname", Type: schema.TText},
+				{Name: "tier", Type: schema.TText},
+				{Name: "region", Type: schema.TText},
+			},
+			Key:     []string{"cid"},
+			Combine: integration.UnionAll,
+			Sources: []catalog.SourceDef{{
+				Site: "crm", Export: "CUSTOMER",
+				ColumnMap: map[string]string{"cid": "cid", "cname": "cname", "tier": "tier", "region": "region"},
+			}},
+		},
+		{
+			Name: "ORDERS",
+			Columns: []schema.Column{
+				{Name: "oid", Type: schema.TInt},
+				{Name: "cust", Type: schema.TInt},
+				{Name: "amount", Type: schema.TFloat},
+				{Name: "item", Type: schema.TText},
+			},
+			Key:     []string{"oid"},
+			Combine: integration.UnionAll,
+			Sources: []catalog.SourceDef{{
+				Site: "oltp", Export: "ORDER_T",
+				ColumnMap: map[string]string{"oid": "oid", "cust": "cust", "amount": "amount", "item": "item"},
+			}},
+		},
+	}
+	for _, def := range defs {
+		if err := dep.Fed.DefineIntegrated(def); err != nil {
+			panic(err)
+		}
+	}
+	return dep
+}
+
+// ---------------------------------------------------------------------
+// Bank: accounts spread over N sites for 2PC and deadlock experiments
+// (E4, E5)
+
+// BankSpec parameterizes the banking dataset.
+type BankSpec struct {
+	Sites           int
+	AccountsPerSite int
+	InitialBalance  int64
+}
+
+// BuildBank creates one ACCT export per site (each site a bank branch)
+// plus an integrated ACCOUNTS view over all branches.
+func BuildBank(spec BankSpec) *Deployment {
+	dep := &Deployment{Fed: core.New("bank"), Shutdown: func() {}}
+	ctx := context.Background()
+
+	var sources []catalog.SourceDef
+	for s := 0; s < spec.Sites; s++ {
+		name := fmt.Sprintf("branch%d", s)
+		db := localdb.New(name)
+		db.MustExec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, owner TEXT, bal INTEGER NOT NULL)`)
+		rows := make([]string, 0, spec.AccountsPerSite)
+		for i := 0; i < spec.AccountsPerSite; i++ {
+			rows = append(rows, fmt.Sprintf("(%d, 'owner-%d-%d', %d)", i, s, i, spec.InitialBalance))
+		}
+		batchInsert(db, "acct", rows)
+		gw := gateway.New(name, db, dialectFor(s))
+		if err := gw.DefineExport(gateway.Export{Name: "ACCT", LocalTable: "acct"}); err != nil {
+			panic(err)
+		}
+		if err := dep.Fed.AttachSite(ctx, &gateway.LocalConn{G: gw}); err != nil {
+			panic(err)
+		}
+		dep.Sites = append(dep.Sites, &Site{Name: name, DB: db, Gateway: gw})
+		sources = append(sources, catalog.SourceDef{
+			Site: name, Export: "ACCT",
+			ColumnMap: map[string]string{
+				"branch": fmt.Sprintf("'%s'", name), "id": "id", "owner": "owner", "bal": "bal",
+			},
+		})
+	}
+	def := &catalog.IntegratedDef{
+		Name: "ACCOUNTS",
+		Columns: []schema.Column{
+			{Name: "branch", Type: schema.TText},
+			{Name: "id", Type: schema.TInt},
+			{Name: "owner", Type: schema.TText},
+			{Name: "bal", Type: schema.TInt},
+		},
+		Combine: integration.UnionAll,
+		Sources: sources,
+	}
+	if err := dep.Fed.DefineIntegrated(def); err != nil {
+		panic(err)
+	}
+	return dep
+}
+
+// TotalBalance sums every balance across branches directly at the
+// component DBs (bypassing the federation) for invariant checks.
+func (d *Deployment) TotalBalance(ctx context.Context) (int64, error) {
+	var total int64
+	for _, s := range d.Sites {
+		rs, err := s.DB.Query(ctx, `SELECT SUM(bal) FROM acct`)
+		if err != nil {
+			return 0, err
+		}
+		n, _ := rs.Rows[0][0].Int()
+		total += n
+	}
+	return total, nil
+}
+
+// SeededDelay configures a uniform artificial gateway latency on every
+// site, emulating the paper's LAN between SPARCstations.
+func (d *Deployment) SeededDelay(delay time.Duration) {
+	for _, s := range d.Sites {
+		s.Gateway.Delay = delay
+	}
+}

@@ -1,0 +1,201 @@
+package myriad_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"myriad"
+	"myriad/internal/gtm"
+	"myriad/internal/workload"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface end to
+// end, in-process.
+func TestPublicAPIQuickstart(t *testing.T) {
+	ctx := context.Background()
+
+	north := myriad.NewComponentDB("north")
+	north.MustExec(`CREATE TABLE staff (eid INTEGER PRIMARY KEY, ename TEXT NOT NULL, wage FLOAT)`)
+	north.MustExec(`INSERT INTO staff VALUES (1, 'amy', 52.5), (2, 'ben', 41.0)`)
+	south := myriad.NewComponentDB("south")
+	south.MustExec(`CREATE TABLE workers (id INTEGER PRIMARY KEY, name TEXT NOT NULL, hourly FLOAT)`)
+	south.MustExec(`INSERT INTO workers VALUES (10, 'dee', 38.7)`)
+
+	gwN := myriad.NewGateway("north", north, myriad.DialectOracle())
+	if err := gwN.DefineExport(myriad.Export{Name: "EMP", LocalTable: "staff",
+		Columns: []myriad.ExportColumn{
+			{Export: "id", Local: "eid"}, {Export: "name", Local: "ename"}, {Export: "rate", Local: "wage"},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	gwS := myriad.NewGateway("south", south, myriad.DialectPostgres())
+	if err := gwS.DefineExport(myriad.Export{Name: "EMP", LocalTable: "workers",
+		Columns: []myriad.ExportColumn{
+			{Export: "id", Local: "id"}, {Export: "name", Local: "name"}, {Export: "rate", Local: "hourly"},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+
+	fed := myriad.NewFederation("api-test")
+	if err := fed.AttachSite(ctx, myriad.LocalConn(gwN)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AttachSite(ctx, myriad.LocalConn(gwS)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.DefineIntegrated(&myriad.IntegratedDef{
+		Name: "EMPLOYEES",
+		Columns: []myriad.Column{
+			{Name: "id", Type: myriad.TInt},
+			{Name: "name", Type: myriad.TText},
+			{Name: "rate", Type: myriad.TFloat},
+		},
+		Key:     []string{"id"},
+		Combine: myriad.UnionAll,
+		Sources: []myriad.SourceDef{
+			{Site: "north", Export: "EMP", ColumnMap: map[string]string{"id": "id", "name": "name", "rate": "rate"}},
+			{Site: "south", Export: "EMP", ColumnMap: map[string]string{"id": "id", "name": "name", "rate": "rate"}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := fed.Query(ctx, `SELECT name FROM EMPLOYEES WHERE rate > 40 ORDER BY rate DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Text() != "amy" {
+		t.Errorf("rows: %v", rs.Rows)
+	}
+
+	for _, strat := range []myriad.Strategy{myriad.StrategySimple, myriad.StrategyCostBased} {
+		out, err := fed.Explain(ctx, `SELECT name FROM EMPLOYEES WHERE rate > 40`, strat)
+		if err != nil || out == "" {
+			t.Errorf("explain [%v]: %v", strat, err)
+		}
+	}
+
+	// User-defined integration functions register through the façade.
+	myriad.RegisterIntegrationFunc("api_test_fn", func(vals []myriad.Value) (myriad.Value, error) {
+		return myriad.TextValue("x"), nil
+	})
+	found := false
+	for _, n := range myriad.IntegrationFuncs() {
+		if n == "api_test_fn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered function not listed")
+	}
+}
+
+// TestMoneyConservedUnderConcurrentTransfers is the system-level
+// serializability check: many concurrent cross-branch transfers with
+// conflicts and timeout aborts must conserve the total balance exactly.
+func TestMoneyConservedUnderConcurrentTransfers(t *testing.T) {
+	dep := workload.BuildBank(workload.BankSpec{Sites: 3, AccountsPerSite: 8, InitialBalance: 1000})
+	dep.Fed.SetLocalQueryTimeout(40 * time.Millisecond)
+	ctx := context.Background()
+
+	before, err := dep.TotalBalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const transfersPerWorker = 40
+	var wg sync.WaitGroup
+	var commits, aborts int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfersPerWorker; i++ {
+				from := rng.Intn(3)
+				to := (from + 1 + rng.Intn(2)) % 3
+				acct := rng.Intn(8)
+				err := dep.Fed.Transfer(ctx,
+					fmt.Sprintf("branch%d", from),
+					fmt.Sprintf(`UPDATE ACCT SET bal = bal - 7 WHERE id = %d`, acct),
+					fmt.Sprintf("branch%d", to),
+					fmt.Sprintf(`UPDATE ACCT SET bal = bal + 7 WHERE id = %d`, acct))
+				mu.Lock()
+				if err == nil {
+					commits++
+				} else if errors.Is(err, gtm.ErrAborted) {
+					aborts++
+				} else {
+					t.Errorf("unexpected transfer error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	after, err := dep.TotalBalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("money not conserved: %d -> %d (commits=%d aborts=%d)", before, after, commits, aborts)
+	}
+	if commits == 0 {
+		t.Error("no transfer committed")
+	}
+	t.Logf("commits=%d aborts=%d (timeout aborts=%d)", commits, aborts,
+		dep.Fed.Coordinator().Stats.TimeoutAborts.Load())
+}
+
+// TestWireDeploymentSmoke drives the public TCP helpers: ServeGateway,
+// DialGateway, ServeFederation, DialFederation.
+func TestWireDeploymentSmoke(t *testing.T) {
+	ctx := context.Background()
+	db := myriad.NewComponentDB("solo")
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'x'), (2, 'y')`)
+	gw := myriad.NewGateway("solo", db, myriad.DialectPostgres())
+	if err := gw.DefineExport(myriad.Export{Name: "T", LocalTable: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	gwAddr, stopGw, err := myriad.ServeGateway(gw, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopGw() //nolint:errcheck
+
+	fed := myriad.NewFederation("wire-smoke")
+	if err := fed.AttachSite(ctx, myriad.DialGateway("solo", gwAddr, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.DefineIntegrated(&myriad.IntegratedDef{
+		Name: "TT",
+		Columns: []myriad.Column{
+			{Name: "id", Type: myriad.TInt}, {Name: "v", Type: myriad.TText}},
+		Combine: myriad.UnionAll,
+		Sources: []myriad.SourceDef{{Site: "solo", Export: "T",
+			ColumnMap: map[string]string{"id": "id", "v": "v"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fedAddr, stopFed, err := myriad.ServeFederation(fed, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopFed() //nolint:errcheck
+
+	client := myriad.DialFederation(fedAddr, 2)
+	defer client.Close() //nolint:errcheck
+	rs, err := client.Query(ctx, `SELECT v FROM TT WHERE id = 2`)
+	if err != nil || rs.Rows[0][0].Text() != "y" {
+		t.Fatalf("wire query: %v %v", rs, err)
+	}
+}
