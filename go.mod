@@ -1,0 +1,3 @@
+module myriad
+
+go 1.24

@@ -79,12 +79,14 @@ func ExecuteMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) 
 						return
 					}
 					vals, over := distinctValues(build, ss.SemiBuildCol, plan.MaxInList)
+					mu.Lock()
 					if over {
 						m.SemijoinSkip = true
 					} else {
 						m.SemijoinUsed = true
 						inList = vals
 					}
+					mu.Unlock()
 				}
 				rs, err := materializeScanSet(ctx, ss, runner, inList, m, &mu)
 				if err != nil {

@@ -240,7 +240,7 @@ func (g *Gateway) Query(ctx context.Context, txn uint64, sql string) (*schema.Re
 
 	var rs *schema.ResultSet
 	if txn == 0 {
-		rs, err = g.db.Query(ctx, sqlparser.FormatStatement(relSel, nil))
+		rs, err = g.db.QueryStmt(ctx, relSel)
 	} else {
 		branch, ok := g.db.Resume(lockmgr.TxnID(txn))
 		if !ok {

@@ -413,3 +413,32 @@ func TestDialectRoundTripPreservesStrings(t *testing.T) {
 		t.Errorf("dialect name: %s", g.Dialect())
 	}
 }
+
+func TestQueryLimitPushdownAcrossDialects(t *testing.T) {
+	// ORDER BY + LIMIT must survive translation and the dialect round
+	// trip (LIMIT/OFFSET vs FETCH FIRST) so the component engine's
+	// top-K executor sees the bound instead of sorting everything and
+	// truncating at the federation.
+	for _, d := range []*dialect.Dialect{dialect.Canonical(), dialect.Postgres(), dialect.Oracle()} {
+		g, _ := testGateway(t, d)
+		ctx := context.Background()
+		rs, err := g.Query(ctx, 0, `SELECT name FROM STUDENT ORDER BY gpa DESC LIMIT 2`)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if len(rs.Rows) != 2 {
+			t.Fatalf("%s: got %d rows, want 2 (limit lost in round trip)", d.Name, len(rs.Rows))
+		}
+		if rs.Rows[0][0].Text() != "ann" || rs.Rows[1][0].Text() != "bo" {
+			t.Errorf("%s: top-2 order wrong: %v", d.Name, rs.Rows)
+		}
+		// OFFSET too.
+		rs, err = g.Query(ctx, 0, `SELECT name FROM STUDENT ORDER BY gpa DESC LIMIT 2 OFFSET 1`)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if len(rs.Rows) != 2 || rs.Rows[0][0].Text() != "bo" || rs.Rows[1][0].Text() != "cy" {
+			t.Errorf("%s: offset window wrong: %v", d.Name, rs.Rows)
+		}
+	}
+}

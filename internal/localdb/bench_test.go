@@ -132,6 +132,50 @@ func BenchmarkUpdateCommitVsRollback(b *testing.B) {
 	}
 }
 
+// BenchmarkTopKOrderLimit pins the fused ORDER BY + LIMIT operator
+// against the materialize-and-sort baseline on 100k rows: the top-K
+// heap retains 10 rows instead of sorting 100k, so allocs/op should be
+// at least 5x lower than the fullsort sub-benchmark.
+func BenchmarkTopKOrderLimit(b *testing.B) {
+	db := benchDB(b, 100000)
+	ctx := context.Background()
+	const q = `SELECT id, name FROM t ORDER BY val, id LIMIT 10`
+	for _, mode := range []string{"topk", "fullsort"} {
+		b.Run(mode, func(b *testing.B) {
+			disableTopKFusion = mode == "fullsort"
+			defer func() { disableTopKFusion = false }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs, err := db.Query(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs.Rows) != 10 {
+					b.Fatalf("%d rows", len(rs.Rows))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLimitEarlyExit measures LIMIT-driven early termination: the
+// scan stops as soon as 10 matching rows surface instead of walking
+// all 100k slots.
+func BenchmarkLimitEarlyExit(b *testing.B) {
+	db := benchDB(b, 100000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query(ctx, `SELECT id FROM t WHERE grp = 5 LIMIT 10`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) != 10 {
+			b.Fatalf("%d rows", len(rs.Rows))
+		}
+	}
+}
+
 func BenchmarkParseOnly(b *testing.B) {
 	db := benchDB(b, 16)
 	ctx := context.Background()

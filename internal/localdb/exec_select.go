@@ -3,13 +3,13 @@ package localdb
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"myriad/internal/lockmgr"
 	"myriad/internal/schema"
 	"myriad/internal/sqlparser"
-	"myriad/internal/storage"
 	"myriad/internal/value"
 )
 
@@ -183,6 +183,24 @@ func sortResultSet(rs *schema.ResultSet, orderBy []sqlparser.OrderItem) error {
 	return nil
 }
 
+// compareKeys orders two sort-key tuples with per-key direction;
+// negative means a sorts before b. It is the one comparator shared by
+// the full-sort, top-K, and grouped ORDER BY paths so their orderings
+// cannot drift apart.
+func compareKeys(a, b []value.Value, descs []bool) int {
+	for i := range descs {
+		c := compareForSort(a[i], b[i])
+		if c == 0 {
+			continue
+		}
+		if descs[i] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
 // compareForSort orders values with NULLs first (ascending), matching
 // the engine's deterministic sort contract.
 func compareForSort(a, b value.Value) int {
@@ -243,7 +261,17 @@ func rowKey(r []value.Value) string {
 	return b.String()
 }
 
-// execSimpleSelect evaluates one SELECT core (no compound).
+// disableTopKFusion forces the full-sort path even when ORDER BY +
+// LIMIT could use the bounded top-K heap. Tests and benchmarks use it
+// to compare the fused operator against the materialize-and-sort
+// baseline; production code never sets it.
+var disableTopKFusion bool
+
+// execSimpleSelect evaluates one SELECT core (no compound) by
+// assembling a pull-based iterator pipeline: scan -> joins -> residual
+// filter -> (group | project/sort/top-K) -> distinct -> limit. LIMIT
+// terminates the pipeline early, propagating all the way down to the
+// storage scan.
 func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*schema.ResultSet, error) {
 	if len(sel.From) == 0 {
 		return tx.execFromlessSelect(sel)
@@ -252,22 +280,27 @@ func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*sc
 	conjuncts := sqlparser.SplitConjuncts(sel.Where)
 	used := make([]bool, len(conjuncts))
 
-	// Materialize the first FROM entry, then fold in comma-joined tables
-	// and explicit JOINs left to right.
+	// Open the first FROM entry, then fold in comma-joined tables and
+	// explicit JOINs left to right. Locks are acquired eagerly while
+	// constructing the pipeline (same order as the old materializing
+	// executor); rows flow lazily once the pipeline is pulled.
 	b := &rowBinder{}
-	rows, err := tx.scanBase(ctx, sel.From[0], conjuncts, used, b)
+	it, err := tx.scanBase(ctx, sel.From[0], conjuncts, used, b)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if it != nil {
+			it.Close()
+		}
+	}()
 	for _, ref := range sel.From[1:] {
-		rows, err = tx.joinWith(ctx, rows, b, ref, sqlparser.JoinInner, nil, conjuncts, used)
-		if err != nil {
+		if it, err = tx.joinWith(ctx, it, b, ref, sqlparser.JoinInner, nil, conjuncts, used); err != nil {
 			return nil, err
 		}
 	}
 	for _, j := range sel.Joins {
-		rows, err = tx.joinWith(ctx, rows, b, j.Table, j.Kind, j.On, conjuncts, used)
-		if err != nil {
+		if it, err = tx.joinWith(ctx, it, b, j.Table, j.Kind, j.On, conjuncts, used); err != nil {
 			return nil, err
 		}
 	}
@@ -284,22 +317,12 @@ func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*sc
 		if err != nil {
 			return nil, err
 		}
-		kept := rows[:0]
-		for _, r := range rows {
-			ok, err := evalBool(pred, r)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
+		it = newFilterIter(it, pred, 0)
 	}
 
 	grouped := len(sel.GroupBy) > 0 || selectHasAggregates(sel)
 	if grouped {
-		return tx.execGrouped(sel, b, rows)
+		return tx.execGrouped(ctx, sel, b, it)
 	}
 
 	// Plain projection path.
@@ -308,8 +331,8 @@ func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*sc
 		return nil, err
 	}
 	itemFns := make([]evalFn, len(items))
-	for i, it := range items {
-		if itemFns[i], err = compileExpr(it.Expr, b); err != nil {
+	for i, item := range items {
+		if itemFns[i], err = compileExpr(item.Expr, b); err != nil {
 			return nil, err
 		}
 	}
@@ -320,56 +343,37 @@ func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*sc
 		return nil, err
 	}
 
-	type outRow struct {
-		proj schema.Row
-		keys []value.Value
-	}
-	outs := make([]outRow, 0, len(rows))
-	for _, r := range rows {
-		proj := make(schema.Row, len(itemFns))
-		for i, fn := range itemFns {
-			v, err := fn(r)
-			if err != nil {
+	if len(sortFns) > 0 {
+		// ORDER BY + LIMIT without DISTINCT fuses into a bounded top-K
+		// heap: only offset+count rows are ever retained, and
+		// projection runs on the survivors alone. DISTINCT dedupes
+		// between sort and limit, so it needs the full sorted stream.
+		// An absurd bound (count+offset overflowing, or beyond int32)
+		// falls back to the full sort — the heap would be bigger than
+		// the input anyway.
+		if sel.Limit != nil && sel.Limit.Count >= 0 && !sel.Distinct && !disableTopKFusion &&
+			sel.Limit.Count <= math.MaxInt32-sel.Limit.Offset {
+			it = newTopKIter(it, itemFns, sortFns, descs, int(sel.Limit.Count), int(sel.Limit.Offset))
+			rs := &schema.ResultSet{Columns: itemNames(items)}
+			if err := drainInto(ctx, it, rs); err != nil {
 				return nil, err
 			}
-			proj[i] = v
+			return rs, nil
 		}
-		var keys []value.Value
-		if len(sortFns) > 0 {
-			keys = make([]value.Value, len(sortFns))
-			for i, fn := range sortFns {
-				v, err := fn(r)
-				if err != nil {
-					return nil, err
-				}
-				keys[i] = v
-			}
-		}
-		outs = append(outs, outRow{proj: proj, keys: keys})
-	}
-	if len(sortFns) > 0 {
-		sort.SliceStable(outs, func(a, b int) bool {
-			for i := range sortFns {
-				c := compareForSort(outs[a].keys[i], outs[b].keys[i])
-				if c == 0 {
-					continue
-				}
-				if descs[i] {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-	}
-	rs := &schema.ResultSet{Columns: itemNames(items)}
-	for _, o := range outs {
-		rs.Rows = append(rs.Rows, o.proj)
+		it = newSortIter(it, itemFns, sortFns, descs)
+	} else {
+		it = newProjIter(it, itemFns)
 	}
 	if sel.Distinct {
-		rs.Rows = dedupeRows(rs.Rows)
+		it = newDistinctIter(it)
 	}
-	applyLimit(rs, sel.Limit)
+	if sel.Limit != nil {
+		it = newLimitIter(it, sel.Limit.Count, sel.Limit.Offset)
+	}
+	rs := &schema.ResultSet{Columns: itemNames(items)}
+	if err := drainInto(ctx, it, rs); err != nil {
+		return nil, err
+	}
 	return rs, nil
 }
 
@@ -518,10 +522,12 @@ func selectHasAggregates(sel *sqlparser.Select) bool {
 // ---------------------------------------------------------------------
 // Base scans and joins
 
-// scanBase materializes one base table applying pushdown conjuncts, with
-// locking: a primary-key point predicate takes IS + key S; anything else
-// takes a table S lock.
-func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts []sqlparser.Expr, used []bool, b *rowBinder) ([][]value.Value, error) {
+// scanBase opens one base table as a row iterator applying pushdown
+// conjuncts, with locking: a primary-key point predicate takes IS + key
+// S; anything else takes a table S lock. Locks are acquired before the
+// iterator is returned; rows are read lazily as the iterator is pulled
+// (safe because the table lock freezes the table for the transaction).
+func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts []sqlparser.Expr, used []bool, b *rowBinder) (rowIter, error) {
 	tx.db.latch.RLock()
 	t, err := tx.db.table(ref.Name)
 	tx.db.latch.RUnlock()
@@ -588,10 +594,9 @@ func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts [
 		tx.db.latch.RUnlock()
 		b.add(qual, sc)
 		if !found {
-			return nil, nil
+			return newSliceIter(nil), nil
 		}
-		rows := [][]value.Value{append([]value.Value(nil), row...)}
-		return tx.filterLocal(rows, local, b, qual, sc)
+		return tx.filterLocal(newSliceIter([][]value.Value{row}), local, b)
 	}
 
 	// Full or index scan: table S lock.
@@ -601,67 +606,40 @@ func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts [
 	b.add(qual, sc)
 
 	// Secondary-index equality probe when available.
-	var idxRows []storage.RowID
-	useIdx := false
 	for _, c := range local {
 		if col, lit, ok := equalityLiteral(c); ok {
 			if ix, has := t.Index(col); has {
+				var rows [][]value.Value
 				tx.db.latch.RLock()
-				idxRows = ix.Lookup(lit)
+				for _, id := range ix.Lookup(lit) {
+					if r := t.Get(id); r != nil {
+						rows = append(rows, r)
+					}
+				}
 				tx.db.latch.RUnlock()
-				useIdx = true
-				break
+				return tx.filterLocal(newSliceIter(rows), local, b)
 			}
 		}
 	}
 
-	var rows [][]value.Value
-	tx.db.latch.RLock()
-	if useIdx {
-		for _, id := range idxRows {
-			if r := t.Get(id); r != nil {
-				rows = append(rows, append([]value.Value(nil), r...))
-			}
-		}
-	} else {
-		t.Scan(func(_ storage.RowID, r schema.Row) bool {
-			rows = append(rows, append([]value.Value(nil), r...))
-			return true
-		})
-	}
-	tx.db.latch.RUnlock()
-	return tx.filterLocal(rows, local, b, qual, sc)
+	// Heap scan: rows stream out in slot order, batch-copied under the
+	// latch, so a LIMIT above never touches the rest of the heap.
+	return tx.filterLocal(newHeapScanIter(tx.db, t), local, b)
 }
 
-func (tx *Txn) filterLocal(rows [][]value.Value, local []sqlparser.Expr, b *rowBinder, qual string, sc *schema.Schema) ([][]value.Value, error) {
+// filterLocal wraps it with this table's pushdown conjuncts. The
+// predicate was compiled against the full binder, so rows are padded to
+// the binding's offset during evaluation (see filterIter).
+func (tx *Txn) filterLocal(it rowIter, local []sqlparser.Expr, b *rowBinder) (rowIter, error) {
 	if len(local) == 0 {
-		return rows, nil
+		return it, nil
 	}
-	// Compile against a binder containing only this table so offsets are
-	// relative to the scanned row, then shift is unnecessary because the
-	// binding was just added at the end — compile against the full
-	// binder but evaluate rows padded to the binder width.
 	pred, err := compileExpr(sqlparser.JoinConjuncts(local), b)
 	if err != nil {
+		it.Close()
 		return nil, err
 	}
-	off := b.bindings[len(b.bindings)-1].off
-	kept := rows[:0]
-	for _, r := range rows {
-		padded := r
-		if off > 0 {
-			padded = make([]value.Value, off+len(r))
-			copy(padded[off:], r)
-		}
-		ok, err := evalBool(pred, padded)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			kept = append(kept, r)
-		}
-	}
-	return kept, nil
+	return newFilterIter(it, pred, b.bindings[len(b.bindings)-1].off), nil
 }
 
 // equalityLiteral matches "col = literal" or "literal = col".
@@ -683,10 +661,11 @@ func equalityLiteral(e sqlparser.Expr) (string, value.Value, bool) {
 	return "", value.Value{}, false
 }
 
-// joinWith folds the next table into the running row set. Equi-join
-// conditions drive a hash join; everything else nested-loops. The new
+// joinWith folds the next table into the running pipeline. Equi-join
+// conditions drive a streaming hash join (build on the right, probe as
+// the left streams through); everything else nested-loops. The new
 // table's single-table pushdown conjuncts are applied at its scan.
-func (tx *Txn) joinWith(ctx context.Context, left [][]value.Value, b *rowBinder, ref sqlparser.TableRef, kind sqlparser.JoinKind, on sqlparser.Expr, conjuncts []sqlparser.Expr, used []bool) ([][]value.Value, error) {
+func (tx *Txn) joinWith(ctx context.Context, left rowIter, b *rowBinder, ref sqlparser.TableRef, kind sqlparser.JoinKind, on sqlparser.Expr, conjuncts []sqlparser.Expr, used []bool) (rowIter, error) {
 	leftWidth := b.width
 	leftBindings := len(b.bindings)
 
@@ -696,8 +675,9 @@ func (tx *Txn) joinWith(ctx context.Context, left [][]value.Value, b *rowBinder,
 	if kind == sqlparser.JoinLeft {
 		scanConjuncts, scanUsed = nil, nil
 	}
-	rightRows, err := tx.scanBase(ctx, ref, scanConjuncts, scanUsed, b)
+	right, err := tx.scanBase(ctx, ref, scanConjuncts, scanUsed, b)
 	if err != nil {
+		left.Close()
 		return nil, err
 	}
 	rightSc := b.bindings[len(b.bindings)-1].sc
@@ -738,85 +718,23 @@ func (tx *Txn) joinWith(ctx context.Context, left [][]value.Value, b *rowBinder,
 	var residualFn evalFn
 	if len(residual) > 0 {
 		if residualFn, err = compileExpr(sqlparser.JoinConjuncts(residual), b); err != nil {
+			left.Close()
+			right.Close()
 			return nil, err
 		}
 	}
 
-	join := func(l, r []value.Value) []value.Value {
-		out := make([]value.Value, leftWidth+rightWidth)
-		copy(out, l)
-		copy(out[leftWidth:], r)
-		return out
+	jk := joinInner
+	if kind == sqlparser.JoinLeft {
+		jk = joinLeft
 	}
-	nullRight := make([]value.Value, rightWidth)
-
-	var out [][]value.Value
-	if len(leftKeys) > 0 {
-		// Hash join: build on the right side.
-		build := make(map[string][][]value.Value, len(rightRows))
-		for _, r := range rightRows {
-			padded := make([]value.Value, leftWidth+rightWidth)
-			copy(padded[leftWidth:], r)
-			key, null, err := hashKeyOf(rightKeys, padded)
-			if err != nil {
-				return nil, err
-			}
-			if null {
-				continue
-			}
-			build[key] = append(build[key], r)
-		}
-		for _, l := range left {
-			key, null, err := hashKeyOf(leftKeys, l)
-			matched := false
-			if err != nil {
-				return nil, err
-			}
-			if !null {
-				for _, r := range build[key] {
-					combined := join(l, r)
-					if residualFn != nil {
-						ok, err := evalBool(residualFn, combined)
-						if err != nil {
-							return nil, err
-						}
-						if !ok {
-							continue
-						}
-					}
-					matched = true
-					out = append(out, combined)
-				}
-			}
-			if !matched && kind == sqlparser.JoinLeft {
-				out = append(out, join(l, nullRight))
-			}
-		}
-		return out, nil
-	}
-
-	// Nested loop join.
-	for _, l := range left {
-		matched := false
-		for _, r := range rightRows {
-			combined := join(l, r)
-			if residualFn != nil {
-				ok, err := evalBool(residualFn, combined)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			matched = true
-			out = append(out, combined)
-		}
-		if !matched && kind == sqlparser.JoinLeft {
-			out = append(out, join(l, nullRight))
-		}
-	}
-	return out, nil
+	// With no equi pairs the hash join degenerates to the nested loop:
+	// every row hashes to the empty key.
+	return &hashJoinIter{
+		left: left, right: right,
+		leftKeys: leftKeys, rightKeys: rightKeys, residual: residualFn,
+		kind: jk, leftWidth: leftWidth, rightWidth: rightWidth,
+	}, nil
 }
 
 // exprResolvable reports whether every column in e binds in b.
@@ -905,7 +823,9 @@ type aggState struct {
 	inited   bool
 }
 
-func (tx *Txn) execGrouped(sel *sqlparser.Select, b *rowBinder, rows [][]value.Value) (*schema.ResultSet, error) {
+// execGrouped consumes the input pipeline row by row, folding each row
+// into its group's aggregate states; only the groups are materialized.
+func (tx *Txn) execGrouped(ctx context.Context, sel *sqlparser.Select, b *rowBinder, it rowIter) (*schema.ResultSet, error) {
 	items, err := expandItems(sel.Items, b)
 	if err != nil {
 		return nil, err
@@ -972,14 +892,21 @@ func (tx *Txn) execGrouped(sel *sqlparser.Select, b *rowBinder, rows [][]value.V
 		keyStrs[i] = sqlparser.FormatExpr(g, nil)
 	}
 
-	// Build groups.
+	// Build groups from the streaming input.
 	type group struct {
 		keys   []value.Value
 		states []*aggState
 	}
 	groups := make(map[string]*group)
 	var order []string
-	for _, r := range rows {
+	for {
+		r, err := it.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
 		keys := make([]value.Value, len(keyFns))
 		for i, fn := range keyFns {
 			v, err := fn(r)
@@ -1112,17 +1039,7 @@ func (tx *Txn) execGrouped(sel *sqlparser.Select, b *rowBinder, rows [][]value.V
 	}
 	if len(sortFns) > 0 {
 		sort.SliceStable(outs, func(a, b int) bool {
-			for i := range sortFns {
-				c := compareForSort(outs[a].keys[i], outs[b].keys[i])
-				if c == 0 {
-					continue
-				}
-				if descs[i] {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
+			return compareKeys(outs[a].keys, outs[b].keys, descs) < 0
 		})
 	}
 	rs := &schema.ResultSet{Columns: itemNames(items)}

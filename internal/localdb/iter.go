@@ -1,0 +1,690 @@
+package localdb
+
+import (
+	"context"
+	"sort"
+
+	"myriad/internal/schema"
+	"myriad/internal/storage"
+	"myriad/internal/value"
+)
+
+// rowIter is the volcano-style pull iterator every SELECT operator
+// implements. Next returns the next row, or (nil, nil) when the stream
+// is exhausted. Close releases operator state and propagates to
+// children; it is idempotent and safe mid-stream, which is how LIMIT
+// terminates a scan early. Cancellation is owned by the source
+// operators (heap scan, slice): every pull chain bottoms out in one, so
+// wrapping operators observe ctx errors without checking per row.
+type rowIter interface {
+	Next(ctx context.Context) ([]value.Value, error)
+	Close()
+}
+
+// scanBatchSize bounds how many rows a heap scan copies out per latch
+// acquisition: large enough to amortize the lock, small enough that
+// writers to other tables are not starved and LIMIT 10 does not drag in
+// the whole heap.
+const scanBatchSize = 256
+
+// ---------------------------------------------------------------------
+// Source operators
+
+// sliceIter streams a materialized row set (point reads, index probes,
+// operator tests).
+type sliceIter struct {
+	rows   [][]value.Value
+	pos    int
+	closed bool
+}
+
+func newSliceIter(rows [][]value.Value) *sliceIter { return &sliceIter{rows: rows} }
+
+func (s *sliceIter) Next(ctx context.Context) ([]value.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.closed || s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sliceIter) Close() { s.closed = true }
+
+// heapScanIter walks a heap table in slot order, copying row references
+// out in batches under the database latch. The caller must already hold
+// a table S lock, which freezes the table's slots for the statement's
+// lifetime: any writer — including a rollback's delete-undo, which can
+// re-fill tombstoned slots — needs a conflicting IX/X table lock. That
+// lock, not slot immutability, is what makes resuming ScanFrom across
+// latch releases observe the same snapshot the old
+// materialize-everything scan did. Row slices are shared, not copied:
+// the storage engine never mutates a row slice in place (updates swap
+// in a freshly coerced slice), so sharing is safe for readers.
+type heapScanIter struct {
+	db     *DB
+	t      *storage.Table
+	pos    storage.RowID
+	batch  [][]value.Value
+	bpos   int
+	done   bool
+	closed bool
+}
+
+func newHeapScanIter(db *DB, t *storage.Table) *heapScanIter {
+	return &heapScanIter{db: db, t: t}
+}
+
+func (s *heapScanIter) Next(ctx context.Context) ([]value.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.closed {
+		return nil, nil
+	}
+	if s.bpos >= len(s.batch) {
+		if s.done {
+			return nil, nil
+		}
+		s.refill()
+		if len(s.batch) == 0 {
+			s.done = true
+			return nil, nil
+		}
+	}
+	r := s.batch[s.bpos]
+	s.bpos++
+	return r, nil
+}
+
+func (s *heapScanIter) refill() {
+	s.batch = s.batch[:0]
+	s.bpos = 0
+	s.db.latch.RLock()
+	s.t.ScanFrom(s.pos, func(id storage.RowID, r schema.Row) bool {
+		s.batch = append(s.batch, r)
+		s.pos = id + 1
+		return len(s.batch) < scanBatchSize
+	})
+	s.db.latch.RUnlock()
+	if len(s.batch) < scanBatchSize {
+		s.done = true
+	}
+}
+
+func (s *heapScanIter) Close() { s.closed = true; s.batch = nil }
+
+// ---------------------------------------------------------------------
+// Filter
+
+// filterIter keeps rows satisfying pred. The predicate was compiled
+// against a binder whose slots for this input start at offset off; when
+// off > 0 the row is evaluated through a reused scratch padded to
+// off+len(row), while the raw row is what flows downstream (join
+// operators re-pad when combining).
+type filterIter struct {
+	child   rowIter
+	pred    evalFn
+	off     int
+	scratch []value.Value
+	closed  bool
+}
+
+func newFilterIter(child rowIter, pred evalFn, off int) *filterIter {
+	return &filterIter{child: child, pred: pred, off: off}
+}
+
+func (f *filterIter) Next(ctx context.Context) ([]value.Value, error) {
+	if f.closed {
+		return nil, nil
+	}
+	for {
+		r, err := f.child.Next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		probe := r
+		if f.off > 0 {
+			if len(f.scratch) < f.off+len(r) {
+				f.scratch = make([]value.Value, f.off+len(r))
+			}
+			copy(f.scratch[f.off:], r)
+			probe = f.scratch[:f.off+len(r)]
+		}
+		ok, err := evalBool(f.pred, probe)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return r, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() {
+	if !f.closed {
+		f.closed = true
+		f.child.Close()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Joins
+
+// hashJoinIter streams the left input, probing a hash table built from
+// the right input on first pull. Output order matches the old
+// materialized join exactly: left order outer, right scan order within
+// a key. LEFT JOIN pads unmatched left rows with NULLs. With no key
+// functions every row lands under the empty key, which degenerates to
+// exactly the nested-loop join (all pairs, residual-filtered), so one
+// operator serves both join strategies.
+type hashJoinIter struct {
+	left       rowIter
+	right      rowIter
+	leftKeys   []evalFn
+	rightKeys  []evalFn
+	residual   evalFn
+	kind       joinKind
+	leftWidth  int
+	rightWidth int
+
+	built   bool
+	build   map[string][][]value.Value
+	pending [][]value.Value // combined rows ready to emit for current left row
+	ppos    int
+	closed  bool
+}
+
+// joinKind mirrors sqlparser.JoinKind without importing it here.
+type joinKind uint8
+
+const (
+	joinInner joinKind = iota
+	joinLeft
+)
+
+func (j *hashJoinIter) buildSide(ctx context.Context) error {
+	j.build = make(map[string][][]value.Value)
+	scratch := make([]value.Value, j.leftWidth+j.rightWidth)
+	for {
+		r, err := j.right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		// Right key fns were compiled against the combined row; evaluate
+		// through a scratch with the right columns in place (the left
+		// region stays zero — the right key fns never read it).
+		copy(scratch[j.leftWidth:], r)
+		key, null, err := hashKeyOf(j.rightKeys, scratch)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue
+		}
+		j.build[key] = append(j.build[key], r)
+	}
+	j.right.Close()
+	j.built = true
+	return nil
+}
+
+func (j *hashJoinIter) combine(l, r []value.Value) []value.Value {
+	out := make([]value.Value, j.leftWidth+j.rightWidth)
+	copy(out, l)
+	copy(out[j.leftWidth:], r)
+	return out
+}
+
+func (j *hashJoinIter) Next(ctx context.Context) ([]value.Value, error) {
+	if j.closed {
+		return nil, nil
+	}
+	if !j.built {
+		if err := j.buildSide(ctx); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if j.ppos < len(j.pending) {
+			r := j.pending[j.ppos]
+			j.ppos++
+			return r, nil
+		}
+		l, err := j.left.Next(ctx)
+		if err != nil || l == nil {
+			return nil, err
+		}
+		j.pending = j.pending[:0]
+		j.ppos = 0
+		key, null, err := hashKeyOf(j.leftKeys, l)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		if !null {
+			for _, r := range j.build[key] {
+				combined := j.combine(l, r)
+				if j.residual != nil {
+					ok, err := evalBool(j.residual, combined)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				matched = true
+				j.pending = append(j.pending, combined)
+			}
+		}
+		if !matched && j.kind == joinLeft {
+			// combine zero-fills the right region, which is the NULL pad.
+			j.pending = append(j.pending, j.combine(l, nil))
+		}
+	}
+}
+
+func (j *hashJoinIter) Close() {
+	if !j.closed {
+		j.closed = true
+		j.left.Close()
+		j.right.Close()
+		j.build = nil
+		j.pending = nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Projection, ordering, distinct, limit
+
+// projIter applies the select-item projection per row.
+type projIter struct {
+	child   rowIter
+	itemFns []evalFn
+	closed  bool
+}
+
+func newProjIter(child rowIter, itemFns []evalFn) *projIter {
+	return &projIter{child: child, itemFns: itemFns}
+}
+
+func (p *projIter) Next(ctx context.Context) ([]value.Value, error) {
+	if p.closed {
+		return nil, nil
+	}
+	r, err := p.child.Next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := make([]value.Value, len(p.itemFns))
+	for i, fn := range p.itemFns {
+		if out[i], err = fn(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *projIter) Close() {
+	if !p.closed {
+		p.closed = true
+		p.child.Close()
+	}
+}
+
+// sortIter materializes its input, projecting and evaluating sort keys
+// per row, then emits projected rows in stable key order (the old
+// full-sort path as an operator).
+type sortIter struct {
+	child   rowIter
+	itemFns []evalFn
+	sortFns []evalFn
+	descs   []bool
+
+	out    []schema.Row
+	pos    int
+	filled bool
+	closed bool
+}
+
+func newSortIter(child rowIter, itemFns, sortFns []evalFn, descs []bool) *sortIter {
+	return &sortIter{child: child, itemFns: itemFns, sortFns: sortFns, descs: descs}
+}
+
+func (s *sortIter) fill(ctx context.Context) error {
+	type outRow struct {
+		proj schema.Row
+		keys []value.Value
+	}
+	var outs []outRow
+	for {
+		r, err := s.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		proj := make(schema.Row, len(s.itemFns))
+		for i, fn := range s.itemFns {
+			if proj[i], err = fn(r); err != nil {
+				return err
+			}
+		}
+		keys := make([]value.Value, len(s.sortFns))
+		for i, fn := range s.sortFns {
+			if keys[i], err = fn(r); err != nil {
+				return err
+			}
+		}
+		outs = append(outs, outRow{proj: proj, keys: keys})
+	}
+	s.child.Close()
+	sort.SliceStable(outs, func(a, b int) bool {
+		return compareKeys(outs[a].keys, outs[b].keys, s.descs) < 0
+	})
+	s.out = make([]schema.Row, len(outs))
+	for i, o := range outs {
+		s.out[i] = o.proj
+	}
+	s.filled = true
+	return nil
+}
+
+func (s *sortIter) Next(ctx context.Context) ([]value.Value, error) {
+	if s.closed {
+		return nil, nil
+	}
+	if !s.filled {
+		if err := s.fill(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	r := s.out[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sortIter) Close() {
+	if !s.closed {
+		s.closed = true
+		s.child.Close()
+		s.out = nil
+	}
+}
+
+// topKIter fuses ORDER BY + LIMIT: it retains only the top
+// offset+count input rows in a bounded max-heap while draining its
+// child, then projects and emits them in order. Ties are broken by
+// arrival sequence so the result is exactly the first offset+count
+// rows of the stable full sort. Projection is deferred to the
+// surviving rows, so a 100k-row sort for LIMIT 10 evaluates 10
+// projections and allocates key slices only for rows that enter the
+// heap.
+type topKIter struct {
+	child   rowIter
+	itemFns []evalFn
+	sortFns []evalFn
+	descs   []bool
+	count   int // LIMIT count (>= 0)
+	offset  int
+
+	heap    []topEntry
+	scratch []value.Value
+	out     []schema.Row
+	pos     int
+	filled  bool
+	closed  bool
+}
+
+type topEntry struct {
+	row  []value.Value
+	keys []value.Value
+	seq  int
+}
+
+func newTopKIter(child rowIter, itemFns, sortFns []evalFn, descs []bool, count, offset int) *topKIter {
+	return &topKIter{child: child, itemFns: itemFns, sortFns: sortFns, descs: descs, count: count, offset: offset}
+}
+
+// sortsAfter reports whether a belongs after b in the output order
+// (keys with per-key direction, then arrival sequence). It is a total
+// order because sequences are unique.
+func (t *topKIter) sortsAfter(aKeys []value.Value, aSeq int, bKeys []value.Value, bSeq int) bool {
+	if c := compareKeys(aKeys, bKeys, t.descs); c != 0 {
+		return c > 0
+	}
+	return aSeq > bSeq
+}
+
+// heap invariant: t.heap[0] is the entry that sorts last (max-heap
+// under sortsAfter), i.e. the first to be evicted.
+func (t *topKIter) heapLess(parent, child int) bool {
+	// parent must sort after child.
+	return t.sortsAfter(t.heap[parent].keys, t.heap[parent].seq, t.heap[child].keys, t.heap[child].seq)
+}
+
+func (t *topKIter) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.heapLess(p, i) {
+			return
+		}
+		t.heap[p], t.heap[i] = t.heap[i], t.heap[p]
+		i = p
+	}
+}
+
+func (t *topKIter) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		largest := i
+		if l := 2*i + 1; l < n && !t.heapLess(largest, l) {
+			largest = l
+		}
+		if r := 2*i + 2; r < n && !t.heapLess(largest, r) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+func (t *topKIter) fill(ctx context.Context) error {
+	k := t.count + t.offset
+	if len(t.scratch) < len(t.sortFns) {
+		t.scratch = make([]value.Value, len(t.sortFns))
+	}
+	seq := 0
+	for k > 0 {
+		r, err := t.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		for i, fn := range t.sortFns {
+			if t.scratch[i], err = fn(r); err != nil {
+				return err
+			}
+		}
+		switch {
+		case len(t.heap) < k:
+			keys := make([]value.Value, len(t.sortFns))
+			copy(keys, t.scratch)
+			t.heap = append(t.heap, topEntry{row: r, keys: keys, seq: seq})
+			t.siftUp(len(t.heap) - 1)
+		case t.sortsAfter(t.heap[0].keys, t.heap[0].seq, t.scratch, seq):
+			// Candidate beats the current worst: replace the root.
+			keys := make([]value.Value, len(t.sortFns))
+			copy(keys, t.scratch)
+			t.heap[0] = topEntry{row: r, keys: keys, seq: seq}
+			t.siftDown(0)
+		}
+		seq++
+	}
+	t.child.Close()
+	sort.Slice(t.heap, func(a, b int) bool {
+		return t.sortsAfter(t.heap[b].keys, t.heap[b].seq, t.heap[a].keys, t.heap[a].seq)
+	})
+	start := t.offset
+	if start > len(t.heap) {
+		start = len(t.heap)
+	}
+	for _, e := range t.heap[start:] {
+		proj := make(schema.Row, len(t.itemFns))
+		var err error
+		for i, fn := range t.itemFns {
+			if proj[i], err = fn(e.row); err != nil {
+				return err
+			}
+		}
+		t.out = append(t.out, proj)
+	}
+	t.heap = nil
+	t.filled = true
+	return nil
+}
+
+func (t *topKIter) Next(ctx context.Context) ([]value.Value, error) {
+	if t.closed {
+		return nil, nil
+	}
+	if !t.filled {
+		if err := t.fill(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if t.pos >= len(t.out) {
+		return nil, nil
+	}
+	r := t.out[t.pos]
+	t.pos++
+	return r, nil
+}
+
+func (t *topKIter) Close() {
+	if !t.closed {
+		t.closed = true
+		t.child.Close()
+		t.heap = nil
+		t.out = nil
+	}
+}
+
+// distinctIter drops rows whose encoded key was already seen,
+// preserving first-occurrence order (streaming DISTINCT).
+type distinctIter struct {
+	child  rowIter
+	seen   map[string]bool
+	closed bool
+}
+
+func newDistinctIter(child rowIter) *distinctIter {
+	return &distinctIter{child: child, seen: make(map[string]bool)}
+}
+
+func (d *distinctIter) Next(ctx context.Context) ([]value.Value, error) {
+	if d.closed {
+		return nil, nil
+	}
+	for {
+		r, err := d.child.Next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		k := rowKey(r)
+		if !d.seen[k] {
+			d.seen[k] = true
+			return r, nil
+		}
+	}
+}
+
+func (d *distinctIter) Close() {
+	if !d.closed {
+		d.closed = true
+		d.child.Close()
+		d.seen = nil
+	}
+}
+
+// limitIter implements OFFSET/LIMIT with early termination: once count
+// rows have been emitted it closes its child, so nothing upstream pulls
+// another row from storage. count < 0 means no count bound (OFFSET
+// only).
+type limitIter struct {
+	child   rowIter
+	offset  int64
+	count   int64
+	skipped int64
+	emitted int64
+	closed  bool
+}
+
+func newLimitIter(child rowIter, count, offset int64) *limitIter {
+	return &limitIter{child: child, count: count, offset: offset}
+}
+
+func (l *limitIter) Next(ctx context.Context) ([]value.Value, error) {
+	if l.closed {
+		return nil, nil
+	}
+	if l.count >= 0 && l.emitted >= l.count {
+		l.Close()
+		return nil, nil
+	}
+	for l.skipped < l.offset {
+		r, err := l.child.Next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	r, err := l.child.Next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	l.emitted++
+	if l.count >= 0 && l.emitted >= l.count {
+		// The bound is reached; release upstream state eagerly but keep
+		// emitting this row.
+		l.child.Close()
+	}
+	return r, nil
+}
+
+func (l *limitIter) Close() {
+	if !l.closed {
+		l.closed = true
+		l.child.Close()
+	}
+}
+
+// drainInto pulls the iterator dry, appending every row to rs.
+func drainInto(ctx context.Context, it rowIter, rs *schema.ResultSet) error {
+	for {
+		r, err := it.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+		rs.Rows = append(rs.Rows, r)
+	}
+}

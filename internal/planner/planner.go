@@ -17,6 +17,7 @@ package planner
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -144,7 +145,7 @@ func New(cat *catalog.Catalog, stats StatsProvider) *Planner {
 // Plan compiles a parsed global SELECT.
 func (p *Planner) Plan(ctx context.Context, sel *sqlparser.Select, strategy Strategy) (*Plan, error) {
 	plan := &Plan{Strategy: strategy, MaxInList: 1000}
-	residual, err := p.planSelect(ctx, sel, strategy, plan, 0)
+	residual, err := p.planSelect(ctx, sel, strategy, plan, 0, false)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +154,10 @@ func (p *Planner) Plan(ctx context.Context, sel *sqlparser.Select, strategy Stra
 }
 
 // planSelect plans one branch (and its UNION continuations).
-func (p *Planner) planSelect(ctx context.Context, sel *sqlparser.Select, strategy Strategy, plan *Plan, branch int) (*sqlparser.Select, error) {
+// unionDistinct reports whether any set operation earlier in the chain
+// was a deduplicating UNION, in which case the combined result is
+// deduped before the union-wide LIMIT applies.
+func (p *Planner) planSelect(ctx context.Context, sel *sqlparser.Select, strategy Strategy, plan *Plan, branch int, unionDistinct bool) (*sqlparser.Select, error) {
 	out := *sel
 	// Copy the slices the planner rewrites so the caller's AST survives.
 	out.From = append([]sqlparser.TableRef{}, sel.From...)
@@ -221,7 +225,9 @@ func (p *Planner) planSelect(ctx context.Context, sel *sqlparser.Select, strateg
 		if residual, ok := p.pushAggregates(sel, sets); ok {
 			return residual, nil
 		}
-		p.pushLimit(sel, sets)
+		if nl := p.pushLimit(sel, sets, branch > 0, unionDistinct); nl != nil {
+			out.Limit = nl
+		}
 		p.chooseSemijoin(sel, sets)
 		reorderJoins(&out, sets)
 	}
@@ -237,7 +243,7 @@ func (p *Planner) planSelect(ctx context.Context, sel *sqlparser.Select, strateg
 	}
 
 	if sel.Compound != nil {
-		right, err := p.planSelect(ctx, sel.Compound.Right, strategy, plan, branch+1)
+		right, err := p.planSelect(ctx, sel.Compound.Right, strategy, plan, branch+1, unionDistinct || !sel.Compound.All)
 		if err != nil {
 			return nil, err
 		}
@@ -511,22 +517,47 @@ func (p *Planner) pushSelections(sel *sqlparser.Select, sets map[string]*ScanSet
 // whose keys translate at every source this becomes top-K pushdown —
 // each site returns its own top (offset+count) candidates and the
 // residual re-sorts the merged candidate set.
-func (p *Planner) pushLimit(sel *sqlparser.Select, sets map[string]*ScanSet) {
+//
+// A single-site subquery (one source) goes further: the one fragment
+// is exactly the pre-residual row set, so the full LIMIT/OFFSET ships
+// to the site — the component engine's top-K executor retains only
+// offset+count rows and only count rows cross the wire. The returned
+// LimitClause, when non-nil, replaces the residual's limit (the offset
+// was already consumed at the site).
+//
+// unionBranch marks a UNION continuation (branch > 0): the final
+// branch carries the ORDER BY/LIMIT of the whole union, so the exact
+// single-site variant must not consume the offset against one
+// fragment; only the widened over-fetch is safe there. And when any
+// set operation in the chain deduplicates (unionDistinct), no
+// pushdown is safe at all: the residual dedupes the merged rows
+// before applying the union-wide LIMIT, so rows cut by a per-source
+// over-fetch could have survived dedup.
+func (p *Planner) pushLimit(sel *sqlparser.Select, sets map[string]*ScanSet, unionBranch, unionDistinct bool) *sqlparser.LimitClause {
 	if sel.Limit == nil || sel.Limit.Count < 0 || len(sets) != 1 {
-		return
+		return nil
+	}
+	// An absurd bound whose count+offset overflows buys nothing at a
+	// site and would wrap the over-fetch arithmetic below; leave the
+	// limit to the residual (mirrors the top-K guard in localdb).
+	if sel.Limit.Count > math.MaxInt32-sel.Limit.Offset {
+		return nil
+	}
+	if unionBranch && unionDistinct {
+		return nil
 	}
 	if len(sel.GroupBy) > 0 || sel.Having != nil || sel.Distinct || sel.Compound != nil {
-		return
+		return nil
 	}
 	// LIMIT below an aggregate would truncate its input.
 	for _, it := range sel.Items {
 		if it.Expr != nil && sqlparser.HasAggregate(it.Expr) {
-			return
+			return nil
 		}
 	}
 	for _, ss := range sets {
 		if ss.Def.Combine != integration.UnionAll {
-			return
+			return nil
 		}
 		// Only safe when every WHERE conjunct is pushable at every
 		// source; a per-source Filter also populates scan WHEREs, so
@@ -534,11 +565,11 @@ func (p *Planner) pushLimit(sel *sqlparser.Select, sets map[string]*ScanSet) {
 		for _, conj := range sqlparser.SplitConjuncts(sel.Where) {
 			alias, ok := singleAlias(conj, sets)
 			if !ok || !strings.EqualFold(alias, strings.ToLower(ss.Alias)) {
-				return
+				return nil
 			}
 			for i := range ss.Def.Sources {
 				if _, ok := translateExpr(conj, &ss.Def.Sources[i], ss.Alias); !ok {
-					return
+					return nil
 				}
 			}
 		}
@@ -550,11 +581,24 @@ func (p *Planner) pushLimit(sel *sqlparser.Select, sets map[string]*ScanSet) {
 				for _, o := range sel.OrderBy {
 					te, ok := translateExpr(o.Expr, &ss.Def.Sources[i], ss.Alias)
 					if !ok {
-						return
+						return nil
 					}
 					perSource[i] = append(perSource[i], sqlparser.OrderItem{Expr: te, Desc: o.Desc})
 				}
 			}
+		}
+		if len(ss.Scans) == 1 && !unionBranch {
+			// Single-site: ship the exact LIMIT/OFFSET; the residual
+			// keeps the count (re-sorting at most count rows) but must
+			// not re-apply the offset.
+			scan := ss.Scans[0]
+			scan.Select.OrderBy = perSource[0]
+			scan.Select.Limit = &sqlparser.LimitClause{Count: sel.Limit.Count, Offset: sel.Limit.Offset}
+			if scan.EstRows > float64(sel.Limit.Count) {
+				scan.EstRows = float64(sel.Limit.Count)
+			}
+			ss.EstRows = scan.EstRows
+			return &sqlparser.LimitClause{Count: sel.Limit.Count}
 		}
 		n := sel.Limit.Count + sel.Limit.Offset
 		for i, scan := range ss.Scans {
@@ -565,6 +609,7 @@ func (p *Planner) pushLimit(sel *sqlparser.Select, sets map[string]*ScanSet) {
 			}
 		}
 	}
+	return nil
 }
 
 // chooseSemijoin finds one equi-join between two aliases where shipping

@@ -262,6 +262,80 @@ func TestLimitNotPushedWhenPredicateUnpushable(t *testing.T) {
 	}
 }
 
+func TestSingleSiteLimitOffsetPushdown(t *testing.T) {
+	// E has one source, so the site applies the full LIMIT/OFFSET and
+	// ships only Count rows; the residual keeps the count but must not
+	// re-apply the consumed offset.
+	p := New(testCatalog(t), nil)
+	plan := mustPlan(t, p, `SELECT sid FROM E ORDER BY sid LIMIT 5 OFFSET 20`, CostBased)
+	sql := scanSQL(plan)
+	if !strings.Contains(sql, "ORDER BY sid LIMIT 5 OFFSET 20") {
+		t.Errorf("single-site scan missing full limit/offset:\n%s", sql)
+	}
+	res := sqlparser.FormatStatement(plan.Residual, nil)
+	if !strings.Contains(res, "LIMIT 5") || strings.Contains(res, "OFFSET") {
+		t.Errorf("residual should keep LIMIT 5 without OFFSET: %s", res)
+	}
+	if plan.ScanSets[0].Scans[0].EstRows > 5 {
+		t.Errorf("scan estimate not clamped to count: %v", plan.ScanSets[0].Scans[0].EstRows)
+	}
+
+	// Multi-source sets keep the widened per-source fetch and the full
+	// residual limit (offset applies only after the global merge).
+	plan = mustPlan(t, p, `SELECT name FROM S ORDER BY name LIMIT 5 OFFSET 3`, CostBased)
+	if !strings.Contains(scanSQL(plan), "LIMIT 8") {
+		t.Errorf("multi-source K should stay count+offset:\n%s", scanSQL(plan))
+	}
+	res = sqlparser.FormatStatement(plan.Residual, nil)
+	if !strings.Contains(res, "LIMIT 5 OFFSET 3") {
+		t.Errorf("multi-source residual lost the full limit: %s", res)
+	}
+
+	// The final branch of a UNION carries the union-wide LIMIT/OFFSET:
+	// the exact pushdown must not consume the offset against that one
+	// fragment. The widened over-fetch (count+offset) is still fine.
+	plan = mustPlan(t, p, `SELECT sid FROM E UNION ALL SELECT sid FROM E ORDER BY sid LIMIT 5 OFFSET 20`, CostBased)
+	sql = scanSQL(plan)
+	if strings.Contains(sql, "OFFSET") {
+		t.Errorf("union branch consumed the combined offset at a site:\n%s", sql)
+	}
+	if !strings.Contains(sql, "LIMIT 25") {
+		t.Errorf("union-all branch lost the safe over-fetch:\n%s", sql)
+	}
+	res = sqlparser.FormatStatement(plan.Residual, nil)
+	if !strings.Contains(res, "LIMIT 5 OFFSET 20") {
+		t.Errorf("union residual lost the combined limit/offset: %s", res)
+	}
+
+	// A deduplicating UNION anywhere in the chain disables pushdown on
+	// its branches entirely: the residual dedupes the merged rows
+	// before the union-wide LIMIT, so rows cut by a per-source
+	// over-fetch could have survived dedup.
+	plan = mustPlan(t, p, `SELECT sid FROM E UNION SELECT sid FROM E ORDER BY sid LIMIT 5`, CostBased)
+	if strings.Contains(scanSQL(plan), "LIMIT") {
+		t.Errorf("limit pushed into a branch of UNION DISTINCT:\n%s", scanSQL(plan))
+	}
+	plan = mustPlan(t, p, `SELECT sid FROM E UNION SELECT sid FROM E UNION ALL SELECT sid FROM E ORDER BY sid LIMIT 5`, CostBased)
+	if strings.Contains(scanSQL(plan), "LIMIT") {
+		t.Errorf("limit pushed below a mixed-distinct union chain:\n%s", scanSQL(plan))
+	}
+
+	// count+offset overflowing must not wrap the over-fetch arithmetic
+	// (a negative Count renders as no LIMIT and corrupts EstRows); the
+	// pushdown just stays home.
+	plan = mustPlan(t, p, `SELECT name FROM S ORDER BY name LIMIT 9223372036854775807 OFFSET 1`, CostBased)
+	if strings.Contains(scanSQL(plan), "LIMIT") {
+		t.Errorf("overflowing limit pushed to sites:\n%s", scanSQL(plan))
+	}
+	for _, ss := range plan.ScanSets {
+		for _, sc := range ss.Scans {
+			if sc.EstRows < 0 {
+				t.Errorf("EstRows corrupted by overflow: %v", sc.EstRows)
+			}
+		}
+	}
+}
+
 func statsFor() fixedStats {
 	mk := func(rows int64, distinct int64) *storage.TableStats {
 		return &storage.TableStats{

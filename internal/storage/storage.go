@@ -209,7 +209,23 @@ func (t *Table) Update(id RowID, r schema.Row) (schema.Row, error) {
 
 // Scan visits every live row; the visitor returns false to stop.
 func (t *Table) Scan(visit func(RowID, schema.Row) bool) {
-	for i, r := range t.rows {
+	t.ScanFrom(0, visit)
+}
+
+// ScanFrom visits live rows starting at slot start (inclusive); the
+// visitor returns false to stop. A caller may resume a scan from the
+// slot after the last visited row and observe each live row exactly
+// once — provided the table is not mutated between segments. That is
+// the caller's responsibility (the DBMS layer holds a table S lock for
+// the scan's lifetime): tombstoned slots can be re-filled by a
+// rollback's delete-undo (InsertAt), so the engine itself does not
+// guarantee slot stability.
+func (t *Table) ScanFrom(start RowID, visit func(RowID, schema.Row) bool) {
+	if start < 0 {
+		start = 0
+	}
+	for i := int(start); i < len(t.rows); i++ {
+		r := t.rows[i]
 		if r == nil {
 			continue
 		}
