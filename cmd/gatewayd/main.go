@@ -66,6 +66,9 @@ type config struct {
 	// graceful shutdown, giving the component database restart
 	// durability.
 	Snapshot string `json:"snapshot,omitempty"`
+	// StreamBatchRows caps rows per streaming batch frame served to
+	// federations (0 = comm.DefaultBatchRows).
+	StreamBatchRows int `json:"stream_batch_rows,omitempty"`
 }
 
 func main() {
@@ -170,13 +173,20 @@ func run(configPath string) error {
 		}
 	}
 
+	// The gateway implements comm.StreamHandler: OpQuery responses
+	// stream as row batches straight off the local iterator pipeline.
 	srv := comm.NewServer(gw)
+	srv.BatchRows = cfg.StreamBatchRows
 	addr, err := srv.Listen(cfg.Listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("gatewayd: site %s (%s dialect) serving on %s with %d exports",
-		cfg.Site, d.Name, addr, len(cfg.Exports))
+	batch := cfg.StreamBatchRows
+	if batch <= 0 {
+		batch = comm.DefaultBatchRows
+	}
+	log.Printf("gatewayd: site %s (%s dialect) serving on %s with %d exports (streaming %d-row batches)",
+		cfg.Site, d.Name, addr, len(cfg.Exports), batch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -59,6 +59,9 @@ type config struct {
 	LocalTimeoutMs int64                         `json:"local_query_timeout_ms,omitempty"`
 	Sites          []siteConfig                  `json:"sites"`
 	Integrated     []fedserver.IntegratedDefJSON `json:"integrated"`
+	// StreamBatchRows caps rows per streaming batch frame served to
+	// clients (0 = comm.DefaultBatchRows).
+	StreamBatchRows int `json:"stream_batch_rows,omitempty"`
 }
 
 func main() {
@@ -126,12 +129,16 @@ func run(configPath string) error {
 		log.Printf("myriadd: defined integrated relation %s", def.Name)
 	}
 
+	// fedserver implements comm.StreamHandler: autocommit global query
+	// results stream to clients as the federation produces them, with
+	// remote fragments pipelining in from the gatewayds underneath.
 	srv := comm.NewServer(fedserver.New(fed))
+	srv.BatchRows = cfg.StreamBatchRows
 	addr, err := srv.Listen(cfg.Listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("myriadd: federation %q serving on %s (%d sites, %d integrated relations, %v strategy)",
+	log.Printf("myriadd: federation %q serving on %s (%d sites, %d integrated relations, %v strategy, streaming transport)",
 		cfg.Name, addr, len(cfg.Sites), len(cfg.Integrated), fed.Strategy)
 
 	sig := make(chan os.Signal, 1)

@@ -1,10 +1,20 @@
-// Package comm is MYRIAD's communication substrate: a synchronous
-// request/response protocol of gob-encoded frames over TCP. It plays the
-// role of the BSD-socket message layer in the 1994 prototype.
+// Package comm is MYRIAD's communication substrate: gob-encoded
+// messages over pooled TCP connections. It plays the role of the
+// BSD-socket message layer in the 1994 prototype, extended with a
+// streaming row-batch transport the original lacked.
 //
-// The same Request/Response pair serves the gateway protocol (federation
-// to component DBMS) and the federation's client protocol; which fields
-// are populated depends on Op.
+// Two exchange shapes share each connection:
+//
+//   - Request/Response: one synchronous round trip (Client.Do), used
+//     for control operations (ping, schema, stats, transactions, DML).
+//   - Request/Frame-stream: a Stream=true request (Client.DoStream) is
+//     answered by a header frame (columns), gob-encoded row batches,
+//     and a trailer (error + row count), letting query results pipeline
+//     site → federation → client without materializing. See PROTOCOL.md.
+//
+// The same Request serves the gateway protocol (federation to component
+// DBMS) and the federation's client protocol; which fields are
+// populated depends on Op.
 package comm
 
 import (
@@ -50,6 +60,9 @@ type Request struct {
 	SQL       string
 	Table     string // for OpStats
 	TimeoutMs int64  // per-request server-side timeout (0 = none)
+	// Stream requests a frame-sequence response (header, row batches,
+	// trailer) instead of a single Response; see Client.DoStream.
+	Stream bool
 }
 
 // ErrKind discriminates error causes across the wire.
@@ -77,6 +90,23 @@ type Response struct {
 // timeout (presumed deadlock, per the paper's resolution policy).
 var TimeoutError = errors.New("comm: remote timeout (presumed deadlock)")
 
+// socketBufferBytes fixes SO_RCVBUF/SO_SNDBUF on every protocol
+// connection. A fixed window turns the transport's backpressure into
+// hard TCP flow control: a streaming producer can never outrun a
+// paused consumer by more than this, and — the reason it exists — it
+// disables kernel receive-buffer autotuning, which under bursty
+// row-batch streams can balloon the advertised window past what the
+// host tolerates and then prune the receive queue, dropping segments
+// and stalling the stream on ~200ms retransmission timeouts.
+const socketBufferBytes = 256 << 10
+
+func tuneConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetReadBuffer(socketBufferBytes)  //nolint:errcheck
+		tc.SetWriteBuffer(socketBufferBytes) //nolint:errcheck
+	}
+}
+
 // AsError converts a Response's error fields into a Go error.
 func (r *Response) AsError() error {
 	switch r.Kind {
@@ -98,6 +128,16 @@ type Handler interface {
 // Server accepts connections and pumps the request/response loop.
 type Server struct {
 	handler Handler
+
+	// BatchRows caps rows per streaming batch frame (0 = DefaultBatchRows).
+	// Set before Listen.
+	BatchRows int
+
+	// StreamWriteTimeout is the per-frame write progress deadline for
+	// streaming responses (0 = DefaultStreamWriteTimeout; negative
+	// disables). It bounds how long a dead client that stopped reading
+	// can keep a handler — and the scan locks behind it — alive.
+	StreamWriteTimeout time.Duration
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -136,6 +176,7 @@ func (s *Server) serve(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		tuneConn(conn)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -170,6 +211,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		cancel := func() {}
 		if req.TimeoutMs > 0 {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		}
+		if req.Stream {
+			ok := s.serveStream(ctx, &req, conn, enc)
+			cancel()
+			if !ok {
+				return
+			}
+			continue
 		}
 		resp := s.handler.Handle(ctx, &req)
 		cancel()
@@ -246,6 +295,7 @@ func (c *Client) get(ctx context.Context) (*clientConn, error) {
 			c.pool <- nil // return the slot
 			return nil, err
 		}
+		tuneConn(conn)
 		cc = &clientConn{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
 		c.mu.Lock()
 		c.all = append(c.all, cc)
@@ -256,12 +306,18 @@ func (c *Client) get(ctx context.Context) (*clientConn, error) {
 	}
 }
 
+// put returns a connection to the pool. broken must be true whenever
+// the request/response (or frame) sequence did not complete — in
+// particular for a half-consumed stream, whose conn still has batches
+// in flight: reusing it would hand stale frames to the next request.
+// Broken conns are closed and their slot refreshed lazily.
 func (c *Client) put(cc *clientConn, broken bool) {
 	if broken {
 		cc.conn.Close()
 		c.pool <- nil
 		return
 	}
+	cc.conn.SetDeadline(time.Time{}) //nolint:errcheck // clear per-request deadline before reuse
 	c.pool <- cc
 }
 

@@ -1,0 +1,161 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"testing"
+
+	"myriad/internal/schema"
+	"myriad/internal/value"
+)
+
+// FuzzBatchFraming round-trips a fuzzer-shaped frame sequence (header,
+// row batches of every value kind, trailer) through the gob encoder and
+// decoder and asserts the decoded stream is identical — the framing
+// invariant every streaming query rides on.
+func FuzzBatchFraming(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Add([]byte("the quick brown fox"))
+	f.Add(bytes.Repeat([]byte{0xff, 0x00, 0x7f}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames := framesFrom(data)
+
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		for _, fr := range frames {
+			if err := enc.Encode(fr); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+		}
+
+		dec := gob.NewDecoder(&buf)
+		for i, want := range frames {
+			var got Frame
+			if err := dec.Decode(&got); err != nil {
+				t.Fatalf("decode frame %d: %v", i, err)
+			}
+			assertFrameEqual(t, i, want, &got)
+		}
+		var extra Frame
+		if err := dec.Decode(&extra); err != io.EOF {
+			t.Fatalf("stream has trailing garbage: %v", err)
+		}
+	})
+}
+
+// framesFrom deterministically shapes the fuzz input into a legal frame
+// sequence: every byte steers column counts, batch sizes, value kinds
+// and payloads.
+func framesFrom(data []byte) []*Frame {
+	r := &byteReader{data: data}
+	ncols := 1 + int(r.next()%5)
+	header := &Frame{Kind: FrameHeader}
+	for i := 0; i < ncols; i++ {
+		header.Columns = append(header.Columns, fmt.Sprintf("c%d_%d", i, r.next()))
+	}
+	frames := []*Frame{header}
+
+	nbatches := int(r.next() % 4)
+	total := 0
+	for b := 0; b < nbatches; b++ {
+		nrows := 1 + int(r.next()%8)
+		batch := &Frame{Kind: FrameBatch}
+		for i := 0; i < nrows; i++ {
+			row := make(schema.Row, ncols)
+			for c := range row {
+				row[c] = fuzzValue(r)
+			}
+			batch.Rows = append(batch.Rows, row)
+			total++
+		}
+		frames = append(frames, batch)
+	}
+
+	trailer := &Frame{Kind: FrameTrailer, Count: total}
+	if r.next()%3 == 0 {
+		trailer.Err = string(r.take(int(r.next() % 32)))
+		trailer.ErrKind = ErrGeneric
+		if r.next()%2 == 0 {
+			trailer.ErrKind = ErrTimeout
+		}
+	}
+	return append(frames, trailer)
+}
+
+func fuzzValue(r *byteReader) value.Value {
+	switch r.next() % 5 {
+	case 0:
+		return value.Null()
+	case 1:
+		var raw [8]byte
+		copy(raw[:], r.take(8))
+		return value.NewInt(int64(binary.LittleEndian.Uint64(raw[:])))
+	case 2:
+		// Finite float from raw bits (NaN would break equality).
+		var raw [8]byte
+		copy(raw[:], r.take(8))
+		return value.NewFloat(float64(int64(binary.LittleEndian.Uint64(raw[:]))) / 257.0)
+	case 3:
+		return value.NewText(string(r.take(int(r.next() % 24))))
+	default:
+		return value.NewBool(r.next()%2 == 0)
+	}
+}
+
+// byteReader yields fuzz bytes, zero-padding past the end.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *byteReader) take(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = r.next()
+	}
+	return out
+}
+
+func assertFrameEqual(t *testing.T, i int, want, got *Frame) {
+	t.Helper()
+	if got.Kind != want.Kind || got.Count != want.Count || got.Err != want.Err || got.ErrKind != want.ErrKind {
+		t.Fatalf("frame %d metadata mismatch: want %+v, got %+v", i, want, got)
+	}
+	if len(got.Columns) != len(want.Columns) {
+		t.Fatalf("frame %d: %d columns, want %d", i, len(got.Columns), len(want.Columns))
+	}
+	for c := range want.Columns {
+		if got.Columns[c] != want.Columns[c] {
+			t.Fatalf("frame %d column %d: %q != %q", i, c, got.Columns[c], want.Columns[c])
+		}
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("frame %d: %d rows, want %d", i, len(got.Rows), len(want.Rows))
+	}
+	for ri := range want.Rows {
+		wr, gr := want.Rows[ri], got.Rows[ri]
+		if len(gr) != len(wr) {
+			t.Fatalf("frame %d row %d: arity %d != %d", i, ri, len(gr), len(wr))
+		}
+		for ci := range wr {
+			wv, gv := wr[ci], gr[ci]
+			if wv.K != gv.K || wv.IsNull() != gv.IsNull() || (!wv.IsNull() && wv.Text() != gv.Text()) {
+				t.Fatalf("frame %d row %d col %d: %s != %s", i, ri, ci, gv, wv)
+			}
+		}
+	}
+}

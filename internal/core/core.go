@@ -214,6 +214,26 @@ func (r autocommitRunner) QuerySite(ctx context.Context, site, sql string) (*sch
 	return conn.Query(ctx, 0, sql)
 }
 
+// QuerySiteStream implements executor.StreamRunner: subqueries ship as
+// pipelined row-batch streams. The per-subquery timeout stays armed for
+// the stream's whole life and disarms on Close.
+func (r autocommitRunner) QuerySiteStream(ctx context.Context, site, sql string) (schema.RowStream, error) {
+	conn, ok := r.f.Conn(site)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", site)
+	}
+	cancel := context.CancelFunc(func() {})
+	if r.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+	}
+	st, err := conn.QueryStream(ctx, 0, sql)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return schema.StreamWithCleanup(st, cancel), nil
+}
+
 func (f *Federation) plan(ctx context.Context, sql string, strategy Strategy) (*planner.Plan, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -246,6 +266,18 @@ func (f *Federation) QueryMetered(ctx context.Context, sql string, strategy Stra
 		return nil, nil, err
 	}
 	return executor.ExecuteMetered(ctx, plan, autocommitRunner{f: f, timeout: f.QueryTimeout})
+}
+
+// QueryStream runs a global SELECT and returns the result as a row
+// stream: remote fragments pipeline through integration into the
+// residual evaluation, whose rows the stream yields incrementally. The
+// caller must Close it (early Close tears down the execution).
+func (f *Federation) QueryStream(ctx context.Context, sql string, strategy Strategy) (schema.RowStream, error) {
+	plan, err := f.plan(ctx, sql, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return executor.ExecuteStream(ctx, plan, autocommitRunner{f: f, timeout: f.QueryTimeout})
 }
 
 // QueryTx runs a global SELECT inside a global transaction, giving the

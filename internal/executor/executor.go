@@ -1,15 +1,24 @@
-// Package executor runs global query plans: it ships the plan's remote
-// subqueries to the gateways in parallel, applies the integration
-// combinators to the returned fragments, loads the integrated rows into
-// a per-query scratch instance of the component engine, and evaluates
-// the residual query there. The scratch engine is the federation's
-// "composite query processor" — it reuses the battle-tested local
-// executor instead of duplicating join/aggregate machinery.
+// Package executor runs global query plans. The plan's remote
+// subqueries open as row streams against the gateways in parallel; the
+// integration combinators consume the streams single-pass, and the
+// integrated rows load batch-by-batch into a per-query scratch instance
+// of the component engine, which evaluates the residual query. The
+// scratch engine is the federation's "composite query processor" — it
+// reuses the battle-tested local executor instead of duplicating
+// join/aggregate machinery — and since the residual itself executes as
+// a streaming iterator pipeline, a federated query pipelines end to
+// end: site scan → wire batches → integration → scratch load → residual
+// → client, with no whole-ResultSet materialization at the transport.
+//
+// The pre-streaming executor survives as ExecuteMaterialized; the
+// equivalence suite holds the two paths row-for-row identical.
 package executor
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -29,6 +38,18 @@ type SiteRunner interface {
 	QuerySite(ctx context.Context, site, sql string) (*schema.ResultSet, error)
 }
 
+// StreamRunner is a SiteRunner whose sites can stream results. Runners
+// that only materialize (the global-transaction path) still work: their
+// fragments are wrapped as streams.
+type StreamRunner interface {
+	SiteRunner
+	QuerySiteStream(ctx context.Context, site, sql string) (schema.RowStream, error)
+}
+
+// loadBatchRows is the scratch-load granularity: integrated rows are
+// appended to the temp table in batches this size as they stream in.
+const loadBatchRows = 256
+
 // Metrics accumulates execution counters for experiments.
 type Metrics struct {
 	RemoteQueries int
@@ -43,12 +64,330 @@ func Execute(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schem
 	return rs, err
 }
 
-// ExecuteMetered runs the plan and also reports execution metrics.
+// ExecuteMetered runs the plan via the streaming path and materializes
+// the final result, also reporting execution metrics.
 func ExecuteMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schema.ResultSet, *Metrics, error) {
+	stream, m, err := ExecuteStreamMetered(ctx, plan, runner)
+	if err != nil {
+		return nil, m, err
+	}
+	defer stream.Close()
+	rs, err := schema.DrainStream(ctx, stream)
+	if err != nil {
+		return nil, m, err
+	}
+	return rs, m, nil
+}
+
+// ExecuteStream runs the plan and returns the result as a row stream.
+func ExecuteStream(ctx context.Context, plan *planner.Plan, runner SiteRunner) (schema.RowStream, error) {
+	stream, _, err := ExecuteStreamMetered(ctx, plan, runner)
+	return stream, err
+}
+
+// ExecuteStreamMetered runs the plan's remote scans as pipelined
+// streams and returns the residual result as a stream the caller must
+// Close. The metrics are complete when it returns: every fragment has
+// been consumed (or its stream torn down) by then, only the residual
+// evaluation is lazy.
+func ExecuteStreamMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) (schema.RowStream, *Metrics, error) {
+	m := &Metrics{}
+	scratch := localdb.New("scratch")
+	byAlias := make(map[string]*planner.ScanSet)
+	for _, ss := range plan.ScanSets {
+		if err := scratch.CreateTableDirect(ss.Schema); err != nil {
+			return nil, m, err
+		}
+		byAlias[strings.ToLower(ss.Alias)] = ss
+	}
+
+	// Two waves: scan sets without semijoin dependencies, then probes.
+	var wave1, wave2 []*planner.ScanSet
+	for _, ss := range plan.ScanSets {
+		if ss.SemiFrom == "" {
+			wave1 = append(wave1, ss)
+		} else {
+			wave2 = append(wave2, ss)
+		}
+	}
+
+	bound := streamBound(plan)
+	var mu sync.Mutex
+	runWave := func(wave []*planner.ScanSet) error {
+		// A failing scan set cancels the wave so sibling sites stop
+		// shipping rows nobody will consume.
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var wg sync.WaitGroup
+		errs := make([]error, len(wave))
+		for i, ss := range wave {
+			wg.Add(1)
+			go func(i int, ss *planner.ScanSet) {
+				defer wg.Done()
+				var inList []sqlparser.Expr
+				if ss.SemiFrom != "" {
+					build := byAlias[strings.ToLower(ss.SemiFrom)]
+					if build == nil {
+						errs[i] = fmt.Errorf("executor: semijoin build side %q missing", ss.SemiFrom)
+						cancel()
+						return
+					}
+					vals, over, err := semiValues(wctx, scratch, build.TempTable, ss.SemiBuildCol, plan.MaxInList)
+					if err != nil {
+						errs[i] = err
+						cancel()
+						return
+					}
+					mu.Lock()
+					if over {
+						m.SemijoinSkip = true
+					} else {
+						m.SemijoinUsed = true
+						inList = vals
+					}
+					mu.Unlock()
+				}
+				if err := loadScanSet(wctx, scratch, ss, runner, inList, bound, m, &mu); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}(i, ss)
+		}
+		wg.Wait()
+		// The failing scan set cancelled its siblings; their
+		// context.Canceled is collateral, not the cause — surface the
+		// root failure.
+		var first error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if first == nil {
+				first = err
+			}
+			if !errors.Is(err, context.Canceled) {
+				return err
+			}
+		}
+		return first
+	}
+	if err := runWave(wave1); err != nil {
+		return nil, m, err
+	}
+	if err := runWave(wave2); err != nil {
+		return nil, m, err
+	}
+
+	// Residual evaluation, itself a streaming iterator pipeline over the
+	// scratch engine (which the returned stream keeps alive).
+	rows, err := scratch.QueryStreamStmt(ctx, plan.Residual)
+	if err != nil {
+		return nil, m, fmt.Errorf("executor: residual: %w", err)
+	}
+	return rows, m, nil
+}
+
+// loadScanSet opens every source scan as a stream (in parallel),
+// combines them single-pass, and appends the integrated rows to the
+// scratch temp table batch by batch. bound, when >= 0 and the plan has
+// a single scan set, caps the rows drained: once the residual's LIMIT
+// is satisfiable the combined stream closes, half-closing each remote
+// stream so the sites tear their scans down mid-flight.
+func loadScanSet(ctx context.Context, scratch *localdb.DB, ss *planner.ScanSet, runner SiteRunner, inList []sqlparser.Expr, bound int64, m *Metrics, mu *sync.Mutex) error {
+	// ssctx bounds this scan set's streams. Remote streams watch the
+	// context they were opened with, so cancelling ssctx before Close
+	// expires any wire read a feeder is blocked in — without it, early
+	// termination (a satisfied bound, a sibling's error) could wait
+	// forever on a site that stalled mid-stream.
+	ssctx, sscancel := context.WithCancel(ctx)
+	defer sscancel()
+	ctx = ssctx
+
+	streams := make([]schema.RowStream, len(ss.Scans))
+	errs := make([]error, len(ss.Scans))
+	var wg sync.WaitGroup
+	for i, scan := range ss.Scans {
+		wg.Add(1)
+		go func(i int, scan *planner.RemoteScan) {
+			defer wg.Done()
+			sel := scan.Select
+			if len(inList) > 0 && scan.SemiProbe != nil {
+				probe := &sqlparser.InExpr{E: scan.SemiProbe, List: inList}
+				reduced := *sel
+				if reduced.Where == nil {
+					reduced.Where = probe
+				} else {
+					reduced.Where = &sqlparser.BinaryExpr{Op: "AND", L: reduced.Where, R: probe}
+				}
+				sel = &reduced
+			}
+			st, err := openScan(ctx, runner, scan.Site, sqlparser.FormatStatement(sel, nil))
+			if err != nil {
+				errs[i] = fmt.Errorf("executor: scan at %s: %w", scan.Site, err)
+				return
+			}
+			mu.Lock()
+			m.RemoteQueries++
+			mu.Unlock()
+			streams[i] = &countedStream{RowStream: st, site: scan.Site, m: m, mu: mu}
+		}(i, scan)
+	}
+	wg.Wait()
+	var openErr error
+	for _, err := range errs {
+		if err != nil {
+			openErr = err
+			break
+		}
+	}
+	if openErr != nil {
+		for _, st := range streams {
+			if st != nil {
+				st.Close()
+			}
+		}
+		return openErr
+	}
+
+	combined := integration.CombineStreams(ctx, ss.Spec, streams)
+	defer func() {
+		sscancel() // unblock any feeder parked in a wire read first
+		combined.Close()
+	}()
+	var loaded int64
+	batch := make([]schema.Row, 0, loadBatchRows)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := scratch.Load(ss.TempTable, batch); err != nil {
+			return fmt.Errorf("executor: loading %s: %w", ss.TempTable, err)
+		}
+		batch = make([]schema.Row, 0, loadBatchRows)
+		return nil
+	}
+	for bound < 0 || loaded < bound {
+		r, err := combined.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		batch = append(batch, r)
+		loaded++
+		if len(batch) == loadBatchRows {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// openScan streams when the runner can, else wraps the materialized
+// fragment (the global-transaction runner, fakes in tests).
+func openScan(ctx context.Context, runner SiteRunner, site, sql string) (schema.RowStream, error) {
+	if sr, ok := runner.(StreamRunner); ok {
+		return sr.QuerySiteStream(ctx, site, sql)
+	}
+	rs, err := runner.QuerySite(ctx, site, sql)
+	if err != nil {
+		return nil, err
+	}
+	return schema.StreamOf(rs), nil
+}
+
+// countedStream meters rows shipped from one site. The count flushes
+// into the shared metrics once, at stream end or Close (Next runs on a
+// single feeder goroutine; Close only after the feeders exit).
+type countedStream struct {
+	schema.RowStream
+	site    string
+	m       *Metrics
+	mu      *sync.Mutex
+	n       int
+	flushed bool
+}
+
+func (s *countedStream) Next(ctx context.Context) (schema.Row, error) {
+	r, err := s.RowStream.Next(ctx)
+	if r != nil {
+		s.n++
+	}
+	return r, err
+}
+
+func (s *countedStream) Close() error {
+	err := s.RowStream.Close()
+	if !s.flushed {
+		s.flushed = true
+		s.mu.Lock()
+		s.m.RowsShipped += s.n
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// streamBound derives the largest number of integrated rows the
+// residual can consume when the plan is a single scan set whose
+// residual is a bare projection with LIMIT — no filter, grouping,
+// ordering, dedup or aggregate that could need more input. -1 means
+// unbounded. This is what turns a federated LIMIT into an early
+// half-close of the remote streams even when the per-site pushdown
+// could not absorb it (multi-source sets).
+func streamBound(plan *planner.Plan) int64 {
+	if len(plan.ScanSets) != 1 {
+		return -1
+	}
+	r := plan.Residual
+	if r == nil || r.Limit == nil || r.Limit.Count < 0 {
+		return -1
+	}
+	if len(r.From) != 1 || r.Where != nil || len(r.GroupBy) > 0 || r.Having != nil ||
+		r.Distinct || len(r.Joins) > 0 || r.Compound != nil || len(r.OrderBy) > 0 {
+		return -1
+	}
+	for _, it := range r.Items {
+		if it.Expr != nil && sqlparser.HasAggregate(it.Expr) {
+			return -1
+		}
+	}
+	if r.Limit.Count > math.MaxInt64-r.Limit.Offset {
+		return -1
+	}
+	return r.Limit.Count + r.Limit.Offset
+}
+
+// semiValues collects the distinct probe values of the (already loaded)
+// semijoin build side from the scratch engine.
+func semiValues(ctx context.Context, scratch *localdb.DB, table, col string, max int) ([]sqlparser.Expr, bool, error) {
+	rs, err := scratch.Query(ctx, fmt.Sprintf("SELECT %s FROM %s", col, table))
+	if err != nil {
+		return nil, false, fmt.Errorf("executor: semijoin build values: %w", err)
+	}
+	vals, over := distinctValues(rs, col, max)
+	return vals, over, nil
+}
+
+// ---------------------------------------------------------------------
+// Materialized reference path (the pre-streaming executor)
+
+// ExecuteMaterialized runs the plan the way the pre-streaming executor
+// did: every fragment ships as one whole ResultSet, integration runs
+// over materialized fragments, and the scratch engine loads en bloc.
+// It is kept as the reference implementation for the streaming
+// equivalence suite and the transport benchmarks.
+func ExecuteMaterialized(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schema.ResultSet, error) {
+	rs, _, err := ExecuteMaterializedMetered(ctx, plan, runner)
+	return rs, err
+}
+
+// ExecuteMaterializedMetered is ExecuteMaterialized with metrics.
+func ExecuteMaterializedMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schema.ResultSet, *Metrics, error) {
 	m := &Metrics{}
 	scratch := localdb.New("scratch")
 
-	// Two waves: scan sets without semijoin dependencies, then probes.
 	var wave1, wave2 []*planner.ScanSet
 	byAlias := make(map[string]*planner.ScanSet)
 	for _, ss := range plan.ScanSets {

@@ -52,16 +52,36 @@ func (cl *Client) Ping(ctx context.Context) error {
 	return err
 }
 
-// Query poses a global SELECT (autocommit).
+// Query poses a global SELECT (autocommit). The result travels over
+// the streaming frame protocol and is materialized client-side.
 func (cl *Client) Query(ctx context.Context, sql string) (*schema.ResultSet, error) {
-	resp, err := cl.do(ctx, &comm.Request{Op: comm.OpQuery, SQL: sql})
+	rows, err := cl.QueryStream(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
-	if resp.Rows == nil {
-		resp.Rows = &schema.ResultSet{}
+	defer rows.Close()
+	return schema.DrainStream(ctx, rows)
+}
+
+// QueryStream poses a global SELECT (autocommit) and returns the
+// result as a row stream: the federation ships residual rows in wire
+// batches as it produces them. The caller must Close the stream;
+// closing early cancels the remaining result.
+func (cl *Client) QueryStream(ctx context.Context, sql string) (schema.RowStream, error) {
+	st, err := cl.c.DoStream(ctx, &comm.Request{Op: comm.OpQuery, SQL: sql})
+	if err != nil {
+		return nil, mapWireErr(err)
 	}
-	return resp.Rows, nil
+	return st.AsRowStream(mapWireErr), nil
+}
+
+// mapWireErr surfaces server-reported timeouts as deadlock aborts, the
+// same mapping do applies on the Response path.
+func mapWireErr(err error) error {
+	if errors.Is(err, comm.TimeoutError) {
+		return fmt.Errorf("%w: %v", ErrDeadlockAbort, err)
+	}
+	return err
 }
 
 // Explain renders the plan (prefix sql with "simple:" for the simple

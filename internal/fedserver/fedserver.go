@@ -197,6 +197,46 @@ func (s *Server) Handle(ctx context.Context, req *comm.Request) *comm.Response {
 	}
 }
 
+// HandleStream implements comm.StreamHandler: autocommit global
+// queries stream their residual rows to the client as the federation
+// produces them, completing the pipeline site → federation → client.
+// Transaction-scoped queries and every other op fall back to Handle.
+func (s *Server) HandleStream(ctx context.Context, req *comm.Request, sink comm.RowSink) error {
+	if req.Op != comm.OpQuery || req.TxnID != 0 {
+		return comm.ErrNotStreamable
+	}
+	sql, strategy := stripStrategy(req.SQL, s.fed.Strategy)
+	rows, err := s.fed.QueryStream(ctx, sql, strategy)
+	if err != nil {
+		return streamErr(err)
+	}
+	defer rows.Close()
+	if err := sink.Header(rows.Columns()); err != nil {
+		return err
+	}
+	for {
+		r, err := rows.Next(ctx)
+		if err != nil {
+			return streamErr(err)
+		}
+		if r == nil {
+			return nil
+		}
+		if err := sink.Row(r); err != nil {
+			return err
+		}
+	}
+}
+
+// streamErr tags federation errors with the wire kind their streaming
+// trailer carries (mirrors fail's mapping on the Response path).
+func streamErr(err error) error {
+	if errors.Is(err, gtm.ErrDeadlockAbort) || errors.Is(err, gateway.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
+		return &comm.KindError{Kind: comm.ErrTimeout, Err: err}
+	}
+	return err
+}
+
 func (s *Server) txn(id uint64) (*gtm.Txn, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -19,6 +19,10 @@ type Conn interface {
 	ExportSchemas(ctx context.Context) ([]*schema.Schema, error)
 	Stats(ctx context.Context, export string) (*storage.TableStats, error)
 	Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error)
+	// QueryStream runs a canonical SELECT and returns the result as a
+	// row stream: batches pipeline from the site while the federation
+	// consumes, and closing the stream early terminates the remote scan.
+	QueryStream(ctx context.Context, txn uint64, sql string) (schema.RowStream, error)
 	Exec(ctx context.Context, txn uint64, sql string) (int, error)
 	Begin(ctx context.Context) (uint64, error)
 	Prepare(ctx context.Context, txn uint64) error
@@ -50,6 +54,12 @@ func (c *LocalConn) Stats(ctx context.Context, export string) (*storage.TableSta
 // Query runs a canonical SELECT at the site.
 func (c *LocalConn) Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error) {
 	return c.G.Query(ctx, txn, sql)
+}
+
+// QueryStream runs a canonical SELECT at the site, streaming rows
+// straight from the gateway's iterator pipeline (no wire, no copy).
+func (c *LocalConn) QueryStream(ctx context.Context, txn uint64, sql string) (schema.RowStream, error) {
+	return c.G.QueryStream(ctx, txn, sql)
 }
 
 // Exec runs canonical DML at the site.
@@ -94,12 +104,18 @@ func (c *RemoteConn) do(ctx context.Context, req *comm.Request) (*comm.Response,
 		return nil, fmt.Errorf("gateway %s: %w", c.site, err)
 	}
 	if err := resp.AsError(); err != nil {
-		if errors.Is(err, comm.TimeoutError) {
-			return nil, fmt.Errorf("%w: site %s: %v", ErrTimeout, c.site, err)
-		}
-		return nil, fmt.Errorf("gateway %s: %w", c.site, err)
+		return nil, c.wireErr(err)
 	}
 	return resp, nil
+}
+
+// wireErr maps a wire-level error into the gateway error vocabulary,
+// surfacing remote timeouts as ErrTimeout (presumed global deadlock).
+func (c *RemoteConn) wireErr(err error) error {
+	if errors.Is(err, comm.TimeoutError) {
+		return fmt.Errorf("%w: site %s: %v", ErrTimeout, c.site, err)
+	}
+	return fmt.Errorf("gateway %s: %w", c.site, err)
 }
 
 // ExportSchemas lists the remote gateway's export relations.
@@ -130,6 +146,18 @@ func (c *RemoteConn) Query(ctx context.Context, txn uint64, sql string) (*schema
 		resp.Rows = &schema.ResultSet{}
 	}
 	return resp.Rows, nil
+}
+
+// QueryStream runs a canonical SELECT at the remote site over the
+// streaming frame protocol: the gateway pipelines row batches as its
+// scan produces them, and closing the returned stream before exhaustion
+// half-closes the connection, which tears the remote scan down.
+func (c *RemoteConn) QueryStream(ctx context.Context, txn uint64, sql string) (schema.RowStream, error) {
+	st, err := c.client.DoStream(ctx, &comm.Request{Op: comm.OpQuery, TxnID: txn, SQL: sql})
+	if err != nil {
+		return nil, c.wireErr(err)
+	}
+	return st.AsRowStream(c.wireErr), nil
 }
 
 // Exec runs canonical DML at the remote site.

@@ -207,6 +207,35 @@ func mapErr(err error) error {
 	return err
 }
 
+// prepareSelect runs the gateway's query front half: parse the
+// canonical SELECT, translate exports to local tables, and round-trip
+// through the component dialect — render native SQL and re-parse,
+// exactly what the 1994 gateways did over embedded SQL. It returns the
+// translated AST (for restoring federation-visible column names) and
+// the dialect-round-tripped AST to execute.
+func (g *Gateway) prepareSelect(sql string) (translated, relSel *sqlparser.Select, err error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway %s: %w", g.site, err)
+	}
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("gateway %s: Query requires SELECT", g.site)
+	}
+	if translated, err = g.translateSelect(sel); err != nil {
+		return nil, nil, err
+	}
+	native := g.dialect.Render(translated)
+	reparsed, err := g.dialect.Parse(native)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway %s: dialect round-trip: %w", g.site, err)
+	}
+	if relSel, ok = reparsed.(*sqlparser.Select); !ok {
+		return nil, nil, fmt.Errorf("gateway %s: dialect round-trip changed statement kind", g.site)
+	}
+	return translated, relSel, nil
+}
+
 // Query executes a canonical SELECT over export relations. txn 0 runs
 // autocommit; otherwise the statement joins the local branch txn.
 func (g *Gateway) Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error) {
@@ -214,28 +243,9 @@ func (g *Gateway) Query(ctx context.Context, txn uint64, sql string) (*schema.Re
 	defer cancel()
 	g.simulateLatency()
 
-	stmt, err := sqlparser.Parse(sql)
-	if err != nil {
-		return nil, fmt.Errorf("gateway %s: %w", g.site, err)
-	}
-	sel, ok := stmt.(*sqlparser.Select)
-	if !ok {
-		return nil, fmt.Errorf("gateway %s: Query requires SELECT", g.site)
-	}
-	translated, err := g.translateSelect(sel)
+	translated, relSel, err := g.prepareSelect(sql)
 	if err != nil {
 		return nil, err
-	}
-	// Round-trip through the component dialect: render native SQL and
-	// re-parse, exactly what the 1994 gateways did over embedded SQL.
-	native := g.dialect.Render(translated)
-	reparsed, err := g.dialect.Parse(native)
-	if err != nil {
-		return nil, fmt.Errorf("gateway %s: dialect round-trip: %w", g.site, err)
-	}
-	relSel, ok := reparsed.(*sqlparser.Select)
-	if !ok {
-		return nil, fmt.Errorf("gateway %s: dialect round-trip changed statement kind", g.site)
 	}
 
 	var rs *schema.ResultSet
@@ -255,6 +265,84 @@ func (g *Gateway) Query(ctx context.Context, txn uint64, sql string) (*schema.Re
 	// federation-requested output names from the translated AST.
 	restoreColumnNames(rs, translated)
 	return rs, nil
+}
+
+// QueryStream executes a canonical SELECT over export relations and
+// returns the result as a row stream driven directly by the component
+// engine's iterator pipeline — the gateway never materializes the
+// result, so a LIMIT 10 over a 100k-row export ships 10 rows and the
+// underlying scan terminates when the stream closes. Autocommit only
+// streams end-to-end; a statement inside a transaction branch (txn != 0)
+// snapshots its result first, because the branch interleaves with other
+// requests and cannot stay pinned to an open cursor between them.
+func (g *Gateway) QueryStream(ctx context.Context, txn uint64, sql string) (schema.RowStream, error) {
+	sctx, cancel := g.withTimeout(ctx)
+	g.simulateLatency()
+
+	translated, relSel, err := g.prepareSelect(sql)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+
+	if txn != 0 {
+		defer cancel()
+		branch, ok := g.db.Resume(lockmgr.TxnID(txn))
+		if !ok {
+			return nil, fmt.Errorf("gateway %s: unknown transaction %d", g.site, txn)
+		}
+		rs, err := branch.QueryStmt(sctx, relSel)
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		restoreColumnNames(rs, translated)
+		return schema.StreamOf(rs), nil
+	}
+
+	rows, err := g.db.QueryStreamStmt(sctx, relSel)
+	if err != nil {
+		cancel()
+		return nil, mapErr(err)
+	}
+	// The dialect round trip may have re-cased identifiers; restore the
+	// federation-requested output names from the translated AST.
+	hdr := &schema.ResultSet{Columns: append([]string(nil), rows.Columns()...)}
+	restoreColumnNames(hdr, translated)
+	return &gatewayStream{rows: rows, cols: hdr.Columns, ctx: sctx, cancel: cancel}, nil
+}
+
+// gatewayStream wraps a localdb stream with the gateway's renamed
+// headers, timeout context, and error mapping.
+type gatewayStream struct {
+	rows   *localdb.Rows
+	cols   []string
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func (s *gatewayStream) Columns() []string { return s.cols }
+
+// Next pulls through the stream's own context — derived from the
+// creation context (so caller cancellation propagates) and carrying the
+// gateway's per-query timeout, the paper's deadlock-resolution knob —
+// but also honors the per-call ctx between rows, so a consumer-side
+// abort (e.g. integration cancelling siblings after one source fails)
+// stops an in-process scan exactly like it stops a remote one.
+func (s *gatewayStream) Next(ctx context.Context) (schema.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r, err := s.rows.Next(s.ctx)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return r, nil
+}
+
+func (s *gatewayStream) Close() error {
+	err := s.rows.Close()
+	s.cancel()
+	return err
 }
 
 // restoreColumnNames renames result headers to the aliases of the
@@ -694,6 +782,46 @@ func rewriteUnqualified(e sqlparser.Expr, b *exportBinding) (sqlparser.Expr, err
 
 // ---------------------------------------------------------------------
 // comm.Handler: serve the gateway protocol
+
+// HandleStream implements comm.StreamHandler: OpQuery responses are
+// framed straight off the component engine's iterator pipeline — header,
+// row batches, trailer — instead of materializing a ResultSet. Sink
+// errors mean the client is gone; the deferred Close tears the scan
+// down and releases its locks. Every other op falls back to Handle.
+func (g *Gateway) HandleStream(ctx context.Context, req *comm.Request, sink comm.RowSink) error {
+	if req.Op != comm.OpQuery {
+		return comm.ErrNotStreamable
+	}
+	rows, err := g.QueryStream(ctx, req.TxnID, req.SQL)
+	if err != nil {
+		return streamErr(err)
+	}
+	defer rows.Close()
+	if err := sink.Header(rows.Columns()); err != nil {
+		return err
+	}
+	for {
+		r, err := rows.Next(ctx)
+		if err != nil {
+			return streamErr(err)
+		}
+		if r == nil {
+			return nil
+		}
+		if err := sink.Row(r); err != nil {
+			return err
+		}
+	}
+}
+
+// streamErr tags gateway errors with the wire error kind a streaming
+// trailer carries (mirrors the kind mapping of the Response path).
+func streamErr(err error) error {
+	if errors.Is(err, ErrTimeout) || errors.Is(err, lockmgr.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
+		return &comm.KindError{Kind: comm.ErrTimeout, Err: err}
+	}
+	return err
+}
 
 // Handle implements comm.Handler so a Gateway can be served over TCP by
 // comm.Server (see cmd/gatewayd).

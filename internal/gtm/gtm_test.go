@@ -45,6 +45,13 @@ func (f *fakeConn) Query(ctx context.Context, txn uint64, sql string) (*schema.R
 	}
 	return &schema.ResultSet{}, nil
 }
+func (f *fakeConn) QueryStream(ctx context.Context, txn uint64, sql string) (schema.RowStream, error) {
+	rs, err := f.Query(ctx, txn, sql)
+	if err != nil {
+		return nil, err
+	}
+	return schema.StreamOf(rs), nil
+}
 func (f *fakeConn) Exec(ctx context.Context, txn uint64, sql string) (int, error) {
 	if f.failExec != nil {
 		return 0, f.failExec

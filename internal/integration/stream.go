@@ -1,0 +1,297 @@
+package integration
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"myriad/internal/schema"
+)
+
+// Streaming combiners: the relational integration operators as
+// single-pass consumers of per-site row streams. Every source stream is
+// pulled by its own feeder goroutine through a small bounded batch
+// window, so a slow site never stops the federation from consuming the
+// fast ones — UNION [ALL] emits rows in deterministic source order
+// while later sources prefetch behind the window, and OUTERJOIN-MERGE
+// drains all sources concurrently before resolving entities (it cannot
+// emit an entity until every source has had its say). The window is a
+// fixed credit of batches per source; a deeper, adaptive backpressure
+// window is future work (see ROADMAP).
+const (
+	feedBatchRows = 256 // rows per feeder batch
+	feedWindow    = 4   // batches buffered per source
+)
+
+// CombineStreams merges per-source row streams into a stream of
+// integrated rows. It takes ownership of the sources: closing the
+// returned stream cancels the feeders, closes every source (tearing
+// down remote scans mid-flight), and must be called even after an
+// error. ctx bounds all pulls; cancelling it aborts every feeder.
+func CombineStreams(ctx context.Context, spec *Spec, sources []schema.RowStream) schema.RowStream {
+	fctx, cancel := context.WithCancel(ctx)
+	c := &combinedStream{spec: spec, sources: sources, fctx: fctx, cancel: cancel}
+	switch spec.Kind {
+	case UnionDistinct:
+		c.seen = make(map[string]bool)
+		fallthrough
+	case UnionAll:
+		c.feeds = make([]*sourceFeed, len(sources))
+		for i, src := range sources {
+			c.feeds[i] = startFeed(fctx, &c.wg, src, spec)
+		}
+	case MergeOuter:
+		// Blocking combinator: first Next drains all sources in
+		// parallel, then merges. No feeders needed.
+	default:
+		c.err = fmt.Errorf("integration: unknown combinator %d", spec.Kind)
+	}
+	return c
+}
+
+// sourceFeed is one producer goroutine's output: batches flow through a
+// bounded channel (the backpressure window); the final item carries the
+// source's terminal error, if any.
+type sourceFeed struct {
+	ch chan feedItem
+}
+
+type feedItem struct {
+	rows []schema.Row
+	err  error
+}
+
+// startFeed pulls src in batches into a bounded window until EOF, error
+// or cancellation. The feeder owns only the pulling; closing src stays
+// with combinedStream.Close (after the feeder has exited).
+func startFeed(ctx context.Context, wg *sync.WaitGroup, src schema.RowStream, spec *Spec) *sourceFeed {
+	f := &sourceFeed{ch: make(chan feedItem, feedWindow)}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(f.ch)
+		send := func(it feedItem) bool {
+			select {
+			case f.ch <- it:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		if err := checkArityCols(spec, src.Columns()); err != nil {
+			send(feedItem{err: err})
+			return
+		}
+		batch := make([]schema.Row, 0, feedBatchRows)
+		for {
+			r, err := src.Next(ctx)
+			if err != nil {
+				send(feedItem{err: err})
+				return
+			}
+			if r == nil {
+				if len(batch) > 0 {
+					send(feedItem{rows: batch})
+				}
+				return
+			}
+			batch = append(batch, r)
+			if len(batch) == feedBatchRows {
+				if !send(feedItem{rows: batch}) {
+					return
+				}
+				batch = make([]schema.Row, 0, feedBatchRows)
+			}
+		}
+	}()
+	return f
+}
+
+func checkArityCols(spec *Spec, cols []string) error {
+	if len(cols) != len(spec.Columns) {
+		return fmt.Errorf("integration: source has %d columns, integrated relation has %d", len(cols), len(spec.Columns))
+	}
+	return nil
+}
+
+// combinedStream is the integrated-row stream over the source feeds.
+type combinedStream struct {
+	spec    *Spec
+	sources []schema.RowStream
+	fctx    context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	// Union paths.
+	feeds []*sourceFeed
+	cur   int // index of the source currently being emitted
+	batch []schema.Row
+	bpos  int
+	seen  map[string]bool // UnionDistinct dedup, first occurrence wins
+
+	// MergeOuter path.
+	merged    *schema.ResultSet
+	mergedPos int
+	mergeDone bool
+
+	err    error
+	closed bool
+}
+
+func (c *combinedStream) Columns() []string { return c.spec.Columns }
+
+func (c *combinedStream) Next(ctx context.Context) (schema.Row, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.closed {
+		return nil, nil
+	}
+	if c.spec.Kind == MergeOuter {
+		return c.nextMerged(ctx)
+	}
+	for {
+		for c.bpos >= len(c.batch) {
+			if c.cur >= len(c.feeds) {
+				return nil, nil
+			}
+			var item feedItem
+			var ok bool
+			select {
+			case item, ok = <-c.feeds[c.cur].ch:
+			case <-ctx.Done():
+				// Honor the per-call context like every other RowStream,
+				// even when it is not the context the feeders watch.
+				c.fail(ctx.Err())
+				return nil, c.err
+			}
+			if !ok {
+				// A feeder racing a cancellation may drop its terminal
+				// error item (its send selects against fctx.Done); a
+				// closed channel under a dead feed context is an abort,
+				// never clean exhaustion — truncation must not read as
+				// success.
+				if err := c.fctx.Err(); err != nil {
+					c.fail(err)
+					return nil, c.err
+				}
+				c.cur++ // source exhausted; move on in source order
+				continue
+			}
+			if item.err != nil {
+				c.fail(item.err)
+				return nil, c.err
+			}
+			c.batch, c.bpos = item.rows, 0
+		}
+		r := c.batch[c.bpos]
+		c.bpos++
+		if c.seen != nil {
+			k := encodeRow(r)
+			if c.seen[k] {
+				continue
+			}
+			c.seen[k] = true
+		}
+		return r, nil
+	}
+}
+
+// nextMerged lazily drains every source in parallel, runs the
+// outer-join merge, and then emits resolved entities. The drains pull
+// through fctx so a failing source aborts its siblings: they observe
+// the cancellation at their next row instead of shipping their full
+// fragments for a merge that can no longer succeed.
+func (c *combinedStream) nextMerged(ctx context.Context) (schema.Row, error) {
+	if err := ctx.Err(); err != nil {
+		c.fail(err)
+		return nil, c.err
+	}
+	if !c.mergeDone {
+		frags := make([]*schema.ResultSet, len(c.sources))
+		errs := make([]error, len(c.sources))
+		var wg sync.WaitGroup
+		for i, src := range c.sources {
+			wg.Add(1)
+			go func(i int, src schema.RowStream) {
+				defer wg.Done()
+				if err := checkArityCols(c.spec, src.Columns()); err != nil {
+					errs[i] = err
+					c.cancel()
+					return
+				}
+				frags[i], errs[i] = schema.DrainStream(c.fctx, src)
+				if errs[i] != nil {
+					c.cancel()
+				}
+			}(i, src)
+		}
+		wg.Wait()
+		// Prefer the root cause over a sibling's collateral cancellation.
+		var first error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if first == nil {
+				first = err
+			}
+			if !errors.Is(err, context.Canceled) {
+				first = err
+				break
+			}
+		}
+		if first != nil {
+			c.fail(first)
+			return nil, c.err
+		}
+		out, err := mergeOuter(c.spec, frags)
+		if err != nil {
+			c.fail(err)
+			return nil, c.err
+		}
+		c.merged = out
+		c.mergeDone = true
+	}
+	if c.mergedPos >= len(c.merged.Rows) {
+		return nil, nil
+	}
+	r := c.merged.Rows[c.mergedPos]
+	c.mergedPos++
+	return r, nil
+}
+
+// fail records the first error and aborts the other feeders so their
+// sites stop shipping rows that will never be consumed.
+func (c *combinedStream) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.cancel()
+}
+
+// Close cancels the feeders, waits for them to exit, and closes every
+// source stream — the half-close that propagates early termination (a
+// satisfied LIMIT, an error at a sibling site, a cancelled query) down
+// to each site's scan. Idempotent.
+func (c *combinedStream) Close() error {
+	if c.closed {
+		c.merged = nil
+		return nil
+	}
+	c.closed = true
+	// Cancelling unblocks feeders parked on a full window or a pending
+	// pull; wait them out so no goroutine touches a source while we
+	// close it.
+	c.cancel()
+	c.wg.Wait()
+	var first error
+	for _, src := range c.sources {
+		if err := src.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.merged = nil
+	return first
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"myriad/internal/lockmgr"
 	"myriad/internal/schema"
@@ -44,7 +45,16 @@ type DB struct {
 	txnMu   sync.Mutex
 	nextTxn lockmgr.TxnID
 	txns    map[lockmgr.TxnID]*Txn
+
+	// scanRows counts rows pulled out of heap scans since creation; the
+	// federation's transport tests use it to prove that a pushed-down
+	// LIMIT terminates the server-side scan early.
+	scanRows atomic.Int64
 }
+
+// ScannedRows reports the total rows heap scans have pulled from
+// storage since the database was created (monotonic; test/metrics use).
+func (db *DB) ScannedRows() int64 { return db.scanRows.Load() }
 
 // New creates an empty component database named name.
 func New(name string) *DB {

@@ -267,14 +267,36 @@ func rowKey(r []value.Value) string {
 // baseline; production code never sets it.
 var disableTopKFusion bool
 
-// execSimpleSelect evaluates one SELECT core (no compound) by
-// assembling a pull-based iterator pipeline: scan -> joins -> residual
-// filter -> (group | project/sort/top-K) -> distinct -> limit. LIMIT
-// terminates the pipeline early, propagating all the way down to the
-// storage scan.
+// execSimpleSelect evaluates one SELECT core (no compound) by draining
+// the pull-based iterator pipeline selectIter assembles.
 func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*schema.ResultSet, error) {
+	it, cols, err := tx.selectIter(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	rs := &schema.ResultSet{Columns: cols}
+	if err := drainInto(ctx, it, rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// selectIter assembles the pull pipeline for one SELECT core: scan ->
+// joins -> residual filter -> (group | project/sort/top-K) -> distinct
+// -> limit, returning the head operator and the output column names.
+// LIMIT terminates the pipeline early, propagating all the way down to
+// the storage scan. The caller owns Close — closing mid-stream is the
+// early-termination path streaming consumers (and the gateway's wire
+// transport) rely on. Grouped and from-less selects materialize
+// internally and stream their result; everything else pulls lazily.
+func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, []string, error) {
 	if len(sel.From) == 0 {
-		return tx.execFromlessSelect(sel)
+		rs, err := tx.execFromlessSelect(sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		return newRowSliceIter(rs.Rows), rs.Columns, nil
 	}
 
 	conjuncts := sqlparser.SplitConjuncts(sel.Where)
@@ -287,21 +309,22 @@ func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*sc
 	b := &rowBinder{}
 	it, err := tx.scanBase(ctx, sel.From[0], conjuncts, used, b)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	built := false
 	defer func() {
-		if it != nil {
+		if !built && it != nil {
 			it.Close()
 		}
 	}()
 	for _, ref := range sel.From[1:] {
 		if it, err = tx.joinWith(ctx, it, b, ref, sqlparser.JoinInner, nil, conjuncts, used); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for _, j := range sel.Joins {
 		if it, err = tx.joinWith(ctx, it, b, j.Table, j.Kind, j.On, conjuncts, used); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -315,35 +338,43 @@ func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*sc
 	if len(residual) > 0 {
 		pred, err := compileExpr(sqlparser.JoinConjuncts(residual), b)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		it = newFilterIter(it, pred, 0)
 	}
 
 	grouped := len(sel.GroupBy) > 0 || selectHasAggregates(sel)
 	if grouped {
-		return tx.execGrouped(ctx, sel, b, it)
+		rs, err := tx.execGrouped(ctx, sel, b, it)
+		if err != nil {
+			return nil, nil, err
+		}
+		built = true
+		it.Close()
+		return newRowSliceIter(rs.Rows), rs.Columns, nil
 	}
 
 	// Plain projection path.
 	items, err := expandItems(sel.Items, b)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	itemFns := make([]evalFn, len(items))
 	for i, item := range items {
 		if itemFns[i], err = compileExpr(item.Expr, b); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	// Sort keys evaluate in the input scope, with aliases and ordinals
 	// resolving to select items.
 	sortFns, descs, err := compileOrderBy(sel.OrderBy, b, items, itemFns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	if len(sortFns) > 0 {
+	switch {
+	case len(sortFns) > 0 && sel.Limit != nil && sel.Limit.Count >= 0 && !sel.Distinct &&
+		!disableTopKFusion && sel.Limit.Count <= math.MaxInt32-sel.Limit.Offset:
 		// ORDER BY + LIMIT without DISTINCT fuses into a bounded top-K
 		// heap: only offset+count rows are ever retained, and
 		// projection runs on the survivors alone. DISTINCT dedupes
@@ -351,17 +382,11 @@ func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*sc
 		// An absurd bound (count+offset overflowing, or beyond int32)
 		// falls back to the full sort — the heap would be bigger than
 		// the input anyway.
-		if sel.Limit != nil && sel.Limit.Count >= 0 && !sel.Distinct && !disableTopKFusion &&
-			sel.Limit.Count <= math.MaxInt32-sel.Limit.Offset {
-			it = newTopKIter(it, itemFns, sortFns, descs, int(sel.Limit.Count), int(sel.Limit.Offset))
-			rs := &schema.ResultSet{Columns: itemNames(items)}
-			if err := drainInto(ctx, it, rs); err != nil {
-				return nil, err
-			}
-			return rs, nil
-		}
+		built = true
+		return newTopKIter(it, itemFns, sortFns, descs, int(sel.Limit.Count), int(sel.Limit.Offset)), itemNames(items), nil
+	case len(sortFns) > 0:
 		it = newSortIter(it, itemFns, sortFns, descs)
-	} else {
+	default:
 		it = newProjIter(it, itemFns)
 	}
 	if sel.Distinct {
@@ -370,11 +395,8 @@ func (tx *Txn) execSimpleSelect(ctx context.Context, sel *sqlparser.Select) (*sc
 	if sel.Limit != nil {
 		it = newLimitIter(it, sel.Limit.Count, sel.Limit.Offset)
 	}
-	rs := &schema.ResultSet{Columns: itemNames(items)}
-	if err := drainInto(ctx, it, rs); err != nil {
-		return nil, err
-	}
-	return rs, nil
+	built = true
+	return it, itemNames(items), nil
 }
 
 func (tx *Txn) execFromlessSelect(sel *sqlparser.Select) (*schema.ResultSet, error) {

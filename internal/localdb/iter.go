@@ -40,6 +40,16 @@ type sliceIter struct {
 
 func newSliceIter(rows [][]value.Value) *sliceIter { return &sliceIter{rows: rows} }
 
+// newRowSliceIter streams a materialized []schema.Row (the named row
+// type is not assignable to [][]value.Value; the headers are shared).
+func newRowSliceIter(rows []schema.Row) *sliceIter {
+	out := make([][]value.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return newSliceIter(out)
+}
+
 func (s *sliceIter) Next(ctx context.Context) ([]value.Value, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -110,6 +120,7 @@ func (s *heapScanIter) refill() {
 		return len(s.batch) < scanBatchSize
 	})
 	s.db.latch.RUnlock()
+	s.db.scanRows.Add(int64(len(s.batch)))
 	if len(s.batch) < scanBatchSize {
 		s.done = true
 	}

@@ -1,0 +1,110 @@
+package localdb
+
+import (
+	"context"
+	"fmt"
+
+	"myriad/internal/schema"
+	"myriad/internal/sqlparser"
+)
+
+// Rows is a streaming SELECT result: the volcano pipeline exposed to
+// callers row by row instead of drained into a ResultSet. The gateway
+// drives it directly into outgoing wire batches so a remote LIMIT 10
+// over a 100k-row table never materializes the table.
+//
+// A Rows owns an autocommit transaction: its table S locks are held
+// until Close, which freezes the scanned tables exactly as the
+// materializing path did for its (shorter) execution window. Close is
+// idempotent, safe mid-stream (the early-termination path), and must be
+// called to release locks. Not safe for concurrent use.
+type Rows struct {
+	cols   []string
+	it     rowIter
+	tx     *Txn
+	err    error
+	closed bool
+}
+
+var _ schema.RowStream = (*Rows)(nil)
+
+// QueryStream executes a SELECT in autocommit mode, returning the
+// result as a stream. The caller must Close it.
+func (db *DB) QueryStream(ctx context.Context, sql string) (*Rows, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("localdb: QueryStream requires SELECT, got %T", stmt)
+	}
+	return db.QueryStreamStmt(ctx, sel)
+}
+
+// QueryStreamStmt executes an already-parsed SELECT in autocommit mode,
+// returning the result as a stream. The caller must Close it.
+func (db *DB) QueryStreamStmt(ctx context.Context, sel *sqlparser.Select) (*Rows, error) {
+	tx := db.Begin()
+	it, cols, err := tx.streamStmt(ctx, sel)
+	if err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	return &Rows{cols: cols, it: it, tx: tx}, nil
+}
+
+// streamStmt assembles the iterator pipeline for sel under the txn
+// mutex; the returned iterator is pulled outside it (the stream's
+// owning transaction is private to the stream). Compound selects
+// materialize via the union path and stream the combined result.
+func (tx *Txn) streamStmt(ctx context.Context, sel *sqlparser.Select) (rowIter, []string, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if err := tx.checkActive(); err != nil {
+		return nil, nil, err
+	}
+	if sel.Compound != nil {
+		rs, err := tx.execUnion(ctx, sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		return newRowSliceIter(rs.Rows), rs.Columns, nil
+	}
+	return tx.selectIter(ctx, sel)
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next returns the next row, or (nil, nil) at end of stream. After an
+// error every subsequent call returns the same error.
+func (r *Rows) Next(ctx context.Context) (schema.Row, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.closed {
+		return nil, nil
+	}
+	row, err := r.it.Next(ctx)
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	return row, nil
+}
+
+// Close tears down the pipeline — terminating any in-progress scan —
+// and finishes the owning transaction, releasing its locks.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.it.Close()
+	if r.err != nil {
+		r.tx.Rollback()
+		return nil
+	}
+	return r.tx.Commit()
+}

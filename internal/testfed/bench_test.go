@@ -1,0 +1,98 @@
+package testfed
+
+import (
+	"context"
+	"testing"
+
+	"myriad/internal/core"
+	"myriad/internal/integration"
+)
+
+// BenchmarkFederatedStreamLimit measures LIMIT 10 over a 100k-row
+// remote site (real TCP), streaming vs. the old materialized executor,
+// under both strategies. cost pushes the LIMIT to the site; simple
+// fetches the export essentially whole, so there the transport decides
+// whether 100k rows materialize at the gateway (materialized) or the
+// federation half-closes the stream after ~10 rows (streaming).
+func BenchmarkFederatedStreamLimit(b *testing.B) {
+	fx := twoSiteUnion(b, integration.UnionAll, 0, 100_000, false, 0)
+	warm(b, fx)
+	ctx := context.Background()
+	const sql = `SELECT id, v FROM R LIMIT 10`
+
+	run := func(b *testing.B, streaming bool, strategy core.Strategy) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var n int
+			if streaming {
+				rs, err := fx.Fed.QueryWith(ctx, sql, strategy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(rs.Rows)
+			} else {
+				rs, err := fx.RefQuery(ctx, sql, strategy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(rs.Rows)
+			}
+			if n != 10 {
+				b.Fatalf("got %d rows", n)
+			}
+		}
+	}
+	b.Run("streaming/cost", func(b *testing.B) { run(b, true, core.StrategyCostBased) })
+	b.Run("materialized/cost", func(b *testing.B) { run(b, false, core.StrategyCostBased) })
+	b.Run("streaming/simple", func(b *testing.B) { run(b, true, core.StrategySimple) })
+	b.Run("materialized/simple", func(b *testing.B) { run(b, false, core.StrategySimple) })
+}
+
+// BenchmarkTwoSiteUnion drains a 40k-row two-site union over real TCP,
+// streaming vs. materialized, plus the time-to-first-row each path
+// offers a client consuming incrementally.
+func BenchmarkTwoSiteUnion(b *testing.B) {
+	fx := twoSiteUnion(b, integration.UnionAll, 20_000, 20_000, false, 0)
+	warm(b, fx)
+	ctx := context.Background()
+	const sql = `SELECT id, v FROM R`
+
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rs, err := fx.Query(ctx, sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 40_000 {
+				b.Fatalf("got %d rows", len(rs.Rows))
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rs, err := fx.RefQuery(ctx, sql, core.StrategyCostBased)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 40_000 {
+				b.Fatalf("got %d rows", len(rs.Rows))
+			}
+		}
+	})
+	b.Run("first-row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := fx.Fed.QueryStream(ctx, sql, core.StrategyCostBased)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := rows.Next(ctx)
+			if err != nil || r == nil {
+				b.Fatalf("first row: %v", err)
+			}
+			rows.Close()
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package testfed
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP proxy in front of one site's comm
+// server. Faults apply to the server→client direction (the response
+// frames) so a test can wound a result stream mid-flight:
+//
+//   - SetDelay: sleep before forwarding each response chunk (slow site)
+//   - DropAfter: sever both conns once n response bytes have flowed
+//     since the fault was armed (mid-stream site crash)
+//   - GarbleAfter: flip one byte at offset n (corrupted frame)
+//
+// Byte offsets count per connection from the moment the fault is armed,
+// so pooled connections that already carried setup traffic (schemas,
+// stats) still hit the fault deterministically during the query under
+// test.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu          sync.Mutex
+	gen         int // bumped on every fault (re)arm; resets per-conn offsets
+	delay       time.Duration
+	dropAfter   int64                 // -1 = disabled
+	garbleAfter int64                 // -1 = disabled
+	stallAfter  int64                 // -1 = disabled
+	conns       map[net.Conn]net.Conn // client conn -> server conn
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy listens on a fresh loopback port forwarding to target;
+// cleanup is registered on t.
+func NewProxy(t testing.TB, target string) *Proxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("testfed: proxy listen: %v", err)
+	}
+	p := &Proxy{
+		ln:          ln,
+		target:      target,
+		dropAfter:   -1,
+		garbleAfter: -1,
+		stallAfter:  -1,
+		conns:       make(map[net.Conn]net.Conn),
+	}
+	p.wg.Add(1)
+	go p.accept()
+	t.Cleanup(p.Close)
+	return p
+}
+
+// Addr is the proxy's listen address (dial this instead of the site).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDelay injects d of latency before each response chunk.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.delay = d
+	p.gen++
+}
+
+// DropAfter arms a mid-stream failure: each connection is severed after
+// n more response bytes. n < 0 disarms.
+func (p *Proxy) DropAfter(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropAfter = n
+	p.gen++
+}
+
+// GarbleAfter arms a corruption: one response byte at offset n (from
+// arming) is flipped on each connection. n < 0 disarms.
+func (p *Proxy) GarbleAfter(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.garbleAfter = n
+	p.gen++
+}
+
+// StallAfter arms a silent stall: after n more response bytes the
+// connection stops forwarding responses entirely — without closing —
+// emulating a site that wedges mid-stream (network partition, frozen
+// process). n < 0 disarms. The stall holds until the proxy closes.
+func (p *Proxy) StallAfter(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stallAfter = n
+	p.gen++
+}
+
+// ActiveConns reports the live proxied connections (a torn-down remote
+// stream shows up here as the count dropping).
+func (p *Proxy) ActiveConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Close severs every proxied connection and stops accepting.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for c, s := range p.conns {
+		c.Close()
+		s.Close()
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			return
+		}
+		p.conns[client] = server
+		p.mu.Unlock()
+		p.wg.Add(2)
+		// Requests forward untouched; responses run the fault gauntlet.
+		go p.pipe(client, server, false)
+		go p.pipe(server, client, true)
+	}
+}
+
+// pipe copies src→dst until error; withFaults applies the response
+// faults. Either side failing severs both, which is how a drop fault
+// propagates to client and server alike.
+func (p *Proxy) pipe(src, dst net.Conn, withFaults bool) {
+	defer p.wg.Done()
+	defer p.remove(src, dst)
+	buf := make([]byte, 8192)
+	var written int64 // response bytes since the current fault arming
+	gen := -1
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if withFaults {
+				p.mu.Lock()
+				if p.gen != gen {
+					gen = p.gen
+					written = 0
+				}
+				delay, drop, garble, stall := p.delay, p.dropAfter, p.garbleAfter, p.stallAfter
+				p.mu.Unlock()
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+				if stall >= 0 && written+int64(n) > stall {
+					// Forward the prefix, then wedge (interruptibly, so
+					// test cleanup can still tear the proxy down).
+					if keep := stall - written; keep > 0 {
+						dst.Write(chunk[:keep]) //nolint:errcheck
+					}
+					for {
+						p.mu.Lock()
+						closed := p.closed
+						p.mu.Unlock()
+						if closed {
+							return
+						}
+						time.Sleep(10 * time.Millisecond)
+					}
+				}
+				if garble >= 0 && written <= garble && garble < written+int64(n) {
+					chunk[garble-written] ^= 0xff
+				}
+				if drop >= 0 && written+int64(n) > drop {
+					// Forward the prefix up to the drop point, then die
+					// mid-stream.
+					keep := drop - written
+					if keep > 0 {
+						dst.Write(chunk[:keep]) //nolint:errcheck
+					}
+					return
+				}
+				written += int64(n)
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *Proxy) remove(a, b net.Conn) {
+	a.Close()
+	b.Close()
+	p.mu.Lock()
+	delete(p.conns, a)
+	delete(p.conns, b)
+	p.mu.Unlock()
+}

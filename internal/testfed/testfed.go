@@ -1,0 +1,190 @@
+// Package testfed is an in-process multi-site federation fixture for
+// transport and fault-injection testing: real component databases
+// behind real gateways served over real TCP by comm.Server, attached to
+// a core.Federation through (optionally) a fault-injecting proxy that
+// can delay, drop, or garble one site's wire traffic mid-stream. It
+// exists to prove the streaming row-batch transport behaves under slow
+// sites, mid-stream failures, and cancellation — the failure modes a
+// federation actually meets.
+package testfed
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"myriad/internal/catalog"
+	"myriad/internal/comm"
+	"myriad/internal/core"
+	"myriad/internal/dialect"
+	"myriad/internal/executor"
+	"myriad/internal/gateway"
+	"myriad/internal/localdb"
+	"myriad/internal/planner"
+	"myriad/internal/schema"
+	"myriad/internal/sqlparser"
+)
+
+// SiteSpec declares one component site of the fixture.
+type SiteSpec struct {
+	Name    string
+	Dialect string           // "" = canonical
+	Setup   []string         // SQL run at boot (DDL + seed DML)
+	Exports []gateway.Export // export relations offered to the federation
+	// Faulty routes the federation's connection through a fault proxy
+	// (see Fixture.Proxy).
+	Faulty bool
+	// Timeout is the gateway's per-query default timeout (0 = none).
+	Timeout time.Duration
+}
+
+// Site is one running component site.
+type Site struct {
+	Name  string
+	DB    *localdb.DB
+	GW    *gateway.Gateway
+	Srv   *comm.Server
+	Addr  string // the comm server's own address
+	Proxy *Proxy // non-nil when the spec was Faulty
+}
+
+// Fixture is a running federation over in-process TCP sites.
+type Fixture struct {
+	Fed   *core.Federation
+	sites map[string]*Site
+}
+
+// New boots the sites, serves each gateway over TCP (behind a proxy for
+// Faulty specs), and attaches them to a fresh federation with the given
+// integrated relations. Cleanup is registered on t.
+func New(t testing.TB, specs []SiteSpec, integrated []*catalog.IntegratedDef) *Fixture {
+	t.Helper()
+	fx := &Fixture{Fed: core.New("testfed"), sites: make(map[string]*Site)}
+	ctx := context.Background()
+	for _, spec := range specs {
+		d, err := dialect.ForName(spec.Dialect)
+		if err != nil {
+			t.Fatalf("testfed: site %s: %v", spec.Name, err)
+		}
+		db := localdb.New(spec.Name)
+		for _, sql := range spec.Setup {
+			if _, err := db.Exec(ctx, sql); err != nil {
+				t.Fatalf("testfed: site %s setup %q: %v", spec.Name, sql, err)
+			}
+		}
+		gw := gateway.New(spec.Name, db, d)
+		gw.DefaultTimeout = spec.Timeout
+		for _, e := range spec.Exports {
+			if err := gw.DefineExport(e); err != nil {
+				t.Fatalf("testfed: site %s: %v", spec.Name, err)
+			}
+		}
+		srv := comm.NewServer(gw)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("testfed: site %s listen: %v", spec.Name, err)
+		}
+		site := &Site{Name: spec.Name, DB: db, GW: gw, Srv: srv, Addr: addr}
+		dialAddr := addr
+		if spec.Faulty {
+			site.Proxy = NewProxy(t, addr)
+			dialAddr = site.Proxy.Addr()
+		}
+		conn := gateway.DialRemote(spec.Name, dialAddr, 4)
+		if err := fx.Fed.AttachSite(ctx, conn); err != nil {
+			t.Fatalf("testfed: attaching %s: %v", spec.Name, err)
+		}
+		fx.sites[spec.Name] = site
+		t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	}
+	for _, def := range integrated {
+		if err := fx.Fed.DefineIntegrated(def); err != nil {
+			t.Fatalf("testfed: integrated %s: %v", def.Name, err)
+		}
+	}
+	return fx
+}
+
+// Site returns the named running site.
+func (fx *Fixture) Site(name string) *Site {
+	s, ok := fx.sites[name]
+	if !ok {
+		panic(fmt.Sprintf("testfed: no site %q", name))
+	}
+	return s
+}
+
+// LoadRows bulk-loads rows into a site's local table (fixture seeding;
+// bypasses SQL so 100k-row tables boot fast).
+func (fx *Fixture) LoadRows(t testing.TB, site, table string, rows []schema.Row) {
+	t.Helper()
+	if err := fx.Site(site).DB.Load(table, rows); err != nil {
+		t.Fatalf("testfed: loading %s.%s: %v", site, table, err)
+	}
+	fx.Fed.InvalidateStats()
+}
+
+// Query runs a global SELECT through the streaming executor (the
+// production path).
+func (fx *Fixture) Query(ctx context.Context, sql string) (*schema.ResultSet, error) {
+	return fx.Fed.Query(ctx, sql)
+}
+
+// RefQuery runs a global SELECT through the pre-streaming materialized
+// executor over the same wire protocol's Response path — the reference
+// the equivalence suite compares the streaming path against.
+func (fx *Fixture) RefQuery(ctx context.Context, sql string, strategy core.Strategy) (*schema.ResultSet, error) {
+	plan, err := fx.Plan(ctx, sql, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return executor.ExecuteMaterialized(ctx, plan, refRunner{fx.Fed})
+}
+
+// Plan builds the global plan for sql (exposed for benchmarks that
+// want to run one plan down both executor paths).
+func (fx *Fixture) Plan(ctx context.Context, sql string, strategy core.Strategy) (*planner.Plan, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("testfed: not a SELECT: %s", sql)
+	}
+	return planner.New(fx.Fed.Catalog(), fx.Fed).Plan(ctx, sel, strategy)
+}
+
+// Runner returns a materialized SiteRunner over the fixture's gateway
+// connections (no streaming), for driving executor paths directly.
+func (fx *Fixture) Runner() executor.SiteRunner { return refRunner{fx.Fed} }
+
+// refRunner ships subqueries as whole ResultSets via Conn.Query.
+type refRunner struct{ f *core.Federation }
+
+func (r refRunner) QuerySite(ctx context.Context, site, sql string) (*schema.ResultSet, error) {
+	conn, ok := r.f.Conn(site)
+	if !ok {
+		return nil, fmt.Errorf("testfed: unknown site %q", site)
+	}
+	return conn.Query(ctx, 0, sql)
+}
+
+// StreamRunner returns the streaming autocommit runner the federation
+// itself uses (exposed for phase-level benchmarks).
+func (fx *Fixture) StreamRunner() executor.SiteRunner { return streamRunner{fx.Fed} }
+
+type streamRunner struct{ f *core.Federation }
+
+func (r streamRunner) QuerySite(ctx context.Context, site, sql string) (*schema.ResultSet, error) {
+	return refRunner{r.f}.QuerySite(ctx, site, sql)
+}
+
+func (r streamRunner) QuerySiteStream(ctx context.Context, site, sql string) (schema.RowStream, error) {
+	conn, ok := r.f.Conn(site)
+	if !ok {
+		return nil, fmt.Errorf("testfed: unknown site %q", site)
+	}
+	return conn.QueryStream(ctx, 0, sql)
+}

@@ -81,6 +81,10 @@ type (
 	Row = schema.Row
 	// ResultSet is a materialized query result.
 	ResultSet = schema.ResultSet
+	// RowStream is a pull-based streaming query result; federated
+	// queries pipeline remote fragments into it without materializing
+	// (Federation.QueryStream, FederationClient.QueryStream).
+	RowStream = schema.RowStream
 	// Value is one SQL value.
 	Value = value.Value
 	// IntegrationFunc resolves attribute conflicts during merge
