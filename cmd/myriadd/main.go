@@ -42,6 +42,7 @@ import (
 
 	"myriad/internal/comm"
 	"myriad/internal/core"
+	"myriad/internal/executor"
 	"myriad/internal/fedserver"
 	"myriad/internal/gateway"
 )
@@ -62,6 +63,15 @@ type config struct {
 	// StreamBatchRows caps rows per streaming batch frame served to
 	// clients (0 = comm.DefaultBatchRows).
 	StreamBatchRows int `json:"stream_batch_rows,omitempty"`
+	// FanIn selects the fan-in policy for multi-source scan sets:
+	// "auto" (default), "source-order", "interleave" (batches emit in
+	// completion order; first-row latency bound by the fastest site),
+	// or "merge" (ordered k-way merge where source ordering is known).
+	FanIn string `json:"fan_in,omitempty"`
+	// StreamRowBudget caps integrated rows in flight per scan set
+	// across its source streams (0 = executor default); per-source
+	// prefetch windows shrink as sources multiply.
+	StreamRowBudget int `json:"stream_row_budget,omitempty"`
 }
 
 func main() {
@@ -104,6 +114,12 @@ func run(configPath string) error {
 	if cfg.LocalTimeoutMs > 0 {
 		fed.SetLocalQueryTimeout(time.Duration(cfg.LocalTimeoutMs) * time.Millisecond)
 	}
+	fanIn, err := executor.ParseFanIn(cfg.FanIn)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	fed.FanIn = fanIn
+	fed.StreamRowBudget = cfg.StreamRowBudget
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -132,7 +148,9 @@ func run(configPath string) error {
 	// fedserver implements comm.StreamHandler: autocommit global query
 	// results stream to clients as the federation produces them, with
 	// remote fragments pipelining in from the gatewayds underneath.
-	srv := comm.NewServer(fedserver.New(fed))
+	fs := fedserver.New(fed)
+	fs.Logf = log.Printf // per-source stream metrics, one line per query
+	srv := comm.NewServer(fs)
 	srv.BatchRows = cfg.StreamBatchRows
 	addr, err := srv.Listen(cfg.Listen)
 	if err != nil {

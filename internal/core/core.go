@@ -62,7 +62,27 @@ type Federation struct {
 	// QueryTimeout bounds each remote subquery of autocommit global
 	// queries; zero disables. Global transactions use LocalQueryTimeout.
 	QueryTimeout time.Duration
+	// FanIn selects how multi-source scan sets combine (FanInAuto keeps
+	// deterministic source order except where an ordered merge can
+	// satisfy an ORDER BY; FanInInterleave trades determinism for
+	// first-row latency bound by the fastest site).
+	FanIn FanInPolicy
+	// StreamRowBudget caps the integrated rows buffered in flight per
+	// scan set across its source streams (0 = executor default); the
+	// per-source prefetch window shrinks as sources multiply.
+	StreamRowBudget int
 }
+
+// FanInPolicy re-exports the executor's fan-in policy choice.
+type FanInPolicy = executor.FanInPolicy
+
+// Fan-in policies.
+const (
+	FanInAuto        = executor.FanInAuto
+	FanInSourceOrder = executor.FanInSourceOrder
+	FanInInterleave  = executor.FanInInterleave
+	FanInMerge       = executor.FanInMerge
+)
 
 // New creates an empty federation.
 func New(name string) *Federation {
@@ -258,6 +278,11 @@ func (f *Federation) QueryWith(ctx context.Context, sql string, strategy Strateg
 	return rs, err
 }
 
+// execOpts packages the federation's executor tuning knobs.
+func (f *Federation) execOpts() executor.Options {
+	return executor.Options{FanIn: f.FanIn, RowBudget: f.StreamRowBudget}
+}
+
 // QueryMetered additionally returns execution metrics (remote queries
 // issued, rows shipped, semijoin use) for the benchmark harness.
 func (f *Federation) QueryMetered(ctx context.Context, sql string, strategy Strategy) (*schema.ResultSet, *executor.Metrics, error) {
@@ -265,7 +290,7 @@ func (f *Federation) QueryMetered(ctx context.Context, sql string, strategy Stra
 	if err != nil {
 		return nil, nil, err
 	}
-	return executor.ExecuteMetered(ctx, plan, autocommitRunner{f: f, timeout: f.QueryTimeout})
+	return executor.ExecuteMeteredOpts(ctx, plan, autocommitRunner{f: f, timeout: f.QueryTimeout}, f.execOpts())
 }
 
 // QueryStream runs a global SELECT and returns the result as a row
@@ -273,11 +298,20 @@ func (f *Federation) QueryMetered(ctx context.Context, sql string, strategy Stra
 // residual evaluation, whose rows the stream yields incrementally. The
 // caller must Close it (early Close tears down the execution).
 func (f *Federation) QueryStream(ctx context.Context, sql string, strategy Strategy) (schema.RowStream, error) {
+	rows, _, err := f.QueryStreamMetered(ctx, sql, strategy)
+	return rows, err
+}
+
+// QueryStreamMetered is QueryStream with execution metrics. On the
+// scratch-bypass path the remote scans stay live while the client
+// consumes, so per-source counters (RowsShipped, Sources) settle once
+// the stream has been closed.
+func (f *Federation) QueryStreamMetered(ctx context.Context, sql string, strategy Strategy) (schema.RowStream, *executor.Metrics, error) {
 	plan, err := f.plan(ctx, sql, strategy)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return executor.ExecuteStream(ctx, plan, autocommitRunner{f: f, timeout: f.QueryTimeout})
+	return executor.ExecuteStreamOpts(ctx, plan, autocommitRunner{f: f, timeout: f.QueryTimeout}, f.execOpts())
 }
 
 // QueryTx runs a global SELECT inside a global transaction, giving the

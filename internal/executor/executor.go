@@ -10,6 +10,13 @@
 // end: site scan → wire batches → integration → scratch load → residual
 // → client, with no whole-ResultSet materialization at the transport.
 //
+// When the residual is a bare projection over a single scan set the
+// scratch engine is bypassed entirely: integrated rows stream straight
+// from the fan-in to the client (projected, offset/limited inline), and
+// a residual ORDER BY that every source already ships pre-sorted is
+// satisfied by the ordered k-way merge fan-in instead of a sort. See
+// Options for the fan-in policy and backpressure budget knobs.
+//
 // The pre-streaming executor survives as ExecuteMaterialized; the
 // equivalence suite holds the two paths row-for-row identical.
 package executor
@@ -22,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"myriad/internal/integration"
 	"myriad/internal/localdb"
@@ -50,12 +58,95 @@ type StreamRunner interface {
 // appended to the temp table in batches this size as they stream in.
 const loadBatchRows = 256
 
+// FanInPolicy selects how a scan set's source streams combine.
+type FanInPolicy uint8
+
+// Fan-in policies.
+const (
+	// FanInAuto picks per plan: an ordered merge when it can satisfy the
+	// residual ORDER BY on the bypass path, deterministic source order
+	// everywhere else (matching the materialized reference row-for-row).
+	FanInAuto FanInPolicy = iota
+	// FanInSourceOrder forces deterministic source order.
+	FanInSourceOrder
+	// FanInInterleave emits batches in completion order: first-row
+	// latency is bound by the fastest site, row order is
+	// nondeterministic.
+	FanInInterleave
+	// FanInMerge forces the ordered k-way merge where source ordering
+	// metadata exists, degrading to source order where it does not.
+	FanInMerge
+)
+
+// String names the policy (the inverse of ParseFanIn).
+func (p FanInPolicy) String() string {
+	switch p {
+	case FanInAuto:
+		return "auto"
+	case FanInSourceOrder:
+		return "source-order"
+	case FanInInterleave:
+		return "interleave"
+	case FanInMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("FanInPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseFanIn maps config text to a FanInPolicy.
+func ParseFanIn(s string) (FanInPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return FanInAuto, nil
+	case "source-order", "sourceorder", "ordered":
+		return FanInSourceOrder, nil
+	case "interleave", "unordered":
+		return FanInInterleave, nil
+	case "merge":
+		return FanInMerge, nil
+	default:
+		return 0, fmt.Errorf("executor: unknown fan-in policy %q", s)
+	}
+}
+
+// Options tunes the streaming executor.
+type Options struct {
+	// FanIn is the fan-in policy for multi-source scan sets.
+	FanIn FanInPolicy
+	// RowBudget caps the integrated rows in flight per scan set across
+	// its source streams (0 = integration.DefaultRowBudget). Per-source
+	// prefetch windows shrink as sources multiply so N sites share the
+	// same budget two would.
+	RowBudget int
+	// NoBypass forces the scratch-engine path even for bare
+	// projections (the reference for equivalence tests and the bypass
+	// benchmarks).
+	NoBypass bool
+}
+
+// SourceMetrics are per-site stream counters for one remote scan.
+type SourceMetrics struct {
+	Site     string
+	Rows     int           // rows shipped from the site
+	Batches  int           // fan-in batches handed downstream
+	FirstRow time.Duration // scan open → first row at the federation
+}
+
 // Metrics accumulates execution counters for experiments.
 type Metrics struct {
 	RemoteQueries int
 	RowsShipped   int
 	SemijoinUsed  bool
 	SemijoinSkip  bool // IN-list exceeded the bound; fell back to full scan
+	// ScratchBypassed reports that the residual streamed straight off
+	// the fan-in without a scratch engine.
+	ScratchBypassed bool
+	// Sources collects per-site stream metrics; each entry is appended
+	// when its site stream closes, so the slice is complete once the
+	// result stream has been closed (on the bypass path the scans stay
+	// live while the client consumes).
+	Sources []SourceMetrics
 }
 
 // Execute runs the plan and returns the final result.
@@ -67,7 +158,12 @@ func Execute(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schem
 // ExecuteMetered runs the plan via the streaming path and materializes
 // the final result, also reporting execution metrics.
 func ExecuteMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schema.ResultSet, *Metrics, error) {
-	stream, m, err := ExecuteStreamMetered(ctx, plan, runner)
+	return ExecuteMeteredOpts(ctx, plan, runner, Options{})
+}
+
+// ExecuteMeteredOpts is ExecuteMetered with explicit Options.
+func ExecuteMeteredOpts(ctx context.Context, plan *planner.Plan, runner SiteRunner, opts Options) (*schema.ResultSet, *Metrics, error) {
+	stream, m, err := ExecuteStreamOpts(ctx, plan, runner, opts)
 	if err != nil {
 		return nil, m, err
 	}
@@ -85,13 +181,36 @@ func ExecuteStream(ctx context.Context, plan *planner.Plan, runner SiteRunner) (
 	return stream, err
 }
 
-// ExecuteStreamMetered runs the plan's remote scans as pipelined
-// streams and returns the residual result as a stream the caller must
-// Close. The metrics are complete when it returns: every fragment has
-// been consumed (or its stream torn down) by then, only the residual
-// evaluation is lazy.
+// ExecuteStreamMetered runs the plan with default Options.
 func ExecuteStreamMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) (schema.RowStream, *Metrics, error) {
+	return ExecuteStreamOpts(ctx, plan, runner, Options{})
+}
+
+// ExecuteStreamOpts runs the plan's remote scans as pipelined streams
+// and returns the residual result as a stream the caller must Close.
+// On the scratch path the metrics are complete when it returns: every
+// fragment has been consumed (or its stream torn down) by then, only
+// the residual evaluation is lazy. On the bypass path the remote scans
+// are themselves lazy, so RowsShipped and Sources settle when the
+// returned stream is closed.
+func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunner, opts Options) (schema.RowStream, *Metrics, error) {
 	m := &Metrics{}
+	var mu sync.Mutex
+	if bp := planBypass(plan, opts); bp != nil {
+		stream, err := execBypass(ctx, bp, runner, opts, m, &mu)
+		if err == nil {
+			return stream, m, nil
+		}
+		if !errors.Is(err, errUnmergeableSources) {
+			return nil, m, err
+		}
+		// A source stream's declared ordering contradicted the
+		// planner's ScanOrdering claim: the merge would silently
+		// reorder, so fall back to the scratch engine (fresh metrics —
+		// the aborted attempt's scans were torn down).
+		m = &Metrics{}
+	}
+
 	scratch := localdb.New("scratch")
 	byAlias := make(map[string]*planner.ScanSet)
 	for _, ss := range plan.ScanSets {
@@ -112,7 +231,6 @@ func ExecuteStreamMetered(ctx context.Context, plan *planner.Plan, runner SiteRu
 	}
 
 	bound := streamBound(plan)
-	var mu sync.Mutex
 	runWave := func(wave []*planner.ScanSet) error {
 		// A failing scan set cancels the wave so sibling sites stop
 		// shipping rows nobody will consume.
@@ -147,7 +265,7 @@ func ExecuteStreamMetered(ctx context.Context, plan *planner.Plan, runner SiteRu
 					}
 					mu.Unlock()
 				}
-				if err := loadScanSet(wctx, scratch, ss, runner, inList, bound, m, &mu); err != nil {
+				if err := loadScanSet(wctx, scratch, ss, runner, inList, bound, opts, m, &mu); err != nil {
 					errs[i] = err
 					cancel()
 				}
@@ -187,22 +305,21 @@ func ExecuteStreamMetered(ctx context.Context, plan *planner.Plan, runner SiteRu
 	return rows, m, nil
 }
 
-// loadScanSet opens every source scan as a stream (in parallel),
-// combines them single-pass, and appends the integrated rows to the
-// scratch temp table batch by batch. bound, when >= 0 and the plan has
-// a single scan set, caps the rows drained: once the residual's LIMIT
-// is satisfiable the combined stream closes, half-closing each remote
-// stream so the sites tear their scans down mid-flight.
-func loadScanSet(ctx context.Context, scratch *localdb.DB, ss *planner.ScanSet, runner SiteRunner, inList []sqlparser.Expr, bound int64, m *Metrics, mu *sync.Mutex) error {
-	// ssctx bounds this scan set's streams. Remote streams watch the
-	// context they were opened with, so cancelling ssctx before Close
-	// expires any wire read a feeder is blocked in — without it, early
-	// termination (a satisfied bound, a sibling's error) could wait
-	// forever on a site that stalled mid-stream.
-	ssctx, sscancel := context.WithCancel(ctx)
-	defer sscancel()
-	ctx = ssctx
+// loadModeFor resolves the fan-in mode for a scratch load. Auto (and
+// Merge, which buys nothing when the scratch engine re-sorts anyway)
+// keep deterministic source order so the loaded temp table matches the
+// materialized reference byte for byte; only an explicit Interleave
+// trades that determinism for drain speed.
+func loadModeFor(opts Options) integration.FanInMode {
+	if opts.FanIn == FanInInterleave {
+		return integration.FanInInterleave
+	}
+	return integration.FanInSourceOrder
+}
 
+// openScanSet opens every source scan of ss as a counted stream, in
+// parallel. On error every already-open stream is closed.
+func openScanSet(ctx context.Context, ss *planner.ScanSet, runner SiteRunner, inList []sqlparser.Expr, m *Metrics, mu *sync.Mutex) ([]schema.RowStream, error) {
 	streams := make([]schema.RowStream, len(ss.Scans))
 	errs := make([]error, len(ss.Scans))
 	var wg sync.WaitGroup
@@ -229,27 +346,61 @@ func loadScanSet(ctx context.Context, scratch *localdb.DB, ss *planner.ScanSet, 
 			mu.Lock()
 			m.RemoteQueries++
 			mu.Unlock()
-			streams[i] = &countedStream{RowStream: st, site: scan.Site, m: m, mu: mu}
+			streams[i] = &countedStream{RowStream: st, site: scan.Site, m: m, mu: mu, start: time.Now()}
 		}(i, scan)
 	}
 	wg.Wait()
-	var openErr error
 	for _, err := range errs {
 		if err != nil {
-			openErr = err
-			break
+			for _, st := range streams {
+				if st != nil {
+					st.Close()
+				}
+			}
+			return nil, err
 		}
 	}
-	if openErr != nil {
-		for _, st := range streams {
-			if st != nil {
-				st.Close()
-			}
+	return streams, nil
+}
+
+// batchHook wires the fan-in's per-batch callback to the counted
+// streams so Sources metrics carry batch counts. The callback runs on
+// the feeder goroutine that also drives the stream's Next, so the
+// counters need no extra synchronization.
+func batchHook(streams []schema.RowStream) func(int, int) {
+	return func(source, _ int) {
+		if cs, ok := streams[source].(*countedStream); ok {
+			cs.batches++
 		}
-		return openErr
+	}
+}
+
+// loadScanSet opens every source scan as a stream (in parallel),
+// combines them single-pass, and appends the integrated rows to the
+// scratch temp table batch by batch. bound, when >= 0 and the plan has
+// a single scan set, caps the rows drained: once the residual's LIMIT
+// is satisfiable the combined stream closes, half-closing each remote
+// stream so the sites tear their scans down mid-flight.
+func loadScanSet(ctx context.Context, scratch *localdb.DB, ss *planner.ScanSet, runner SiteRunner, inList []sqlparser.Expr, bound int64, opts Options, m *Metrics, mu *sync.Mutex) error {
+	// ssctx bounds this scan set's streams. Remote streams watch the
+	// context they were opened with, so cancelling ssctx before Close
+	// expires any wire read a feeder is blocked in — without it, early
+	// termination (a satisfied bound, a sibling's error) could wait
+	// forever on a site that stalled mid-stream.
+	ssctx, sscancel := context.WithCancel(ctx)
+	defer sscancel()
+	ctx = ssctx
+
+	streams, err := openScanSet(ctx, ss, runner, inList, m, mu)
+	if err != nil {
+		return err
 	}
 
-	combined := integration.CombineStreams(ctx, ss.Spec, streams)
+	combined := integration.CombineStreamsOpts(ctx, ss.Spec, streams, integration.StreamOptions{
+		Mode:      loadModeFor(opts),
+		RowBudget: opts.RowBudget,
+		OnBatch:   batchHook(streams),
+	})
 	defer func() {
 		sscancel() // unblock any feeder parked in a wire read first
 		combined.Close()
@@ -298,24 +449,37 @@ func openScan(ctx context.Context, runner SiteRunner, site, sql string) (schema.
 	return schema.StreamOf(rs), nil
 }
 
-// countedStream meters rows shipped from one site. The count flushes
-// into the shared metrics once, at stream end or Close (Next runs on a
-// single feeder goroutine; Close only after the feeders exit).
+// countedStream meters rows shipped from one site. The counts flush
+// into the shared metrics once, at Close (Next and the batch hook run
+// on a single feeder goroutine; Close only after the feeders exit).
 type countedStream struct {
 	schema.RowStream
 	site    string
 	m       *Metrics
 	mu      *sync.Mutex
+	start   time.Time
+	first   time.Duration
 	n       int
+	batches int
 	flushed bool
 }
 
 func (s *countedStream) Next(ctx context.Context) (schema.Row, error) {
 	r, err := s.RowStream.Next(ctx)
 	if r != nil {
+		if s.n == 0 {
+			s.first = time.Since(s.start)
+		}
 		s.n++
 	}
 	return r, err
+}
+
+// Ordering forwards the site stream's sort guarantee (non-nil only for
+// in-process connections; the wire erases it) so the bypass can
+// cross-check the planner's ScanOrdering claim.
+func (s *countedStream) Ordering() []schema.SortKey {
+	return schema.StreamOrdering(s.RowStream)
 }
 
 func (s *countedStream) Close() error {
@@ -324,9 +488,311 @@ func (s *countedStream) Close() error {
 		s.flushed = true
 		s.mu.Lock()
 		s.m.RowsShipped += s.n
+		s.m.Sources = append(s.m.Sources, SourceMetrics{
+			Site: s.site, Rows: s.n, Batches: s.batches, FirstRow: s.first,
+		})
 		s.mu.Unlock()
 	}
 	return err
+}
+
+// ---------------------------------------------------------------------
+// Scratch-engine bypass
+
+// bypassPlan is a residual reduced to stream surgery: project these
+// scan-set columns under these names, skip offset rows, emit count.
+type bypassPlan struct {
+	ss    *planner.ScanSet
+	proj  []int // schema column index per output column
+	names []string
+	// mergeKeys, non-nil when the residual has an ORDER BY, is the
+	// source ordering that satisfies it via the k-way merge fan-in.
+	mergeKeys []schema.SortKey
+	count     int64 // -1 = unbounded
+	offset    int64
+}
+
+// identity reports whether the projection is a no-op (all scan-set
+// columns, original order and names).
+func (b *bypassPlan) identity() bool {
+	if len(b.proj) != len(b.ss.Schema.Columns) {
+		return false
+	}
+	for i, ci := range b.proj {
+		if ci != i || b.names[i] != b.ss.Schema.Columns[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// planBypass decides whether the plan can skip the scratch engine: a
+// single scan set (no semijoin), a residual that is a bare projection
+// of its columns — no filter, join, grouping, aggregate, DISTINCT or
+// compound — and an ORDER BY that is either absent or exactly the
+// ordering every source scan already ships (ScanOrdering), which the
+// stable merge fan-in reproduces without sorting. LIMIT/OFFSET apply
+// inline. Returns nil when the scratch engine is needed (or forced).
+func planBypass(plan *planner.Plan, opts Options) *bypassPlan {
+	if opts.NoBypass || len(plan.ScanSets) != 1 {
+		return nil
+	}
+	ss := plan.ScanSets[0]
+	if ss.SemiFrom != "" {
+		return nil
+	}
+	r := plan.Residual
+	if r == nil || r.Compound != nil || r.Where != nil || r.Having != nil ||
+		len(r.GroupBy) > 0 || r.Distinct || len(r.Joins) > 0 || len(r.From) != 1 {
+		return nil
+	}
+	sameRel := func(table string) bool {
+		return table == "" || strings.EqualFold(table, ss.Alias) || strings.EqualFold(table, ss.TempTable)
+	}
+	colIndex := func(name string) int {
+		for i, c := range ss.Schema.Columns {
+			if strings.EqualFold(c.Name, name) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	bp := &bypassPlan{ss: ss, count: -1}
+	for _, it := range r.Items {
+		switch {
+		case it.Star:
+			if it.Table != "" && !sameRel(it.Table) {
+				return nil
+			}
+			for i, c := range ss.Schema.Columns {
+				bp.proj = append(bp.proj, i)
+				bp.names = append(bp.names, c.Name)
+			}
+		default:
+			cr, ok := it.Expr.(*sqlparser.ColumnRef)
+			if !ok || !sameRel(cr.Table) {
+				return nil
+			}
+			ci := colIndex(cr.Column)
+			if ci < 0 {
+				return nil
+			}
+			name := it.As
+			if name == "" {
+				name = cr.Column
+			}
+			bp.proj = append(bp.proj, ci)
+			bp.names = append(bp.names, name)
+		}
+	}
+	if len(bp.proj) == 0 {
+		return nil
+	}
+
+	if len(r.OrderBy) > 0 {
+		// An ORDER BY is only bypassable when the merge fan-in can
+		// reproduce it, which needs (1) every source pre-sorted on
+		// exactly these keys and (2) a policy that allows merging.
+		if opts.FanIn != FanInAuto && opts.FanIn != FanInMerge {
+			return nil
+		}
+		if len(ss.ScanOrdering) != len(r.OrderBy) {
+			return nil
+		}
+		for i, o := range r.OrderBy {
+			cr, ok := o.Expr.(*sqlparser.ColumnRef)
+			if !ok || !sameRel(cr.Table) {
+				return nil
+			}
+			ci := colIndex(cr.Column)
+			if ci < 0 || ss.ScanOrdering[i] != (schema.SortKey{Col: ci, Desc: o.Desc}) {
+				return nil
+			}
+		}
+		bp.mergeKeys = ss.ScanOrdering
+	}
+
+	if r.Limit != nil {
+		if r.Limit.Count >= 0 {
+			bp.count = r.Limit.Count
+		}
+		bp.offset = r.Limit.Offset
+	}
+	return bp
+}
+
+// errUnmergeableSources reports that a source stream's self-declared
+// ordering contradicts the planner's ScanOrdering claim — the ordered
+// stream contract caught a planner/translation bug before the merge
+// could silently reorder. The caller falls back to the scratch engine.
+var errUnmergeableSources = errors.New("executor: source stream ordering contradicts plan")
+
+// execBypass streams integrated rows straight from the fan-in to the
+// caller: no scratch engine, no temp-table load, no residual pipeline.
+func execBypass(ctx context.Context, bp *bypassPlan, runner SiteRunner, opts Options, m *Metrics, mu *sync.Mutex) (schema.RowStream, error) {
+	m.ScratchBypassed = true
+	// bctx lives as long as the returned stream: Close cancels it first
+	// so a feeder parked in a wire read is expired before its source
+	// closes (the same ordering the scratch loader uses).
+	bctx, bcancel := context.WithCancel(ctx)
+	streams, err := openScanSet(bctx, bp.ss, runner, nil, m, mu)
+	if err != nil {
+		bcancel()
+		return nil, err
+	}
+
+	mode := integration.FanInSourceOrder
+	switch {
+	case bp.mergeKeys != nil:
+		mode = integration.FanInMergeOrdered
+	case opts.FanIn == FanInInterleave:
+		mode = integration.FanInInterleave
+	case opts.FanIn == FanInMerge && bp.ss.ScanOrdering != nil:
+		// Order costs nothing here and gives the client sorted rows.
+		bp.mergeKeys = bp.ss.ScanOrdering
+		mode = integration.FanInMergeOrdered
+	}
+	if mode == integration.FanInMergeOrdered {
+		// Cross-check the planner's sorted-source claim against any
+		// ordering the streams themselves declare (in-process streams
+		// carry the engine's metadata; the wire strips it to nil, which
+		// is trusted). A contradiction means merging would reorder.
+		for _, st := range streams {
+			if !orderingSatisfies(schema.StreamOrdering(st), bp.mergeKeys) {
+				bcancel()
+				for _, s := range streams {
+					s.Close()
+				}
+				return nil, errUnmergeableSources
+			}
+		}
+	}
+	combined := integration.CombineStreamsOpts(bctx, bp.ss.Spec, streams, integration.StreamOptions{
+		Mode:      mode,
+		MergeKeys: bp.mergeKeys,
+		RowBudget: opts.RowBudget,
+		OnBatch:   batchHook(streams),
+	})
+	proj := bp.proj
+	names := bp.names
+	if bp.identity() {
+		proj = nil
+	}
+	return &bypassStream{
+		inner:  combined,
+		cancel: bcancel,
+		proj:   proj,
+		cols:   names,
+		count:  bp.count,
+		offset: bp.offset,
+	}, nil
+}
+
+// orderingSatisfies reports whether a source's declared ordering is
+// consistent with sorting on keys: unknown (nil) is trusted, otherwise
+// keys must be a prefix of the declaration (a stream sorted on more
+// keys is still sorted on fewer; one sorted on fewer is not).
+func orderingSatisfies(declared, keys []schema.SortKey) bool {
+	if declared == nil {
+		return true
+	}
+	if len(declared) < len(keys) {
+		return false
+	}
+	for i := range keys {
+		if declared[i] != keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bypassStream projects and offset/limits the fan-in inline. Once the
+// count is satisfied it half-closes the fan-in eagerly, tearing remote
+// scans down mid-flight exactly like the scratch path's streamBound.
+type bypassStream struct {
+	inner   schema.RowStream
+	cancel  context.CancelFunc
+	proj    []int // nil = identity
+	cols    []string
+	count   int64 // -1 = unbounded
+	offset  int64
+	skipped int64
+	emitted int64
+	done    bool
+	closed  bool
+	err     error
+}
+
+func (b *bypassStream) Columns() []string { return b.cols }
+
+func (b *bypassStream) Next(ctx context.Context) (schema.Row, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.closed || b.done {
+		return nil, nil
+	}
+	if b.count >= 0 && b.emitted >= b.count {
+		b.halt()
+		return nil, nil
+	}
+	for b.skipped < b.offset {
+		r, err := b.inner.Next(ctx)
+		if err != nil {
+			b.err = err
+			return nil, err
+		}
+		if r == nil {
+			b.done = true
+			return nil, nil
+		}
+		b.skipped++
+	}
+	r, err := b.inner.Next(ctx)
+	if err != nil {
+		b.err = err
+		return nil, err
+	}
+	if r == nil {
+		b.done = true
+		return nil, nil
+	}
+	if b.proj != nil {
+		out := make(schema.Row, len(b.proj))
+		for i, ci := range b.proj {
+			out[i] = r[ci]
+		}
+		r = out
+	}
+	b.emitted++
+	if b.count >= 0 && b.emitted >= b.count {
+		// The bound is reached: release the remote scans eagerly but
+		// keep emitting this row.
+		b.halt()
+	}
+	return r, nil
+}
+
+// halt tears the fan-in down without marking the stream closed (the
+// caller still owns Close). Cancel-before-close unblocks wire reads.
+func (b *bypassStream) halt() {
+	if b.done {
+		return
+	}
+	b.done = true
+	b.cancel()
+	b.inner.Close()
+}
+
+func (b *bypassStream) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	b.cancel()
+	return b.inner.Close()
 }
 
 // streamBound derives the largest number of integrated rows the
@@ -335,7 +801,8 @@ func (s *countedStream) Close() error {
 // ordering, dedup or aggregate that could need more input. -1 means
 // unbounded. This is what turns a federated LIMIT into an early
 // half-close of the remote streams even when the per-site pushdown
-// could not absorb it (multi-source sets).
+// could not absorb it (multi-source sets). The bypass path subsumes
+// this case; the bound still guards NoBypass runs.
 func streamBound(plan *planner.Plan) int64 {
 	if len(plan.ScanSets) != 1 {
 		return -1

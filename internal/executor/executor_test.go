@@ -202,3 +202,121 @@ func TestExecutorContextCancellation(t *testing.T) {
 		// but the engine must not hang or panic.
 	}
 }
+
+// ---------------------------------------------------------------------
+// Scratch-bypass and per-source metrics
+
+// TestScratchBypassEquivalence: a bare projection over a single scan
+// set streams straight off the fan-in; the result must match the
+// scratch-engine path exactly, with the bypass recorded in metrics.
+func TestScratchBypassEquivalence(t *testing.T) {
+	fed, p := buildJoinFederation(t, 50, 200)
+	ctx := context.Background()
+	for _, sql := range []string{
+		`SELECT cid, tier FROM CUSTOMERS LIMIT 7`,
+		`SELECT tier AS t, cid FROM CUSTOMERS`,
+		`SELECT cid FROM CUSTOMERS ORDER BY cid LIMIT 5`,
+		`SELECT cid, tier FROM CUSTOMERS ORDER BY tier DESC, cid LIMIT 9 OFFSET 3`,
+		`SELECT oid, amt FROM ORDERS LIMIT 12 OFFSET 30`,
+	} {
+		plan := planFor(t, p, sql)
+		want, err := executor.ExecuteMaterialized(ctx, plan, fedRunner{fed})
+		if err != nil {
+			t.Fatalf("%s: materialized: %v", sql, err)
+		}
+		got, m, err := executor.ExecuteMetered(ctx, plan, fedRunner{fed})
+		if err != nil {
+			t.Fatalf("%s: streaming: %v", sql, err)
+		}
+		if !m.ScratchBypassed {
+			t.Errorf("%s: scratch engine not bypassed", sql)
+		}
+		assertResultsEqual(t, sql, want, got)
+
+		// Forcing the scratch path must agree too.
+		ref, m2, err := executor.ExecuteMeteredOpts(ctx, plan, fedRunner{fed}, executor.Options{NoBypass: true})
+		if err != nil {
+			t.Fatalf("%s: NoBypass: %v", sql, err)
+		}
+		if m2.ScratchBypassed {
+			t.Errorf("%s: NoBypass still bypassed", sql)
+		}
+		assertResultsEqual(t, sql+" (NoBypass)", want, ref)
+	}
+}
+
+// TestBypassNotUsedWhenResidualComputes: anything beyond a bare
+// projection keeps the scratch engine.
+func TestBypassNotUsedWhenResidualComputes(t *testing.T) {
+	fed, p := buildJoinFederation(t, 20, 50)
+	ctx := context.Background()
+	for _, sql := range []string{
+		`SELECT COUNT(*) FROM CUSTOMERS`,
+		`SELECT DISTINCT tier FROM CUSTOMERS`,
+		`SELECT cid FROM CUSTOMERS WHERE tier = 'gold'`,
+		`SELECT c.cid FROM CUSTOMERS c, ORDERS o WHERE c.cid = o.cust`,
+	} {
+		plan := planFor(t, p, sql)
+		_, m, err := executor.ExecuteMetered(ctx, plan, fedRunner{fed})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if m.ScratchBypassed {
+			t.Errorf("%s: bypassed a residual that computes", sql)
+		}
+	}
+}
+
+// TestPerSourceMetrics: every remote scan reports per-site counters.
+func TestPerSourceMetrics(t *testing.T) {
+	fed, p := buildJoinFederation(t, 30, 90)
+	plan := planFor(t, p, `SELECT c.cid FROM CUSTOMERS c, ORDERS o WHERE c.cid = o.cust`)
+	_, m, err := executor.ExecuteMetered(context.Background(), plan, fedRunner{fed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sources) != m.RemoteQueries {
+		t.Fatalf("Sources entries = %d, RemoteQueries = %d", len(m.Sources), m.RemoteQueries)
+	}
+	total := 0
+	sites := map[string]bool{}
+	for _, src := range m.Sources {
+		if src.Site == "" {
+			t.Fatalf("source metric without site: %+v", src)
+		}
+		sites[src.Site] = true
+		total += src.Rows
+		if src.Rows > 0 && src.Batches == 0 {
+			t.Fatalf("site %s shipped %d rows in 0 batches", src.Site, src.Rows)
+		}
+	}
+	if total != m.RowsShipped {
+		t.Fatalf("per-source rows sum %d != RowsShipped %d", total, m.RowsShipped)
+	}
+	if !sites["crm"] || !sites["oltp"] {
+		t.Fatalf("missing site metrics: %v", m.Sources)
+	}
+}
+
+func assertResultsEqual(t *testing.T, label string, want, got *schema.ResultSet) {
+	t.Helper()
+	if len(want.Columns) != len(got.Columns) {
+		t.Fatalf("%s: columns %v vs %v", label, want.Columns, got.Columns)
+	}
+	for i := range want.Columns {
+		if want.Columns[i] != got.Columns[i] {
+			t.Fatalf("%s: column %d %q vs %q", label, i, want.Columns[i], got.Columns[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: rows %d vs %d", label, len(want.Rows), len(got.Rows))
+	}
+	for ri := range want.Rows {
+		for ci := range want.Rows[ri] {
+			wv, gv := want.Rows[ri][ci], got.Rows[ri][ci]
+			if wv.IsNull() != gv.IsNull() || (!wv.IsNull() && (wv.K != gv.K || wv.Text() != gv.Text())) {
+				t.Fatalf("%s: row %d col %d: %s vs %s", label, ri, ci, wv, gv)
+			}
+		}
+	}
+}

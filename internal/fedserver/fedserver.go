@@ -15,6 +15,7 @@ import (
 	"myriad/internal/catalog"
 	"myriad/internal/comm"
 	"myriad/internal/core"
+	"myriad/internal/executor"
 	"myriad/internal/gateway"
 	"myriad/internal/gtm"
 	"myriad/internal/integration"
@@ -73,6 +74,11 @@ func (j *IntegratedDefJSON) ToDef() (*catalog.IntegratedDef, error) {
 // Server adapts a Federation to comm.Handler.
 type Server struct {
 	fed *core.Federation
+
+	// Logf, when non-nil, receives one line of per-source stream
+	// metrics (rows, batches, first-row latency per site) after each
+	// streamed global query completes.
+	Logf func(format string, v ...any)
 
 	mu   sync.Mutex
 	txns map[uint64]*gtm.Txn
@@ -206,10 +212,13 @@ func (s *Server) HandleStream(ctx context.Context, req *comm.Request, sink comm.
 		return comm.ErrNotStreamable
 	}
 	sql, strategy := stripStrategy(req.SQL, s.fed.Strategy)
-	rows, err := s.fed.QueryStream(ctx, sql, strategy)
+	rows, m, err := s.fed.QueryStreamMetered(ctx, sql, strategy)
 	if err != nil {
 		return streamErr(err)
 	}
+	// LIFO: the stream closes first (settling the bypass path's lazy
+	// per-source counters), then the metrics log.
+	defer s.logSources(sql, m)
 	defer rows.Close()
 	if err := sink.Header(rows.Columns()); err != nil {
 		return err
@@ -226,6 +235,19 @@ func (s *Server) HandleStream(ctx context.Context, req *comm.Request, sink comm.
 			return err
 		}
 	}
+}
+
+// logSources emits one line of per-site stream metrics for a completed
+// (or torn-down) streamed query.
+func (s *Server) logSources(sql string, m *executor.Metrics) {
+	if s.Logf == nil || m == nil || len(m.Sources) == 0 {
+		return
+	}
+	var b strings.Builder
+	for _, src := range m.Sources {
+		fmt.Fprintf(&b, " [%s rows=%d batches=%d first_row=%s]", src.Site, src.Rows, src.Batches, src.FirstRow)
+	}
+	s.Logf("fedserver: query sources: bypass=%v shipped=%d%s sql=%q", m.ScratchBypassed, m.RowsShipped, b.String(), sql)
 }
 
 // streamErr tags federation errors with the wire kind their streaming

@@ -2,6 +2,7 @@ package fedserver
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -134,5 +135,37 @@ func TestQueryStrategyPrefix(t *testing.T) {
 		if len(resp.Rows.Rows) != 1 || resp.Rows.Rows[0][0].Text() != "a" {
 			t.Errorf("%q: %v", sql, resp.Rows.Rows)
 		}
+	}
+}
+
+// collectSink is a comm.RowSink that buffers everything in memory.
+type collectSink struct {
+	cols []string
+	rows []schema.Row
+}
+
+func (s *collectSink) Header(cols []string) error { s.cols = cols; return nil }
+func (s *collectSink) Row(r schema.Row) error     { s.rows = append(s.rows, r); return nil }
+
+// TestStreamMetricsLogged: a streamed query reports per-source metrics
+// through Logf once the stream has completed.
+func TestStreamMetricsLogged(t *testing.T) {
+	s := testServer(t)
+	var lines []string
+	s.Logf = func(format string, v ...any) {
+		lines = append(lines, fmt.Sprintf(format, v...))
+	}
+	sink := &collectSink{}
+	if err := s.HandleStream(context.Background(), &comm.Request{Op: comm.OpQuery, SQL: `SELECT k, v FROM T`}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.rows) != 1 {
+		t.Fatalf("streamed %d rows", len(sink.rows))
+	}
+	if len(lines) != 1 {
+		t.Fatalf("Logf lines = %d: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "s0") || !strings.Contains(lines[0], "rows=1") {
+		t.Fatalf("metrics line missing site counters: %q", lines[0])
 	}
 }

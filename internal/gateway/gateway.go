@@ -345,6 +345,11 @@ func (s *gatewayStream) Close() error {
 	return err
 }
 
+// Ordering forwards the engine stream's sort guarantee. The gateway's
+// header renaming keeps column positions, so the positional keys stay
+// valid under the restored names.
+func (s *gatewayStream) Ordering() []schema.SortKey { return s.rows.Ordering() }
+
 // restoreColumnNames renames result headers to the aliases of the
 // (pre-dialect) translated select when arities line up.
 func restoreColumnNames(rs *schema.ResultSet, sel *sqlparser.Select) {

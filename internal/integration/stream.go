@@ -11,43 +11,237 @@ import (
 
 // Streaming combiners: the relational integration operators as
 // single-pass consumers of per-site row streams. Every source stream is
-// pulled by its own feeder goroutine through a small bounded batch
-// window, so a slow site never stops the federation from consuming the
-// fast ones — UNION [ALL] emits rows in deterministic source order
-// while later sources prefetch behind the window, and OUTERJOIN-MERGE
-// drains all sources concurrently before resolving entities (it cannot
-// emit an entity until every source has had its say). The window is a
-// fixed credit of batches per source; a deeper, adaptive backpressure
-// window is future work (see ROADMAP).
+// pulled by its own feeder goroutine through a bounded batch window, so
+// a slow site never stops the federation from consuming the fast ones.
+// Three union fan-in operators are provided:
+//
+//   - FanInSourceOrder (default): rows emit in deterministic source
+//     order while later sources prefetch behind their windows. The
+//     reference mode — byte-identical to combining materialized
+//     fragments — used wherever downstream row order must match the
+//     materialized executor.
+//   - FanInInterleave: batches emit in completion order across all
+//     sources, so first-row latency is bound by the fastest site
+//     instead of the first-listed one. Row order is nondeterministic.
+//   - FanInMergeOrdered: a stable k-way merge over sources that are
+//     each already sorted on MergeKeys; the combined stream is globally
+//     sorted without re-sorting, with ties broken by source index (the
+//     exact order a stable sort of the source-ordered concatenation
+//     would produce).
+//
+// OUTERJOIN-MERGE is a blocking combinator (it cannot emit an entity
+// until every source has had its say); it drains all sources
+// concurrently regardless of the requested mode.
+//
+// Backpressure is a per-query rows-in-flight budget rather than a fixed
+// per-source credit: StreamOptions.RowBudget caps the integrated rows
+// buffered across all of a scan set's source windows, and the per-source
+// window shrinks as sources multiply (N sites share the same budget a
+// 2-site set gets). The budget is granted in batches of feedBatchRows.
+
+// FanInMode selects how multiple source streams combine into one.
+type FanInMode uint8
+
+// Fan-in modes.
 const (
-	feedBatchRows = 256 // rows per feeder batch
-	feedWindow    = 4   // batches buffered per source
+	// FanInSourceOrder emits every row of source 0, then source 1, ...
+	FanInSourceOrder FanInMode = iota
+	// FanInInterleave emits batches in completion order.
+	FanInInterleave
+	// FanInMergeOrdered k-way merges sources pre-sorted on MergeKeys.
+	FanInMergeOrdered
 )
 
+// String names the mode.
+func (m FanInMode) String() string {
+	switch m {
+	case FanInSourceOrder:
+		return "source-order"
+	case FanInInterleave:
+		return "interleave"
+	case FanInMergeOrdered:
+		return "merge"
+	default:
+		return fmt.Sprintf("FanInMode(%d)", uint8(m))
+	}
+}
+
+// StreamOptions tunes CombineStreamsOpts.
+type StreamOptions struct {
+	// Mode selects the union fan-in operator. FanInMergeOrdered without
+	// MergeKeys degrades to FanInSourceOrder (there is nothing to merge
+	// on), so callers can request it optimistically.
+	Mode FanInMode
+	// MergeKeys is the sort order every source stream is already in
+	// (indexes into Spec.Columns), required by FanInMergeOrdered.
+	MergeKeys []schema.SortKey
+	// RowBudget caps the total rows buffered in flight across all
+	// source windows (0 = DefaultRowBudget). Rounded to whole batches;
+	// every source always gets at least one batch of window.
+	RowBudget int
+	// OnBatch, when non-nil, is invoked from the feeder goroutine each
+	// time one source batch is handed to the fan-in (per-source
+	// transfer metrics). It must be safe for concurrent use across
+	// sources.
+	OnBatch func(source, rows int)
+}
+
+const (
+	feedBatchRows = 256 // rows per feeder batch
+	// DefaultRowBudget is the rows-in-flight cap when the caller does
+	// not set one: 16 batches, i.e. the old fixed 4-batch window at the
+	// 4-source point, deeper for fewer sources, shallower for more.
+	DefaultRowBudget = 16 * feedBatchRows
+	// maxWindowBatches bounds the per-source window however large the
+	// budget is (prefetch past this buys nothing but memory).
+	maxWindowBatches = 16
+)
+
+// windowBatches derives the per-source window (in batches) from the
+// query's rows-in-flight budget.
+func windowBatches(sources, rowBudget int) int {
+	if rowBudget <= 0 {
+		rowBudget = DefaultRowBudget
+	}
+	if sources < 1 {
+		sources = 1
+	}
+	w := rowBudget / (sources * feedBatchRows)
+	if w < 1 {
+		w = 1
+	}
+	if w > maxWindowBatches {
+		w = maxWindowBatches
+	}
+	return w
+}
+
 // CombineStreams merges per-source row streams into a stream of
-// integrated rows. It takes ownership of the sources: closing the
-// returned stream cancels the feeders, closes every source (tearing
-// down remote scans mid-flight), and must be called even after an
-// error. ctx bounds all pulls; cancelling it aborts every feeder.
+// integrated rows in deterministic source order (the default options).
+// It takes ownership of the sources: closing the returned stream
+// cancels the feeders, closes every source (tearing down remote scans
+// mid-flight), and must be called even after an error. ctx bounds all
+// pulls; cancelling it aborts every feeder.
 func CombineStreams(ctx context.Context, spec *Spec, sources []schema.RowStream) schema.RowStream {
+	return CombineStreamsOpts(ctx, spec, sources, StreamOptions{})
+}
+
+// CombineStreamsOpts is CombineStreams with an explicit fan-in mode and
+// backpressure budget.
+func CombineStreamsOpts(ctx context.Context, spec *Spec, sources []schema.RowStream, opts StreamOptions) schema.RowStream {
 	fctx, cancel := context.WithCancel(ctx)
-	c := &combinedStream{spec: spec, sources: sources, fctx: fctx, cancel: cancel}
+	mode := opts.Mode
+	if mode == FanInMergeOrdered && len(opts.MergeKeys) == 0 {
+		mode = FanInSourceOrder
+	}
 	switch spec.Kind {
-	case UnionDistinct:
-		c.seen = make(map[string]bool)
-		fallthrough
-	case UnionAll:
-		c.feeds = make([]*sourceFeed, len(sources))
-		for i, src := range sources {
-			c.feeds[i] = startFeed(fctx, &c.wg, src, spec)
+	case UnionAll, UnionDistinct:
+		var seen map[string]bool
+		if spec.Kind == UnionDistinct {
+			seen = make(map[string]bool)
+		}
+		switch mode {
+		case FanInInterleave:
+			c := &interleaveStream{seen: seen}
+			c.init(spec, sources, fctx, cancel)
+			cap := windowBatches(len(sources), opts.RowBudget) * len(sources)
+			if cap < len(sources) {
+				cap = len(sources)
+			}
+			c.ch = make(chan feedItem, cap)
+			for i, src := range sources {
+				startSharedFeed(fctx, &c.wg, c.ch, src, spec, i, opts.OnBatch)
+			}
+			c.closerDone = make(chan struct{})
+			go func() {
+				defer close(c.closerDone)
+				c.wg.Wait()
+				close(c.ch)
+			}()
+			return c
+		case FanInMergeOrdered:
+			c := &mergeStream{keys: opts.MergeKeys, seen: seen}
+			c.init(spec, sources, fctx, cancel)
+			c.feeds = startFeeds(fctx, &c.wg, sources, spec, opts)
+			c.heads = make([]schema.Row, len(sources))
+			c.done = make([]bool, len(sources))
+			c.batches = make([][]schema.Row, len(sources))
+			c.bpos = make([]int, len(sources))
+			return c
+		default:
+			c := &combinedStream{seen: seen}
+			c.init(spec, sources, fctx, cancel)
+			c.feeds = startFeeds(fctx, &c.wg, sources, spec, opts)
+			return c
 		}
 	case MergeOuter:
 		// Blocking combinator: first Next drains all sources in
-		// parallel, then merges. No feeders needed.
+		// parallel, then merges. No feeders needed; the mode is moot.
+		c := &combinedStream{onBatch: opts.OnBatch}
+		c.init(spec, sources, fctx, cancel)
+		return c
 	default:
+		c := &combinedStream{}
+		c.init(spec, sources, fctx, cancel)
 		c.err = fmt.Errorf("integration: unknown combinator %d", spec.Kind)
+		return c
 	}
-	return c
+}
+
+// fanInBase carries the state every fan-in operator shares: the spec,
+// source ownership, the feed context, and first-error bookkeeping.
+type fanInBase struct {
+	spec    *Spec
+	sources []schema.RowStream
+	fctx    context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	err    error
+	closed bool
+}
+
+// init wires the shared fields in place (fanInBase holds a WaitGroup,
+// so it must never be copied as a value).
+func (b *fanInBase) init(spec *Spec, sources []schema.RowStream, fctx context.Context, cancel context.CancelFunc) {
+	b.spec = spec
+	b.sources = sources
+	b.fctx = fctx
+	b.cancel = cancel
+}
+
+func (b *fanInBase) Columns() []string { return b.spec.Columns }
+
+// fail records the first error and aborts the other feeders so their
+// sites stop shipping rows that will never be consumed.
+func (b *fanInBase) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+	b.cancel()
+}
+
+// closeBase cancels the feeders, waits for them to exit, and closes
+// every source stream — the half-close that propagates early
+// termination (a satisfied LIMIT, an error at a sibling site, a
+// cancelled query) down to each site's scan. Idempotent.
+func (b *fanInBase) closeBase() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	// Cancelling unblocks feeders parked on a full window or a pending
+	// pull; wait them out so no goroutine touches a source while we
+	// close it.
+	b.cancel()
+	b.wg.Wait()
+	var first error
+	for _, src := range b.sources {
+		if err := src.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // sourceFeed is one producer goroutine's output: batches flow through a
@@ -58,54 +252,93 @@ type sourceFeed struct {
 }
 
 type feedItem struct {
+	src  int
 	rows []schema.Row
 	err  error
 }
 
-// startFeed pulls src in batches into a bounded window until EOF, error
-// or cancellation. The feeder owns only the pulling; closing src stays
-// with combinedStream.Close (after the feeder has exited).
-func startFeed(ctx context.Context, wg *sync.WaitGroup, src schema.RowStream, spec *Spec) *sourceFeed {
-	f := &sourceFeed{ch: make(chan feedItem, feedWindow)}
+// startFeeds launches one windowed feeder per source.
+func startFeeds(ctx context.Context, wg *sync.WaitGroup, sources []schema.RowStream, spec *Spec, opts StreamOptions) []*sourceFeed {
+	window := windowBatches(len(sources), opts.RowBudget)
+	feeds := make([]*sourceFeed, len(sources))
+	for i, src := range sources {
+		f := &sourceFeed{ch: make(chan feedItem, window)}
+		feeds[i] = f
+		wg.Add(1)
+		go func(i int, src schema.RowStream) {
+			defer wg.Done()
+			defer close(f.ch)
+			feedLoop(ctx, src, spec, i, opts.OnBatch, func(it feedItem) bool {
+				select {
+				case f.ch <- it:
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			})
+		}(i, src)
+	}
+	return feeds
+}
+
+// startSharedFeed launches a feeder that sends into the interleave
+// operator's shared channel (never closing it; the operator's closer
+// does once every feeder has exited).
+func startSharedFeed(ctx context.Context, wg *sync.WaitGroup, ch chan feedItem, src schema.RowStream, spec *Spec, idx int, onBatch func(int, int)) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		defer close(f.ch)
-		send := func(it feedItem) bool {
+		feedLoop(ctx, src, spec, idx, onBatch, func(it feedItem) bool {
 			select {
-			case f.ch <- it:
+			case ch <- it:
 				return true
 			case <-ctx.Done():
 				return false
 			}
+		})
+	}()
+}
+
+// feedLoop pulls src in batches until EOF, error or cancellation,
+// handing each batch to send. The feeder owns only the pulling; closing
+// src stays with the operator's Close (after the feeder has exited).
+func feedLoop(ctx context.Context, src schema.RowStream, spec *Spec, idx int, onBatch func(int, int), send func(feedItem) bool) {
+	if err := checkArityCols(spec, src.Columns()); err != nil {
+		send(feedItem{src: idx, err: err})
+		return
+	}
+	batch := make([]schema.Row, 0, feedBatchRows)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
 		}
-		if err := checkArityCols(spec, src.Columns()); err != nil {
-			send(feedItem{err: err})
+		n := len(batch)
+		if !send(feedItem{src: idx, rows: batch}) {
+			return false
+		}
+		if onBatch != nil {
+			onBatch(idx, n)
+		}
+		batch = make([]schema.Row, 0, feedBatchRows)
+		return true
+	}
+	for {
+		r, err := src.Next(ctx)
+		if err != nil {
+			send(feedItem{src: idx, err: err})
 			return
 		}
-		batch := make([]schema.Row, 0, feedBatchRows)
-		for {
-			r, err := src.Next(ctx)
-			if err != nil {
-				send(feedItem{err: err})
+		if r == nil {
+			flush()
+			return
+		}
+		batch = append(batch, r)
+		if len(batch) == feedBatchRows {
+			if !flush() {
 				return
-			}
-			if r == nil {
-				if len(batch) > 0 {
-					send(feedItem{rows: batch})
-				}
-				return
-			}
-			batch = append(batch, r)
-			if len(batch) == feedBatchRows {
-				if !send(feedItem{rows: batch}) {
-					return
-				}
-				batch = make([]schema.Row, 0, feedBatchRows)
 			}
 		}
-	}()
-	return f
+	}
 }
 
 func checkArityCols(spec *Spec, cols []string) error {
@@ -115,13 +348,13 @@ func checkArityCols(spec *Spec, cols []string) error {
 	return nil
 }
 
-// combinedStream is the integrated-row stream over the source feeds.
+// ---------------------------------------------------------------------
+// Source-order union and OUTERJOIN-MERGE
+
+// combinedStream is the source-ordered fan-in (and the blocking
+// OUTERJOIN-MERGE host).
 type combinedStream struct {
-	spec    *Spec
-	sources []schema.RowStream
-	fctx    context.Context
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
+	fanInBase
 
 	// Union paths.
 	feeds []*sourceFeed
@@ -131,15 +364,11 @@ type combinedStream struct {
 	seen  map[string]bool // UnionDistinct dedup, first occurrence wins
 
 	// MergeOuter path.
+	onBatch   func(source, rows int)
 	merged    *schema.ResultSet
 	mergedPos int
 	mergeDone bool
-
-	err    error
-	closed bool
 }
-
-func (c *combinedStream) Columns() []string { return c.spec.Columns }
 
 func (c *combinedStream) Next(ctx context.Context) (schema.Row, error) {
 	if c.err != nil {
@@ -224,6 +453,11 @@ func (c *combinedStream) nextMerged(ctx context.Context) (schema.Row, error) {
 				frags[i], errs[i] = schema.DrainStream(c.fctx, src)
 				if errs[i] != nil {
 					c.cancel()
+					return
+				}
+				if c.onBatch != nil && len(frags[i].Rows) > 0 {
+					// The whole fragment is one block handoff.
+					c.onBatch(i, len(frags[i].Rows))
 				}
 			}(i, src)
 		}
@@ -262,36 +496,191 @@ func (c *combinedStream) nextMerged(ctx context.Context) (schema.Row, error) {
 	return r, nil
 }
 
-// fail records the first error and aborts the other feeders so their
-// sites stop shipping rows that will never be consumed.
-func (c *combinedStream) fail(err error) {
-	if c.err == nil {
-		c.err = err
-	}
-	c.cancel()
+// Close tears down the feeders and sources. Idempotent.
+func (c *combinedStream) Close() error {
+	err := c.closeBase()
+	c.merged = nil
+	return err
 }
 
-// Close cancels the feeders, waits for them to exit, and closes every
-// source stream — the half-close that propagates early termination (a
-// satisfied LIMIT, an error at a sibling site, a cancelled query) down
-// to each site's scan. Idempotent.
-func (c *combinedStream) Close() error {
-	if c.closed {
-		c.merged = nil
-		return nil
-	}
-	c.closed = true
-	// Cancelling unblocks feeders parked on a full window or a pending
-	// pull; wait them out so no goroutine touches a source while we
-	// close it.
-	c.cancel()
-	c.wg.Wait()
-	var first error
-	for _, src := range c.sources {
-		if err := src.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	c.merged = nil
-	return first
+// ---------------------------------------------------------------------
+// Unordered interleave
+
+// interleaveStream emits batches in completion order: every feeder
+// sends into one shared channel whose capacity is the query's whole
+// rows-in-flight budget, so a stalled site consumes none of it while
+// the fast sites' batches flow straight through. First-row latency is
+// bound by the fastest source.
+type interleaveStream struct {
+	fanInBase
+
+	ch         chan feedItem
+	closerDone chan struct{}
+	batch      []schema.Row
+	bpos       int
+	seen       map[string]bool
 }
+
+func (c *interleaveStream) Next(ctx context.Context) (schema.Row, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.closed {
+		return nil, nil
+	}
+	for {
+		for c.bpos >= len(c.batch) {
+			var item feedItem
+			var ok bool
+			select {
+			case item, ok = <-c.ch:
+			case <-ctx.Done():
+				c.fail(ctx.Err())
+				return nil, c.err
+			}
+			if !ok {
+				// All feeders exited. Same truncation guard as the
+				// source-ordered path: a close under a dead feed context
+				// is an abort, not exhaustion.
+				if err := c.fctx.Err(); err != nil {
+					c.fail(err)
+					return nil, c.err
+				}
+				return nil, nil
+			}
+			if item.err != nil {
+				c.fail(item.err)
+				return nil, c.err
+			}
+			c.batch, c.bpos = item.rows, 0
+		}
+		r := c.batch[c.bpos]
+		c.bpos++
+		if c.seen != nil {
+			k := encodeRow(r)
+			if c.seen[k] {
+				continue
+			}
+			c.seen[k] = true
+		}
+		return r, nil
+	}
+}
+
+func (c *interleaveStream) Close() error {
+	err := c.closeBase()
+	// closeBase waited the feeders out; the closer goroutine only has
+	// the channel close left. Wait so Close leaves no goroutine behind.
+	<-c.closerDone
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Ordered k-way merge
+
+// mergeStream interleaves sources that are each already sorted on keys
+// into one globally sorted stream. Ties break toward the lower source
+// index and rows within a source stay FIFO, so the output is exactly
+// what a stable sort of the source-ordered concatenation would produce
+// — which is what lets the executor substitute a merge for the scratch
+// engine's ORDER BY without changing a single row. The merge must hold
+// one row per source, so its first row waits for the slowest site; it
+// trades first-row latency for never re-sorting.
+type mergeStream struct {
+	fanInBase
+
+	keys    []schema.SortKey
+	feeds   []*sourceFeed
+	heads   []schema.Row
+	done    []bool
+	batches [][]schema.Row
+	bpos    []int
+	inited  bool
+	seen    map[string]bool
+}
+
+// advance loads the next row of source i into heads[i] (nil + done when
+// the source is exhausted), pulling a fresh batch from its feed when
+// the buffered one runs dry.
+func (c *mergeStream) advance(ctx context.Context, i int) error {
+	for {
+		if c.bpos[i] < len(c.batches[i]) {
+			c.heads[i] = c.batches[i][c.bpos[i]]
+			c.bpos[i]++
+			return nil
+		}
+		if c.done[i] {
+			c.heads[i] = nil
+			return nil
+		}
+		var item feedItem
+		var ok bool
+		select {
+		case item, ok = <-c.feeds[i].ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if !ok {
+			if err := c.fctx.Err(); err != nil {
+				return err
+			}
+			c.done[i] = true
+			c.heads[i] = nil
+			c.batches[i] = nil
+			return nil
+		}
+		if item.err != nil {
+			return item.err
+		}
+		c.batches[i], c.bpos[i] = item.rows, 0
+	}
+}
+
+func (c *mergeStream) Next(ctx context.Context) (schema.Row, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.closed {
+		return nil, nil
+	}
+	if !c.inited {
+		for i := range c.feeds {
+			if err := c.advance(ctx, i); err != nil {
+				c.fail(err)
+				return nil, c.err
+			}
+		}
+		c.inited = true
+	}
+	for {
+		// Site counts are small; a linear min scan beats heap upkeep.
+		// Strict < keeps the earliest source on ties (stability).
+		best := -1
+		for i, h := range c.heads {
+			if h == nil {
+				continue
+			}
+			if best < 0 || schema.CompareRowsBy(h, c.heads[best], c.keys) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, nil
+		}
+		r := c.heads[best]
+		if err := c.advance(ctx, best); err != nil {
+			c.fail(err)
+			return nil, c.err
+		}
+		if c.seen != nil {
+			k := encodeRow(r)
+			if c.seen[k] {
+				continue
+			}
+			c.seen[k] = true
+		}
+		return r, nil
+	}
+}
+
+func (c *mergeStream) Close() error { return c.closeBase() }

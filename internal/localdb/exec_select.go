@@ -201,22 +201,11 @@ func compareKeys(a, b []value.Value, descs []bool) int {
 	return 0
 }
 
-// compareForSort orders values with NULLs first (ascending), matching
-// the engine's deterministic sort contract.
+// compareForSort orders values with NULLs first (ascending) — the
+// shared federation comparator, so the fan-in merge over this engine's
+// sorted output interleaves on exactly the order the engine produced.
 func compareForSort(a, b value.Value) int {
-	switch {
-	case a.IsNull() && b.IsNull():
-		return 0
-	case a.IsNull():
-		return -1
-	case b.IsNull():
-		return 1
-	}
-	c, ok := value.Compare(a, b)
-	if !ok {
-		return 0
-	}
-	return c
+	return schema.CompareSort(a, b)
 }
 
 func applyLimit(rs *schema.ResultSet, limit *sqlparser.LimitClause) {
@@ -306,8 +295,9 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 	// explicit JOINs left to right. Locks are acquired eagerly while
 	// constructing the pipeline (same order as the old materializing
 	// executor); rows flow lazily once the pipeline is pulled.
+	from := tx.orderJoinBuilds(sel)
 	b := &rowBinder{}
-	it, err := tx.scanBase(ctx, sel.From[0], conjuncts, used, b)
+	it, err := tx.scanBase(ctx, from[0], conjuncts, used, b)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -317,7 +307,7 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 			it.Close()
 		}
 	}()
-	for _, ref := range sel.From[1:] {
+	for _, ref := range from[1:] {
 		if it, err = tx.joinWith(ctx, it, b, ref, sqlparser.JoinInner, nil, conjuncts, used); err != nil {
 			return nil, nil, err
 		}
@@ -397,6 +387,52 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 	}
 	built = true
 	return it, itemNames(items), nil
+}
+
+// orderJoinBuilds returns the FROM list with the hash-join build sides
+// (every comma-joined entry after the base) stably reordered by
+// ascending table cardinality, so the most selective builds join — and
+// shrink the probe stream — first, the way the federation planner
+// already orders its residual joins by estimate. Unlike the planner it
+// reads actual row counts from storage, the freshest statistic there
+// is. The base table stays put (it is the streamed probe side, not a
+// build), explicit JOIN clauses are untouched (their ON scope depends
+// on position), and a SELECT with an unqualified star keeps syntactic
+// order outright — star expansion follows binding order, and
+// reordering would silently permute the output columns.
+func (tx *Txn) orderJoinBuilds(sel *sqlparser.Select) []sqlparser.TableRef {
+	if len(sel.From) < 3 {
+		return sel.From
+	}
+	for _, it := range sel.Items {
+		if it.Star && it.Table == "" {
+			return sel.From
+		}
+	}
+	rows := make([]int, len(sel.From))
+	tx.db.latch.RLock()
+	for i := 1; i < len(sel.From); i++ {
+		t, err := tx.db.table(sel.From[i].Name)
+		if err != nil {
+			tx.db.latch.RUnlock()
+			return sel.From // unknown table: let the scan report it
+		}
+		rows[i] = t.Len()
+	}
+	tx.db.latch.RUnlock()
+	from := append([]sqlparser.TableRef{}, sel.From...)
+	builds := from[1:]
+	sizes := rows[1:]
+	idx := make([]int, len(builds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] < sizes[idx[b]] })
+	out := []sqlparser.TableRef{from[0]}
+	for _, i := range idx {
+		out = append(out, builds[i])
+	}
+	return out
 }
 
 func (tx *Txn) execFromlessSelect(sel *sqlparser.Select) (*schema.ResultSet, error) {

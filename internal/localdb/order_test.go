@@ -1,0 +1,148 @@
+package localdb
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"myriad/internal/schema"
+)
+
+// TestRowsOrderingMetadata holds the ordered-stream contract: a
+// streamed SELECT declares the sort order it guarantees exactly when
+// the ORDER BY keys are provably output columns.
+func TestRowsOrderingMetadata(t *testing.T) {
+	db := New("ord")
+	db.MustExec(`CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, x INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 2, 3), (2, 1, 4)`)
+	ctx := context.Background()
+
+	cases := []struct {
+		sql  string
+		want []schema.SortKey // nil = no guarantee
+	}{
+		{`SELECT a, b FROM t ORDER BY b DESC, a`, []schema.SortKey{{Col: 1, Desc: true}, {Col: 0}}},
+		{`SELECT a, b FROM t ORDER BY 2, 1 DESC`, []schema.SortKey{{Col: 1}, {Col: 0, Desc: true}}},
+		{`SELECT * FROM t ORDER BY b`, []schema.SortKey{{Col: 1}}},
+		{`SELECT a AS id, b FROM t ORDER BY a`, nil},                       // renamed away: "a" is not an output column name it can trust
+		{`SELECT b AS x, a FROM t ORDER BY x`, nil},                        // alias shadows input column x: sort uses input x, output x holds b
+		{`SELECT a, b FROM t ORDER BY a + 1`, nil},                         // expression key
+		{`SELECT a, b FROM t ORDER BY x`, nil},                             // sort key not projected
+		{`SELECT a, b FROM t`, nil},                                        // no ORDER BY
+		{`SELECT a AS a, b FROM t ORDER BY a`, []schema.SortKey{{Col: 0}}}, // self-alias is the column
+	}
+	for _, c := range cases {
+		rows, err := db.QueryStream(ctx, c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		got := schema.StreamOrdering(rows)
+		rows.Close()
+		if len(got) != len(c.want) {
+			t.Errorf("%s: ordering = %v, want %v", c.sql, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: ordering = %v, want %v", c.sql, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestJoinBuildOrderByCardinality proves the local engine reorders
+// comma-join build sides by actual table size: with FROM base, big,
+// small the small table must build (and nest) before the big one, which
+// shows up in the cross product's emission order.
+func TestJoinBuildOrderByCardinality(t *testing.T) {
+	db := New("joinorder")
+	db.MustExec(`CREATE TABLE base (b INTEGER PRIMARY KEY)`)
+	db.MustExec(`CREATE TABLE big (g INTEGER PRIMARY KEY)`)
+	db.MustExec(`CREATE TABLE small (s INTEGER PRIMARY KEY)`)
+	db.MustExec(`INSERT INTO base VALUES (0)`)
+	db.MustExec(`INSERT INTO big VALUES (10), (11), (12)`)
+	db.MustExec(`INSERT INTO small VALUES (100)`)
+	ctx := context.Background()
+
+	// Syntactic order lists big before small; cardinality order builds
+	// small first, so the (single-row) small table becomes the middle
+	// nesting level: big varies fastest.
+	rs, err := db.Query(ctx, `SELECT b, g, s FROM base, big, small`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 3 {
+		t.Fatalf("cross product rows = %d", len(rs.Rows))
+	}
+	for i, wantG := range []int64{10, 11, 12} {
+		g, _ := rs.Rows[i][1].Int()
+		if g != wantG {
+			t.Fatalf("row %d: g = %d, want %d (build sides not cardinality-ordered: %v)", i, g, wantG, rs.Rows)
+		}
+	}
+
+	// An unqualified star must keep syntactic column order, so the
+	// reorder backs off entirely.
+	star, err := db.Query(ctx, `SELECT * FROM base, big, small`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"b", "g", "s"}
+	for i, c := range star.Columns {
+		if c != wantCols[i] {
+			t.Fatalf("star columns reordered: %v", star.Columns)
+		}
+	}
+
+	// Join predicates stay correct whatever the build order.
+	rs2, err := db.Query(ctx, `SELECT COUNT(*) FROM base, big, small WHERE b = 0 AND s = 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Rows[0][0].Text() != "3" {
+		t.Fatalf("filtered cross product = %s", rs2.Rows[0][0].Text())
+	}
+}
+
+// TestJoinBuildOrderEquivalence cross-checks a reordered join's result
+// multiset against the same query phrased with the tables already in
+// cardinality order.
+func TestJoinBuildOrderEquivalence(t *testing.T) {
+	db := New("joinorder2")
+	db.MustExec(`CREATE TABLE a (x INTEGER PRIMARY KEY, k INTEGER)`)
+	db.MustExec(`CREATE TABLE b (y INTEGER PRIMARY KEY, k INTEGER)`)
+	db.MustExec(`CREATE TABLE c (z INTEGER PRIMARY KEY, k INTEGER)`)
+	for i := 0; i < 8; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO a VALUES (%d, %d)`, i, i%2))
+		db.MustExec(fmt.Sprintf(`INSERT INTO b VALUES (%d, %d)`, i, i%2))
+	}
+	db.MustExec(`INSERT INTO c VALUES (0, 0)`)
+	ctx := context.Background()
+
+	sorted := func(sql string) map[string]int {
+		rs, err := db.Query(ctx, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		out := make(map[string]int)
+		for _, r := range rs.Rows {
+			key := ""
+			for _, v := range r {
+				key += v.Text() + "|"
+			}
+			out[key]++
+		}
+		return out
+	}
+	got := sorted(`SELECT x, y, z FROM a, b, c WHERE a.k = b.k AND b.k = c.k`)
+	want := sorted(`SELECT x, y, z FROM a, c, b WHERE a.k = b.k AND b.k = c.k`)
+	if len(got) != len(want) {
+		t.Fatalf("row multisets differ: %d vs %d distinct rows", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("multiset mismatch at %q: %d vs %d", k, got[k], n)
+		}
+	}
+}

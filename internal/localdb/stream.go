@@ -3,6 +3,7 @@ package localdb
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"myriad/internal/schema"
 	"myriad/internal/sqlparser"
@@ -19,14 +20,18 @@ import (
 // idempotent, safe mid-stream (the early-termination path), and must be
 // called to release locks. Not safe for concurrent use.
 type Rows struct {
-	cols   []string
-	it     rowIter
-	tx     *Txn
-	err    error
-	closed bool
+	cols     []string
+	ordering []schema.SortKey
+	it       rowIter
+	tx       *Txn
+	err      error
+	closed   bool
 }
 
-var _ schema.RowStream = (*Rows)(nil)
+var (
+	_ schema.RowStream     = (*Rows)(nil)
+	_ schema.OrderedStream = (*Rows)(nil)
+)
 
 // QueryStream executes a SELECT in autocommit mode, returning the
 // result as a stream. The caller must Close it.
@@ -51,8 +56,87 @@ func (db *DB) QueryStreamStmt(ctx context.Context, sel *sqlparser.Select) (*Rows
 		tx.Rollback()
 		return nil, err
 	}
-	return &Rows{cols: cols, it: it, tx: tx}, nil
+	return &Rows{cols: cols, ordering: streamOrdering(sel, cols), it: it, tx: tx}, nil
 }
+
+// streamOrdering maps the statement's ORDER BY onto the output columns
+// so the stream can declare the sort order it guarantees (the ordered
+// stream contract federated merge fan-in builds on). A key maps when it
+// is an ordinal (the sort evaluates the output item itself) or an
+// unqualified name whose output column provably carries the same-named
+// input column — a star expansion or a `c`/`c AS c` item. Anything
+// else (expressions, renamings, shadowed aliases, duplicate names)
+// leaves the stream conservatively unordered: the engine still sorts,
+// but a consumer cannot merge on what it cannot trust.
+func streamOrdering(sel *sqlparser.Select, cols []string) []schema.SortKey {
+	if len(sel.OrderBy) == 0 {
+		return nil
+	}
+	// backing[name]: 1 = an item that is the plain column `name`,
+	// -1 = an item that merely produces an output named `name`
+	// (renaming alias, expression) — tainted for name mapping.
+	backing := make(map[string]int)
+	hasStar := false
+	for _, it := range sel.Items {
+		if it.Star {
+			hasStar = true
+			continue
+		}
+		name := it.As
+		cr, isCol := it.Expr.(*sqlparser.ColumnRef)
+		if name == "" {
+			if isCol {
+				name = cr.Column
+			} else {
+				name = sqlparser.FormatExpr(it.Expr, nil)
+			}
+		}
+		lname := strings.ToLower(name)
+		if isCol && strings.EqualFold(cr.Column, name) && backing[lname] == 0 {
+			backing[lname] = 1
+		} else {
+			backing[lname] = -1
+		}
+	}
+	colIndex := func(name string) int {
+		at := -1
+		for i, c := range cols {
+			if strings.EqualFold(c, name) {
+				if at >= 0 {
+					return -1 // duplicate output name
+				}
+				at = i
+			}
+		}
+		return at
+	}
+	keys := make([]schema.SortKey, 0, len(sel.OrderBy))
+	for _, o := range sel.OrderBy {
+		ci := -1
+		switch e := o.Expr.(type) {
+		case *sqlparser.Literal:
+			if n, isInt := e.Val.Int(); isInt && n >= 1 && int(n) <= len(cols) {
+				ci = int(n) - 1
+			}
+		case *sqlparser.ColumnRef:
+			if e.Table == "" {
+				b := backing[strings.ToLower(e.Column)]
+				if b == 1 || (b == 0 && hasStar) {
+					ci = colIndex(e.Column)
+				}
+			}
+		}
+		if ci < 0 {
+			return nil
+		}
+		keys = append(keys, schema.SortKey{Col: ci, Desc: o.Desc})
+	}
+	return keys
+}
+
+// Ordering reports the sort order the stream's rows arrive in (nil when
+// no guarantee can be made).
+func (r *Rows) Ordering() []schema.SortKey { return r.ordering }
 
 // streamStmt assembles the iterator pipeline for sel under the txn
 // mutex; the returned iterator is pulled outside it (the stream's

@@ -1,0 +1,53 @@
+package planner
+
+import (
+	"testing"
+
+	"myriad/internal/schema"
+)
+
+// TestScanOrderingAnnotation: the pushed-down ORDER BY is declared as
+// per-source stream ordering (in schema column indexes) exactly when
+// every key is a plain column of the scan set.
+func TestScanOrderingAnnotation(t *testing.T) {
+	p := New(testCatalog(t), nil)
+
+	// Multi-source top-K pushdown: every source ships sorted.
+	plan := mustPlan(t, p, `SELECT id, name FROM S ORDER BY name DESC, id LIMIT 5`, CostBased)
+	ss := plan.ScanSets[0]
+	// Needed columns are [id, name] in integrated definition order.
+	want := []schema.SortKey{{Col: 1, Desc: true}, {Col: 0}}
+	if len(ss.ScanOrdering) != len(want) {
+		t.Fatalf("ScanOrdering = %v, want %v", ss.ScanOrdering, want)
+	}
+	for i := range want {
+		if ss.ScanOrdering[i] != want[i] {
+			t.Fatalf("ScanOrdering = %v, want %v", ss.ScanOrdering, want)
+		}
+	}
+
+	// Single-source exact pushdown also records the ordering.
+	plan = mustPlan(t, p, `SELECT sid FROM E ORDER BY sid LIMIT 3`, CostBased)
+	if got := plan.ScanSets[0].ScanOrdering; len(got) != 1 || got[0] != (schema.SortKey{Col: 0}) {
+		t.Fatalf("single-source ScanOrdering = %v", got)
+	}
+
+	// No ORDER BY: pushdown happens, ordering does not.
+	plan = mustPlan(t, p, `SELECT id FROM S LIMIT 5`, CostBased)
+	if got := plan.ScanSets[0].ScanOrdering; got != nil {
+		t.Fatalf("orderless LIMIT claimed ordering %v", got)
+	}
+
+	// Simple strategy never pushes, never orders.
+	plan = mustPlan(t, p, `SELECT id FROM S ORDER BY id LIMIT 5`, Simple)
+	if got := plan.ScanSets[0].ScanOrdering; got != nil {
+		t.Fatalf("simple strategy claimed ordering %v", got)
+	}
+
+	// An expression key disables the annotation (the merge cannot
+	// compare what the shipped rows do not carry as a column).
+	plan = mustPlan(t, p, `SELECT id, gpa FROM S ORDER BY gpa + 1 LIMIT 5`, CostBased)
+	if got := plan.ScanSets[0].ScanOrdering; got != nil {
+		t.Fatalf("expression ORDER BY claimed ordering %v", got)
+	}
+}

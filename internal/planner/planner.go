@@ -90,6 +90,14 @@ type ScanSet struct {
 	SemiFrom     string
 	SemiBuildCol string
 
+	// ScanOrdering, when non-nil, declares that every source scan
+	// streams its fragment already sorted on these keys (indexes into
+	// Schema.Columns) — set when the LIMIT/ORDER BY pushdown ships the
+	// same translated ORDER BY to every source. The executor may then
+	// k-way merge the sources into a globally sorted stream instead of
+	// re-sorting at the federation.
+	ScanOrdering []schema.SortKey
+
 	EstRows float64
 }
 
@@ -598,6 +606,7 @@ func (p *Planner) pushLimit(sel *sqlparser.Select, sets map[string]*ScanSet, uni
 				scan.EstRows = float64(sel.Limit.Count)
 			}
 			ss.EstRows = scan.EstRows
+			ss.ScanOrdering = scanOrdering(sel.OrderBy, ss)
 			return &sqlparser.LimitClause{Count: sel.Limit.Count}
 		}
 		n := sel.Limit.Count + sel.Limit.Offset
@@ -608,8 +617,41 @@ func (p *Planner) pushLimit(sel *sqlparser.Select, sets map[string]*ScanSet, uni
 				scan.EstRows = float64(n)
 			}
 		}
+		ss.ScanOrdering = scanOrdering(sel.OrderBy, ss)
 	}
 	return nil
+}
+
+// scanOrdering maps a pushed-down ORDER BY onto the scan set's schema
+// columns. nil when any key is not a plain (optionally alias-qualified)
+// column of the set — a merge fan-in can only compare columns it can
+// see in the shipped rows.
+func scanOrdering(orderBy []sqlparser.OrderItem, ss *ScanSet) []schema.SortKey {
+	if len(orderBy) == 0 {
+		return nil
+	}
+	keys := make([]schema.SortKey, 0, len(orderBy))
+	for _, o := range orderBy {
+		cr, ok := o.Expr.(*sqlparser.ColumnRef)
+		if !ok {
+			return nil
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, ss.Alias) {
+			return nil
+		}
+		ci := -1
+		for i, c := range ss.Schema.Columns {
+			if strings.EqualFold(c.Name, cr.Column) {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			return nil
+		}
+		keys = append(keys, schema.SortKey{Col: ci, Desc: o.Desc})
+	}
+	return keys
 }
 
 // chooseSemijoin finds one equi-join between two aliases where shipping

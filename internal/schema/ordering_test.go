@@ -1,0 +1,43 @@
+package schema
+
+import (
+	"testing"
+
+	"myriad/internal/value"
+)
+
+func TestCompareRowsBy(t *testing.T) {
+	vi := func(i int64) value.Value { return value.NewInt(i) }
+	keys := []SortKey{{Col: 0}, {Col: 1, Desc: true}}
+	cases := []struct {
+		a, b Row
+		want int
+	}{
+		{Row{vi(1), vi(1)}, Row{vi(2), vi(1)}, -1},
+		{Row{vi(2), vi(1)}, Row{vi(1), vi(9)}, 1},
+		{Row{vi(1), vi(5)}, Row{vi(1), vi(3)}, -1}, // second key DESC
+		{Row{vi(1), vi(3)}, Row{vi(1), vi(3)}, 0},
+		// NULLs first ascending, so last under DESC.
+		{Row{value.Null(), vi(0)}, Row{vi(0), vi(0)}, -1},
+		{Row{vi(1), value.Null()}, Row{vi(1), vi(0)}, 1},
+	}
+	for i, c := range cases {
+		got := CompareRowsBy(c.a, c.b, keys)
+		if (got < 0) != (c.want < 0) || (got > 0) != (c.want > 0) {
+			t.Errorf("case %d: CompareRowsBy = %d, want sign of %d", i, got, c.want)
+		}
+	}
+}
+
+func TestStreamOrderingErasure(t *testing.T) {
+	// A plain stream makes no promise.
+	if ord := StreamOrdering(StreamOf(&ResultSet{Columns: []string{"a"}})); ord != nil {
+		t.Fatalf("sliceStream claimed ordering %v", ord)
+	}
+	// Wrapping via StreamWithCleanup erases any guarantee — safe (nil
+	// just means unordered).
+	s := StreamWithCleanup(StreamOf(&ResultSet{Columns: []string{"a"}}), func() {})
+	if ord := StreamOrdering(s); ord != nil {
+		t.Fatalf("wrapper claimed ordering %v", ord)
+	}
+}

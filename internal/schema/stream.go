@@ -82,3 +82,7 @@ func (s *onCloseStream) Close() error {
 	}
 	return err
 }
+
+// Ordering forwards the wrapped stream's sort guarantee (nil when it
+// makes none) — attaching a cleanup must not erase the contract.
+func (s *onCloseStream) Ordering() []SortKey { return StreamOrdering(s.RowStream) }

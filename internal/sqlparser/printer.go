@@ -384,7 +384,19 @@ func writeExpr(b *strings.Builder, e Expr, st *Style) {
 			writeChild(b, x.E, 3, st)
 		} else {
 			b.WriteString(x.Op)
-			writeChild(b, x.E, 7, st)
+			// A sign-led operand ("-A" under another "-", a negative
+			// literal) would fuse into "--" — a line comment — or "++";
+			// parenthesize it however precedence falls.
+			var cb strings.Builder
+			writeChild(&cb, x.E, 7, st)
+			child := cb.String()
+			if len(child) > 0 && (child[0] == '-' || child[0] == '+') {
+				b.WriteByte('(')
+				b.WriteString(child)
+				b.WriteByte(')')
+			} else {
+				b.WriteString(child)
+			}
 		}
 	case *IsNullExpr:
 		writeChild(b, x.E, 5, st)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"myriad/internal/core"
+	"myriad/internal/executor"
 	"myriad/internal/integration"
 )
 
@@ -95,4 +96,73 @@ func BenchmarkTwoSiteUnion(b *testing.B) {
 			rows.Close()
 		}
 	})
+}
+
+// BenchmarkUnorderedFirstRow is the fan-in acceptance benchmark: a
+// two-site UNION ALL whose first-listed site (source index 0) wedges
+// silently just past its stream header. Interleave's first row is
+// bound by the fast site and barely differs from the healthy baseline;
+// a source-ordered fan-in would never produce a first row at all (the
+// regression test TestStalledSiteDoesNotGateUnorderedFirstRow pins
+// that), so only its healthy baseline is measurable here. ns/op is
+// dominated by time-to-first-row.
+func BenchmarkUnorderedFirstRow(b *testing.B) {
+	fx := twoSiteUnionFaults(b, integration.UnionAll, 20_000, 20_000, true, false, 0)
+	warm(b, fx)
+	ctx := context.Background()
+	const sql = `SELECT id, v FROM R`
+
+	run := func(b *testing.B, policy core.FanInPolicy) {
+		fx.Fed.FanIn = policy
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := fx.Fed.QueryStream(ctx, sql, core.StrategyCostBased)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := rows.Next(ctx)
+			if err != nil || r == nil {
+				b.Fatalf("first row: %v", err)
+			}
+			rows.Close()
+		}
+	}
+	b.Run("interleave-healthy", func(b *testing.B) { run(b, core.FanInInterleave) })
+	b.Run("source-order-healthy", func(b *testing.B) { run(b, core.FanInSourceOrder) })
+	fx.Site("a").Proxy.StallAfter(2_000)
+	b.Run("interleave-stalled-site", func(b *testing.B) { run(b, core.FanInInterleave) })
+	fx.Fed.FanIn = core.FanInAuto
+}
+
+// BenchmarkScratchBypass drains a two-site union through the bypass
+// (fan-in straight to the client) vs. the scratch-engine path the same
+// plan takes with NoBypass — the allocation delta is the temp-table
+// load plus the residual pipeline.
+func BenchmarkScratchBypass(b *testing.B) {
+	fx := twoSiteUnion(b, integration.UnionAll, 10_000, 10_000, false, 0)
+	warm(b, fx)
+	ctx := context.Background()
+	plan, err := fx.Plan(ctx, `SELECT id, v FROM R`, core.StrategyCostBased)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := fx.StreamRunner()
+
+	run := func(b *testing.B, opts executor.Options) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rs, m, err := executor.ExecuteMeteredOpts(ctx, plan, runner, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 20_000 {
+				b.Fatalf("got %d rows", len(rs.Rows))
+			}
+			if m.ScratchBypassed == opts.NoBypass {
+				b.Fatalf("bypass=%v with NoBypass=%v", m.ScratchBypassed, opts.NoBypass)
+			}
+		}
+	}
+	b.Run("bypass", func(b *testing.B) { run(b, executor.Options{}) })
+	b.Run("scratch", func(b *testing.B) { run(b, executor.Options{NoBypass: true}) })
 }

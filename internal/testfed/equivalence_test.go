@@ -3,6 +3,8 @@ package testfed
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"myriad/internal/catalog"
@@ -106,6 +108,98 @@ func assertSameResult(t *testing.T, want, got *schema.ResultSet) {
 			if wv.IsNull() != gv.IsNull() || (!wv.IsNull() && (wv.K != gv.K || wv.Text() != gv.Text())) {
 				t.Fatalf("row %d col %d: want %s, got %s", ri, ci, wv, gv)
 			}
+		}
+	}
+}
+
+// TestFanInModesMatchMaterialized runs the whole corpus under every
+// fan-in policy against the materialized reference with an
+// order-insensitive comparison: interleave legitimately permutes rows,
+// but it must never change the result multiset.
+func TestFanInModesMatchMaterialized(t *testing.T) {
+	fx := equivalenceFixture(t)
+	ctx := context.Background()
+	for _, policy := range []core.FanInPolicy{core.FanInSourceOrder, core.FanInInterleave, core.FanInMerge} {
+		fx.Fed.FanIn = policy
+		for _, strategy := range []core.Strategy{core.StrategyCostBased, core.StrategySimple} {
+			for _, sql := range equivalenceCorpus {
+				name := fmt.Sprintf("%v/%v/%s", policy, strategy, sql)
+				t.Run(name, func(t *testing.T) {
+					want, err := fx.RefQuery(ctx, sql, strategy)
+					if err != nil {
+						t.Fatalf("materialized: %v", err)
+					}
+					got, _, err := fx.Fed.QueryMetered(ctx, sql, strategy)
+					if err != nil {
+						t.Fatalf("streaming: %v", err)
+					}
+					assertSameResultUnordered(t, want, got)
+				})
+			}
+		}
+	}
+	fx.Fed.FanIn = core.FanInAuto
+}
+
+// assertSameResultUnordered compares columns exactly and rows as a
+// multiset (both sides sorted on an encoded key first).
+func assertSameResultUnordered(t *testing.T, want, got *schema.ResultSet) {
+	t.Helper()
+	if len(want.Columns) != len(got.Columns) {
+		t.Fatalf("column count: want %v, got %v", want.Columns, got.Columns)
+	}
+	for i := range want.Columns {
+		if want.Columns[i] != got.Columns[i] {
+			t.Fatalf("column %d: want %q, got %q", i, want.Columns[i], got.Columns[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("row count: want %d, got %d", len(want.Rows), len(got.Rows))
+	}
+	enc := func(r schema.Row) string {
+		var b strings.Builder
+		for _, v := range r {
+			if v.IsNull() {
+				b.WriteByte(0)
+			} else {
+				b.WriteByte(byte(v.K) + 1)
+				b.WriteString(v.Text())
+			}
+			b.WriteByte(0x1f)
+		}
+		return b.String()
+	}
+	keys := func(rows []schema.Row) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = enc(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+	wk, gk := keys(want.Rows), keys(got.Rows)
+	for i := range wk {
+		if wk[i] != gk[i] {
+			t.Fatalf("row multiset differs at sorted position %d", i)
+		}
+	}
+}
+
+// TestOuterMergeSourceBatches: the blocking OUTERJOIN-MERGE combinator
+// reports its fragment handoffs in per-source metrics too (one block
+// per source), so operators never read "rows=N batches=0".
+func TestOuterMergeSourceBatches(t *testing.T) {
+	fx := equivalenceFixture(t)
+	_, m, err := fx.Fed.QueryMetered(context.Background(), `SELECT id, v FROM M ORDER BY id`, fx.Fed.Strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sources) == 0 {
+		t.Fatal("no per-source metrics")
+	}
+	for _, src := range m.Sources {
+		if src.Rows > 0 && src.Batches == 0 {
+			t.Fatalf("site %s shipped %d rows in 0 batches", src.Site, src.Rows)
 		}
 	}
 }

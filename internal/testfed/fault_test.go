@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"myriad/internal/core"
 	"myriad/internal/gateway"
 	"myriad/internal/integration"
 	"myriad/internal/schema"
@@ -225,5 +226,59 @@ func TestSiteTimeoutSurfacesAsTimeout(t *testing.T) {
 	}
 	if !errors.Is(res.err, gateway.ErrTimeout) {
 		t.Fatalf("mid-stream timeout lost its timeout kind: %v", res.err)
+	}
+}
+
+// TestStalledSiteDoesNotGateUnorderedFirstRow is the fan-in acceptance
+// fault case: site a — source index 0, the one source order would emit
+// first — wedges silently just after its stream header, while site b
+// streams normally. Under the interleave policy the first row must
+// still arrive (from b), and closing the stream must tear down the
+// wedged scan promptly instead of waiting on a's dead wire.
+func TestStalledSiteDoesNotGateUnorderedFirstRow(t *testing.T) {
+	fx := twoSiteUnionFaults(t, integration.UnionAll, 50_000, 50_000, true, false, 0)
+	warm(t, fx)
+	fx.Fed.FanIn = core.FanInInterleave
+	// Stall just past the stream header, mid first batch: source 0's
+	// feeder blocks in a wire read with nothing delivered — the exact
+	// posture that head-of-line blocks a source-ordered fan-in.
+	fx.Site("a").Proxy.StallAfter(2_000)
+
+	type firstRow struct {
+		row schema.Row
+		err error
+	}
+	ch := make(chan firstRow, 1)
+	closed := make(chan error, 1)
+	go func() {
+		rows, err := fx.Fed.QueryStream(context.Background(), `SELECT id, v FROM R`, fx.Fed.Strategy)
+		if err != nil {
+			ch <- firstRow{err: err}
+			return
+		}
+		r, err := rows.Next(context.Background())
+		ch <- firstRow{row: r, err: err}
+		closed <- rows.Close()
+	}()
+
+	select {
+	case fr := <-ch:
+		if fr.err != nil {
+			t.Fatalf("first row errored: %v", fr.err)
+		}
+		if fr.row == nil {
+			t.Fatal("stream ended with no rows")
+		}
+		// The only live source is b (ids start at 1,000,000).
+		if id, _ := fr.row[0].Int(); id < 1_000_000 {
+			t.Fatalf("first row id=%d claims to be from the stalled site", id)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stalled site gated unordered first-row delivery")
+	}
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("closing the stream hung on the stalled site")
 	}
 }

@@ -46,10 +46,17 @@ func unionDef(kind integration.CombineKind, sites ...string) *catalog.Integrated
 // twoSiteUnion boots sites a and b with rowsA/rowsB rows each,
 // integrated as R = a.T UNION ALL b.T; site b is optionally faulty.
 func twoSiteUnion(t testing.TB, kind integration.CombineKind, rowsA, rowsB int, faultyB bool, timeout time.Duration) *Fixture {
+	return twoSiteUnionFaults(t, kind, rowsA, rowsB, false, faultyB, timeout)
+}
+
+// twoSiteUnionFaults is twoSiteUnion with either site routable through
+// a fault proxy — faults on site a (source index 0) are what expose
+// source-order head-of-line blocking.
+func twoSiteUnionFaults(t testing.TB, kind integration.CombineKind, rowsA, rowsB int, faultyA, faultyB bool, timeout time.Duration) *Fixture {
 	t.Helper()
 	specs := []SiteSpec{
 		{Name: "a", Setup: []string{createT},
-			Exports: []gateway.Export{{Name: "T", LocalTable: "t"}}, Timeout: timeout},
+			Exports: []gateway.Export{{Name: "T", LocalTable: "t"}}, Faulty: faultyA, Timeout: timeout},
 		{Name: "b", Setup: []string{createT},
 			Exports: []gateway.Export{{Name: "T", LocalTable: "t"}}, Faulty: faultyB, Timeout: timeout},
 	}
