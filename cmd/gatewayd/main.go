@@ -39,6 +39,7 @@ import (
 	"myriad/internal/dialect"
 	"myriad/internal/gateway"
 	"myriad/internal/localdb"
+	"myriad/internal/spill"
 	"myriad/internal/sqlparser"
 )
 
@@ -69,6 +70,12 @@ type config struct {
 	// StreamBatchRows caps rows per streaming batch frame served to
 	// federations (0 = comm.DefaultBatchRows).
 	StreamBatchRows int `json:"stream_batch_rows,omitempty"`
+	// MemBudgetBytes bounds the component engine's blocking-operator
+	// memory (0 = unlimited): ORDER BY without LIMIT spills sorted
+	// runs to spill_dir past it instead of materializing the sort.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+	// SpillDir is where spill runs are written ("" = OS temp dir).
+	SpillDir string `json:"spill_dir,omitempty"`
 }
 
 func main() {
@@ -103,7 +110,12 @@ func run(configPath string) error {
 	if err != nil {
 		return err
 	}
-	db := localdb.New(cfg.Site)
+	budget := spill.EnvBudget() // test hook; nil in production
+	if cfg.MemBudgetBytes > 0 {
+		budget = spill.NewBudget(cfg.MemBudgetBytes, cfg.SpillDir)
+		log.Printf("gatewayd: memory budget %d bytes, spilling to %s", cfg.MemBudgetBytes, budget.Dir())
+	}
+	db := localdb.NewWithBudget(cfg.Site, budget)
 
 	restored := false
 	if cfg.Snapshot != "" {

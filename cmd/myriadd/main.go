@@ -72,6 +72,16 @@ type config struct {
 	// across its source streams (0 = executor default); per-source
 	// prefetch windows shrink as sources multiply.
 	StreamRowBudget int `json:"stream_row_budget,omitempty"`
+	// StreamByteBudget additionally caps bytes in flight per scan set
+	// (0 = rows-only): wide rows shrink feeder batches instead of
+	// blowing the rows-in-flight window.
+	StreamByteBudget int64 `json:"stream_byte_budget,omitempty"`
+	// MemBudgetBytes bounds each global query's blocking-operator
+	// memory (0 = unlimited): sorts and OUTERJOIN-MERGE spill sorted
+	// runs to spill_dir past it.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+	// SpillDir is where spill runs are written ("" = OS temp dir).
+	SpillDir string `json:"spill_dir,omitempty"`
 }
 
 func main() {
@@ -120,6 +130,16 @@ func run(configPath string) error {
 	}
 	fed.FanIn = fanIn
 	fed.StreamRowBudget = cfg.StreamRowBudget
+	fed.StreamByteBudget = cfg.StreamByteBudget
+	fed.MemBudget = cfg.MemBudgetBytes
+	fed.SpillDir = cfg.SpillDir
+	if cfg.MemBudgetBytes > 0 {
+		dir := cfg.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		log.Printf("myriadd: per-query memory budget %d bytes, spilling to %s", cfg.MemBudgetBytes, dir)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

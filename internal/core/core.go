@@ -71,6 +71,20 @@ type Federation struct {
 	// scan set across its source streams (0 = executor default); the
 	// per-source prefetch window shrinks as sources multiply.
 	StreamRowBudget int
+	// StreamByteBudget additionally caps the bytes in flight per scan
+	// set (0 = rows-only): feeders shrink their batches once observed
+	// row bytes reach the derived per-batch cap, so wide rows cannot
+	// blow the rows-in-flight window.
+	StreamByteBudget int64
+	// MemBudget bounds each global query's blocking-operator memory in
+	// bytes (0 = unlimited): the executor threads one spill budget
+	// through the scratch engine's sorts and GROUP BY and the
+	// OUTERJOIN-MERGE combiner, which spill sorted runs to SpillDir
+	// past it — ORDER BY without LIMIT over N sites runs bounded end
+	// to end.
+	MemBudget int64
+	// SpillDir is where spill runs are written ("" = OS temp dir).
+	SpillDir string
 }
 
 // FanInPolicy re-exports the executor's fan-in policy choice.
@@ -280,7 +294,13 @@ func (f *Federation) QueryWith(ctx context.Context, sql string, strategy Strateg
 
 // execOpts packages the federation's executor tuning knobs.
 func (f *Federation) execOpts() executor.Options {
-	return executor.Options{FanIn: f.FanIn, RowBudget: f.StreamRowBudget}
+	return executor.Options{
+		FanIn:      f.FanIn,
+		RowBudget:  f.StreamRowBudget,
+		ByteBudget: f.StreamByteBudget,
+		MemBudget:  f.MemBudget,
+		SpillDir:   f.SpillDir,
+	}
 }
 
 // QueryMetered additionally returns execution metrics (remote queries

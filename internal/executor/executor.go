@@ -12,10 +12,18 @@
 //
 // When the residual is a bare projection over a single scan set the
 // scratch engine is bypassed entirely: integrated rows stream straight
-// from the fan-in to the client (projected, offset/limited inline), and
-// a residual ORDER BY that every source already ships pre-sorted is
-// satisfied by the ordered k-way merge fan-in instead of a sort. See
-// Options for the fan-in policy and backpressure budget knobs.
+// from the fan-in to the client (filtered by a residual WHERE,
+// projected, offset/limited inline), and a residual ORDER BY that
+// every source already ships pre-sorted is satisfied by the ordered
+// k-way merge fan-in instead of a sort. See Options for the fan-in
+// policy and backpressure budget knobs.
+//
+// Execution is memory-bounded under Options.MemBudget: one
+// spill.Budget per query is shared by the scratch engine's blocking
+// operators (external-merge ORDER BY, GROUP BY accounting) and the
+// OUTERJOIN-MERGE combiner, which spill sorted runs to
+// Options.SpillDir past it; Metrics reports SpilledBytes/SpillRuns
+// once the result stream closes.
 //
 // The pre-streaming executor survives as ExecuteMaterialized; the
 // equivalence suite holds the two paths row-for-row identical.
@@ -35,6 +43,7 @@ import (
 	"myriad/internal/localdb"
 	"myriad/internal/planner"
 	"myriad/internal/schema"
+	"myriad/internal/spill"
 	"myriad/internal/sqlparser"
 	"myriad/internal/value"
 )
@@ -123,6 +132,38 @@ type Options struct {
 	// projections (the reference for equivalence tests and the bypass
 	// benchmarks).
 	NoBypass bool
+	// ByteBudget additionally caps the bytes in flight per scan set (0
+	// = rows-only backpressure): feeders shrink their batches once
+	// observed row bytes reach the per-batch cap, so wide rows cannot
+	// blow the rows-in-flight window.
+	ByteBudget int64
+	// MemBudget bounds the memory of the query's blocking operators in
+	// bytes (0 = unlimited, or the MYRIAD_TEST_MEM_BUDGET test hook):
+	// one spill.Budget is shared by the scratch engine's sorts/GROUP BY
+	// and the OUTERJOIN-MERGE combiner, which spill sorted runs to
+	// SpillDir past it — a federated ORDER BY without LIMIT over N
+	// sites is bounded end to end.
+	MemBudget int64
+	// SpillDir is where spill runs are written ("" = OS temp dir).
+	SpillDir string
+}
+
+// queryBudget builds the per-query memory budget, or nil when nothing
+// bounds this query (no configured limit and no test hook). A
+// configured SpillDir is honored even when the limit comes from the
+// MYRIAD_TEST_MEM_BUDGET hook; without any limit it is inert (nothing
+// ever spills), so no budget is created for it alone.
+func queryBudget(opts Options) *spill.Budget {
+	if opts.MemBudget > 0 {
+		return spill.NewBudget(opts.MemBudget, opts.SpillDir)
+	}
+	if b := spill.EnvBudget(); b != nil {
+		if opts.SpillDir != "" {
+			return spill.NewBudget(b.Limit(), opts.SpillDir)
+		}
+		return b
+	}
+	return nil
 }
 
 // SourceMetrics are per-site stream counters for one remote scan.
@@ -142,6 +183,12 @@ type Metrics struct {
 	// ScratchBypassed reports that the residual streamed straight off
 	// the fan-in without a scratch engine.
 	ScratchBypassed bool
+	// SpilledBytes and SpillRuns report the query's spill activity
+	// (external sorts, OUTERJOIN-MERGE stores) under its memory budget.
+	// They settle when the result stream closes — spilling can happen
+	// lazily inside the residual pipeline.
+	SpilledBytes int64
+	SpillRuns    int64
 	// Sources collects per-site stream metrics; each entry is appended
 	// when its site stream closes, so the slice is complete once the
 	// result stream has been closed (on the bypass path the scans stay
@@ -196,10 +243,24 @@ func ExecuteStreamMetered(ctx context.Context, plan *planner.Plan, runner SiteRu
 func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunner, opts Options) (schema.RowStream, *Metrics, error) {
 	m := &Metrics{}
 	var mu sync.Mutex
+	budget := queryBudget(opts)
+	// flushSpill settles the spill counters; it runs when the result
+	// stream closes (spilling can happen lazily, inside the residual
+	// pipeline or the bypass fan-in) and again defensively here before
+	// early returns.
+	flushSpill := func() {
+		if budget == nil {
+			return
+		}
+		sb, sr := budget.Stats()
+		mu.Lock()
+		m.SpilledBytes, m.SpillRuns = sb, sr
+		mu.Unlock()
+	}
 	if bp := planBypass(plan, opts); bp != nil {
-		stream, err := execBypass(ctx, bp, runner, opts, m, &mu)
+		stream, err := execBypass(ctx, bp, runner, opts, budget, m, &mu)
 		if err == nil {
-			return stream, m, nil
+			return schema.StreamWithCleanup(stream, flushSpill), m, nil
 		}
 		if !errors.Is(err, errUnmergeableSources) {
 			return nil, m, err
@@ -211,7 +272,7 @@ func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunne
 		m = &Metrics{}
 	}
 
-	scratch := localdb.New("scratch")
+	scratch := localdb.NewWithBudget("scratch", budget)
 	byAlias := make(map[string]*planner.ScanSet)
 	for _, ss := range plan.ScanSets {
 		if err := scratch.CreateTableDirect(ss.Schema); err != nil {
@@ -265,7 +326,7 @@ func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunne
 					}
 					mu.Unlock()
 				}
-				if err := loadScanSet(wctx, scratch, ss, runner, inList, bound, opts, m, &mu); err != nil {
+				if err := loadScanSet(wctx, scratch, ss, runner, inList, bound, opts, budget, m, &mu); err != nil {
 					errs[i] = err
 					cancel()
 				}
@@ -290,11 +351,14 @@ func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunne
 		return first
 	}
 	if err := runWave(wave1); err != nil {
+		flushSpill()
 		return nil, m, err
 	}
 	if err := runWave(wave2); err != nil {
+		flushSpill()
 		return nil, m, err
 	}
+	flushSpill()
 
 	// Residual evaluation, itself a streaming iterator pipeline over the
 	// scratch engine (which the returned stream keeps alive).
@@ -302,7 +366,7 @@ func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunne
 	if err != nil {
 		return nil, m, fmt.Errorf("executor: residual: %w", err)
 	}
-	return rows, m, nil
+	return schema.StreamWithCleanup(rows, flushSpill), m, nil
 }
 
 // loadModeFor resolves the fan-in mode for a scratch load. Auto (and
@@ -381,7 +445,7 @@ func batchHook(streams []schema.RowStream) func(int, int) {
 // a single scan set, caps the rows drained: once the residual's LIMIT
 // is satisfiable the combined stream closes, half-closing each remote
 // stream so the sites tear their scans down mid-flight.
-func loadScanSet(ctx context.Context, scratch *localdb.DB, ss *planner.ScanSet, runner SiteRunner, inList []sqlparser.Expr, bound int64, opts Options, m *Metrics, mu *sync.Mutex) error {
+func loadScanSet(ctx context.Context, scratch *localdb.DB, ss *planner.ScanSet, runner SiteRunner, inList []sqlparser.Expr, bound int64, opts Options, budget *spill.Budget, m *Metrics, mu *sync.Mutex) error {
 	// ssctx bounds this scan set's streams. Remote streams watch the
 	// context they were opened with, so cancelling ssctx before Close
 	// expires any wire read a feeder is blocked in — without it, early
@@ -397,9 +461,11 @@ func loadScanSet(ctx context.Context, scratch *localdb.DB, ss *planner.ScanSet, 
 	}
 
 	combined := integration.CombineStreamsOpts(ctx, ss.Spec, streams, integration.StreamOptions{
-		Mode:      loadModeFor(opts),
-		RowBudget: opts.RowBudget,
-		OnBatch:   batchHook(streams),
+		Mode:       loadModeFor(opts),
+		RowBudget:  opts.RowBudget,
+		ByteBudget: opts.ByteBudget,
+		Budget:     budget,
+		OnBatch:    batchHook(streams),
 	})
 	defer func() {
 		sscancel() // unblock any feeder parked in a wire read first
@@ -499,12 +565,17 @@ func (s *countedStream) Close() error {
 // ---------------------------------------------------------------------
 // Scratch-engine bypass
 
-// bypassPlan is a residual reduced to stream surgery: project these
-// scan-set columns under these names, skip offset rows, emit count.
+// bypassPlan is a residual reduced to stream surgery: filter the
+// fan-in rows with where (when present), project these scan-set
+// columns under these names, skip offset rows, emit count.
 type bypassPlan struct {
 	ss    *planner.ScanSet
 	proj  []int // schema column index per output column
 	names []string
+	// where, non-nil when the residual has a WHERE clause, filters
+	// integrated rows inline (compiled by the component engine's
+	// expression machinery against the scan set's schema).
+	where localdb.RowPredicate
 	// mergeKeys, non-nil when the residual has an ORDER BY, is the
 	// source ordering that satisfies it via the k-way merge fan-in.
 	mergeKeys []schema.SortKey
@@ -528,11 +599,14 @@ func (b *bypassPlan) identity() bool {
 
 // planBypass decides whether the plan can skip the scratch engine: a
 // single scan set (no semijoin), a residual that is a bare projection
-// of its columns — no filter, join, grouping, aggregate, DISTINCT or
-// compound — and an ORDER BY that is either absent or exactly the
-// ordering every source scan already ships (ScanOrdering), which the
-// stable merge fan-in reproduces without sorting. LIMIT/OFFSET apply
-// inline. Returns nil when the scratch engine is needed (or forced).
+// of its columns — no join, grouping, aggregate, DISTINCT or compound
+// — and an ORDER BY that is either absent or exactly the ordering
+// every source scan already ships (ScanOrdering), which the stable
+// merge fan-in reproduces without sorting. A residual WHERE over the
+// scan set's columns filters inline on the fan-in (expressions the
+// predicate compiler rejects fall back to the scratch engine);
+// LIMIT/OFFSET apply inline after it. Returns nil when the scratch
+// engine is needed (or forced).
 func planBypass(plan *planner.Plan, opts Options) *bypassPlan {
 	if opts.NoBypass || len(plan.ScanSets) != 1 {
 		return nil
@@ -542,9 +616,17 @@ func planBypass(plan *planner.Plan, opts Options) *bypassPlan {
 		return nil
 	}
 	r := plan.Residual
-	if r == nil || r.Compound != nil || r.Where != nil || r.Having != nil ||
+	if r == nil || r.Compound != nil || r.Having != nil ||
 		len(r.GroupBy) > 0 || r.Distinct || len(r.Joins) > 0 || len(r.From) != 1 {
 		return nil
+	}
+	var where localdb.RowPredicate
+	if r.Where != nil {
+		pred, err := localdb.CompileRowPredicate(r.Where, ss.Schema, ss.Alias, ss.TempTable)
+		if err != nil {
+			return nil
+		}
+		where = pred
 	}
 	sameRel := func(table string) bool {
 		return table == "" || strings.EqualFold(table, ss.Alias) || strings.EqualFold(table, ss.TempTable)
@@ -558,7 +640,7 @@ func planBypass(plan *planner.Plan, opts Options) *bypassPlan {
 		return -1
 	}
 
-	bp := &bypassPlan{ss: ss, count: -1}
+	bp := &bypassPlan{ss: ss, where: where, count: -1}
 	for _, it := range r.Items {
 		switch {
 		case it.Star:
@@ -630,7 +712,7 @@ var errUnmergeableSources = errors.New("executor: source stream ordering contrad
 
 // execBypass streams integrated rows straight from the fan-in to the
 // caller: no scratch engine, no temp-table load, no residual pipeline.
-func execBypass(ctx context.Context, bp *bypassPlan, runner SiteRunner, opts Options, m *Metrics, mu *sync.Mutex) (schema.RowStream, error) {
+func execBypass(ctx context.Context, bp *bypassPlan, runner SiteRunner, opts Options, budget *spill.Budget, m *Metrics, mu *sync.Mutex) (schema.RowStream, error) {
 	m.ScratchBypassed = true
 	// bctx lives as long as the returned stream: Close cancels it first
 	// so a feeder parked in a wire read is expired before its source
@@ -669,10 +751,12 @@ func execBypass(ctx context.Context, bp *bypassPlan, runner SiteRunner, opts Opt
 		}
 	}
 	combined := integration.CombineStreamsOpts(bctx, bp.ss.Spec, streams, integration.StreamOptions{
-		Mode:      mode,
-		MergeKeys: bp.mergeKeys,
-		RowBudget: opts.RowBudget,
-		OnBatch:   batchHook(streams),
+		Mode:       mode,
+		MergeKeys:  bp.mergeKeys,
+		RowBudget:  opts.RowBudget,
+		ByteBudget: opts.ByteBudget,
+		Budget:     budget,
+		OnBatch:    batchHook(streams),
 	})
 	proj := bp.proj
 	names := bp.names
@@ -682,6 +766,7 @@ func execBypass(ctx context.Context, bp *bypassPlan, runner SiteRunner, opts Opt
 	return &bypassStream{
 		inner:  combined,
 		cancel: bcancel,
+		where:  bp.where,
 		proj:   proj,
 		cols:   names,
 		count:  bp.count,
@@ -708,13 +793,16 @@ func orderingSatisfies(declared, keys []schema.SortKey) bool {
 	return true
 }
 
-// bypassStream projects and offset/limits the fan-in inline. Once the
-// count is satisfied it half-closes the fan-in eagerly, tearing remote
-// scans down mid-flight exactly like the scratch path's streamBound.
+// bypassStream filters, projects and offset/limits the fan-in inline.
+// OFFSET/LIMIT count rows that survive the filter, matching the
+// residual's semantics. Once the count is satisfied it half-closes the
+// fan-in eagerly, tearing remote scans down mid-flight exactly like
+// the scratch path's streamBound.
 type bypassStream struct {
 	inner   schema.RowStream
 	cancel  context.CancelFunc
-	proj    []int // nil = identity
+	where   localdb.RowPredicate // nil = no filter
+	proj    []int                // nil = identity
 	cols    []string
 	count   int64 // -1 = unbounded
 	offset  int64
@@ -738,7 +826,7 @@ func (b *bypassStream) Next(ctx context.Context) (schema.Row, error) {
 		b.halt()
 		return nil, nil
 	}
-	for b.skipped < b.offset {
+	for {
 		r, err := b.inner.Next(ctx)
 		if err != nil {
 			b.err = err
@@ -748,31 +836,35 @@ func (b *bypassStream) Next(ctx context.Context) (schema.Row, error) {
 			b.done = true
 			return nil, nil
 		}
-		b.skipped++
-	}
-	r, err := b.inner.Next(ctx)
-	if err != nil {
-		b.err = err
-		return nil, err
-	}
-	if r == nil {
-		b.done = true
-		return nil, nil
-	}
-	if b.proj != nil {
-		out := make(schema.Row, len(b.proj))
-		for i, ci := range b.proj {
-			out[i] = r[ci]
+		if b.where != nil {
+			ok, err := b.where(r)
+			if err != nil {
+				b.err = err
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
 		}
-		r = out
+		if b.skipped < b.offset {
+			b.skipped++
+			continue
+		}
+		if b.proj != nil {
+			out := make(schema.Row, len(b.proj))
+			for i, ci := range b.proj {
+				out[i] = r[ci]
+			}
+			r = out
+		}
+		b.emitted++
+		if b.count >= 0 && b.emitted >= b.count {
+			// The bound is reached: release the remote scans eagerly but
+			// keep emitting this row.
+			b.halt()
+		}
+		return r, nil
 	}
-	b.emitted++
-	if b.count >= 0 && b.emitted >= b.count {
-		// The bound is reached: release the remote scans eagerly but
-		// keep emitting this row.
-		b.halt()
-	}
-	return r, nil
 }
 
 // halt tears the fan-in down without marking the stream closed (the

@@ -218,6 +218,11 @@ func TestScratchBypassEquivalence(t *testing.T) {
 		`SELECT cid FROM CUSTOMERS ORDER BY cid LIMIT 5`,
 		`SELECT cid, tier FROM CUSTOMERS ORDER BY tier DESC, cid LIMIT 9 OFFSET 3`,
 		`SELECT oid, amt FROM ORDERS LIMIT 12 OFFSET 30`,
+		// Residual WHERE clauses filter inline on the fan-in;
+		// OFFSET/LIMIT count the survivors, as in the residual.
+		`SELECT cid FROM CUSTOMERS WHERE tier = 'gold'`,
+		`SELECT cid, tier FROM CUSTOMERS WHERE tier = 'gold' LIMIT 4 OFFSET 2`,
+		`SELECT oid FROM ORDERS WHERE amt > 50 AND amt < 900 LIMIT 20`,
 	} {
 		plan := planFor(t, p, sql)
 		want, err := executor.ExecuteMaterialized(ctx, plan, fedRunner{fed})
@@ -246,14 +251,13 @@ func TestScratchBypassEquivalence(t *testing.T) {
 }
 
 // TestBypassNotUsedWhenResidualComputes: anything beyond a bare
-// projection keeps the scratch engine.
+// projection plus a compilable WHERE keeps the scratch engine.
 func TestBypassNotUsedWhenResidualComputes(t *testing.T) {
 	fed, p := buildJoinFederation(t, 20, 50)
 	ctx := context.Background()
 	for _, sql := range []string{
 		`SELECT COUNT(*) FROM CUSTOMERS`,
 		`SELECT DISTINCT tier FROM CUSTOMERS`,
-		`SELECT cid FROM CUSTOMERS WHERE tier = 'gold'`,
 		`SELECT c.cid FROM CUSTOMERS c, ORDERS o WHERE c.cid = o.cust`,
 	} {
 		plan := planFor(t, p, sql)

@@ -238,7 +238,8 @@ func (s *Server) HandleStream(ctx context.Context, req *comm.Request, sink comm.
 }
 
 // logSources emits one line of per-site stream metrics for a completed
-// (or torn-down) streamed query.
+// (or torn-down) streamed query. Spill counters are settled by then:
+// the result stream has closed before this runs.
 func (s *Server) logSources(sql string, m *executor.Metrics) {
 	if s.Logf == nil || m == nil || len(m.Sources) == 0 {
 		return
@@ -247,7 +248,8 @@ func (s *Server) logSources(sql string, m *executor.Metrics) {
 	for _, src := range m.Sources {
 		fmt.Fprintf(&b, " [%s rows=%d batches=%d first_row=%s]", src.Site, src.Rows, src.Batches, src.FirstRow)
 	}
-	s.Logf("fedserver: query sources: bypass=%v shipped=%d%s sql=%q", m.ScratchBypassed, m.RowsShipped, b.String(), sql)
+	s.Logf("fedserver: query sources: bypass=%v shipped=%d spill_runs=%d spilled_bytes=%d%s sql=%q",
+		m.ScratchBypassed, m.RowsShipped, m.SpillRuns, m.SpilledBytes, b.String(), sql)
 }
 
 // streamErr tags federation errors with the wire kind their streaming

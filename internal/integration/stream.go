@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"myriad/internal/schema"
+	"myriad/internal/spill"
+	"myriad/internal/value"
 )
 
 // Streaming combiners: the relational integration operators as
@@ -31,13 +33,22 @@ import (
 //
 // OUTERJOIN-MERGE is a blocking combinator (it cannot emit an entity
 // until every source has had its say); it drains all sources
-// concurrently regardless of the requested mode.
+// concurrently regardless of the requested mode. Its memory is bounded
+// by StreamOptions.Budget: each source drains into a spill-backed
+// sorter keyed on the integrated key, and entities resolve one at a
+// time from a k-way grouped merge — so the combined stream emits in
+// integrated-key order and the federation never holds more than the
+// budget (plus one entity) however large the sources are.
 //
 // Backpressure is a per-query rows-in-flight budget rather than a fixed
 // per-source credit: StreamOptions.RowBudget caps the integrated rows
 // buffered across all of a scan set's source windows, and the per-source
 // window shrinks as sources multiply (N sites share the same budget a
 // 2-site set gets). The budget is granted in batches of feedBatchRows.
+// ByteBudget adds a byte-based bound for wide rows: feeders flush a
+// batch early once its observed schema.RowBytes reach the per-batch
+// byte cap derived from the budget, so the same batch-count windows
+// hold bounded bytes whatever the row width.
 
 // FanInMode selects how multiple source streams combine into one.
 type FanInMode uint8
@@ -79,6 +90,17 @@ type StreamOptions struct {
 	// source windows (0 = DefaultRowBudget). Rounded to whole batches;
 	// every source always gets at least one batch of window.
 	RowBudget int
+	// ByteBudget additionally caps the bytes buffered in flight across
+	// all source windows (0 = no byte bound): each feeder flushes a
+	// batch once its rows' observed schema.RowBytes reach
+	// ByteBudget/(sources*window), so wide rows shrink batches instead
+	// of blowing the window. A batch always carries at least one row.
+	ByteBudget int64
+	// Budget, when non-nil, bounds the memory of blocking combination:
+	// OUTERJOIN-MERGE spills per-source rows (keyed on the integrated
+	// key) through it instead of holding every source row. nil falls
+	// back to the MYRIAD_TEST_MEM_BUDGET test hook, else unlimited.
+	Budget *spill.Budget
 	// OnBatch, when non-nil, is invoked from the feeder goroutine each
 	// time one source batch is handed to the fan-in (per-source
 	// transfer metrics). It must be safe for concurrent use across
@@ -116,6 +138,25 @@ func windowBatches(sources, rowBudget int) int {
 	return w
 }
 
+// perBatchBytes derives the byte cap one feeder batch may hold from
+// the query's bytes-in-flight budget: with W window batches per source
+// the windows hold at most sources*W*cap ≈ ByteBudget bytes, so the
+// row-count windows bound bytes too once observed row sizes feed back.
+// 0 = no byte bound.
+func perBatchBytes(sources int, opts StreamOptions) int64 {
+	if opts.ByteBudget <= 0 {
+		return 0
+	}
+	if sources < 1 {
+		sources = 1
+	}
+	per := opts.ByteBudget / int64(sources*windowBatches(sources, opts.RowBudget))
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // CombineStreams merges per-source row streams into a stream of
 // integrated rows in deterministic source order (the default options).
 // It takes ownership of the sources: closing the returned stream
@@ -149,8 +190,9 @@ func CombineStreamsOpts(ctx context.Context, spec *Spec, sources []schema.RowStr
 				cap = len(sources)
 			}
 			c.ch = make(chan feedItem, cap)
+			maxBytes := perBatchBytes(len(sources), opts)
 			for i, src := range sources {
-				startSharedFeed(fctx, &c.wg, c.ch, src, spec, i, opts.OnBatch)
+				startSharedFeed(fctx, &c.wg, c.ch, src, spec, i, maxBytes, opts.OnBatch)
 			}
 			c.closerDone = make(chan struct{})
 			go func() {
@@ -176,8 +218,13 @@ func CombineStreamsOpts(ctx context.Context, spec *Spec, sources []schema.RowStr
 		}
 	case MergeOuter:
 		// Blocking combinator: first Next drains all sources in
-		// parallel, then merges. No feeders needed; the mode is moot.
-		c := &combinedStream{onBatch: opts.OnBatch}
+		// parallel into spill-backed key-sorted stores, then streams
+		// the grouped merge. No feeders needed; the mode is moot.
+		budget := opts.Budget
+		if budget == nil {
+			budget = spill.EnvBudget()
+		}
+		c := &combinedStream{onBatch: opts.OnBatch, budget: budget}
 		c.init(spec, sources, fctx, cancel)
 		return c
 	default:
@@ -260,6 +307,7 @@ type feedItem struct {
 // startFeeds launches one windowed feeder per source.
 func startFeeds(ctx context.Context, wg *sync.WaitGroup, sources []schema.RowStream, spec *Spec, opts StreamOptions) []*sourceFeed {
 	window := windowBatches(len(sources), opts.RowBudget)
+	maxBytes := perBatchBytes(len(sources), opts)
 	feeds := make([]*sourceFeed, len(sources))
 	for i, src := range sources {
 		f := &sourceFeed{ch: make(chan feedItem, window)}
@@ -268,7 +316,7 @@ func startFeeds(ctx context.Context, wg *sync.WaitGroup, sources []schema.RowStr
 		go func(i int, src schema.RowStream) {
 			defer wg.Done()
 			defer close(f.ch)
-			feedLoop(ctx, src, spec, i, opts.OnBatch, func(it feedItem) bool {
+			feedLoop(ctx, src, spec, i, opts.OnBatch, maxBytes, func(it feedItem) bool {
 				select {
 				case f.ch <- it:
 					return true
@@ -284,11 +332,11 @@ func startFeeds(ctx context.Context, wg *sync.WaitGroup, sources []schema.RowStr
 // startSharedFeed launches a feeder that sends into the interleave
 // operator's shared channel (never closing it; the operator's closer
 // does once every feeder has exited).
-func startSharedFeed(ctx context.Context, wg *sync.WaitGroup, ch chan feedItem, src schema.RowStream, spec *Spec, idx int, onBatch func(int, int)) {
+func startSharedFeed(ctx context.Context, wg *sync.WaitGroup, ch chan feedItem, src schema.RowStream, spec *Spec, idx int, maxBytes int64, onBatch func(int, int)) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		feedLoop(ctx, src, spec, idx, onBatch, func(it feedItem) bool {
+		feedLoop(ctx, src, spec, idx, onBatch, maxBytes, func(it feedItem) bool {
 			select {
 			case ch <- it:
 				return true
@@ -300,14 +348,19 @@ func startSharedFeed(ctx context.Context, wg *sync.WaitGroup, ch chan feedItem, 
 }
 
 // feedLoop pulls src in batches until EOF, error or cancellation,
-// handing each batch to send. The feeder owns only the pulling; closing
-// src stays with the operator's Close (after the feeder has exited).
-func feedLoop(ctx context.Context, src schema.RowStream, spec *Spec, idx int, onBatch func(int, int), send func(feedItem) bool) {
+// handing each batch to send. A batch flushes at feedBatchRows rows
+// or, under a byte budget, as soon as its accumulated row bytes reach
+// maxBytes (0 = no byte bound) — wide rows shrink batches so the
+// batch-count windows stay byte-bounded. The feeder owns only the
+// pulling; closing src stays with the operator's Close (after the
+// feeder has exited).
+func feedLoop(ctx context.Context, src schema.RowStream, spec *Spec, idx int, onBatch func(int, int), maxBytes int64, send func(feedItem) bool) {
 	if err := checkArityCols(spec, src.Columns()); err != nil {
 		send(feedItem{src: idx, err: err})
 		return
 	}
 	batch := make([]schema.Row, 0, feedBatchRows)
+	var batchBytes int64
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
@@ -320,6 +373,7 @@ func feedLoop(ctx context.Context, src schema.RowStream, spec *Spec, idx int, on
 			onBatch(idx, n)
 		}
 		batch = make([]schema.Row, 0, feedBatchRows)
+		batchBytes = 0
 		return true
 	}
 	for {
@@ -333,7 +387,10 @@ func feedLoop(ctx context.Context, src schema.RowStream, spec *Spec, idx int, on
 			return
 		}
 		batch = append(batch, r)
-		if len(batch) == feedBatchRows {
+		if maxBytes > 0 {
+			batchBytes += schema.RowBytes(r)
+		}
+		if len(batch) == feedBatchRows || (maxBytes > 0 && batchBytes >= maxBytes) {
 			if !flush() {
 				return
 			}
@@ -363,11 +420,43 @@ type combinedStream struct {
 	bpos  int
 	seen  map[string]bool // UnionDistinct dedup, first occurrence wins
 
-	// MergeOuter path.
+	// MergeOuter path: per-source key-sorted spill stores and the
+	// grouped-merge cursor state over them.
 	onBatch   func(source, rows int)
-	merged    *schema.ResultSet
-	mergedPos int
+	budget    *spill.Budget
+	sorters   []*spill.Sorter
+	mits      []*spill.Iterator
+	mheads    []schema.Row
+	mcmp      func(a, b schema.Row) int
+	isKey     map[int]bool
+	coalesce  Func
 	mergeDone bool
+}
+
+// mergeKeyCompare orders rows by their key columns under a total,
+// transitive order that clusters identical encoded keys: per column,
+// kind first, then schema.CompareSort within the kind. Comparing
+// across kinds through CompareSort would be non-transitive (text
+// compares lexicographically against text but numerically against
+// numbers, so {'9', 10, '10'} is a cycle) and an unspecified sort
+// order would let the grouped merge split one entity in two;
+// separating kinds first keeps each column's order transitive, and
+// compare-equal then means identical kind and value — exactly the
+// materialized combinator's encodeRow identity. For the typical
+// homogeneous-kind key this is pure CompareSort order.
+func mergeKeyCompare(keyCols []int) func(a, b schema.Row) int {
+	return func(a, b schema.Row) int {
+		for _, kc := range keyCols {
+			av, bv := a[kc], b[kc]
+			if av.K != bv.K {
+				return int(av.K) - int(bv.K)
+			}
+			if c := schema.CompareSort(av, bv); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
 }
 
 func (c *combinedStream) Next(ctx context.Context) (schema.Row, error) {
@@ -427,79 +516,215 @@ func (c *combinedStream) Next(ctx context.Context) (schema.Row, error) {
 	}
 }
 
-// nextMerged lazily drains every source in parallel, runs the
-// outer-join merge, and then emits resolved entities. The drains pull
-// through fctx so a failing source aborts its siblings: they observe
-// the cancellation at their next row instead of shipping their full
-// fragments for a merge that can no longer succeed.
+// nextMerged lazily drains every source in parallel into a per-source
+// spill-backed sorter keyed on the integrated key (NULL-key rows are
+// dropped, as in the materialized combinator), then streams a k-way
+// grouped merge: for each distinct key, every source's contributions
+// are folded (first non-NULL per column in source row order — the
+// stable sorters preserve arrival order within equal keys) and the
+// entity resolves through the integration functions. Exactly one
+// entity is in memory at a time, so the combiner's footprint is the
+// spill budget, not the source volume; entities emit in integrated-key
+// order (the materialized Combine path keeps first-occurrence order).
+// The drains pull through fctx so a failing source aborts its
+// siblings; each Next honors the per-call ctx between spill reads, so
+// a cancelled query stops promptly even mid-merge.
 func (c *combinedStream) nextMerged(ctx context.Context) (schema.Row, error) {
 	if err := ctx.Err(); err != nil {
 		c.fail(err)
 		return nil, c.err
 	}
 	if !c.mergeDone {
-		frags := make([]*schema.ResultSet, len(c.sources))
-		errs := make([]error, len(c.sources))
-		var wg sync.WaitGroup
-		for i, src := range c.sources {
-			wg.Add(1)
-			go func(i int, src schema.RowStream) {
-				defer wg.Done()
-				if err := checkArityCols(c.spec, src.Columns()); err != nil {
+		if err := c.drainMergeSources(); err != nil {
+			c.fail(err)
+			return nil, c.err
+		}
+		c.mergeDone = true
+	}
+	return c.nextEntity(ctx)
+}
+
+// drainMergeSources concurrently pulls every source dry into its
+// key-sorted store (ordered by mergeKeyCompare, so rows of one entity
+// are contiguous in every source and meet at consistent merge
+// positions) and opens the merge cursors.
+func (c *combinedStream) drainMergeSources() error {
+	if len(c.spec.KeyCols) == 0 {
+		return fmt.Errorf("integration: OUTERJOIN-MERGE requires a key")
+	}
+	c.mcmp = mergeKeyCompare(c.spec.KeyCols)
+	c.isKey = make(map[int]bool, len(c.spec.KeyCols))
+	for _, kc := range c.spec.KeyCols {
+		c.isKey[kc] = true
+	}
+	c.coalesce, _ = Lookup("coalesce")
+
+	c.sorters = make([]*spill.Sorter, len(c.sources))
+	for i := range c.sorters {
+		c.sorters[i] = spill.NewSorterFunc(c.budget, c.mcmp)
+	}
+	errs := make([]error, len(c.sources))
+	var wg sync.WaitGroup
+	for i, src := range c.sources {
+		wg.Add(1)
+		// Register on the operator WaitGroup too, so closeBase's "wait
+		// the goroutines out before touching sources" invariant also
+		// covers a Close racing the draining Next: the sweep of
+		// sorters and sources waits for the drains to exit.
+		c.wg.Add(1)
+		go func(i int, src schema.RowStream) {
+			defer wg.Done()
+			defer c.wg.Done()
+			if err := checkArityCols(c.spec, src.Columns()); err != nil {
+				errs[i] = err
+				c.cancel()
+				return
+			}
+			n := 0
+			for {
+				r, err := src.Next(c.fctx)
+				if err != nil {
 					errs[i] = err
 					c.cancel()
 					return
 				}
-				frags[i], errs[i] = schema.DrainStream(c.fctx, src)
-				if errs[i] != nil {
+				if r == nil {
+					break
+				}
+				n++
+				nullKey := false
+				for _, kc := range c.spec.KeyCols {
+					if r[kc].IsNull() {
+						nullKey = true
+						break
+					}
+				}
+				if nullKey {
+					continue
+				}
+				if err := c.sorters[i].Add(r); err != nil {
+					errs[i] = err
 					c.cancel()
 					return
 				}
-				if c.onBatch != nil && len(frags[i].Rows) > 0 {
-					// The whole fragment is one block handoff.
-					c.onBatch(i, len(frags[i].Rows))
-				}
-			}(i, src)
-		}
-		wg.Wait()
-		// Prefer the root cause over a sibling's collateral cancellation.
-		var first error
-		for _, err := range errs {
-			if err == nil {
-				continue
 			}
-			if first == nil {
-				first = err
+			if c.onBatch != nil && n > 0 {
+				// The whole fragment is one block handoff.
+				c.onBatch(i, n)
 			}
-			if !errors.Is(err, context.Canceled) {
-				first = err
-				break
-			}
+		}(i, src)
+	}
+	wg.Wait()
+	// Prefer the root cause over a sibling's collateral cancellation.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
 		}
-		if first != nil {
-			c.fail(first)
-			return nil, c.err
+		if first == nil {
+			first = err
 		}
-		out, err := mergeOuter(c.spec, frags)
+		if !errors.Is(err, context.Canceled) {
+			first = err
+			break
+		}
+	}
+	if first != nil {
+		return first
+	}
+	c.mits = make([]*spill.Iterator, len(c.sorters))
+	c.mheads = make([]schema.Row, len(c.sorters))
+	for i, s := range c.sorters {
+		it, err := s.Finish()
 		if err != nil {
-			c.fail(err)
-			return nil, c.err
+			return err
 		}
-		c.merged = out
-		c.mergeDone = true
+		c.mits[i] = it
 	}
-	if c.mergedPos >= len(c.merged.Rows) {
-		return nil, nil
+	ctx := c.fctx
+	for i := range c.mits {
+		h, err := c.mits[i].Next(ctx)
+		if err != nil {
+			return err
+		}
+		c.mheads[i] = h
 	}
-	r := c.merged.Rows[c.mergedPos]
-	c.mergedPos++
-	return r, nil
+	return nil
 }
 
-// Close tears down the feeders and sources. Idempotent.
+// nextEntity resolves and emits the entity with the smallest pending
+// integrated key across the source cursors. Rows belong to the same
+// entity exactly when mergeKeyCompare reports them equal — kind-exact,
+// matching mergeOuter's encoded map key.
+func (c *combinedStream) nextEntity(ctx context.Context) (schema.Row, error) {
+	best := -1
+	for i, h := range c.mheads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || c.mcmp(h, c.mheads[best]) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	key := c.mheads[best]
+	vals := make([][]value.Value, len(c.spec.Columns))
+	for col := range vals {
+		vals[col] = make([]value.Value, len(c.mheads))
+	}
+	for si := range c.mheads {
+		for c.mheads[si] != nil && c.mcmp(c.mheads[si], key) == 0 {
+			row := c.mheads[si]
+			for col := range c.spec.Columns {
+				if !c.isKey[col] && vals[col][si].IsNull() {
+					vals[col][si] = row[col]
+				}
+			}
+			h, err := c.mits[si].Next(ctx)
+			if err != nil {
+				c.fail(err)
+				return nil, c.err
+			}
+			c.mheads[si] = h
+		}
+	}
+	out := make(schema.Row, len(c.spec.Columns))
+	for col := range c.spec.Columns {
+		if c.isKey[col] {
+			out[col] = key[col]
+			continue
+		}
+		fn := c.spec.Resolvers[col]
+		if fn == nil {
+			fn = c.coalesce
+		}
+		v, err := fn(vals[col])
+		if err != nil {
+			c.fail(fmt.Errorf("integration: column %s: %w", c.spec.Columns[col], err))
+			return nil, c.err
+		}
+		out[col] = v
+	}
+	return out, nil
+}
+
+// Close tears down the feeders and sources, and removes any spill runs
+// the outer-merge stores hold. Idempotent.
 func (c *combinedStream) Close() error {
 	err := c.closeBase()
-	c.merged = nil
+	for _, it := range c.mits {
+		if it != nil {
+			it.Close()
+		}
+	}
+	for _, s := range c.sorters {
+		if s != nil {
+			s.Close()
+		}
+	}
+	c.mits, c.sorters, c.mheads = nil, nil, nil
 	return err
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"myriad/internal/lockmgr"
 	"myriad/internal/schema"
+	"myriad/internal/spill"
 	"myriad/internal/sqlparser"
 	"myriad/internal/storage"
 )
@@ -50,21 +51,41 @@ type DB struct {
 	// federation's transport tests use it to prove that a pushed-down
 	// LIMIT terminates the server-side scan early.
 	scanRows atomic.Int64
+
+	// budget bounds the memory of this database's blocking operators:
+	// the full-sort path spills sorted runs past it, and GROUP BY
+	// accumulation errors past its grouped allowance. nil = unlimited.
+	budget *spill.Budget
 }
 
 // ScannedRows reports the total rows heap scans have pulled from
 // storage since the database was created (monotonic; test/metrics use).
 func (db *DB) ScannedRows() int64 { return db.scanRows.Load() }
 
-// New creates an empty component database named name.
+// New creates an empty component database named name. Its memory
+// budget defaults from MYRIAD_TEST_MEM_BUDGET (nil — unlimited — when
+// unset), so a test run can force every engine through the spill paths
+// without touching call sites.
 func New(name string) *DB {
+	return NewWithBudget(name, spill.EnvBudget())
+}
+
+// NewWithBudget is New with an explicit memory budget for the engine's
+// blocking operators (nil = unlimited, never spill). The executor
+// threads its per-query budget into the scratch engine this way, so a
+// federated sort and the integration combiners draw on one account.
+func NewWithBudget(name string, budget *spill.Budget) *DB {
 	return &DB{
 		name:   name,
 		tables: make(map[string]*storage.Table),
 		lm:     lockmgr.New(),
 		txns:   make(map[lockmgr.TxnID]*Txn),
+		budget: budget,
 	}
 }
+
+// MemBudget returns the database's memory budget (nil = unlimited).
+func (db *DB) MemBudget() *spill.Budget { return db.budget }
 
 // Name returns the database's name.
 func (db *DB) Name() string { return db.name }

@@ -375,7 +375,7 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 		built = true
 		return newTopKIter(it, itemFns, sortFns, descs, int(sel.Limit.Count), int(sel.Limit.Offset)), itemNames(items), nil
 	case len(sortFns) > 0:
-		it = newSortIter(it, itemFns, sortFns, descs)
+		it = newSortIter(it, itemFns, sortFns, descs, tx.db.budget)
 	default:
 		it = newProjIter(it, itemFns)
 	}
@@ -950,13 +950,22 @@ func (tx *Txn) execGrouped(ctx context.Context, sel *sqlparser.Select, b *rowBin
 		keyStrs[i] = sqlparser.FormatExpr(g, nil)
 	}
 
-	// Build groups from the streaming input.
+	// Build groups from the streaming input. Accumulation is bounded by
+	// the group count, not the input size, but a high-cardinality GROUP
+	// BY can still balloon: the database's memory budget accounts each
+	// new group's approximate footprint and fails fast — with a clear
+	// error instead of an OOM — past the grouped allowance. (Grouped
+	// state cannot spill yet; when grouped spill lands this error goes
+	// away. The allowance is spill.GroupedOvershoot x the budget, so
+	// modest groupings complete under test-tiny spill budgets.)
 	type group struct {
 		keys   []value.Value
 		states []*aggState
 	}
+	const aggStateBytes = 96 // approximate aggState + pointer footprint
 	groups := make(map[string]*group)
 	var order []string
+	var groupBytes int64
 	for {
 		r, err := it.Next(ctx)
 		if err != nil {
@@ -976,6 +985,13 @@ func (tx *Txn) execGrouped(ctx context.Context, sel *sqlparser.Select, b *rowBin
 		gk := rowKey(keys)
 		g, ok := groups[gk]
 		if !ok {
+			if tx.db.budget.Limit() > 0 {
+				groupBytes += schema.RowBytes(keys) + int64(len(gk)) + int64(len(aggs))*aggStateBytes
+				if tx.db.budget.ExceedsGrouped(groupBytes) {
+					return nil, fmt.Errorf("localdb: GROUP BY accumulation (%d groups, ~%d bytes) exceeds the memory budget (%d bytes; grouped spill not yet implemented)",
+						len(groups)+1, groupBytes, tx.db.budget.Limit())
+				}
+			}
 			g = &group{keys: keys, states: make([]*aggState, len(aggs))}
 			for i := range g.states {
 				g.states[i] = &aggState{sumIsInt: true}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"myriad/internal/schema"
+	"myriad/internal/spill"
 	"myriad/internal/storage"
 	"myriad/internal/value"
 )
@@ -350,61 +351,73 @@ func (p *projIter) Close() {
 	}
 }
 
-// sortIter materializes its input, projecting and evaluating sort keys
-// per row, then emits projected rows in stable key order (the old
-// full-sort path as an operator).
+// sortIter implements ORDER BY without LIMIT as an external merge
+// sort. Each input row is projected once and stored as one record with
+// the evaluated sort keys prepended (columns 0..nk-1), so spilled and
+// resident records sort under the same schema.CompareSort comparator
+// the rest of the federation uses. A spill.Sorter keeps records in
+// memory up to the database's byte budget and spills stable-sorted
+// runs past it; emission streams the k-way run merge, whose
+// run-index/FIFO tie-break reproduces exactly the old in-memory stable
+// full sort. With no budget nothing ever spills and the operator is
+// the old full-sort path unchanged.
 type sortIter struct {
 	child   rowIter
 	itemFns []evalFn
 	sortFns []evalFn
 	descs   []bool
+	budget  *spill.Budget
 
-	out    []schema.Row
-	pos    int
+	out    *spill.Iterator
 	filled bool
 	closed bool
 }
 
-func newSortIter(child rowIter, itemFns, sortFns []evalFn, descs []bool) *sortIter {
-	return &sortIter{child: child, itemFns: itemFns, sortFns: sortFns, descs: descs}
+func newSortIter(child rowIter, itemFns, sortFns []evalFn, descs []bool, budget *spill.Budget) *sortIter {
+	return &sortIter{child: child, itemFns: itemFns, sortFns: sortFns, descs: descs, budget: budget}
 }
 
 func (s *sortIter) fill(ctx context.Context) error {
-	type outRow struct {
-		proj schema.Row
-		keys []value.Value
+	nk := len(s.sortFns)
+	keys := make([]schema.SortKey, nk)
+	for i := range keys {
+		keys[i] = schema.SortKey{Col: i, Desc: s.descs[i]}
 	}
-	var outs []outRow
+	sorter := spill.NewSorter(s.budget, keys)
 	for {
 		r, err := s.child.Next(ctx)
 		if err != nil {
+			sorter.Close()
 			return err
 		}
 		if r == nil {
 			break
 		}
-		proj := make(schema.Row, len(s.itemFns))
-		for i, fn := range s.itemFns {
-			if proj[i], err = fn(r); err != nil {
-				return err
-			}
-		}
-		keys := make([]value.Value, len(s.sortFns))
+		rec := make(schema.Row, nk+len(s.itemFns))
 		for i, fn := range s.sortFns {
-			if keys[i], err = fn(r); err != nil {
+			if rec[i], err = fn(r); err != nil {
+				sorter.Close()
 				return err
 			}
 		}
-		outs = append(outs, outRow{proj: proj, keys: keys})
+		for i, fn := range s.itemFns {
+			if rec[nk+i], err = fn(r); err != nil {
+				sorter.Close()
+				return err
+			}
+		}
+		if err := sorter.Add(rec); err != nil {
+			sorter.Close()
+			return err
+		}
 	}
 	s.child.Close()
-	sort.SliceStable(outs, func(a, b int) bool {
-		return compareKeys(outs[a].keys, outs[b].keys, s.descs) < 0
-	})
-	s.out = make([]schema.Row, len(outs))
-	for i, o := range outs {
-		s.out[i] = o.proj
+	it, err := sorter.Finish()
+	if err != nil {
+		sorter.Close()
+		return err
 	}
+	s.out = it
 	s.filled = true
 	return nil
 }
@@ -418,19 +431,21 @@ func (s *sortIter) Next(ctx context.Context) ([]value.Value, error) {
 			return nil, err
 		}
 	}
-	if s.pos >= len(s.out) {
-		return nil, nil
+	rec, err := s.out.Next(ctx)
+	if err != nil || rec == nil {
+		return nil, err
 	}
-	r := s.out[s.pos]
-	s.pos++
-	return r, nil
+	return rec[len(s.sortFns):], nil
 }
 
 func (s *sortIter) Close() {
 	if !s.closed {
 		s.closed = true
 		s.child.Close()
-		s.out = nil
+		if s.out != nil {
+			s.out.Close()
+			s.out = nil
+		}
 	}
 }
 

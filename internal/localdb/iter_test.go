@@ -241,7 +241,7 @@ func TestTopKIterMatchesStableSort(t *testing.T) {
 		top := newTopKIter(newSliceIter(rows), itemFns, []evalFn{key}, []bool{false}, tc.count, tc.offset)
 		got := drainAll(t, top)
 
-		full := newSortIter(newSliceIter(rows), itemFns, []evalFn{key}, []bool{false})
+		full := newSortIter(newSliceIter(rows), itemFns, []evalFn{key}, []bool{false}, nil)
 		want := drainAll(t, full)
 		lo := tc.offset
 		if lo > len(want) {

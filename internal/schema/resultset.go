@@ -13,6 +13,27 @@ type ResultSet struct {
 	Rows    []Row
 }
 
+// rowSliceBytes and valueStructBytes approximate the Go heap footprint
+// of a row: the slice header plus one value.Value struct per column
+// (kind tag, int64, float64, string header, bool, padding), with text
+// payloads added per value.
+const (
+	rowSliceBytes    = 24
+	valueStructBytes = 48
+)
+
+// RowBytes estimates the in-memory footprint of a row in bytes. It is
+// the one sizing rule the spill budget, the GROUP BY accounting, and
+// the byte-based stream windows all share, so "bytes" means the same
+// thing at every layer that counts them.
+func RowBytes(r Row) int64 {
+	n := int64(rowSliceBytes + valueStructBytes*len(r))
+	for _, v := range r {
+		n += int64(len(v.S))
+	}
+	return n
+}
+
 // ColIndex returns the position of the named column, or -1.
 func (rs *ResultSet) ColIndex(name string) int {
 	for i, c := range rs.Columns {

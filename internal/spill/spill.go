@@ -1,0 +1,593 @@
+// Package spill is the federation's memory-bounded execution layer: a
+// byte-accounted Budget shared by the blocking operators of one query,
+// and an external merge sorter that accumulates rows in memory up to
+// the budget, spills sorted runs to disk, and streams them back as a
+// stable k-way merge. The component engine's full-sort path, the
+// integration layer's OUTERJOIN-MERGE combiner, and the executor's
+// scratch engine all spill through this package, so a federated ORDER
+// BY without LIMIT over more rows than memory completes instead of
+// ballooning the mediator.
+//
+// Run format: a run is one temp file ("myriad-spill-*.run" under the
+// budget's directory) holding gob-encoded batches of rows (up to
+// runBatchRows rows per gob value), written in sorted order. Stability
+// is preserved end to end: rows are assigned to runs in arrival order,
+// sorted stably within a run, and every merge — run compaction and the
+// final read-back — breaks key ties toward the lower run index, so the
+// merged stream reproduces exactly the stable in-memory sort of the
+// full input. Temp files are removed when the sorter or its iterator
+// closes, including mid-stream on error or query cancellation.
+package spill
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"myriad/internal/schema"
+)
+
+const (
+	// runBatchRows is the gob batching granularity inside a run file.
+	runBatchRows = 128
+	// maxMergeFanIn bounds how many runs a single merge reads at once;
+	// past it runs are compacted level-wise into larger runs first, so
+	// file descriptors and merge heads stay bounded however tiny the
+	// budget is relative to the input.
+	maxMergeFanIn = 64
+	// GroupedOvershoot is the factor by which blocking accumulations
+	// that cannot spill yet (GROUP BY state) may exceed the spill
+	// budget before erroring: the budget marks where spillable
+	// operators go to disk, not a hard process limit, so bounded
+	// overshoot beats failing queries a laptop finishes trivially.
+	GroupedOvershoot = 256
+)
+
+// EnvBudgetVar, when set to a byte count, gives every component
+// database and executor query a budget of that many bytes by default —
+// the test hook CI uses to force the whole suite through the spill
+// paths.
+const EnvBudgetVar = "MYRIAD_TEST_MEM_BUDGET"
+
+// Budget is a shared byte account for one query's (or one component
+// database's) blocking operators. Consumers Reserve bytes as they
+// buffer rows and Release them when they spill or finish; a failed
+// Reserve is the signal to spill. A nil *Budget is valid everywhere
+// and means "unlimited, never spill".
+type Budget struct {
+	mu    sync.Mutex
+	limit int64 // 0 = unlimited (still counts usage and carries the dir)
+	used  int64
+	dir   string
+
+	spilledBytes int64
+	spillRuns    int64
+}
+
+// NewBudget creates a budget of limit bytes (0 = unlimited) spilling
+// into dir ("" = the OS temp directory).
+func NewBudget(limit int64, dir string) *Budget {
+	return &Budget{limit: limit, dir: dir}
+}
+
+// EnvBudget returns a fresh budget configured from MYRIAD_TEST_MEM_BUDGET,
+// or nil when the variable is unset or unparsable.
+func EnvBudget() *Budget {
+	s := os.Getenv(EnvBudgetVar)
+	if s == "" {
+		return nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return nil
+	}
+	return NewBudget(n, "")
+}
+
+// Limit reports the configured byte limit (0 = unlimited).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// Dir is the directory spill files are created in.
+func (b *Budget) Dir() string {
+	if b == nil || b.dir == "" {
+		return os.TempDir()
+	}
+	return b.dir
+}
+
+// Reserve tries to account n more buffered bytes. It reports false —
+// without reserving — when that would exceed the limit; the caller
+// should spill and retry (or Force).
+func (b *Budget) Reserve(n int64) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limit > 0 && b.used+n > b.limit {
+		return false
+	}
+	b.used += n
+	return true
+}
+
+// Force reserves n bytes unconditionally — used when a single row
+// exceeds the whole budget and holding it is the only way forward.
+func (b *Budget) Force(n int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.used += n
+	b.mu.Unlock()
+}
+
+// Release returns n previously reserved bytes.
+func (b *Budget) Release(n int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.used -= n
+	if b.used < 0 {
+		b.used = 0
+	}
+	b.mu.Unlock()
+}
+
+// Used reports the bytes currently reserved.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// ExceedsGrouped reports whether n accumulated bytes are beyond the
+// grouped-accumulation allowance (GroupedOvershoot x limit). Operators
+// without a spill implementation use it as their fail-fast guardrail.
+func (b *Budget) ExceedsGrouped(n int64) bool {
+	if b == nil || b.limit <= 0 {
+		return false
+	}
+	return n > b.limit*GroupedOvershoot
+}
+
+// noteRun records one spilled run of the given size.
+func (b *Budget) noteRun(bytes int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.spilledBytes += bytes
+	b.spillRuns++
+	b.mu.Unlock()
+}
+
+// Stats reports the total bytes written to spill files and the number
+// of runs written since the budget was created (monotonic; compaction
+// passes count too).
+func (b *Budget) Stats() (spilledBytes, spillRuns int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spilledBytes, b.spillRuns
+}
+
+// ---------------------------------------------------------------------
+// External merge sorter
+
+// Sorter accumulates rows, keeping them in memory while the budget
+// allows and spilling stable-sorted runs to disk past it. Finish
+// returns the merged stream; Close abandons the sort, removing any
+// runs. Not safe for concurrent use (give each producer its own Sorter
+// over a shared Budget).
+type Sorter struct {
+	budget   *Budget
+	cmp      func(a, b schema.Row) int
+	rows     []schema.Row
+	reserved int64
+	runs     []*runFile
+	finished bool
+}
+
+// NewSorter creates a sorter ordering rows by keys (via
+// schema.CompareRowsBy) under budget (nil = unlimited, never spills).
+func NewSorter(budget *Budget, keys []schema.SortKey) *Sorter {
+	return NewSorterFunc(budget, func(a, b schema.Row) int {
+		return schema.CompareRowsBy(a, b, keys)
+	})
+}
+
+// NewSorterFunc is NewSorter with an explicit comparator. The merge
+// machinery assumes cmp is a total, transitive order: rows comparing
+// equal must form one contiguous range in any sorted sequence, or a
+// consumer grouping the merged stream (the OUTERJOIN-MERGE combiner)
+// would see one group split.
+func NewSorterFunc(budget *Budget, cmp func(a, b schema.Row) int) *Sorter {
+	return &Sorter{budget: budget, cmp: cmp}
+}
+
+// Add appends one row in arrival order, spilling the buffered rows as
+// a sorted run when the budget is exhausted. Without a limit the
+// per-row sizing is skipped entirely — the unbudgeted path costs what
+// the old in-memory append did.
+func (s *Sorter) Add(row schema.Row) error {
+	if s.budget.Limit() <= 0 {
+		s.rows = append(s.rows, row)
+		return nil
+	}
+	n := schema.RowBytes(row)
+	if !s.budget.Reserve(n) {
+		if len(s.rows) > 0 {
+			if err := s.flushRun(); err != nil {
+				return err
+			}
+		}
+		if !s.budget.Reserve(n) {
+			// A single row larger than the remaining budget: hold it
+			// anyway, there is no smaller unit to spill.
+			s.budget.Force(n)
+		}
+	}
+	s.reserved += n
+	s.rows = append(s.rows, row)
+	return nil
+}
+
+func (s *Sorter) sortRows() {
+	sort.SliceStable(s.rows, func(a, b int) bool {
+		return s.cmp(s.rows[a], s.rows[b]) < 0
+	})
+}
+
+// flushRun writes the buffered rows, stable-sorted, as one run file
+// and releases their reservation.
+func (s *Sorter) flushRun() error {
+	s.sortRows()
+	rf, err := writeRun(s.budget, s.rows)
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, rf)
+	s.rows = nil
+	s.budget.Release(s.reserved)
+	s.reserved = 0
+	return nil
+}
+
+// Finish seals the sorter and returns the sorted stream. With no runs
+// it is the stable in-memory sort; otherwise the remainder spills as a
+// final run and the runs merge back (compacted level-wise first when
+// they outnumber the merge fan-in). The iterator takes ownership of
+// the runs and the reservation; Close it to release both.
+func (s *Sorter) Finish() (*Iterator, error) {
+	s.finished = true
+	if len(s.runs) == 0 {
+		s.sortRows()
+		it := &Iterator{mem: s.rows, budget: s.budget, reserved: s.reserved}
+		s.rows, s.reserved = nil, 0
+		return it, nil
+	}
+	if len(s.rows) > 0 {
+		if err := s.flushRun(); err != nil {
+			// Release the remainder's reservation too: on a long-lived
+			// (per-database) budget a leak here would pin `used` near
+			// the limit forever.
+			closeRuns(s.runs)
+			s.runs = nil
+			s.rows = nil
+			s.budget.Release(s.reserved)
+			s.reserved = 0
+			return nil, err
+		}
+	}
+	runs := s.runs
+	s.runs = nil
+	// Level-wise compaction over contiguous groups keeps group order,
+	// so the lower-index-wins tie-break still reproduces arrival order.
+	for len(runs) > maxMergeFanIn {
+		next := make([]*runFile, 0, (len(runs)+maxMergeFanIn-1)/maxMergeFanIn)
+		for i := 0; i < len(runs); i += maxMergeFanIn {
+			j := i + maxMergeFanIn
+			if j > len(runs) {
+				j = len(runs)
+			}
+			if j-i == 1 {
+				next = append(next, runs[i])
+				continue
+			}
+			merged, err := compactRuns(s.budget, s.cmp, runs[i:j])
+			if err != nil {
+				closeRuns(next)
+				closeRuns(runs[i:])
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	m, err := newRunMerge(s.cmp, runs)
+	if err != nil {
+		closeRuns(runs)
+		return nil, err
+	}
+	return &Iterator{merge: m, budget: s.budget}, nil
+}
+
+// Close abandons an unfinished sort: buffered rows are dropped, runs
+// removed, the reservation released. After Finish it is a no-op (the
+// iterator owns the state). Idempotent.
+func (s *Sorter) Close() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	closeRuns(s.runs)
+	s.runs = nil
+	s.rows = nil
+	s.budget.Release(s.reserved)
+	s.reserved = 0
+}
+
+// Iterator streams the sorted rows. Next honors ctx between reads —
+// disk-backed iteration stays cancellable — and Close removes the
+// backing temp files; both in-memory and spilled sorts behave
+// identically to the caller.
+type Iterator struct {
+	budget   *Budget
+	mem      []schema.Row
+	pos      int
+	reserved int64
+	merge    *runMerge
+	closed   bool
+}
+
+// Spilled reports whether the sort went to disk.
+func (it *Iterator) Spilled() bool { return it.merge != nil }
+
+// Next returns the next row in sort order, or nil at the end.
+func (it *Iterator) Next(ctx context.Context) (schema.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if it.closed {
+		return nil, nil
+	}
+	if it.merge != nil {
+		return it.merge.next()
+	}
+	if it.pos >= len(it.mem) {
+		return nil, nil
+	}
+	r := it.mem[it.pos]
+	it.pos++
+	return r, nil
+}
+
+// Close releases memory, removes run files, and returns the budget
+// reservation. Idempotent, safe mid-stream.
+func (it *Iterator) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	it.mem = nil
+	it.budget.Release(it.reserved)
+	it.reserved = 0
+	if it.merge != nil {
+		it.merge.close()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Run files
+
+// runFile is one sorted run on disk. The file is kept on disk until
+// close so leak checks can observe cleanup.
+type runFile struct {
+	f    *os.File
+	name string
+}
+
+func closeRuns(runs []*runFile) {
+	for _, r := range runs {
+		if r != nil {
+			r.close()
+		}
+	}
+}
+
+func (r *runFile) close() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+		os.Remove(r.name)
+	}
+}
+
+// countingWriter tallies bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// writeRun writes already-sorted rows as one run file.
+func writeRun(budget *Budget, rows []schema.Row) (*runFile, error) {
+	f, err := os.CreateTemp(budget.Dir(), "myriad-spill-*.run")
+	if err != nil {
+		return nil, fmt.Errorf("spill: creating run: %w", err)
+	}
+	rf := &runFile{f: f, name: f.Name()}
+	cw := &countingWriter{w: f}
+	enc := gob.NewEncoder(cw)
+	for i := 0; i < len(rows); i += runBatchRows {
+		j := i + runBatchRows
+		if j > len(rows) {
+			j = len(rows)
+		}
+		if err := enc.Encode(rows[i:j]); err != nil {
+			rf.close()
+			return nil, fmt.Errorf("spill: writing run: %w", err)
+		}
+	}
+	budget.noteRun(cw.n)
+	return rf, nil
+}
+
+// runCursor reads one run back in order.
+type runCursor struct {
+	dec   *gob.Decoder
+	batch []schema.Row
+	pos   int
+	done  bool
+}
+
+func (c *runCursor) next() (schema.Row, error) {
+	for c.pos >= len(c.batch) {
+		if c.done {
+			return nil, nil
+		}
+		c.batch = nil
+		c.pos = 0
+		if err := c.dec.Decode(&c.batch); err != nil {
+			if err == io.EOF {
+				c.done = true
+				return nil, nil
+			}
+			return nil, fmt.Errorf("spill: reading run: %w", err)
+		}
+	}
+	r := c.batch[c.pos]
+	c.pos++
+	return r, nil
+}
+
+// runMerge is a stable k-way merge over sorted runs: minimum key wins,
+// ties break toward the lower run index (earlier arrival).
+type runMerge struct {
+	cmp   func(a, b schema.Row) int
+	runs  []*runFile
+	curs  []*runCursor
+	heads []schema.Row
+}
+
+func newRunMerge(cmp func(a, b schema.Row) int, runs []*runFile) (*runMerge, error) {
+	m := &runMerge{cmp: cmp, runs: runs}
+	m.curs = make([]*runCursor, len(runs))
+	m.heads = make([]schema.Row, len(runs))
+	for i, r := range runs {
+		if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("spill: rewinding run: %w", err)
+		}
+		m.curs[i] = &runCursor{dec: gob.NewDecoder(r.f)}
+		h, err := m.curs[i].next()
+		if err != nil {
+			return nil, err
+		}
+		m.heads[i] = h
+	}
+	return m, nil
+}
+
+func (m *runMerge) next() (schema.Row, error) {
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		// Strict < keeps the earliest run on ties (stability).
+		if best < 0 || m.cmp(h, m.heads[best]) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	r := m.heads[best]
+	h, err := m.curs[best].next()
+	if err != nil {
+		return nil, err
+	}
+	m.heads[best] = h
+	return r, nil
+}
+
+func (m *runMerge) close() {
+	closeRuns(m.runs)
+	m.runs = nil
+	m.curs = nil
+	m.heads = nil
+}
+
+// compactRuns merges a contiguous group of runs into one larger run,
+// removing the inputs.
+func compactRuns(budget *Budget, cmp func(a, b schema.Row) int, group []*runFile) (*runFile, error) {
+	m, err := newRunMerge(cmp, group)
+	if err != nil {
+		closeRuns(group)
+		return nil, err
+	}
+	defer m.close() // removes the inputs
+	f, err := os.CreateTemp(budget.Dir(), "myriad-spill-*.run")
+	if err != nil {
+		return nil, fmt.Errorf("spill: creating run: %w", err)
+	}
+	rf := &runFile{f: f, name: f.Name()}
+	cw := &countingWriter{w: f}
+	enc := gob.NewEncoder(cw)
+	batch := make([]schema.Row, 0, runBatchRows)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := enc.Encode(batch); err != nil {
+			return fmt.Errorf("spill: writing run: %w", err)
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		r, err := m.next()
+		if err != nil {
+			rf.close()
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		batch = append(batch, r)
+		if len(batch) == runBatchRows {
+			if err := flush(); err != nil {
+				rf.close()
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		rf.close()
+		return nil, err
+	}
+	budget.noteRun(cw.n)
+	return rf, nil
+}

@@ -166,3 +166,74 @@ func BenchmarkScratchBypass(b *testing.B) {
 	b.Run("bypass", func(b *testing.B) { run(b, executor.Options{}) })
 	b.Run("scratch", func(b *testing.B) { run(b, executor.Options{NoBypass: true}) })
 }
+
+// BenchmarkExternalSort drains a federated ORDER BY without LIMIT over
+// 60k two-site rows through the scratch engine's sort: in-memory vs
+// spilling under a 64KB budget (the spill tax is the gob run I/O plus
+// the k-way merge).
+func BenchmarkExternalSort(b *testing.B) {
+	fx := twoSiteUnion(b, integration.UnionAll, 30_000, 30_000, false, 0)
+	warm(b, fx)
+	ctx := context.Background()
+	plan, err := fx.Plan(ctx, `SELECT id, v FROM R ORDER BY v, id`, core.StrategyCostBased)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := fx.StreamRunner()
+
+	run := func(b *testing.B, opts executor.Options, wantSpill bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rs, m, err := executor.ExecuteMeteredOpts(ctx, plan, runner, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 60_000 {
+				b.Fatalf("got %d rows", len(rs.Rows))
+			}
+			if (m.SpillRuns > 0) != wantSpill {
+				b.Fatalf("SpillRuns=%d, wantSpill=%v", m.SpillRuns, wantSpill)
+			}
+		}
+	}
+	dir := b.TempDir()
+	b.Run("in-memory", func(b *testing.B) { run(b, executor.Options{}, false) })
+	b.Run("spill-64kb", func(b *testing.B) {
+		run(b, executor.Options{MemBudget: 64 * 1024, SpillDir: dir}, true)
+	})
+}
+
+// BenchmarkOuterMergeSpill drains a two-site OUTERJOIN-MERGE (20k rows
+// per site, half overlapping): the in-memory grouped merge vs the
+// spill-backed one under a 64KB budget.
+func BenchmarkOuterMergeSpill(b *testing.B) {
+	fx := outerMergeFixture(b, 20_000, false)
+	warm(b, fx)
+	ctx := context.Background()
+	plan, err := fx.Plan(ctx, `SELECT id, v FROM R`, core.StrategyCostBased)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := fx.StreamRunner()
+
+	run := func(b *testing.B, opts executor.Options, wantSpill bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rs, m, err := executor.ExecuteMeteredOpts(ctx, plan, runner, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 30_000 {
+				b.Fatalf("got %d entities", len(rs.Rows))
+			}
+			if (m.SpillRuns > 0) != wantSpill {
+				b.Fatalf("SpillRuns=%d, wantSpill=%v", m.SpillRuns, wantSpill)
+			}
+		}
+	}
+	dir := b.TempDir()
+	b.Run("in-memory", func(b *testing.B) { run(b, executor.Options{}, false) })
+	b.Run("spill-64kb", func(b *testing.B) {
+		run(b, executor.Options{MemBudget: 64 * 1024, SpillDir: dir}, true)
+	})
+}

@@ -62,6 +62,14 @@ var equivalenceCorpus = []string{
 	`SELECT m.id, m.v, r.v AS rv FROM M m, R r WHERE m.id = r.id AND m.v > 90 ORDER BY m.id, rv`,
 	`SELECT id FROM R WHERE v = 1 UNION SELECT id FROM M WHERE v = 2 ORDER BY id`,
 	`SELECT r.id, d.v FROM R r, D d WHERE r.id = d.id AND r.v < 5 ORDER BY r.id, d.v`,
+	// Bare projections with a WHERE: the bypass filters inline on the
+	// fan-in (under simple the predicate stays residual; under cost it
+	// may push down — both must agree with the scratch path). The LIMIT
+	// exceeds the matching rows so every fan-in mode returns the same
+	// multiset.
+	`SELECT id AS ident, v FROM R WHERE v >= 90`,
+	`SELECT id, v FROM R WHERE v > 90 LIMIT 500`,
+	`SELECT id, v FROM D WHERE v < 3`,
 }
 
 // TestStreamingMatchesMaterialized holds the streaming executor
