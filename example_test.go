@@ -107,6 +107,7 @@ func ExampleFederation_Explain() {
 	// scan-set DATA (DATA, est 1 rows)
 	//   @solo: SELECT id AS id, v AS v FROM T WHERE v > 15 (est 1)
 	// residual: SELECT id FROM t0_0_data DATA WHERE v > 15
+	// access @solo: T: heap ~100.0% of 2 rows
 }
 
 // ExampleRegisterIntegrationFunc installs a user-defined integration

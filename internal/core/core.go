@@ -344,13 +344,38 @@ func (f *Federation) QueryTx(ctx context.Context, txn *gtm.Txn, sql string) (*sc
 	return executor.Execute(ctx, plan, txn)
 }
 
-// Explain plans the query and renders the plan.
+// Explain plans the query and renders the plan, then asks each site's
+// gateway which access path its engine would choose for the shipped
+// subquery (heap / hash probe / ordered range / pk point, with
+// selectivity estimates) — so one \explain shows the whole journey
+// from global plan to per-site index selection. A site that cannot
+// answer (detached, down) degrades to a note instead of failing the
+// explain.
 func (f *Federation) Explain(ctx context.Context, sql string, strategy Strategy) (string, error) {
 	plan, err := f.plan(ctx, sql, strategy)
 	if err != nil {
 		return "", err
 	}
-	return plan.Describe(), nil
+	var b strings.Builder
+	b.WriteString(plan.Describe())
+	for _, ss := range plan.ScanSets {
+		for _, sc := range ss.Scans {
+			conn, ok := f.Conn(sc.Site)
+			if !ok {
+				fmt.Fprintf(&b, "access @%s: (site detached)\n", sc.Site)
+				continue
+			}
+			out, err := conn.Explain(ctx, sc.SQL())
+			if err != nil {
+				fmt.Fprintf(&b, "access @%s: (unavailable: %v)\n", sc.Site, err)
+				continue
+			}
+			for _, line := range strings.Split(out, "\n") {
+				fmt.Fprintf(&b, "access @%s: %s\n", sc.Site, line)
+			}
+		}
+	}
+	return b.String(), nil
 }
 
 // ---------------------------------------------------------------------

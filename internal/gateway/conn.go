@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"myriad/internal/comm"
 	"myriad/internal/schema"
@@ -18,6 +19,11 @@ type Conn interface {
 	Site() string
 	ExportSchemas(ctx context.Context) ([]*schema.Schema, error)
 	Stats(ctx context.Context, export string) (*storage.TableStats, error)
+	// Explain renders the access path the site's engine would choose
+	// for a canonical SELECT (per base relation: heap / hash probe /
+	// ordered range / pk point, with selectivity estimates). Planning
+	// only; nothing executes at the site.
+	Explain(ctx context.Context, sql string) (string, error)
 	Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error)
 	// QueryStream runs a canonical SELECT and returns the result as a
 	// row stream: batches pipeline from the site while the federation
@@ -49,6 +55,11 @@ func (c *LocalConn) ExportSchemas(ctx context.Context) ([]*schema.Schema, error)
 // Stats fetches optimizer statistics for an export.
 func (c *LocalConn) Stats(ctx context.Context, export string) (*storage.TableStats, error) {
 	return c.G.Stats(export)
+}
+
+// Explain renders the site engine's chosen access paths for sql.
+func (c *LocalConn) Explain(ctx context.Context, sql string) (string, error) {
+	return c.G.Explain(ctx, sql)
 }
 
 // Query runs a canonical SELECT at the site.
@@ -134,6 +145,24 @@ func (c *RemoteConn) Stats(ctx context.Context, export string) (*storage.TableSt
 		return nil, err
 	}
 	return resp.Stats, nil
+}
+
+// Explain asks the remote gateway for its engine's chosen access
+// paths (one text row per base relation, joined back into lines).
+func (c *RemoteConn) Explain(ctx context.Context, sql string) (string, error) {
+	resp, err := c.do(ctx, &comm.Request{Op: comm.OpExplain, SQL: sql})
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	if resp.Rows != nil {
+		for _, r := range resp.Rows.Rows {
+			if len(r) > 0 {
+				lines = append(lines, r[0].Text())
+			}
+		}
+	}
+	return strings.Join(lines, "\n"), nil
 }
 
 // Query runs a canonical SELECT at the remote site.

@@ -20,6 +20,7 @@ import (
 	"myriad/internal/schema"
 	"myriad/internal/sqlparser"
 	"myriad/internal/storage"
+	"myriad/internal/value"
 )
 
 // ErrTimeout is surfaced when a local query exceeds its timeout; the
@@ -234,6 +235,23 @@ func (g *Gateway) prepareSelect(sql string) (translated, relSel *sqlparser.Selec
 		return nil, nil, fmt.Errorf("gateway %s: dialect round-trip changed statement kind", g.site)
 	}
 	return translated, relSel, nil
+}
+
+// Explain renders the access path the component engine would choose
+// for a canonical SELECT — per base relation: heap scan, hash-index
+// probe, ordered-index range (with bounds and whether it serves the
+// ORDER BY), or primary-key point read, each with its selectivity
+// estimate. It plans only; no locks are taken and nothing executes.
+func (g *Gateway) Explain(ctx context.Context, sql string) (string, error) {
+	_, relSel, err := g.prepareSelect(sql)
+	if err != nil {
+		return "", err
+	}
+	out, err := g.db.ExplainSelect(relSel)
+	if err != nil {
+		return "", fmt.Errorf("gateway %s: %w", g.site, err)
+	}
+	return out, nil
 }
 
 // Query executes a canonical SELECT over export relations. txn 0 runs
@@ -857,6 +875,16 @@ func (g *Gateway) Handle(ctx context.Context, req *comm.Request) *comm.Response 
 		rs, err := g.Query(ctx, req.TxnID, req.SQL)
 		if err != nil {
 			return fail(err)
+		}
+		return &comm.Response{Rows: rs}
+	case comm.OpExplain:
+		out, err := g.Explain(ctx, req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		rs := &schema.ResultSet{Columns: []string{"access"}}
+		for _, line := range strings.Split(out, "\n") {
+			rs.Rows = append(rs.Rows, schema.Row{value.NewText(line)})
 		}
 		return &comm.Response{Rows: rs}
 	case comm.OpExec:

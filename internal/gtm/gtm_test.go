@@ -39,6 +39,7 @@ func (f *fakeConn) ExportSchemas(context.Context) ([]*schema.Schema, error) {
 func (f *fakeConn) Stats(context.Context, string) (*storage.TableStats, error) {
 	return &storage.TableStats{}, nil
 }
+func (f *fakeConn) Explain(context.Context, string) (string, error) { return "", nil }
 func (f *fakeConn) Query(ctx context.Context, txn uint64, sql string) (*schema.ResultSet, error) {
 	if f.failExec != nil {
 		return nil, f.failExec

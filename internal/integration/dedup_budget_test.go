@@ -1,0 +1,81 @@
+package integration
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"myriad/internal/schema"
+	"myriad/internal/spill"
+)
+
+// dedupFixture builds two sources of n distinct two-column rows each
+// (no overlap) for UNION DISTINCT fan-in.
+func dedupFixture(n int) (spec *Spec, sources []schema.RowStream) {
+	spec = &Spec{Kind: UnionDistinct, Columns: []string{"id", "v"}}
+	mk := func(base int64) schema.RowStream {
+		rows := make([]schema.Row, n)
+		for i := range rows {
+			rows[i] = row2(base+int64(i), int64(i))
+		}
+		return &gatedStream{cols: spec.Columns, rows: rows}
+	}
+	return spec, []schema.RowStream{mk(0), mk(1 << 20)}
+}
+
+// drainAllRows pulls the stream dry, returning rows and terminal error.
+func drainAllRows(s schema.RowStream) (int, error) {
+	ctx := context.Background()
+	n := 0
+	for {
+		r, err := s.Next(ctx)
+		if err != nil {
+			return n, err
+		}
+		if r == nil {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// TestUnionDistinctDedupBudget: every fan-in mode's dedup map is
+// accounted against the query budget and fails fast with a clear error
+// past the grouped allowance, instead of ballooning the federation.
+func TestUnionDistinctDedupBudget(t *testing.T) {
+	modes := []FanInMode{FanInSourceOrder, FanInInterleave, FanInMergeOrdered}
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			spec, sources := dedupFixture(5000)
+			opts := StreamOptions{
+				Mode:      mode,
+				MergeKeys: []schema.SortKey{{Col: 0}},
+				// 16-byte budget -> 4KB grouped allowance: a few thousand
+				// distinct keys blow it deterministically.
+				Budget: spill.NewBudget(16, t.TempDir()),
+			}
+			c := CombineStreamsOpts(context.Background(), spec, sources, opts)
+			defer c.Close()
+			_, err := drainAllRows(c)
+			if err == nil || !strings.Contains(err.Error(), "memory budget") {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+// TestUnionDistinctDedupWithinBudget: a budget with room lets the same
+// dedup complete and dedup correctly.
+func TestUnionDistinctDedupWithinBudget(t *testing.T) {
+	spec, sources := dedupFixture(500)
+	opts := StreamOptions{Budget: spill.NewBudget(1<<20, t.TempDir())}
+	c := CombineStreamsOpts(context.Background(), spec, sources, opts)
+	defer c.Close()
+	n, err := drainAllRows(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("rows = %d", n)
+	}
+}

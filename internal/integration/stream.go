@@ -177,9 +177,13 @@ func CombineStreamsOpts(ctx context.Context, spec *Spec, sources []schema.RowStr
 	}
 	switch spec.Kind {
 	case UnionAll, UnionDistinct:
-		var seen map[string]bool
+		var seen *dedupState
 		if spec.Kind == UnionDistinct {
-			seen = make(map[string]bool)
+			budget := opts.Budget
+			if budget == nil {
+				budget = spill.EnvBudget()
+			}
+			seen = newDedupState(budget)
 		}
 		switch mode {
 		case FanInInterleave:
@@ -289,6 +293,24 @@ func (b *fanInBase) closeBase() error {
 		}
 	}
 	return first
+}
+
+// dedupState is the UNION-distinct first-occurrence-wins filter shared
+// by the fan-in operators: a spill.DedupSet (accounted against the
+// query's memory budget under the grouped allowance, failing fast past
+// it — the engine's GROUP BY treatment) keyed on the encoded row.
+type dedupState struct {
+	set *spill.DedupSet
+}
+
+func newDedupState(budget *spill.Budget) *dedupState {
+	return &dedupState{set: spill.NewDedupSet(budget, "UNION dedup")}
+}
+
+// admit reports whether the row is the first occurrence of its key; an
+// error means the dedup set outgrew the budget's allowance.
+func (d *dedupState) admit(r schema.Row) (bool, error) {
+	return d.set.Admit(encodeRow(r))
 }
 
 // sourceFeed is one producer goroutine's output: batches flow through a
@@ -418,7 +440,7 @@ type combinedStream struct {
 	cur   int // index of the source currently being emitted
 	batch []schema.Row
 	bpos  int
-	seen  map[string]bool // UnionDistinct dedup, first occurrence wins
+	seen  *dedupState // UnionDistinct dedup, first occurrence wins
 
 	// MergeOuter path: per-source key-sorted spill stores and the
 	// grouped-merge cursor state over them.
@@ -506,11 +528,14 @@ func (c *combinedStream) Next(ctx context.Context) (schema.Row, error) {
 		r := c.batch[c.bpos]
 		c.bpos++
 		if c.seen != nil {
-			k := encodeRow(r)
-			if c.seen[k] {
+			first, err := c.seen.admit(r)
+			if err != nil {
+				c.fail(err)
+				return nil, c.err
+			}
+			if !first {
 				continue
 			}
-			c.seen[k] = true
 		}
 		return r, nil
 	}
@@ -743,7 +768,7 @@ type interleaveStream struct {
 	closerDone chan struct{}
 	batch      []schema.Row
 	bpos       int
-	seen       map[string]bool
+	seen       *dedupState
 }
 
 func (c *interleaveStream) Next(ctx context.Context) (schema.Row, error) {
@@ -782,11 +807,14 @@ func (c *interleaveStream) Next(ctx context.Context) (schema.Row, error) {
 		r := c.batch[c.bpos]
 		c.bpos++
 		if c.seen != nil {
-			k := encodeRow(r)
-			if c.seen[k] {
+			first, err := c.seen.admit(r)
+			if err != nil {
+				c.fail(err)
+				return nil, c.err
+			}
+			if !first {
 				continue
 			}
-			c.seen[k] = true
 		}
 		return r, nil
 	}
@@ -821,7 +849,7 @@ type mergeStream struct {
 	batches [][]schema.Row
 	bpos    []int
 	inited  bool
-	seen    map[string]bool
+	seen    *dedupState
 }
 
 // advance loads the next row of source i into heads[i] (nil + done when
@@ -898,11 +926,14 @@ func (c *mergeStream) Next(ctx context.Context) (schema.Row, error) {
 			return nil, c.err
 		}
 		if c.seen != nil {
-			k := encodeRow(r)
-			if c.seen[k] {
+			first, err := c.seen.admit(r)
+			if err != nil {
+				c.fail(err)
+				return nil, c.err
+			}
+			if !first {
 				continue
 			}
-			c.seen[k] = true
 		}
 		return r, nil
 	}

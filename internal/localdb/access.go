@@ -1,0 +1,568 @@
+package localdb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"myriad/internal/schema"
+	"myriad/internal/sqlparser"
+	"myriad/internal/storage"
+	"myriad/internal/value"
+)
+
+// This file is the engine's access-path planner: given one base table's
+// pushed-down conjuncts (and, for the first FROM entry, the statement's
+// ORDER BY intent), it chooses between a heap scan, a hash-index
+// equality probe, and an ordered-index range scan by estimated
+// selectivity from the table's cached statistics — and reports whether
+// the chosen path already delivers rows in the requested order, which
+// lets the executor drop the sort/top-K/spill stage entirely.
+
+// accessKind names the physical access path for one base table.
+type accessKind uint8
+
+const (
+	accessHeap accessKind = iota
+	accessPKPoint
+	accessHashEq
+	accessOrdered
+)
+
+// String names the access kind for explain output.
+func (k accessKind) String() string {
+	switch k {
+	case accessPKPoint:
+		return "pk-point"
+	case accessHashEq:
+		return "hash-eq"
+	case accessOrdered:
+		return "ordered-range"
+	default:
+		return "heap"
+	}
+}
+
+// orderHint is the statement's ORDER BY intent when it is a single
+// plain column of the base table — the only shape a single-column
+// ordered index can satisfy outright.
+type orderHint struct {
+	col  string
+	desc bool
+}
+
+// accessChoice is one planned access path.
+type accessChoice struct {
+	kind accessKind
+	col  string      // indexed column (hash-eq / ordered)
+	eq   value.Value // hash-eq probe value
+	lo   storage.Bound
+	hi   storage.Bound
+	desc bool
+	// order reports that the path emits rows already in the hint's
+	// order, so the caller can skip its sort operator.
+	order bool
+	// frac is the estimated fraction of the table the path reads.
+	frac float64
+	rows int64 // table rows the estimate was made against
+}
+
+// Describe renders the choice for explain output.
+func (c *accessChoice) Describe(table string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", table, c.kind)
+	switch c.kind {
+	case accessHashEq:
+		fmt.Fprintf(&b, "(%s = %s)", c.col, c.eq)
+	case accessOrdered:
+		fmt.Fprintf(&b, "(%s", c.col)
+		if c.lo.Set {
+			op := ">"
+			if c.lo.Inclusive {
+				op = ">="
+			}
+			fmt.Fprintf(&b, " %s %s", op, c.lo.V)
+		}
+		if c.hi.Set {
+			op := "<"
+			if c.hi.Inclusive {
+				op = "<="
+			}
+			fmt.Fprintf(&b, " %s %s", op, c.hi.V)
+		}
+		if c.desc {
+			b.WriteString(" desc")
+		}
+		b.WriteString(")")
+	}
+	if c.kind != accessPKPoint {
+		fmt.Fprintf(&b, " ~%.1f%% of %d rows", c.frac*100, c.rows)
+	}
+	if c.order {
+		b.WriteString("; serves ORDER BY (no sort)")
+	}
+	return b.String()
+}
+
+// colRange accumulates the range conjuncts extracted for one column:
+// the tightest lower and upper bounds, plus an equality value if any.
+type colRange struct {
+	col string
+	eq  *value.Value
+	lo  storage.Bound
+	hi  storage.Bound
+}
+
+// tightenLo keeps the larger of the current and new lower bound.
+func (r *colRange) tightenLo(b storage.Bound) {
+	if !r.lo.Set {
+		r.lo = b
+		return
+	}
+	c := schema.CompareSort(b.V, r.lo.V)
+	if c > 0 || (c == 0 && !b.Inclusive) {
+		r.lo = b
+	}
+}
+
+// tightenHi keeps the smaller of the current and new upper bound.
+func (r *colRange) tightenHi(b storage.Bound) {
+	if !r.hi.Set {
+		r.hi = b
+		return
+	}
+	c := schema.CompareSort(b.V, r.hi.V)
+	if c < 0 || (c == 0 && !b.Inclusive) {
+		r.hi = b
+	}
+}
+
+// compatibleLiteral gates bound extraction: an index range scan is only
+// a safe superset of the predicate when the literal compares in the
+// same class the index is ordered by. A numeric literal against a
+// numeric column compares numerically both ways; text against text
+// compares lexicographically both ways. A numeric literal against a
+// text column (or vice versa) triggers value.Compare's numeric-parse
+// fallback, whose order is not the index's lexicographic order — rows
+// matching the predicate would not be contiguous in the index, so no
+// bound is extracted and the conjunct stays a plain filter.
+func compatibleLiteral(lit value.Value, colType schema.Type) bool {
+	switch lit.K {
+	case value.KindInt, value.KindFloat:
+		return colType == schema.TInt || colType == schema.TFloat
+	case value.KindText:
+		return colType == schema.TText
+	case value.KindBool:
+		return colType == schema.TBool
+	default:
+		return false
+	}
+}
+
+// rangeLiteral matches "col OP literal" or "literal OP col" for the
+// ordering operators, normalizing to the column-on-the-left form.
+func rangeLiteral(e sqlparser.Expr) (col string, op string, lit value.Value, ok bool) {
+	bx, isBin := e.(*sqlparser.BinaryExpr)
+	if !isBin {
+		return "", "", value.Value{}, false
+	}
+	flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+	if _, isRange := flip[bx.Op]; !isRange {
+		return "", "", value.Value{}, false
+	}
+	if c, okc := bx.L.(*sqlparser.ColumnRef); okc {
+		if l, okl := bx.R.(*sqlparser.Literal); okl {
+			return c.Column, bx.Op, l.Val, true
+		}
+	}
+	if c, okc := bx.R.(*sqlparser.ColumnRef); okc {
+		if l, okl := bx.L.(*sqlparser.Literal); okl {
+			return c.Column, flip[bx.Op], l.Val, true
+		}
+	}
+	return "", "", value.Value{}, false
+}
+
+// extractRanges folds the table's pushed-down conjuncts into per-column
+// range constraints (equality, <, <=, >, >=, BETWEEN), keyed by
+// lower-cased column name. Only columns present in sc with
+// class-compatible literals contribute; everything else remains a
+// filter above the scan (all conjuncts do — bounds only narrow what the
+// scan reads, they never replace the predicate).
+func extractRanges(local []sqlparser.Expr, sc *schema.Schema) map[string]*colRange {
+	out := make(map[string]*colRange)
+	get := func(col string, lit value.Value) *colRange {
+		ci := sc.ColIndex(col)
+		if ci < 0 || lit.IsNull() || !compatibleLiteral(lit, sc.Columns[ci].Type) {
+			return nil
+		}
+		lc := strings.ToLower(sc.Columns[ci].Name)
+		r, ok := out[lc]
+		if !ok {
+			r = &colRange{col: sc.Columns[ci].Name}
+			out[lc] = r
+		}
+		return r
+	}
+	for _, c := range local {
+		if col, lit, ok := equalityLiteral(c); ok {
+			if r := get(col, lit); r != nil {
+				v := lit
+				r.eq = &v
+				r.tightenLo(storage.BoundAt(lit, true))
+				r.tightenHi(storage.BoundAt(lit, true))
+			}
+			continue
+		}
+		if col, op, lit, ok := rangeLiteral(c); ok {
+			if r := get(col, lit); r != nil {
+				switch op {
+				case "<":
+					r.tightenHi(storage.BoundAt(lit, false))
+				case "<=":
+					r.tightenHi(storage.BoundAt(lit, true))
+				case ">":
+					r.tightenLo(storage.BoundAt(lit, false))
+				case ">=":
+					r.tightenLo(storage.BoundAt(lit, true))
+				}
+			}
+			continue
+		}
+		if bt, ok := c.(*sqlparser.BetweenExpr); ok && !bt.Not {
+			cr, okc := bt.E.(*sqlparser.ColumnRef)
+			lo, okl := bt.Lo.(*sqlparser.Literal)
+			hi, okh := bt.Hi.(*sqlparser.Literal)
+			if okc && okl && okh {
+				if r := get(cr.Column, lo.Val); r != nil && !hi.Val.IsNull() &&
+					compatibleLiteral(hi.Val, sc.Columns[sc.ColIndex(cr.Column)].Type) {
+					r.tightenLo(storage.BoundAt(lo.Val, true))
+					r.tightenHi(storage.BoundAt(hi.Val, true))
+				}
+			}
+		}
+	}
+	// A predicate-driven scan must exclude NULLs (comparisons are
+	// unknown on NULL): when only an upper bound exists, start strictly
+	// after the NULL group, which sorts first.
+	for _, r := range out {
+		if !r.lo.Set && r.hi.Set {
+			r.lo = storage.BoundAt(value.Null(), false)
+		}
+	}
+	return out
+}
+
+// Cost-model constants, in units of "heap rows read". Index access
+// pays per-row overhead (tree walk amortized over the scan, per-row
+// heap Get) the sequential heap scan does not; the sort penalty charges
+// paths that leave an ORDER BY to a downstream sort/top-K/spill stage
+// roughly one extra pass over their output.
+const (
+	hashRowCost    = 1.1
+	orderedRowCost = 1.5
+	sortPassCost   = 1.0
+)
+
+// disableOrderedAccess forces heap/hash access even when an ordered
+// index could serve a range or an ORDER BY. Tests and benchmarks use it
+// to compare the index paths against the scan-and-sort baseline over
+// identical data; production code never sets it.
+var disableOrderedAccess bool
+
+// chooseAccess picks the access path for one base table given its
+// pushed-down conjuncts and the statement's order hint. Callers must
+// hold the database latch (the stats read touches table rows when the
+// cache is stale).
+func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) accessChoice {
+	sc := t.Schema
+	stats := t.CachedStats()
+	n := stats.Rows
+	if actual := int64(t.Len()); actual > n {
+		// Stats lag behind bulk loads; never let the model see a table
+		// smaller than it is.
+		n = actual
+	}
+	ranges := extractRanges(local, sc)
+
+	// Selectivity of every extracted constraint combined — the sort
+	// feeds only surviving rows, so the sort penalty scales with it.
+	combined := 1.0
+	for _, r := range ranges {
+		if cs, ok := stats.Col(r.col); ok {
+			if r.eq != nil {
+				combined *= cs.EqFraction(n)
+			} else {
+				combined *= cs.RangeFraction(r.lo, r.hi, n)
+			}
+		} else {
+			combined *= 1.0 / 3
+		}
+	}
+
+	wantsOrder := hint != nil
+	sortPenalty := func(satisfies bool) float64 {
+		if !wantsOrder || satisfies {
+			return 0
+		}
+		return combined * sortPassCost
+	}
+
+	best := accessChoice{kind: accessHeap, frac: 1, rows: n}
+	bestCost := 1.0 + sortPenalty(false)
+
+	consider := func(c accessChoice, cost float64) {
+		if cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+
+	for _, r := range ranges {
+		cs, hasStats := stats.Col(r.col)
+		if r.eq != nil {
+			if _, ok := t.Index(r.col); ok {
+				frac := 0.1
+				if hasStats {
+					frac = cs.EqFraction(n)
+				}
+				consider(accessChoice{kind: accessHashEq, col: r.col, eq: *r.eq, frac: frac, rows: n},
+					frac*hashRowCost+sortPenalty(false))
+			}
+		}
+		if _, ok := t.OrderedIndex(r.col); ok && !disableOrderedAccess && (r.lo.Set || r.hi.Set) {
+			frac := 1.0 / 3
+			if hasStats {
+				if r.eq != nil {
+					frac = cs.EqFraction(n)
+				} else {
+					frac = cs.RangeFraction(r.lo, r.hi, n)
+				}
+			}
+			satisfies := wantsOrder && strings.EqualFold(hint.col, r.col)
+			consider(accessChoice{
+				kind: accessOrdered, col: r.col, lo: r.lo, hi: r.hi,
+				desc: satisfies && hint.desc, order: satisfies, frac: frac, rows: n,
+			}, frac*orderedRowCost+sortPenalty(satisfies))
+		}
+	}
+
+	// A full ordered walk on the hint column serves ORDER BY with no
+	// sort even without a usable range on that column.
+	if wantsOrder && !best.order && !disableOrderedAccess {
+		if _, ok := t.OrderedIndex(hint.col); ok {
+			c := accessChoice{kind: accessOrdered, col: hint.col, desc: hint.desc, order: true, frac: 1, rows: n}
+			if r, okr := ranges[strings.ToLower(hint.col)]; okr {
+				c.lo, c.hi = r.lo, r.hi
+				if cs, okc := stats.Col(hint.col); okc {
+					c.frac = cs.RangeFraction(r.lo, r.hi, n)
+				}
+			}
+			consider(c, c.frac*orderedRowCost)
+		}
+	}
+	return best
+}
+
+// deriveOrderHint maps the statement's ORDER BY onto the base table
+// when it is a single plain column reference resolving there: the only
+// shape a single-column ordered index walk satisfies. Qualified
+// references must name the base; unqualified ones must be unambiguous
+// across the statement's relations (otherwise compilation would reject
+// the query anyway — returning no hint keeps that error on its normal
+// path). The walk's tie order (ascending heap slot within equal keys)
+// is exactly the stable sort's arrival order, so the substitution is
+// row-identical, not merely equivalent.
+func (tx *Txn) deriveOrderHint(sel *sqlparser.Select, from []sqlparser.TableRef) *orderHint {
+	if len(sel.OrderBy) != 1 || len(from) == 0 {
+		return nil
+	}
+	cr, ok := sel.OrderBy[0].Expr.(*sqlparser.ColumnRef)
+	if !ok {
+		return nil
+	}
+	base := from[0]
+	tx.db.latch.RLock()
+	defer tx.db.latch.RUnlock()
+	bt, err := tx.db.table(base.Name)
+	if err != nil || bt.Schema.ColIndex(cr.Column) < 0 {
+		return nil
+	}
+	if cr.Table != "" {
+		if !strings.EqualFold(cr.Table, base.EffectiveName()) {
+			return nil
+		}
+		return &orderHint{col: cr.Column, desc: sel.OrderBy[0].Desc}
+	}
+	// Unqualified: the column must not resolve in any other relation
+	// (including a select-item alias shadowing it would be fine — the
+	// alias path only fires when the input column does NOT resolve,
+	// and here it does).
+	others := append([]sqlparser.TableRef{}, from[1:]...)
+	for _, j := range sel.Joins {
+		others = append(others, j.Table)
+	}
+	for _, ref := range others {
+		ot, err := tx.db.table(ref.Name)
+		if err != nil {
+			return nil
+		}
+		if ot.Schema.ColIndex(cr.Column) >= 0 {
+			return nil
+		}
+	}
+	return &orderHint{col: cr.Column, desc: sel.OrderBy[0].Desc}
+}
+
+// indexScanIter streams rows in ordered-index order, batch-copied
+// under the database latch exactly like the heap scan (the table S
+// lock freezes the table and its indexes for the statement, so the
+// cursor's positions stay valid across latch releases). Rows read
+// count toward the database's ScannedRows — the counter that proves a
+// selective range scan reads only its fraction of the table.
+type indexScanIter struct {
+	db     *DB
+	t      *storage.Table
+	cur    *storage.OrderedCursor
+	ci     int
+	batch  [][]value.Value
+	bpos   int
+	done   bool
+	closed bool
+}
+
+func newIndexScanIter(db *DB, t *storage.Table, ix *storage.OrderedIndex, lo, hi storage.Bound, desc bool) *indexScanIter {
+	return &indexScanIter{db: db, t: t, cur: ix.Cursor(lo, hi, desc)}
+}
+
+func (s *indexScanIter) Next(ctx context.Context) ([]value.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.closed {
+		return nil, nil
+	}
+	if s.bpos >= len(s.batch) {
+		if s.done {
+			return nil, nil
+		}
+		s.refill()
+		if len(s.batch) == 0 {
+			s.done = true
+			return nil, nil
+		}
+	}
+	r := s.batch[s.bpos]
+	s.bpos++
+	return r, nil
+}
+
+func (s *indexScanIter) refill() {
+	s.batch = s.batch[:0]
+	s.bpos = 0
+	s.db.latch.RLock()
+	for len(s.batch) < scanBatchSize {
+		id, ok := s.cur.Next()
+		if !ok {
+			s.done = true
+			break
+		}
+		if r := s.t.Get(id); r != nil {
+			s.batch = append(s.batch, r)
+		}
+	}
+	s.db.latch.RUnlock()
+	s.db.scanRows.Add(int64(len(s.batch)))
+}
+
+func (s *indexScanIter) Close() { s.closed = true; s.batch = nil; s.cur = nil }
+
+// ---------------------------------------------------------------------
+// Explain
+
+// ExplainSelect renders the access path the engine would choose for
+// each base relation of an already-translated SELECT, without
+// executing it or taking locks — the per-site half of the federation's
+// \explain. Compound branches are described in sequence.
+func (db *DB) ExplainSelect(sel *sqlparser.Select) (string, error) {
+	var b strings.Builder
+	for branch := sel; branch != nil; {
+		core := *branch
+		core.Compound = nil
+		if err := db.explainSimple(&core, &b); err != nil {
+			return "", err
+		}
+		if branch.Compound == nil {
+			break
+		}
+		branch = branch.Compound.Right
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func (db *DB) explainSimple(sel *sqlparser.Select, b *strings.Builder) error {
+	if len(sel.From) == 0 {
+		b.WriteString("no table\n")
+		return nil
+	}
+	tx := db.Begin()
+	defer tx.Rollback()
+	from := tx.orderJoinBuilds(sel)
+	hint := tx.deriveOrderHint(sel, from)
+	conjuncts := sqlparser.SplitConjuncts(sel.Where)
+	used := make([]bool, len(conjuncts))
+
+	grouped := len(sel.GroupBy) > 0 || selectHasAggregates(sel)
+	if grouped {
+		hint = nil // the grouped path orders its own output
+	}
+
+	describe := func(ref sqlparser.TableRef, h *orderHint) error {
+		db.latch.RLock()
+		defer db.latch.RUnlock()
+		t, err := db.table(ref.Name)
+		if err != nil {
+			return err
+		}
+		qual := ref.EffectiveName()
+		var local []sqlparser.Expr
+		pkCol := ""
+		if len(t.Schema.Key) == 1 {
+			pkCol = t.Schema.Key[0]
+		}
+		point := false
+		for i, c := range conjuncts {
+			if used[i] || !refersOnlyTo(c, qual, t.Schema) {
+				continue
+			}
+			local = append(local, c)
+			used[i] = true
+			if pkCol != "" {
+				if col, _, ok := equalityLiteral(c); ok && strings.EqualFold(col, pkCol) {
+					point = true
+				}
+			}
+		}
+		if point {
+			fmt.Fprintf(b, "%s\n", (&accessChoice{kind: accessPKPoint}).Describe(qual))
+			return nil
+		}
+		choice := chooseAccess(t, local, h)
+		fmt.Fprintf(b, "%s\n", choice.Describe(qual))
+		return nil
+	}
+
+	if err := describe(from[0], hint); err != nil {
+		return err
+	}
+	for _, ref := range from[1:] {
+		if err := describe(ref, nil); err != nil {
+			return err
+		}
+	}
+	for _, j := range sel.Joins {
+		if err := describe(j.Table, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

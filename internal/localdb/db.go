@@ -444,6 +444,12 @@ func (tx *Txn) execCreateIndex(ctx context.Context, s *sqlparser.CreateIndex) (*
 	if err != nil {
 		return nil, err
 	}
+	if s.Ordered {
+		if err := t.CreateOrderedIndex(s.Column); err != nil {
+			return nil, err
+		}
+		return &ExecResult{}, nil
+	}
 	if err := t.CreateIndex(s.Column); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,58 @@
+package localdb
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"myriad/internal/spill"
+)
+
+// TestDistinctDedupBudget: the streaming DISTINCT's dedup map is
+// accounted against the engine budget's grouped allowance and fails
+// fast past it with a clear error (dedup spill is future work).
+func TestDistinctDedupBudget(t *testing.T) {
+	db := NewWithBudget("distinct", spill.NewBudget(16, t.TempDir()))
+	seedKV(t, db, 5000, func(i int) *int64 { return i64(int64(i)) }) // all distinct
+	_, err := db.Query(context.Background(), `SELECT DISTINCT id, v FROM t`)
+	if err == nil || !strings.Contains(err.Error(), "memory budget") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// A duplicate-heavy DISTINCT stays tiny and completes: the map is
+	// bounded by distinct keys, not input rows.
+	db2 := NewWithBudget("distinct2", spill.NewBudget(16, t.TempDir()))
+	seedKV(t, db2, 5000, func(i int) *int64 { return i64(int64(i % 5)) })
+	rs, err := db2.Query(context.Background(), `SELECT DISTINCT v FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 5 {
+		t.Fatalf("%d distinct rows", len(rs.Rows))
+	}
+}
+
+// TestUnionMaterializationBudget: the engine's UNION path materializes
+// every branch; that accumulation is accounted and fails fast past the
+// grouped allowance.
+func TestUnionMaterializationBudget(t *testing.T) {
+	db := NewWithBudget("union", spill.NewBudget(16, t.TempDir()))
+	seedKV(t, db, 5000, func(i int) *int64 { return i64(int64(i)) })
+	_, err := db.Query(context.Background(),
+		`SELECT id, v FROM t UNION ALL SELECT id, v FROM t`)
+	if err == nil || !strings.Contains(err.Error(), "memory budget") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Within the allowance the union completes, deduping included.
+	db2 := NewWithBudget("union2", spill.NewBudget(1<<20, t.TempDir()))
+	seedKV(t, db2, 500, func(i int) *int64 { return i64(int64(i)) })
+	rs, err := db2.Query(context.Background(),
+		`SELECT id, v FROM t UNION SELECT id, v FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 500 {
+		t.Fatalf("%d rows after dedup", len(rs.Rows))
+	}
+}

@@ -104,8 +104,27 @@ func (tx *Txn) execUnion(ctx context.Context, sel *sqlparser.Select) (*schema.Re
 	last := branches[len(branches)-1]
 	orderBy, limit := last.OrderBy, last.Limit
 
+	// The union path materializes every branch before combining; that
+	// accumulation — and the dedup map a distinct union builds over it —
+	// is accounted against the memory budget under the grouped
+	// allowance, failing fast past it (union spill is future work, like
+	// grouped spill).
 	var out *schema.ResultSet
 	distinct := false
+	var matBytes int64
+	account := func(rows []schema.Row) error {
+		if tx.db.budget.Limit() <= 0 {
+			return nil
+		}
+		for _, r := range rows {
+			matBytes += schema.RowBytes(r)
+		}
+		if tx.db.budget.ExceedsGrouped(matBytes) {
+			return fmt.Errorf("localdb: UNION materialization (~%d bytes) exceeds the memory budget (%d bytes; union spill not yet implemented)",
+				matBytes, tx.db.budget.Limit())
+		}
+		return nil
+	}
 	for i, br := range branches {
 		core := *br
 		core.Compound = nil
@@ -113,6 +132,9 @@ func (tx *Txn) execUnion(ctx context.Context, sel *sqlparser.Select) (*schema.Re
 		core.Limit = nil
 		rs, err := tx.execSimpleSelect(ctx, &core)
 		if err != nil {
+			return nil, err
+		}
+		if err := account(rs.Rows); err != nil {
 			return nil, err
 		}
 		if out == nil {
@@ -128,7 +150,10 @@ func (tx *Txn) execUnion(ctx context.Context, sel *sqlparser.Select) (*schema.Re
 		}
 	}
 	if distinct {
-		out.Rows = dedupeRows(out.Rows)
+		var err error
+		if out.Rows, err = dedupeRowsBudgeted(out.Rows, tx.db.budget); err != nil {
+			return nil, err
+		}
 	}
 	if len(orderBy) > 0 {
 		if err := sortResultSet(out, orderBy); err != nil {
@@ -295,12 +320,24 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 	// explicit JOINs left to right. Locks are acquired eagerly while
 	// constructing the pipeline (same order as the old materializing
 	// executor); rows flow lazily once the pipeline is pulled.
+	//
+	// The base scan gets the statement's ORDER BY as a hint: a walk of
+	// an ordered index on the sort column delivers rows pre-sorted
+	// (joins and filters preserve the left stream's order), and the
+	// sort/top-K stage below is dropped. The grouped path orders its
+	// own output, so it takes no hint.
 	from := tx.orderJoinBuilds(sel)
+	grouped := len(sel.GroupBy) > 0 || selectHasAggregates(sel)
+	var hint *orderHint
+	if !grouped {
+		hint = tx.deriveOrderHint(sel, from)
+	}
 	b := &rowBinder{}
-	it, err := tx.scanBase(ctx, from[0], conjuncts, used, b)
+	it, baseChoice, err := tx.scanBase(ctx, from[0], conjuncts, used, b, hint)
 	if err != nil {
 		return nil, nil, err
 	}
+	orderSatisfied := baseChoice != nil && baseChoice.order
 	built := false
 	defer func() {
 		if !built && it != nil {
@@ -333,7 +370,6 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 		it = newFilterIter(it, pred, 0)
 	}
 
-	grouped := len(sel.GroupBy) > 0 || selectHasAggregates(sel)
 	if grouped {
 		rs, err := tx.execGrouped(ctx, sel, b, it)
 		if err != nil {
@@ -363,6 +399,12 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 	}
 
 	switch {
+	case len(sortFns) > 0 && orderSatisfied:
+		// The base scan walked an ordered index on the sort column: rows
+		// arrive already in ORDER BY order (ties in arrival order, same
+		// as the stable sort), so no sort, top-K heap, or spill runs at
+		// all — and a LIMIT below terminates the index walk early.
+		it = newProjIter(it, itemFns)
 	case len(sortFns) > 0 && sel.Limit != nil && sel.Limit.Count >= 0 && !sel.Distinct &&
 		!disableTopKFusion && sel.Limit.Count <= math.MaxInt32-sel.Limit.Offset:
 		// ORDER BY + LIMIT without DISTINCT fuses into a bounded top-K
@@ -380,7 +422,7 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 		it = newProjIter(it, itemFns)
 	}
 	if sel.Distinct {
-		it = newDistinctIter(it)
+		it = newDistinctIter(it, tx.db.budget)
 	}
 	if sel.Limit != nil {
 		it = newLimitIter(it, sel.Limit.Count, sel.Limit.Offset)
@@ -389,19 +431,22 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 	return it, itemNames(items), nil
 }
 
-// orderJoinBuilds returns the FROM list with the hash-join build sides
-// (every comma-joined entry after the base) stably reordered by
-// ascending table cardinality, so the most selective builds join — and
-// shrink the probe stream — first, the way the federation planner
-// already orders its residual joins by estimate. Unlike the planner it
-// reads actual row counts from storage, the freshest statistic there
-// is. The base table stays put (it is the streamed probe side, not a
-// build), explicit JOIN clauses are untouched (their ON scope depends
-// on position), and a SELECT with an unqualified star keeps syntactic
+// orderJoinBuilds returns the FROM list of a comma join stably
+// reordered by ascending table cardinality: the smallest relation
+// becomes the base (the streamed probe side — the System-R
+// smallest-outer heuristic, keeping the driving stream and every
+// intermediate probe result small), and the remaining entries follow
+// as hash-join build sides smallest-first, so the most selective
+// builds shrink the probe stream earliest — the way the federation
+// planner already orders its residual joins by estimate. Unlike the
+// planner it reads actual row counts from storage, the freshest
+// statistic there is. Ties keep syntactic order (the sort is stable),
+// explicit JOIN clauses are untouched (their ON scope depends on
+// position), and a SELECT with an unqualified star keeps syntactic
 // order outright — star expansion follows binding order, and
 // reordering would silently permute the output columns.
 func (tx *Txn) orderJoinBuilds(sel *sqlparser.Select) []sqlparser.TableRef {
-	if len(sel.From) < 3 {
+	if len(sel.From) < 2 {
 		return sel.From
 	}
 	for _, it := range sel.Items {
@@ -411,7 +456,7 @@ func (tx *Txn) orderJoinBuilds(sel *sqlparser.Select) []sqlparser.TableRef {
 	}
 	rows := make([]int, len(sel.From))
 	tx.db.latch.RLock()
-	for i := 1; i < len(sel.From); i++ {
+	for i := range sel.From {
 		t, err := tx.db.table(sel.From[i].Name)
 		if err != nil {
 			tx.db.latch.RUnlock()
@@ -420,17 +465,14 @@ func (tx *Txn) orderJoinBuilds(sel *sqlparser.Select) []sqlparser.TableRef {
 		rows[i] = t.Len()
 	}
 	tx.db.latch.RUnlock()
-	from := append([]sqlparser.TableRef{}, sel.From...)
-	builds := from[1:]
-	sizes := rows[1:]
-	idx := make([]int, len(builds))
+	idx := make([]int, len(sel.From))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] < sizes[idx[b]] })
-	out := []sqlparser.TableRef{from[0]}
+	sort.SliceStable(idx, func(a, b int) bool { return rows[idx[a]] < rows[idx[b]] })
+	out := make([]sqlparser.TableRef, 0, len(sel.From))
 	for _, i := range idx {
-		out = append(out, builds[i])
+		out = append(out, sel.From[i])
 	}
 	return out
 }
@@ -585,12 +627,22 @@ func selectHasAggregates(sel *sqlparser.Select) bool {
 // S; anything else takes a table S lock. Locks are acquired before the
 // iterator is returned; rows are read lazily as the iterator is pulled
 // (safe because the table lock freezes the table for the transaction).
-func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts []sqlparser.Expr, used []bool, b *rowBinder) (rowIter, error) {
+//
+// Among full-scan alternatives the access path — heap scan, hash-index
+// equality probe, or ordered-index range scan — is chosen by estimated
+// selectivity over the table's cached statistics (see chooseAccess).
+// hint, non-nil only for the statement's first FROM entry, carries a
+// single-column ORDER BY the scan may satisfy by walking an ordered
+// index; the returned choice reports whether it did, letting the caller
+// drop its sort stage. All pushed conjuncts are still applied as a
+// filter above the scan (index bounds narrow reads, they never replace
+// the predicate).
+func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts []sqlparser.Expr, used []bool, b *rowBinder, hint *orderHint) (rowIter, *accessChoice, error) {
 	tx.db.latch.RLock()
 	t, err := tx.db.table(ref.Name)
 	tx.db.latch.RUnlock()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	qual := ref.EffectiveName()
 	sc := t.Schema
@@ -619,7 +671,7 @@ func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts [
 	if pointKey != nil {
 		// Point read: IS on table, S on the key resource.
 		if err := tx.lockTable(ctx, ref.Name, lockmgr.IS); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		probe := make([]value.Value, 1)
 		probe[0] = *pointKey
@@ -640,10 +692,10 @@ func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts [
 		}
 		tx.db.latch.RUnlock()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := tx.lockKey(ctx, ref.Name, keyEnc, lockmgr.S); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Re-read after acquiring the lock (the row may have changed
 		// while we waited).
@@ -651,38 +703,48 @@ func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts [
 		_, row, found = t.GetByKey(probe)
 		tx.db.latch.RUnlock()
 		b.add(qual, sc)
+		choice := &accessChoice{kind: accessPKPoint}
 		if !found {
-			return newSliceIter(nil), nil
+			return newSliceIter(nil), choice, nil
 		}
-		return tx.filterLocal(newSliceIter([][]value.Value{row}), local, b)
+		it, err := tx.filterLocal(newSliceIter([][]value.Value{row}), local, b)
+		return it, choice, err
 	}
 
 	// Full or index scan: table S lock.
 	if err := tx.lockTable(ctx, ref.Name, lockmgr.S); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	b.add(qual, sc)
 
-	// Secondary-index equality probe when available.
-	for _, c := range local {
-		if col, lit, ok := equalityLiteral(c); ok {
-			if ix, has := t.Index(col); has {
-				var rows [][]value.Value
-				tx.db.latch.RLock()
-				for _, id := range ix.Lookup(lit) {
-					if r := t.Get(id); r != nil {
-						rows = append(rows, r)
-					}
-				}
-				tx.db.latch.RUnlock()
-				return tx.filterLocal(newSliceIter(rows), local, b)
+	tx.db.latch.RLock()
+	choice := chooseAccess(t, local, hint)
+	tx.db.latch.RUnlock()
+
+	switch choice.kind {
+	case accessHashEq:
+		ix, _ := t.Index(choice.col)
+		var rows [][]value.Value
+		tx.db.latch.RLock()
+		for _, id := range ix.Lookup(choice.eq) {
+			if r := t.Get(id); r != nil {
+				rows = append(rows, r)
 			}
 		}
+		tx.db.latch.RUnlock()
+		tx.db.scanRows.Add(int64(len(rows)))
+		it, err := tx.filterLocal(newSliceIter(rows), local, b)
+		return it, &choice, err
+	case accessOrdered:
+		ix, _ := t.OrderedIndex(choice.col)
+		it, err := tx.filterLocal(newIndexScanIter(tx.db, t, ix, choice.lo, choice.hi, choice.desc), local, b)
+		return it, &choice, err
 	}
 
 	// Heap scan: rows stream out in slot order, batch-copied under the
 	// latch, so a LIMIT above never touches the rest of the heap.
-	return tx.filterLocal(newHeapScanIter(tx.db, t), local, b)
+	it, err := tx.filterLocal(newHeapScanIter(tx.db, t), local, b)
+	return it, &choice, err
 }
 
 // filterLocal wraps it with this table's pushdown conjuncts. The
@@ -733,7 +795,7 @@ func (tx *Txn) joinWith(ctx context.Context, left rowIter, b *rowBinder, ref sql
 	if kind == sqlparser.JoinLeft {
 		scanConjuncts, scanUsed = nil, nil
 	}
-	right, err := tx.scanBase(ctx, ref, scanConjuncts, scanUsed, b)
+	right, _, err := tx.scanBase(ctx, ref, scanConjuncts, scanUsed, b, nil)
 	if err != nil {
 		left.Close()
 		return nil, err

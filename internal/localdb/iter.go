@@ -613,15 +613,19 @@ func (t *topKIter) Close() {
 }
 
 // distinctIter drops rows whose encoded key was already seen,
-// preserving first-occurrence order (streaming DISTINCT).
+// preserving first-occurrence order (streaming DISTINCT). The dedup
+// set is accounted against the database's memory budget under the
+// grouped allowance (spill.DedupSet): like GROUP BY state it cannot
+// spill yet, so past the allowance the query fails fast with a clear
+// error instead of ballooning the engine.
 type distinctIter struct {
 	child  rowIter
-	seen   map[string]bool
+	seen   *spill.DedupSet
 	closed bool
 }
 
-func newDistinctIter(child rowIter) *distinctIter {
-	return &distinctIter{child: child, seen: make(map[string]bool)}
+func newDistinctIter(child rowIter, budget *spill.Budget) *distinctIter {
+	return &distinctIter{child: child, seen: spill.NewDedupSet(budget, "DISTINCT dedup")}
 }
 
 func (d *distinctIter) Next(ctx context.Context) ([]value.Value, error) {
@@ -633,9 +637,11 @@ func (d *distinctIter) Next(ctx context.Context) ([]value.Value, error) {
 		if err != nil || r == nil {
 			return nil, err
 		}
-		k := rowKey(r)
-		if !d.seen[k] {
-			d.seen[k] = true
+		first, err := d.seen.Admit(rowKey(r))
+		if err != nil {
+			return nil, err
+		}
+		if first {
 			return r, nil
 		}
 	}
@@ -647,6 +653,24 @@ func (d *distinctIter) Close() {
 		d.child.Close()
 		d.seen = nil
 	}
+}
+
+// dedupeRowsBudgeted is dedupeRows with the dedup set accounted against
+// the budget's grouped allowance (the rows themselves were accounted by
+// the materializing caller).
+func dedupeRowsBudgeted(rows []schema.Row, budget *spill.Budget) ([]schema.Row, error) {
+	seen := spill.NewDedupSet(budget, "UNION dedup")
+	out := rows[:0]
+	for _, r := range rows {
+		first, err := seen.Admit(rowKey(r))
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			out = append(out, r)
+		}
+	}
+	return out, nil
 }
 
 // limitIter implements OFFSET/LIMIT with early termination: once count

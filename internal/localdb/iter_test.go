@@ -311,7 +311,7 @@ func TestDistinctIterStreams(t *testing.T) {
 	rows := [][]value.Value{
 		{value.NewInt(1)}, {value.NewInt(2)}, {value.NewInt(1)}, {value.NewInt(3)}, {value.NewInt(2)},
 	}
-	d := newDistinctIter(newSliceIter(rows))
+	d := newDistinctIter(newSliceIter(rows), nil)
 	out := drainAll(t, d)
 	if len(out) != 3 {
 		t.Fatalf("distinct kept %d rows, want 3", len(out))

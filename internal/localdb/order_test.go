@@ -105,6 +105,59 @@ func TestJoinBuildOrderByCardinality(t *testing.T) {
 	}
 }
 
+// TestJoinBaseChoiceByCardinality: the comma-join base (the streamed
+// probe side) is the smallest relation, not merely the first-listed
+// one; ties and guard cases keep syntactic order.
+func TestJoinBaseChoiceByCardinality(t *testing.T) {
+	db := New("basechoice")
+	db.MustExec(`CREATE TABLE big (g INTEGER PRIMARY KEY)`)
+	db.MustExec(`CREATE TABLE small (s INTEGER PRIMARY KEY)`)
+	db.MustExec(`CREATE TABLE tiny (y INTEGER PRIMARY KEY)`)
+	db.MustExec(`INSERT INTO big VALUES (1), (2), (3)`)
+	db.MustExec(`INSERT INTO small VALUES (10), (20)`)
+	db.MustExec(`INSERT INTO tiny VALUES (100)`)
+
+	order := func(sql string) []string {
+		tx := db.Begin()
+		defer tx.Rollback()
+		from := tx.orderJoinBuilds(mustSelect(t, sql))
+		names := make([]string, len(from))
+		for i, r := range from {
+			names[i] = r.Name
+		}
+		return names
+	}
+	got := order(`SELECT g, s, y FROM big, small, tiny`)
+	want := []string{"tiny", "small", "big"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("base choice order = %v, want %v", got, want)
+		}
+	}
+	// Two-table case: the smaller relation becomes the base.
+	if got := order(`SELECT g, s FROM big, small`); got[0] != "small" {
+		t.Fatalf("two-table base = %v", got)
+	}
+	// Ties keep syntactic order (stable sort).
+	db.MustExec(`CREATE TABLE tiny2 (z INTEGER PRIMARY KEY)`)
+	db.MustExec(`INSERT INTO tiny2 VALUES (200)`)
+	if got := order(`SELECT y, z FROM tiny, tiny2`); got[0] != "tiny" {
+		t.Fatalf("tie order = %v", got)
+	}
+	// Unqualified star: syntactic order, base included.
+	if got := order(`SELECT * FROM big, tiny`); got[0] != "big" {
+		t.Fatalf("star guard order = %v", got)
+	}
+	// The query still answers correctly with the reordered base.
+	rs, err := db.Query(context.Background(), `SELECT COUNT(*) AS n FROM big, small, tiny`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Text() != "6" {
+		t.Fatalf("cross product count = %s", rs.Rows[0][0].Text())
+	}
+}
+
 // TestJoinBuildOrderEquivalence cross-checks a reordered join's result
 // multiset against the same query phrased with the tables already in
 // cardinality order.

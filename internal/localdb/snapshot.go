@@ -22,7 +22,8 @@ type snapshot struct {
 type tableSnapshot struct {
 	Schema  *schema.Schema
 	Rows    []schema.Row
-	Indexes []string // secondary-index column names
+	Indexes []string // secondary hash-index column names
+	Ordered []string // secondary ordered-index column names
 }
 
 const snapshotVersion = 1
@@ -46,6 +47,7 @@ func (db *DB) SaveSnapshot(w io.Writer) error {
 				ts.Indexes = append(ts.Indexes, col.Name)
 			}
 		}
+		ts.Ordered = t.OrderedIndexColumns()
 		snap.Tables = append(snap.Tables, ts)
 	}
 	return gob.NewEncoder(w).Encode(&snap)
@@ -76,6 +78,11 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 		for _, col := range ts.Indexes {
 			if err := t.CreateIndex(col); err != nil {
 				return fmt.Errorf("localdb: snapshot index on %s.%s: %w", ts.Schema.Table, col, err)
+			}
+		}
+		for _, col := range ts.Ordered {
+			if err := t.CreateOrderedIndex(col); err != nil {
+				return fmt.Errorf("localdb: snapshot ordered index on %s.%s: %w", ts.Schema.Table, col, err)
 			}
 		}
 		tables[strings.ToLower(ts.Schema.Table)] = t

@@ -189,6 +189,51 @@ func (b *Budget) Stats() (spilledBytes, spillRuns int64) {
 }
 
 // ---------------------------------------------------------------------
+// Budget-accounted dedup set
+
+// dedupKeyBytes approximates the map-entry overhead per distinct key
+// (hash bucket slot, string header, bool) on top of the key bytes.
+const dedupKeyBytes = 48
+
+// DedupSet is a first-occurrence-wins key set whose memory is
+// accounted against a Budget under the grouped allowance: dedup maps
+// cannot spill yet, so past the allowance admission fails fast with a
+// clear error instead of ballooning the process — the same treatment
+// GROUP BY accumulation gets. It backs the component engine's
+// DISTINCT/UNION dedup and the integration fan-ins' UNION-distinct
+// filter, so the accounting cannot drift between layers. A nil budget
+// (or a zero limit) admits without accounting.
+type DedupSet struct {
+	what   string // operator name for the error message
+	budget *Budget
+	seen   map[string]bool
+	bytes  int64
+}
+
+// NewDedupSet creates an accounted dedup set; what names the operator
+// in the over-budget error (e.g. "DISTINCT dedup", "UNION dedup").
+func NewDedupSet(budget *Budget, what string) *DedupSet {
+	return &DedupSet{what: what, budget: budget, seen: make(map[string]bool)}
+}
+
+// Admit reports whether key is the first occurrence, recording it. An
+// error means the set outgrew the budget's grouped allowance.
+func (d *DedupSet) Admit(key string) (bool, error) {
+	if d.seen[key] {
+		return false, nil
+	}
+	if d.budget.Limit() > 0 {
+		d.bytes += int64(len(key)) + dedupKeyBytes
+		if d.budget.ExceedsGrouped(d.bytes) {
+			return false, fmt.Errorf("spill: %s (%d keys, ~%d bytes) exceeds the memory budget (%d bytes; dedup spill not yet implemented)",
+				d.what, len(d.seen)+1, d.bytes, d.budget.Limit())
+		}
+	}
+	d.seen[key] = true
+	return true, nil
+}
+
+// ---------------------------------------------------------------------
 // External merge sorter
 
 // Sorter accumulates rows, keeping them in memory while the budget

@@ -135,12 +135,14 @@ type DropTable struct {
 	Table string
 }
 
-// CreateIndex is a CREATE INDEX statement (secondary hash index on one
-// column).
+// CreateIndex is a CREATE [ORDERED] INDEX statement: a secondary index
+// on one column — hash (equality probes) by default, ordered (range
+// scans and sort-free ORDER BY) with the ORDERED modifier.
 type CreateIndex struct {
-	Name   string
-	Table  string
-	Column string
+	Name    string
+	Table   string
+	Column  string
+	Ordered bool
 }
 
 // TxnKind is the transaction-control verb.

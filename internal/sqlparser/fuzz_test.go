@@ -43,6 +43,7 @@ func FuzzParse(f *testing.F) {
 		`CREATE TABLE t (id INTEGER NOT NULL, name TEXT, PRIMARY KEY (id))`,
 		`DROP TABLE t`,
 		`CREATE INDEX idx ON t (name)`,
+		`CREATE ORDERED INDEX idx ON t (name)`,
 		`BEGIN`,
 		`COMMIT`,
 		`ROLLBACK`,

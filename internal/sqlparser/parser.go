@@ -99,6 +99,17 @@ func (p *parser) accept(kw string) (bool, error) {
 	return false, nil
 }
 
+// acceptWord consumes the token if it is the given non-reserved word: a
+// contextual keyword (like ORDERED) lexes as an identifier, so matching
+// it here keeps the word usable as a table or column name everywhere
+// else.
+func (p *parser) acceptWord(word string) (bool, error) {
+	if p.tok.kind == tokIdent && strings.EqualFold(p.tok.val, word) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
 func (p *parser) expectKeyword(kw string) error {
 	if !p.isKeyword(kw) {
 		return errf(p.tok.pos, "expected %s, found %s", kw, p.tok)
@@ -642,16 +653,29 @@ func (p *parser) parseCreate() (Statement, error) {
 	if ok, err := p.accept("UNIQUE"); err != nil {
 		return nil, err
 	} else if ok {
-		// Treated the same as a plain index in this subset.
+		// Uniqueness is treated the same as a plain index in this subset;
+		// the ORDERED modifier still selects the index kind.
+		ordered, err := p.acceptWord("ORDERED")
+		if err != nil {
+			return nil, err
+		}
 		if err := p.expectKeyword("INDEX"); err != nil {
 			return nil, err
 		}
-		return p.parseCreateIndexTail()
+		return p.parseCreateIndexTail(ordered)
+	}
+	if ok, err := p.acceptWord("ORDERED"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndexTail(true)
 	}
 	if ok, err := p.accept("INDEX"); err != nil {
 		return nil, err
 	} else if ok {
-		return p.parseCreateIndexTail()
+		return p.parseCreateIndexTail(false)
 	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -776,7 +800,7 @@ func (p *parser) parseColumnDef(sc *schema.Schema) (schema.Column, error) {
 	}
 }
 
-func (p *parser) parseCreateIndexTail() (Statement, error) {
+func (p *parser) parseCreateIndexTail(ordered bool) (Statement, error) {
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
@@ -798,7 +822,7 @@ func (p *parser) parseCreateIndexTail() (Statement, error) {
 	if err := p.expectOp(")"); err != nil {
 		return nil, err
 	}
-	return &CreateIndex{Name: name, Table: table, Column: col}, nil
+	return &CreateIndex{Name: name, Table: table, Column: col, Ordered: ordered}, nil
 }
 
 func (p *parser) parseDrop() (Statement, error) {

@@ -68,8 +68,37 @@ func TestParseDMLDDLForms(t *testing.T) {
 		`CREATE TABLE t (id INTEGER NOT NULL, name TEXT, PRIMARY KEY (id))`,
 		`DROP TABLE t`,
 		`CREATE INDEX idx ON t (name)`,
+		`CREATE ORDERED INDEX idx ON t (name)`,
 	} {
 		roundTrips(t, sql)
+	}
+}
+
+func TestParseCreateIndexKinds(t *testing.T) {
+	for _, c := range []struct {
+		sql     string
+		ordered bool
+	}{
+		{`CREATE INDEX idx ON t (name)`, false},
+		{`CREATE UNIQUE INDEX idx ON t (name)`, false},
+		{`CREATE ORDERED INDEX idx ON t (name)`, true},
+		{`CREATE UNIQUE ORDERED INDEX idx ON t (name)`, true},
+	} {
+		stmt, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		ci, ok := stmt.(*CreateIndex)
+		if !ok {
+			t.Fatalf("%s: got %T", c.sql, stmt)
+		}
+		if ci.Ordered != c.ordered {
+			t.Fatalf("%s: Ordered = %v", c.sql, ci.Ordered)
+		}
+	}
+	// ORDERED is contextual: a table may still be named "ordered".
+	if _, err := Parse(`CREATE TABLE ordered (id INTEGER)`); err != nil {
+		t.Fatalf("table named ordered: %v", err)
 	}
 }
 

@@ -186,7 +186,11 @@ func writeStatement(b *strings.Builder, s Statement, st *Style) {
 		b.WriteString("DROP TABLE ")
 		b.WriteString(st.ident(x.Table))
 	case *CreateIndex:
-		b.WriteString("CREATE INDEX ")
+		b.WriteString("CREATE ")
+		if x.Ordered {
+			b.WriteString("ORDERED ")
+		}
+		b.WriteString("INDEX ")
 		b.WriteString(st.ident(x.Name))
 		b.WriteString(" ON ")
 		b.WriteString(st.ident(x.Table))

@@ -1,0 +1,427 @@
+package storage
+
+import (
+	"math"
+	"sort"
+
+	"myriad/internal/schema"
+	"myriad/internal/value"
+)
+
+// OrderedIndex is a secondary index that keeps (value, RowID) pairs in
+// the federation-wide sort order: schema.CompareSort over the value
+// (NULLs first, the same total order the engine's ORDER BY and the
+// fan-in merge use), ties broken by ascending RowID — which is heap
+// arrival order, so an index walk reproduces exactly the stable sort of
+// a heap scan. It is a B+tree: inserts split nodes upward, deletes
+// remove in place (an emptied node is unlinked, but siblings are never
+// rebalanced — correct at any occupancy, merely sparser after
+// adversarial delete patterns), and the leaf level is doubly linked for
+// range scans in either direction.
+//
+// The order is total because a column's stored values are
+// kind-homogeneous (schema.CoerceRow coerces every non-NULL value to
+// the column type), so CompareSort never faces the non-transitive
+// mixed-kind comparisons the merge layer guards against.
+//
+// Like the rest of the storage engine it is not thread-safe; the DBMS
+// layer's table locks and the database latch serialize access.
+type OrderedIndex struct {
+	root *onode
+	size int
+}
+
+// orderedFanout is the maximum entries per leaf (and children per
+// branch); nodes split at fanout+1.
+const orderedFanout = 64
+
+// oentry is one indexed pair.
+type oentry struct {
+	v  value.Value
+	id RowID
+}
+
+// onode is one B+tree node. A leaf holds ents and chains to its
+// neighbors; a branch holds kids with seps[i] = the smallest entry of
+// kids[i+1] (entries of kids[i] sort strictly before seps[i]).
+type onode struct {
+	leaf bool
+	ents []oentry // leaf entries, sorted
+	seps []oentry // branch separators, len(kids)-1
+	kids []*onode
+	next *onode // leaf chain
+	prev *onode
+}
+
+// NewOrderedIndex returns an empty index.
+func NewOrderedIndex() *OrderedIndex { return &OrderedIndex{} }
+
+// Len reports the number of indexed entries.
+func (ix *OrderedIndex) Len() int { return ix.size }
+
+// compareEntry is the index's total order: CompareSort on the value,
+// then RowID. RowIDs are unique per table, so no two entries of one
+// index compare equal.
+func compareEntry(a, b oentry) int {
+	if c := schema.CompareSort(a.v, b.v); c != 0 {
+		return c
+	}
+	switch {
+	case a.id < b.id:
+		return -1
+	case a.id > b.id:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// add inserts (v, id). The pair must not already be present (the table
+// maintains the index, and a slot is indexed at most once).
+func (ix *OrderedIndex) add(v value.Value, id RowID) {
+	e := oentry{v: v, id: id}
+	if ix.root == nil {
+		ix.root = &onode{leaf: true, ents: []oentry{e}}
+		ix.size++
+		return
+	}
+	right, sep, split := ix.insert(ix.root, e)
+	if split {
+		ix.root = &onode{kids: []*onode{ix.root, right}, seps: []oentry{sep}}
+	}
+	ix.size++
+}
+
+// insert descends to the leaf for e, inserts, and splits back up.
+func (ix *OrderedIndex) insert(n *onode, e oentry) (right *onode, sep oentry, split bool) {
+	if n.leaf {
+		pos := sort.Search(len(n.ents), func(j int) bool { return compareEntry(e, n.ents[j]) < 0 })
+		n.ents = append(n.ents, oentry{})
+		copy(n.ents[pos+1:], n.ents[pos:])
+		n.ents[pos] = e
+		if len(n.ents) <= orderedFanout {
+			return nil, oentry{}, false
+		}
+		mid := len(n.ents) / 2
+		r := &onode{leaf: true, ents: append([]oentry(nil), n.ents[mid:]...)}
+		n.ents = n.ents[:mid:mid]
+		r.next, r.prev = n.next, n
+		if n.next != nil {
+			n.next.prev = r
+		}
+		n.next = r
+		return r, r.ents[0], true
+	}
+	ci := sort.Search(len(n.seps), func(i int) bool { return compareEntry(e, n.seps[i]) < 0 })
+	r, s, sp := ix.insert(n.kids[ci], e)
+	if !sp {
+		return nil, oentry{}, false
+	}
+	n.seps = append(n.seps, oentry{})
+	copy(n.seps[ci+1:], n.seps[ci:])
+	n.seps[ci] = s
+	n.kids = append(n.kids, nil)
+	copy(n.kids[ci+2:], n.kids[ci+1:])
+	n.kids[ci+1] = r
+	if len(n.kids) <= orderedFanout {
+		return nil, oentry{}, false
+	}
+	mid := len(n.kids) / 2
+	promoted := n.seps[mid-1]
+	rb := &onode{
+		kids: append([]*onode(nil), n.kids[mid:]...),
+		seps: append([]oentry(nil), n.seps[mid:]...),
+	}
+	n.kids = n.kids[:mid:mid]
+	n.seps = n.seps[: mid-1 : mid-1]
+	return rb, promoted, true
+}
+
+// remove deletes (v, id) if present.
+func (ix *OrderedIndex) remove(v value.Value, id RowID) {
+	if ix.root == nil {
+		return
+	}
+	if removed, _ := ix.delete(ix.root, oentry{v: v, id: id}); removed {
+		ix.size--
+	}
+	// Collapse a chain of single-child roots so height tracks size.
+	for !ix.root.leaf && len(ix.root.kids) == 1 {
+		ix.root = ix.root.kids[0]
+	}
+	if ix.root.leaf && len(ix.root.ents) == 0 {
+		ix.root = nil
+	}
+}
+
+// delete removes e from the subtree, reporting whether it was found and
+// whether the node emptied (the parent then drops the child).
+func (ix *OrderedIndex) delete(n *onode, e oentry) (removed, emptied bool) {
+	if n.leaf {
+		pos := sort.Search(len(n.ents), func(j int) bool { return compareEntry(n.ents[j], e) >= 0 })
+		if pos >= len(n.ents) || compareEntry(n.ents[pos], e) != 0 {
+			return false, false
+		}
+		copy(n.ents[pos:], n.ents[pos+1:])
+		n.ents = n.ents[:len(n.ents)-1]
+		if len(n.ents) > 0 {
+			return true, false
+		}
+		// Unlink the emptied leaf so chain walks never see it.
+		if n.prev != nil {
+			n.prev.next = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		}
+		n.prev, n.next = nil, nil
+		return true, true
+	}
+	ci := sort.Search(len(n.seps), func(i int) bool { return compareEntry(e, n.seps[i]) < 0 })
+	removed, kidEmpty := ix.delete(n.kids[ci], e)
+	if !kidEmpty {
+		return removed, false
+	}
+	copy(n.kids[ci:], n.kids[ci+1:])
+	n.kids = n.kids[:len(n.kids)-1]
+	if len(n.seps) > 0 {
+		si := ci
+		if si > 0 {
+			si--
+		}
+		copy(n.seps[si:], n.seps[si+1:])
+		n.seps = n.seps[:len(n.seps)-1]
+	}
+	return removed, len(n.kids) == 0
+}
+
+// ---------------------------------------------------------------------
+// Range scans
+
+// Bound is one end of an ordered-index scan range. The zero Bound is
+// unbounded. V may be NULL: NULLs sort first, so an exclusive NULL
+// lower bound means "skip the NULL entries" — how a predicate-driven
+// scan expresses SQL's NULL-excluding comparisons.
+type Bound struct {
+	V         value.Value
+	Inclusive bool
+	Set       bool
+}
+
+// BoundAt returns an inclusive or exclusive bound at v.
+func BoundAt(v value.Value, inclusive bool) Bound {
+	return Bound{V: v, Inclusive: inclusive, Set: true}
+}
+
+// opos is a cursor position: an entry within a leaf. The zero opos is
+// invalid (past either end).
+type opos struct {
+	n *onode
+	i int
+}
+
+func (p opos) valid() bool { return p.n != nil }
+
+func (p opos) entry() oentry { return p.n.ents[p.i] }
+
+func (p opos) fwd() opos {
+	if p.i+1 < len(p.n.ents) {
+		return opos{p.n, p.i + 1}
+	}
+	if p.n.next != nil {
+		return opos{p.n.next, 0}
+	}
+	return opos{}
+}
+
+func (p opos) back() opos {
+	if p.i > 0 {
+		return opos{p.n, p.i - 1}
+	}
+	if p.n.prev != nil {
+		return opos{p.n.prev, len(p.n.prev.ents) - 1}
+	}
+	return opos{}
+}
+
+// seekGE returns the position of the first entry >= e, or invalid when
+// every entry sorts before e.
+func (ix *OrderedIndex) seekGE(e oentry) opos {
+	n := ix.root
+	if n == nil {
+		return opos{}
+	}
+	for !n.leaf {
+		ci := sort.Search(len(n.seps), func(i int) bool { return compareEntry(e, n.seps[i]) < 0 })
+		n = n.kids[ci]
+	}
+	pos := sort.Search(len(n.ents), func(j int) bool { return compareEntry(n.ents[j], e) >= 0 })
+	if pos < len(n.ents) {
+		return opos{n, pos}
+	}
+	if n.next != nil {
+		return opos{n.next, 0}
+	}
+	return opos{}
+}
+
+// first returns the leftmost position.
+func (ix *OrderedIndex) first() opos {
+	n := ix.root
+	if n == nil {
+		return opos{}
+	}
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	return opos{n, 0}
+}
+
+// last returns the rightmost position.
+func (ix *OrderedIndex) last() opos {
+	n := ix.root
+	if n == nil {
+		return opos{}
+	}
+	for !n.leaf {
+		n = n.kids[len(n.kids)-1]
+	}
+	return opos{n, len(n.ents) - 1}
+}
+
+// Cursor opens a range scan over [lo, hi] in either direction.
+//
+// Ascending order is (value asc, RowID asc). Descending order is
+// (value desc, RowID asc within each equal-value group): a descending
+// walk emits each group of equal values in ascending-RowID order, so
+// it reproduces exactly a stable descending sort of the heap's arrival
+// order — the contract that lets the engine substitute a backward index
+// walk for ORDER BY ... DESC without changing a single tie.
+//
+// The cursor holds positions into the tree; the index must not be
+// mutated while a cursor is live (the DBMS layer's table S lock
+// guarantees that for the statement's lifetime).
+func (ix *OrderedIndex) Cursor(lo, hi Bound, desc bool) *OrderedCursor {
+	c := &OrderedCursor{ix: ix, lo: lo, hi: hi, desc: desc}
+	if desc {
+		c.initDesc()
+	} else {
+		c.initAsc()
+	}
+	return c
+}
+
+// OrderedCursor walks an ordered-index range; see Cursor.
+type OrderedCursor struct {
+	ix     *OrderedIndex
+	lo, hi Bound
+	desc   bool
+
+	pos opos // ascending: next entry to emit
+	// descending: the current equal-value group [gstart, gend] is
+	// emitted forward from gcur; then the walk steps back before gstart.
+	gstart, gcur, gend opos
+	done               bool
+}
+
+// belowLo reports whether v sorts before the scan's lower bound.
+func (c *OrderedCursor) belowLo(v value.Value) bool {
+	if !c.lo.Set {
+		return false
+	}
+	cmp := schema.CompareSort(v, c.lo.V)
+	return cmp < 0 || (cmp == 0 && !c.lo.Inclusive)
+}
+
+// aboveHi reports whether v sorts after the scan's upper bound.
+func (c *OrderedCursor) aboveHi(v value.Value) bool {
+	if !c.hi.Set {
+		return false
+	}
+	cmp := schema.CompareSort(v, c.hi.V)
+	return cmp > 0 || (cmp == 0 && !c.hi.Inclusive)
+}
+
+func (c *OrderedCursor) initAsc() {
+	if !c.lo.Set {
+		c.pos = c.ix.first()
+		return
+	}
+	probe := oentry{v: c.lo.V, id: math.MinInt64}
+	if !c.lo.Inclusive {
+		probe.id = math.MaxInt64
+	}
+	c.pos = c.ix.seekGE(probe)
+}
+
+func (c *OrderedCursor) initDesc() {
+	var p opos
+	if !c.hi.Set {
+		p = c.ix.last()
+	} else {
+		// The first entry past the bound; its predecessor is the last in
+		// range. An inclusive bound probes past every (V, id) pair, an
+		// exclusive one probes before them.
+		probe := oentry{v: c.hi.V, id: math.MaxInt64}
+		if !c.hi.Inclusive {
+			probe.id = math.MinInt64
+		}
+		if after := c.ix.seekGE(probe); after.valid() {
+			p = after.back()
+		} else {
+			p = c.ix.last()
+		}
+	}
+	if !p.valid() || c.belowLo(p.entry().v) {
+		c.done = true
+		return
+	}
+	c.openGroup(p)
+}
+
+// openGroup positions the cursor on the equal-value group ending at
+// end (inclusive), to be emitted in forward (ascending RowID) order.
+func (c *OrderedCursor) openGroup(end opos) {
+	v := end.entry().v
+	start := end
+	for {
+		p := start.back()
+		if !p.valid() || schema.CompareSort(p.entry().v, v) != 0 {
+			break
+		}
+		start = p
+	}
+	c.gstart, c.gcur, c.gend = start, start, end
+}
+
+// Next returns the next row id in scan order; ok is false at the end
+// of the range.
+func (c *OrderedCursor) Next() (RowID, bool) {
+	if c.done {
+		return 0, false
+	}
+	if !c.desc {
+		if !c.pos.valid() || c.aboveHi(c.pos.entry().v) {
+			c.done = true
+			return 0, false
+		}
+		id := c.pos.entry().id
+		c.pos = c.pos.fwd()
+		return id, true
+	}
+	e := c.gcur.entry()
+	if c.gcur == c.gend {
+		// Group exhausted after this entry: the entry before the group's
+		// start carries the next (smaller) value; bound-check it and open
+		// its group.
+		p := c.gstart.back()
+		if !p.valid() || c.belowLo(p.entry().v) {
+			c.done = true
+		} else {
+			c.openGroup(p)
+		}
+	} else {
+		c.gcur = c.gcur.fwd()
+	}
+	return e.id, true
+}

@@ -65,6 +65,120 @@ func (t *Table) Stats() TableStats {
 	return ts
 }
 
+// statsStaleRows is the minimum mutation count between automatic stats
+// recomputations; larger tables additionally tolerate staleness
+// proportional to their size (an eighth of the rows), so the amortized
+// cost of keeping stats fresh is a small constant per mutation.
+const statsStaleRows = 256
+
+// CachedStats returns statistics that are at most mildly stale: the
+// cached snapshot is reused until the table has seen max(256, rows/8)
+// mutations since it was computed, then recomputed with one scan. The
+// access-path planner consults this on every query, so it must not pay
+// a full scan per query; the tolerated staleness shifts estimates by at
+// most ~12.5%, well inside the cost model's noise. Callers must hold
+// the database latch (any mode) for the duration, like Stats.
+func (t *Table) CachedStats() *TableStats {
+	muts := t.muts.Load()
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.stats != nil {
+		stale := muts - t.statsAt
+		allow := int64(statsStaleRows)
+		if byRows := t.stats.Rows / 8; byRows > allow {
+			allow = byRows
+		}
+		if stale <= allow {
+			return t.stats
+		}
+	}
+	ts := t.Stats()
+	t.stats = &ts
+	t.statsAt = muts
+	return t.stats
+}
+
+// EqFraction estimates the fraction of the table's rows whose column
+// equals some single non-NULL value: the uniform-distribution 1/distinct
+// rule over live statistics, floored so a zero never reaches the cost
+// model.
+func (cs *ColumnStats) EqFraction(rows int64) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	if cs.Distinct > 0 {
+		f := float64(rows-cs.Nulls) / float64(rows) / float64(cs.Distinct)
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	return 0.1
+}
+
+// RangeFraction estimates the fraction of rows falling inside the bound
+// pair by linear interpolation over [Min, Max] for numeric columns (the
+// System-R rule the federation planner also applies), scaled by the
+// column's non-NULL fraction — range predicates never match NULL. A
+// non-numeric or empty column degrades to the classic 1/3 per bounded
+// side.
+func (cs *ColumnStats) RangeFraction(lo, hi Bound, rows int64) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	notNull := float64(rows-cs.Nulls) / float64(rows)
+	mn, ok1 := cs.Min.Float()
+	mx, ok2 := cs.Max.Float()
+	numericCol := ok1 && ok2 && !cs.Min.IsNull() && !cs.Max.IsNull()
+	frac := 1.0
+	interpolated := false
+	if numericCol && mx > mn {
+		loF, hiF := 0.0, 1.0
+		if lo.Set {
+			if v, ok := lo.V.Float(); ok {
+				loF = clamp01((v - mn) / (mx - mn))
+				interpolated = true
+			}
+		}
+		if hi.Set {
+			if v, ok := hi.V.Float(); ok {
+				hiF = clamp01((v - mn) / (mx - mn))
+				interpolated = true
+			}
+		}
+		if interpolated {
+			frac = hiF - loF
+			if frac < 0 {
+				frac = 0
+			}
+			// An equality-tight range still matches ~one value.
+			if frac == 0 && lo.Set && hi.Set && cs.Distinct > 0 {
+				frac = 1 / float64(cs.Distinct)
+			}
+		}
+	}
+	if !interpolated {
+		frac = 1.0
+		if lo.Set {
+			frac /= 3
+		}
+		if hi.Set {
+			frac /= 3
+		}
+	}
+	return clamp01(frac) * notNull
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
 // Col returns the stats for the named column, if present.
 func (ts *TableStats) Col(name string) (ColumnStats, bool) {
 	for _, c := range ts.Columns {

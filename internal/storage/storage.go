@@ -1,16 +1,23 @@
 // Package storage implements the heap-table storage engine used by the
 // component DBMSs: append-only row slots with tombstones, a primary-key
-// hash index, optional secondary hash indexes, and per-column statistics
-// used by the federation's cost-based optimizer.
+// hash index, optional secondary indexes (hash for equality, ordered
+// B+trees for range scans and sort-order delivery), and per-column
+// statistics — computed on demand and cached with bounded staleness —
+// used by the access-path planners. See README.md for the access-method
+// catalog and the ordering contract.
 //
 // The engine is deliberately not thread-safe: concurrency control is the
 // job of the lock manager (internal/lockmgr) driven by the DBMS
 // transaction layer, matching the paper's strict-2PL component DBMSs.
+// (The statistics cache carries its own internal synchronization so
+// concurrent readers under the database latch can share it.)
 package storage
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"myriad/internal/schema"
 	"myriad/internal/value"
@@ -26,8 +33,18 @@ type Table struct {
 
 	rows    []schema.Row // nil entry = tombstone
 	live    int
-	pk      map[string]RowID      // primary-key index (composite keys joined)
-	indexes map[string]*HashIndex // secondary, by lower-cased column name
+	pk      map[string]RowID         // primary-key index (composite keys joined)
+	indexes map[string]*HashIndex    // secondary hash, by lower-cased column name
+	ordered map[string]*OrderedIndex // secondary ordered, by lower-cased column name
+
+	// Statistics cache (see CachedStats). muts counts mutations since
+	// creation and is atomic so readers under the shared database latch
+	// can check staleness against writers; the cache itself is guarded
+	// by statsMu because concurrent readers may race to refill it.
+	muts    atomic.Int64
+	statsMu sync.Mutex
+	stats   *TableStats
+	statsAt int64
 }
 
 // NewTable creates an empty table for the schema (which is validated).
@@ -38,6 +55,7 @@ func NewTable(sc *schema.Schema) (*Table, error) {
 	t := &Table{
 		Schema:  sc.Clone(),
 		indexes: make(map[string]*HashIndex),
+		ordered: make(map[string]*OrderedIndex),
 	}
 	if len(sc.Key) > 0 {
 		t.pk = make(map[string]RowID)
@@ -94,6 +112,11 @@ func (t *Table) Insert(r schema.Row) (RowID, error) {
 		ci := t.Schema.ColIndex(col)
 		ix.add(coerced[ci], id)
 	}
+	for col, ix := range t.ordered {
+		ci := t.Schema.ColIndex(col)
+		ix.add(coerced[ci], id)
+	}
+	t.muts.Add(1)
 	return id, nil
 }
 
@@ -119,6 +142,11 @@ func (t *Table) InsertAt(id RowID, r schema.Row) error {
 		ci := t.Schema.ColIndex(col)
 		ix.add(r[ci], id)
 	}
+	for col, ix := range t.ordered {
+		ci := t.Schema.ColIndex(col)
+		ix.add(r[ci], id)
+	}
+	t.muts.Add(1)
 	return nil
 }
 
@@ -166,8 +194,13 @@ func (t *Table) Delete(id RowID) (schema.Row, error) {
 		ci := t.Schema.ColIndex(col)
 		ix.remove(old[ci], id)
 	}
+	for col, ix := range t.ordered {
+		ci := t.Schema.ColIndex(col)
+		ix.remove(old[ci], id)
+	}
 	t.rows[id] = nil
 	t.live--
+	t.muts.Add(1)
 	return old, nil
 }
 
@@ -203,7 +236,15 @@ func (t *Table) Update(id RowID, r schema.Row) (schema.Row, error) {
 			ix.add(coerced[ci], id)
 		}
 	}
+	for col, ix := range t.ordered {
+		ci := t.Schema.ColIndex(col)
+		if !value.Identical(old[ci], coerced[ci]) {
+			ix.remove(old[ci], id)
+			ix.add(coerced[ci], id)
+		}
+	}
 	t.rows[id] = coerced
+	t.muts.Add(1)
 	return old, nil
 }
 
@@ -257,10 +298,47 @@ func (t *Table) CreateIndex(column string) error {
 	return nil
 }
 
-// Index returns the secondary index on column, if any.
+// Index returns the secondary hash index on column, if any.
 func (t *Table) Index(column string) (*HashIndex, bool) {
 	ix, ok := t.indexes[strings.ToLower(column)]
 	return ix, ok
+}
+
+// CreateOrderedIndex builds an ordered secondary index on the column.
+func (t *Table) CreateOrderedIndex(column string) error {
+	ci := t.Schema.ColIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("storage %s: no column %q", t.Schema.Table, column)
+	}
+	lc := strings.ToLower(t.Schema.Columns[ci].Name)
+	if _, exists := t.ordered[lc]; exists {
+		return fmt.Errorf("storage %s: ordered index on %q already exists", t.Schema.Table, column)
+	}
+	ix := NewOrderedIndex()
+	t.Scan(func(id RowID, r schema.Row) bool {
+		ix.add(r[ci], id)
+		return true
+	})
+	t.ordered[lc] = ix
+	return nil
+}
+
+// OrderedIndex returns the ordered secondary index on column, if any.
+func (t *Table) OrderedIndex(column string) (*OrderedIndex, bool) {
+	ix, ok := t.ordered[strings.ToLower(column)]
+	return ix, ok
+}
+
+// OrderedIndexColumns lists the ordered-indexed columns in schema order
+// (for snapshots and explain output).
+func (t *Table) OrderedIndexColumns() []string {
+	var cols []string
+	for _, c := range t.Schema.Columns {
+		if _, ok := t.ordered[strings.ToLower(c.Name)]; ok {
+			cols = append(cols, c.Name)
+		}
+	}
+	return cols
 }
 
 // HasPK reports whether the table has a primary-key index.

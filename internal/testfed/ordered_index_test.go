@@ -1,0 +1,269 @@
+package testfed
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"myriad/internal/catalog"
+	"myriad/internal/core"
+	"myriad/internal/gateway"
+	"myriad/internal/integration"
+	"myriad/internal/schema"
+	"myriad/internal/value"
+)
+
+// orderedSiteSetup is createT plus an ordered index on v — the site
+// shape PR 5's acceptance federates over.
+var orderedSiteSetup = []string{createT, `CREATE ORDERED INDEX t_v ON t (v)`}
+
+// uniqueVRows builds n (id, v) rows with v unique and shuffled-ish
+// (v = (id*7919) mod 1e9), so range predicates have clean selectivity.
+func uniqueVRows(base, n int) []schema.Row {
+	rows := make([]schema.Row, n)
+	for i := range rows {
+		id := base + i
+		rows[i] = schema.Row{value.NewInt(int64(id)), value.NewInt(int64(id))}
+	}
+	return rows
+}
+
+// orderedTwoSite boots two sites with ordered indexes on v and n rows
+// each (disjoint id=v domains), integrated as R = a.T UNION ALL b.T.
+func orderedTwoSite(t testing.TB, n int, indexed bool) *Fixture {
+	setup := []string{createT}
+	if indexed {
+		setup = orderedSiteSetup
+	}
+	specs := []SiteSpec{
+		{Name: "a", Setup: setup, Exports: []gateway.Export{{Name: "T", LocalTable: "t"}}},
+		{Name: "b", Setup: setup, Exports: []gateway.Export{{Name: "T", LocalTable: "t"}}},
+	}
+	fx := New(t, specs, []*catalog.IntegratedDef{unionDef(integration.UnionAll, "a", "b")})
+	fx.LoadRows(t, "a", "t", uniqueVRows(0, n))
+	fx.LoadRows(t, "b", "t", uniqueVRows(n, n))
+	return fx
+}
+
+// TestFederatedOrderByIndexSortFree: ORDER BY + LIMIT pushdown over
+// ordered-indexed sites runs sort-free end to end — the sites answer
+// from their indexes (no top-K heap, site scans bounded near the
+// LIMIT), the bypass's ordered merge consumes index order with zero
+// re-sort, and nothing spills at any budget.
+func TestFederatedOrderByIndexSortFree(t *testing.T) {
+	const n = 50_000
+	fx := orderedTwoSite(t, n, true)
+	ctx := context.Background()
+
+	beforeA := fx.Site("a").DB.ScannedRows()
+	beforeB := fx.Site("b").DB.ScannedRows()
+	rs, m, err := fx.Fed.QueryMetered(ctx, `SELECT id, v FROM R ORDER BY v LIMIT 100`, core.StrategyCostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 100 {
+		t.Fatalf("%d rows", len(rs.Rows))
+	}
+	for i := 1; i < len(rs.Rows); i++ {
+		if c := schema.CompareSort(rs.Rows[i-1][1], rs.Rows[i][1]); c > 0 {
+			t.Fatalf("row %d out of order", i)
+		}
+	}
+	if m.SpillRuns != 0 {
+		t.Fatalf("SpillRuns = %d", m.SpillRuns)
+	}
+	if !m.ScratchBypassed {
+		t.Fatal("ordered merge did not bypass the scratch engine")
+	}
+	// Each site satisfied ORDER BY v LIMIT 100 from its index: it read
+	// about the limit, not the table (batching rounds up to 256).
+	scanA := fx.Site("a").DB.ScannedRows() - beforeA
+	scanB := fx.Site("b").DB.ScannedRows() - beforeB
+	if scanA > 1024 || scanB > 1024 {
+		t.Fatalf("site scans a=%d b=%d; the index walk should read ~LIMIT rows", scanA, scanB)
+	}
+}
+
+// TestFederatedOrderByIndexNoSpillAtTinyBudget: the same federated
+// ordered query under a 4KB memory budget still spills nothing —
+// there is no sort anywhere to spill — where the unindexed baseline
+// federation must top-K/sort at the sites.
+func TestFederatedOrderByIndexNoSpillAtTinyBudget(t *testing.T) {
+	fx := orderedTwoSite(t, 20_000, true)
+	fx.Fed.MemBudget = 4096
+	fx.Fed.SpillDir = t.TempDir()
+	ctx := context.Background()
+	rs, m, err := fx.Fed.QueryMetered(ctx, `SELECT id, v FROM R ORDER BY v LIMIT 50`, core.StrategyCostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 50 {
+		t.Fatalf("%d rows", len(rs.Rows))
+	}
+	if m.SpillRuns != 0 {
+		t.Fatalf("SpillRuns = %d at 4KB budget", m.SpillRuns)
+	}
+}
+
+// TestFederatedRangeScanScansFraction: a ~1%-selectivity range
+// predicate pushed down to ordered-indexed sites reads well under 5%
+// of each site's table, ScannedRows-verified through the full
+// federated path (plan, wire, fan-in).
+func TestFederatedRangeScanScansFraction(t *testing.T) {
+	const n = 50_000
+	fx := orderedTwoSite(t, n, true)
+	ctx := context.Background()
+
+	beforeA := fx.Site("a").DB.ScannedRows()
+	beforeB := fx.Site("b").DB.ScannedRows()
+	// ids/vs: a holds 0..n-1, b holds n..2n-1. A 500-wide slice of each.
+	sql := fmt.Sprintf(`SELECT id, v FROM R WHERE v >= %d AND v < %d`, n-500, n+500)
+	rs, err := fx.Fed.QueryWith(ctx, sql, core.StrategyCostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1000 {
+		t.Fatalf("%d rows", len(rs.Rows))
+	}
+	scanA := fx.Site("a").DB.ScannedRows() - beforeA
+	scanB := fx.Site("b").DB.ScannedRows() - beforeB
+	if scanA >= n/20 || scanB >= n/20 {
+		t.Fatalf("1%% federated range scanned a=%d b=%d of %d rows (>= 5%%)", scanA, scanB, n)
+	}
+}
+
+// TestOrderedIndexEquivalenceFederated: the equivalence corpus answers
+// row-identically with ordered indexes present at the sites vs absent,
+// under both strategies and every fan-in policy (order-insensitive
+// where the policy legitimately reorders).
+func TestOrderedIndexEquivalenceFederated(t *testing.T) {
+	plain := equivalenceFixture(t)
+	indexed := equivalenceFixtureIndexed(t)
+	ctx := context.Background()
+	for _, policy := range []core.FanInPolicy{core.FanInAuto, core.FanInSourceOrder, core.FanInInterleave, core.FanInMerge} {
+		plain.Fed.FanIn = policy
+		indexed.Fed.FanIn = policy
+		for _, strategy := range []core.Strategy{core.StrategyCostBased, core.StrategySimple} {
+			for _, sql := range equivalenceCorpus {
+				name := fmt.Sprintf("%v/%v/%s", policy, strategy, sql)
+				t.Run(name, func(t *testing.T) {
+					want, err := plain.Fed.QueryWith(ctx, sql, strategy)
+					if err != nil {
+						t.Fatalf("plain: %v", err)
+					}
+					got, err := indexed.Fed.QueryWith(ctx, sql, strategy)
+					if err != nil {
+						t.Fatalf("indexed: %v", err)
+					}
+					if policy == core.FanInInterleave || !strings.Contains(sql, "ORDER BY") {
+						assertSameResultUnordered(t, want, got)
+					} else {
+						assertSameResult(t, want, got)
+					}
+				})
+			}
+		}
+	}
+	plain.Fed.FanIn = core.FanInAuto
+	indexed.Fed.FanIn = core.FanInAuto
+}
+
+// TestExplainShowsPerSiteAccessPath: the federation's \explain (over
+// the real wire protocol: RemoteConn -> gatewayd OpExplain) renders
+// the access path each site's engine chose.
+func TestExplainShowsPerSiteAccessPath(t *testing.T) {
+	fx := orderedTwoSite(t, 1000, true)
+	ctx := context.Background()
+	out, err := fx.Fed.Explain(ctx, `SELECT id, v FROM R WHERE v >= 10 AND v < 20`, core.StrategyCostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"access @a:", "access @b:", "ordered-range"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Without a usable predicate the sites report heap scans.
+	out, err = fx.Fed.Explain(ctx, `SELECT id, v FROM R`, core.StrategyCostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "heap") {
+		t.Fatalf("explain missing heap path:\n%s", out)
+	}
+}
+
+// equivalenceFixtureIndexed is equivalenceFixture with ordered indexes
+// on v (and hash indexes stay absent, as there) at both sites.
+func equivalenceFixtureIndexed(t testing.TB) *Fixture {
+	t.Helper()
+	specs := []SiteSpec{
+		{Name: "a", Dialect: "oracle", Setup: orderedSiteSetup,
+			Exports: []gateway.Export{{Name: "T", LocalTable: "t"}}},
+		{Name: "b", Dialect: "postgres", Setup: orderedSiteSetup,
+			Exports: []gateway.Export{{Name: "T", LocalTable: "t"}}},
+	}
+	defR := unionDef(integration.UnionAll, "a", "b")
+	defD := unionDef(integration.UnionDistinct, "a", "b")
+	defD.Name = "D"
+	defM := unionDef(integration.MergeOuter, "a", "b")
+	defM.Name = "M"
+	defM.Resolvers = map[string]string{"v": "max"}
+	fx := New(t, specs, []*catalog.IntegratedDef{defR, defD, defM})
+	fx.LoadRows(t, "a", "t", genRows(0, 1000))
+	fx.LoadRows(t, "b", "t", append(genRows(0, 300), genRows(1000, 700)...))
+	return fx
+}
+
+// ---------------------------------------------------------------------
+// Benchmarks
+
+// BenchmarkFederatedOrderedMerge: ORDER BY + LIMIT through the
+// federated ordered merge with sites answering from ordered indexes
+// vs the same query over unindexed sites (per-site top-K over the
+// whole table).
+func BenchmarkFederatedOrderedMerge(b *testing.B) {
+	ctx := context.Background()
+	const sql = `SELECT id, v FROM R ORDER BY v LIMIT 100`
+	run := func(b *testing.B, fx *Fixture) {
+		warm(b, fx)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rs, err := fx.Fed.QueryWith(ctx, sql, core.StrategyCostBased)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 100 {
+				b.Fatalf("%d rows", len(rs.Rows))
+			}
+		}
+	}
+	b.Run("indexed-sites", func(b *testing.B) { run(b, orderedTwoSite(b, 50_000, true)) })
+	b.Run("unindexed-sites", func(b *testing.B) { run(b, orderedTwoSite(b, 50_000, false)) })
+}
+
+// BenchmarkFederatedRangeScan: a 1%-selectivity pushed-down range over
+// ordered-indexed sites vs unindexed heap scans.
+func BenchmarkFederatedRangeScan(b *testing.B) {
+	ctx := context.Background()
+	const n = 50_000
+	sql := fmt.Sprintf(`SELECT id, v FROM R WHERE v >= %d AND v < %d`, n-500, n+500)
+	run := func(b *testing.B, fx *Fixture) {
+		warm(b, fx)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rs, err := fx.Fed.QueryWith(ctx, sql, core.StrategyCostBased)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 1000 {
+				b.Fatalf("%d rows", len(rs.Rows))
+			}
+		}
+	}
+	b.Run("indexed-sites", func(b *testing.B) { run(b, orderedTwoSite(b, n, true)) })
+	b.Run("unindexed-sites", func(b *testing.B) { run(b, orderedTwoSite(b, n, false)) })
+}

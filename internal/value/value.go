@@ -254,6 +254,9 @@ func (v Value) Hash() uint64 {
 		h.Write([]byte{0})
 	case KindInt, KindFloat:
 		f, _ := v.Float()
+		if f == 0 {
+			f = 0 // -0.0 is Identical to 0.0; make it hash equal too
+		}
 		var buf [9]byte
 		buf[0] = 1
 		bits := math.Float64bits(f)
@@ -327,7 +330,10 @@ func Arith(op string, a, b Value) (Value, error) {
 	}
 }
 
-// Neg returns the arithmetic negation; NULL negates to NULL.
+// Neg returns the arithmetic negation; NULL negates to NULL. Negating
+// a zero float yields positive zero: SQL has no distinct -0, and IEEE
+// negative zero renders as "-0", which breaks the printer's
+// parse/print fixpoint (found by FuzzParse: "SELECT-0.").
 func Neg(v Value) (Value, error) {
 	switch v.K {
 	case KindNull:
@@ -335,6 +341,9 @@ func Neg(v Value) (Value, error) {
 	case KindInt:
 		return NewInt(-v.I), nil
 	case KindFloat:
+		if v.F == 0 {
+			return NewFloat(0), nil
+		}
 		return NewFloat(-v.F), nil
 	default:
 		return Value{}, fmt.Errorf("value: cannot negate %s", v.K)

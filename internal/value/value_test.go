@@ -321,3 +321,24 @@ func TestEqual(t *testing.T) {
 		t.Error("NULL = 1 should be unknown")
 	}
 }
+
+func TestNegativeZeroNormalized(t *testing.T) {
+	// SQL has no distinct -0: negation of a zero float stays +0 (the
+	// IEEE negative zero renders "-0" and broke the SQL printer's
+	// parse/print fixpoint), and any float -0 that arithmetic produces
+	// still hashes like +0, keeping Hash consistent with Identical.
+	neg, err := Neg(NewFloat(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Text() != "0" {
+		t.Fatalf("Neg(0.0) renders %q", neg.Text())
+	}
+	minusZero := Value{K: KindFloat, F: math.Copysign(0, -1)}
+	if !Identical(minusZero, NewFloat(0)) {
+		t.Fatal("-0.0 not Identical to 0.0")
+	}
+	if minusZero.Hash() != NewFloat(0).Hash() {
+		t.Fatal("-0.0 hashes differently from 0.0")
+	}
+}
