@@ -16,6 +16,10 @@
 //	  "timeout_ms": 2000,           // per-local-query timeout (deadlock knob)
 //	  "setup": ["CREATE TABLE ...", "INSERT INTO ..."],
 //	  "setup_files": ["seed.sql"],
+//	  "data_dir": "/var/lib/myriad/east", // WAL + checkpoints (crash durability)
+//	  "wal_sync": "always",               // always | interval | off
+//	  "checkpoint_bytes": 4194304,        // checkpoint when the WAL outgrows this
+
 //	  "exports": [
 //	    {"name": "STUDENT", "table": "students",
 //	     "columns": [{"export": "id", "local": "sid"}],
@@ -41,6 +45,7 @@ import (
 	"myriad/internal/localdb"
 	"myriad/internal/spill"
 	"myriad/internal/sqlparser"
+	"myriad/internal/wal"
 )
 
 type exportConfig struct {
@@ -64,9 +69,20 @@ type config struct {
 	SetupFiles []string       `json:"setup_files,omitempty"`
 	Exports    []exportConfig `json:"exports"`
 	// Snapshot, when set, is loaded at boot (if present) and written on
-	// graceful shutdown, giving the component database restart
-	// durability.
+	// graceful shutdown — durability only across CLEAN restarts. For
+	// crash durability use data_dir instead; the two are mutually
+	// exclusive.
 	Snapshot string `json:"snapshot,omitempty"`
+	// DataDir makes the component database durable: committed writes go
+	// to a write-ahead log in this directory and boot recovers the
+	// latest checkpoint plus the log tail, surviving kill -9.
+	DataDir string `json:"data_dir,omitempty"`
+	// WALSync is the commit fsync policy: "always" (default — no
+	// acknowledged commit is ever lost), "interval", or "off".
+	WALSync string `json:"wal_sync,omitempty"`
+	// CheckpointBytes triggers a background checkpoint (fresh snapshot,
+	// log truncated) when the WAL outgrows it (0 = never checkpoint).
+	CheckpointBytes int64 `json:"checkpoint_bytes,omitempty"`
 	// StreamBatchRows caps rows per streaming batch frame served to
 	// federations (0 = comm.DefaultBatchRows).
 	StreamBatchRows int `json:"stream_batch_rows,omitempty"`
@@ -115,9 +131,31 @@ func run(configPath string) error {
 		budget = spill.NewBudget(cfg.MemBudgetBytes, cfg.SpillDir)
 		log.Printf("gatewayd: memory budget %d bytes, spilling to %s", cfg.MemBudgetBytes, budget.Dir())
 	}
-	db := localdb.NewWithBudget(cfg.Site, budget)
-
+	if cfg.DataDir != "" && cfg.Snapshot != "" {
+		return fmt.Errorf("config: data_dir and snapshot are mutually exclusive (data_dir subsumes snapshot)")
+	}
+	var db *localdb.DB
 	restored := false
+	if cfg.DataDir != "" {
+		sync, err := wal.ParseSync(cfg.WALSync)
+		if err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+		db, err = localdb.Open(cfg.Site, cfg.DataDir, localdb.DurabilityOptions{
+			Sync: sync, CheckpointBytes: cfg.CheckpointBytes, Budget: budget,
+		})
+		if err != nil {
+			return fmt.Errorf("opening durable database in %s: %w", cfg.DataDir, err)
+		}
+		defer db.Close() //nolint:errcheck
+		// A recovered database already carries its schema and rows.
+		restored = len(db.TableNames()) > 0
+		log.Printf("gatewayd: durable database in %s (wal_sync=%s, checkpoint_bytes=%d, recovered=%v)",
+			cfg.DataDir, sync, cfg.CheckpointBytes, restored)
+	} else {
+		db = localdb.NewWithBudget(cfg.Site, budget)
+	}
+
 	if cfg.Snapshot != "" {
 		if f, err := os.Open(cfg.Snapshot); err == nil {
 			err = db.LoadSnapshot(f)

@@ -272,7 +272,7 @@ func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunne
 		m = &Metrics{}
 	}
 
-	scratch := localdb.NewWithBudget("scratch", budget)
+	scratch := localdb.NewScratch(budget)
 	byAlias := make(map[string]*planner.ScanSet)
 	for _, ss := range plan.ScanSets {
 		if err := scratch.CreateTableDirect(ss.Schema); err != nil {
@@ -945,7 +945,7 @@ func ExecuteMaterialized(ctx context.Context, plan *planner.Plan, runner SiteRun
 // ExecuteMaterializedMetered is ExecuteMaterialized with metrics.
 func ExecuteMaterializedMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schema.ResultSet, *Metrics, error) {
 	m := &Metrics{}
-	scratch := localdb.New("scratch")
+	scratch := localdb.NewScratch(spill.EnvBudget())
 
 	var wave1, wave2 []*planner.ScanSet
 	byAlias := make(map[string]*planner.ScanSet)

@@ -10,9 +10,13 @@
 package localdb
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,6 +26,7 @@ import (
 	"myriad/internal/spill"
 	"myriad/internal/sqlparser"
 	"myriad/internal/storage"
+	"myriad/internal/wal"
 )
 
 // Common error conditions surfaced by the engine.
@@ -56,6 +61,22 @@ type DB struct {
 	// the full-sort path spills sorted runs past it, and GROUP BY
 	// accumulation errors past its grouped allowance. nil = unlimited.
 	budget *spill.Budget
+
+	// Durability state; nil wal = pure in-memory database. See
+	// durable.go for Open, recovery, and the checkpoint protocol.
+	dir        string
+	wal        *wal.Log
+	ckptBytes  int64
+	ckptNotify chan struct{}
+	ckptStop   chan struct{}
+	ckptDone   chan struct{}
+	stopOnce   sync.Once
+	crashed    atomic.Bool
+	// dirtyTxns counts transactions with applied-but-unlogged mutations.
+	// The checkpointer snapshots only when it is zero while holding the
+	// database latch exclusively: at that moment the table state is
+	// exactly the committed state, which is exactly the WAL's content.
+	dirtyTxns atomic.Int64
 }
 
 // ScannedRows reports the total rows heap scans have pulled from
@@ -71,10 +92,42 @@ func New(name string) *DB {
 }
 
 // NewWithBudget is New with an explicit memory budget for the engine's
-// blocking operators (nil = unlimited, never spill). The executor
-// threads its per-query budget into the scratch engine this way, so a
-// federated sort and the integration combiners draw on one account.
+// blocking operators (nil = unlimited, never spill).
+//
+// Like New it honors the MYRIAD_TEST_DURABLE env hook: when set to a
+// checkpoint threshold in bytes, the database is opened WAL-backed in a
+// fresh temp directory with always-fsync commits, so a test run forces
+// every component engine through the durable commit and checkpoint
+// paths without touching call sites. (Scratch engines use NewScratch
+// and are never durable.)
 func NewWithBudget(name string, budget *spill.Budget) *DB {
+	if v := os.Getenv("MYRIAD_TEST_DURABLE"); v != "" {
+		ckpt, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			panic(fmt.Sprintf("localdb: bad MYRIAD_TEST_DURABLE %q: %v", v, err))
+		}
+		dir, err := os.MkdirTemp("", "myriad-durable-*")
+		if err != nil {
+			panic(fmt.Sprintf("localdb: MYRIAD_TEST_DURABLE tempdir: %v", err))
+		}
+		db, err := Open(name, dir, DurabilityOptions{Sync: wal.SyncAlways, CheckpointBytes: ckpt, Budget: budget})
+		if err != nil {
+			panic(fmt.Sprintf("localdb: MYRIAD_TEST_DURABLE open: %v", err))
+		}
+		return db
+	}
+	return newDB(name, budget)
+}
+
+// NewScratch creates the private in-memory engine a single query
+// execution uses for residual evaluation. It bypasses the durable test
+// hook: scratch state is per-query and must never hit disk through the
+// WAL (the spill layer handles its memory bounds). The executor threads
+// its per-query budget in this way, so a federated sort and the
+// integration combiners draw on one account.
+func NewScratch(budget *spill.Budget) *DB { return newDB("scratch", budget) }
+
+func newDB(name string, budget *spill.Budget) *DB {
 	return &DB{
 		name:   name,
 		tables: make(map[string]*storage.Table),
@@ -247,6 +300,38 @@ type Txn struct {
 	mu    sync.Mutex
 	state txnState
 	undo  []undoRec
+	// redo accumulates the WAL ops mirroring undo (new images instead of
+	// old) when the database is durable; it is appended as one commit
+	// record at Commit and discarded on Rollback.
+	redo []wal.Op
+	// dirty marks the transaction as holding applied-but-unlogged
+	// mutations; it contributes to db.dirtyTxns (the checkpointer's
+	// quiescence condition).
+	dirty bool
+}
+
+// record registers one applied row mutation: the undo entry for
+// rollback and, on a durable database, the matching redo op for the
+// commit-time WAL record. Callers hold the database latch exclusively.
+func (tx *Txn) record(u undoRec, op wal.Op) {
+	tx.undo = append(tx.undo, u)
+	if tx.db.wal != nil {
+		tx.redo = append(tx.redo, op)
+	}
+	if !tx.dirty {
+		tx.dirty = true
+		tx.db.dirtyTxns.Add(1)
+	}
+}
+
+// markClean drops the transaction's contribution to the checkpointer's
+// dirty count. Called with tx.mu held, after the WAL append on commit
+// or after undo application on rollback.
+func (tx *Txn) markClean() {
+	if tx.dirty {
+		tx.dirty = false
+		tx.db.dirtyTxns.Add(-1)
+	}
 }
 
 // ID returns the transaction id, used as the branch identifier in 2PC.
@@ -337,15 +422,27 @@ func (tx *Txn) Prepare() error {
 }
 
 // Commit makes the transaction's effects durable and releases locks.
-// Committing from the prepared state is the second phase of 2PC.
+// Committing from the prepared state is the second phase of 2PC. On a
+// durable database the transaction's redo batch is appended to the WAL
+// (and fsynced per the sync policy) as one atomic record BEFORE locks
+// release — the append is the commit point; if it fails the
+// transaction rolls back and the error is returned.
 func (tx *Txn) Commit() error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	if tx.state != txnActive && tx.state != txnPrepared {
 		return ErrTxnDone
 	}
+	if tx.db.wal != nil && len(tx.redo) > 0 {
+		if _, err := tx.db.wal.Append(&wal.Record{Kind: wal.RecCommit, Ops: tx.redo}); err != nil {
+			tx.rollbackLocked()
+			return fmt.Errorf("localdb %s: commit log append: %w", tx.db.name, err)
+		}
+		tx.db.maybeCheckpoint()
+	}
+	tx.markClean()
 	tx.state = txnCommitted
-	tx.undo = nil
+	tx.undo, tx.redo = nil, nil
 	tx.db.lm.ReleaseAll(tx.id)
 	tx.db.forget(tx.id)
 	return nil
@@ -358,6 +455,11 @@ func (tx *Txn) Rollback() {
 	if tx.state == txnCommitted || tx.state == txnAborted {
 		return
 	}
+	tx.rollbackLocked()
+}
+
+// rollbackLocked is Rollback's body; callers hold tx.mu.
+func (tx *Txn) rollbackLocked() {
 	tx.db.latch.Lock()
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
@@ -375,7 +477,8 @@ func (tx *Txn) Rollback() {
 		}
 	}
 	tx.db.latch.Unlock()
-	tx.undo = nil
+	tx.markClean()
+	tx.undo, tx.redo = nil, nil
 	tx.state = txnAborted
 	tx.db.lm.ReleaseAll(tx.id)
 	tx.db.forget(tx.id)
@@ -416,8 +519,45 @@ func (tx *Txn) execCreateTable(ctx context.Context, s *sqlparser.CreateTable) (*
 	if err != nil {
 		return nil, err
 	}
+	if err := tx.db.logDDL(&wal.Record{Kind: wal.RecCreateTable, Table: s.Schema.Table, Schema: encodeSchema(s.Schema)}); err != nil {
+		return nil, err
+	}
 	tx.db.tables[lc] = t
 	return &ExecResult{}, nil
+}
+
+// logDDL appends a DDL record to the WAL at statement execution time
+// (DDL is auto-committing in spirit: it is not undone on rollback, so
+// it is durable the moment it executes). Callers hold the database
+// latch exclusively; no-op on in-memory databases.
+func (db *DB) logDDL(rec *wal.Record) error {
+	if db.wal == nil {
+		return nil
+	}
+	if _, err := db.wal.Append(rec); err != nil {
+		return fmt.Errorf("localdb %s: DDL log append: %w", db.name, err)
+	}
+	db.maybeCheckpoint()
+	return nil
+}
+
+// encodeSchema renders a schema for a WAL create-table record.
+func encodeSchema(sc *schema.Schema) []byte {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(sc); err != nil {
+		// A schema is plain exported data; encoding cannot fail short of
+		// a programming error.
+		panic(fmt.Sprintf("localdb: encoding schema %s: %v", sc.Table, err))
+	}
+	return b.Bytes()
+}
+
+func decodeSchema(raw []byte) (*schema.Schema, error) {
+	var sc schema.Schema
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&sc); err != nil {
+		return nil, fmt.Errorf("localdb: decoding logged schema: %w", err)
+	}
+	return &sc, nil
 }
 
 func (tx *Txn) execDropTable(ctx context.Context, s *sqlparser.DropTable) (*ExecResult, error) {
@@ -429,6 +569,9 @@ func (tx *Txn) execDropTable(ctx context.Context, s *sqlparser.DropTable) (*Exec
 	lc := strings.ToLower(s.Table)
 	if _, exists := tx.db.tables[lc]; !exists {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	if err := tx.db.logDDL(&wal.Record{Kind: wal.RecDropTable, Table: s.Table}); err != nil {
+		return nil, err
 	}
 	delete(tx.db.tables, lc)
 	return &ExecResult{}, nil
@@ -448,9 +591,10 @@ func (tx *Txn) execCreateIndex(ctx context.Context, s *sqlparser.CreateIndex) (*
 		if err := t.CreateOrderedIndex(s.Column); err != nil {
 			return nil, err
 		}
-		return &ExecResult{}, nil
+	} else if err := t.CreateIndex(s.Column); err != nil {
+		return nil, err
 	}
-	if err := t.CreateIndex(s.Column); err != nil {
+	if err := tx.db.logDDL(&wal.Record{Kind: wal.RecCreateIndex, Table: s.Table, Column: s.Column, Ordered: s.Ordered}); err != nil {
 		return nil, err
 	}
 	return &ExecResult{}, nil

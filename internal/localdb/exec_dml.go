@@ -10,6 +10,7 @@ import (
 	"myriad/internal/sqlparser"
 	"myriad/internal/storage"
 	"myriad/internal/value"
+	"myriad/internal/wal"
 )
 
 // execInsert evaluates the VALUES rows (constant expressions) and inserts
@@ -93,11 +94,16 @@ func (tx *Txn) execInsert(ctx context.Context, s *sqlparser.Insert) (*ExecResult
 			for j := 0; j < inserted; j++ {
 				u := tx.undo[len(tx.undo)-1]
 				tx.undo = tx.undo[:len(tx.undo)-1]
+				if len(tx.redo) > 0 {
+					tx.redo = tx.redo[:len(tx.redo)-1]
+				}
 				t.Delete(u.id) //nolint:errcheck
 			}
 			return nil, err
 		}
-		tx.undo = append(tx.undo, undoRec{kind: undoInsert, table: strings.ToLower(s.Table), id: id})
+		lc := strings.ToLower(s.Table)
+		tx.record(undoRec{kind: undoInsert, table: lc, id: id},
+			wal.Op{Kind: wal.OpInsert, Table: lc, Row: int64(id), Vals: row})
 		inserted++
 	}
 	return &ExecResult{RowsAffected: inserted}, nil
@@ -259,7 +265,9 @@ func (tx *Txn) execUpdate(ctx context.Context, s *sqlparser.Update) (*ExecResult
 		if err != nil {
 			return nil, err
 		}
-		tx.undo = append(tx.undo, undoRec{kind: undoUpdate, table: strings.ToLower(s.Table), id: id, old: prev})
+		lc := strings.ToLower(s.Table)
+		tx.record(undoRec{kind: undoUpdate, table: lc, id: id, old: prev},
+			wal.Op{Kind: wal.OpUpdate, Table: lc, Row: int64(id), Vals: t.Get(id)})
 		updated++
 	}
 	return &ExecResult{RowsAffected: updated}, nil
@@ -278,7 +286,9 @@ func (tx *Txn) execDelete(ctx context.Context, s *sqlparser.Delete) (*ExecResult
 		if err != nil {
 			continue
 		}
-		tx.undo = append(tx.undo, undoRec{kind: undoDelete, table: strings.ToLower(s.Table), id: id, old: old})
+		lc := strings.ToLower(s.Table)
+		tx.record(undoRec{kind: undoDelete, table: lc, id: id, old: old},
+			wal.Op{Kind: wal.OpDelete, Table: lc, Row: int64(id)})
 		deleted++
 	}
 	return &ExecResult{RowsAffected: deleted}, nil

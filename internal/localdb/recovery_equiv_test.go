@@ -1,0 +1,227 @@
+package localdb
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"myriad/internal/wal"
+)
+
+// equivEvent is one durable event of the scripted workload: a group of
+// statements run in a single transaction, committed or aborted.
+type equivEvent struct {
+	stmts []string
+	abort bool
+}
+
+// genEquivWorkload produces a deterministic random workload exercising
+// the whole redo surface: DDL (tables, hash and ordered indexes, a
+// drop), inserts with NULLs, PK-rewriting updates, deletes,
+// multi-statement transactions, and aborted transactions.
+func genEquivWorkload(rng *rand.Rand) []equivEvent {
+	evs := []equivEvent{
+		{stmts: []string{`CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT, score FLOAT, active BOOLEAN)`}},
+		{stmts: []string{`CREATE ORDERED INDEX es ON emp (score)`}},
+		{stmts: []string{`CREATE INDEX en ON emp (name)`}},
+		{stmts: []string{`CREATE TABLE scratchpad (id INTEGER PRIMARY KEY, note TEXT)`}},
+		{stmts: []string{`INSERT INTO scratchpad (id, note) VALUES (1, 'doomed')`}},
+		{stmts: []string{`DROP TABLE scratchpad`}},
+	}
+	nextID := 1
+	live := []int{}
+	names := []string{"ada", "bob", "cyd", "dee", "eli"}
+	for i := 0; i < 40; i++ {
+		var stmts []string
+		for j := rng.Intn(3) + 1; j > 0; j-- {
+			switch k := rng.Intn(10); {
+			case k < 5 || len(live) == 0: // insert, sometimes with NULLs
+				name := fmt.Sprintf("'%s'", names[rng.Intn(len(names))])
+				score := fmt.Sprintf("%.1f", float64(rng.Intn(1000))/10)
+				if rng.Intn(5) == 0 {
+					name = "NULL"
+				}
+				if rng.Intn(5) == 0 {
+					score = "NULL"
+				}
+				stmts = append(stmts, fmt.Sprintf(
+					`INSERT INTO emp (id, name, score, active) VALUES (%d, %s, %s, %v)`,
+					nextID, name, score, rng.Intn(2) == 0))
+				live = append(live, nextID)
+				nextID++
+			case k < 7: // non-key update
+				id := live[rng.Intn(len(live))]
+				stmts = append(stmts, fmt.Sprintf(
+					`UPDATE emp SET score = %.1f WHERE id = %d`, float64(rng.Intn(1000))/10, id))
+			case k < 8: // PK-rewriting update
+				id := live[rng.Intn(len(live))]
+				stmts = append(stmts, fmt.Sprintf(
+					`UPDATE emp SET id = %d WHERE id = %d`, nextID, id))
+				for x, v := range live {
+					if v == id {
+						live[x] = nextID
+					}
+				}
+				nextID++
+			default: // delete
+				x := rng.Intn(len(live))
+				stmts = append(stmts, fmt.Sprintf(`DELETE FROM emp WHERE id = %d`, live[x]))
+				live = append(live[:x], live[x+1:]...)
+			}
+		}
+		// Aborted events leave the generator's bookkeeping slightly wrong
+		// (live lists an id the abort discarded, or misses one it kept) —
+		// harmless: later statements on a missing id match zero rows on
+		// BOTH the durable and reference sides, identically.
+		evs = append(evs, equivEvent{stmts: stmts, abort: rng.Intn(5) == 0})
+	}
+	return evs
+}
+
+// runEvent executes one event on db, tolerating statement errors (a
+// generated UPDATE may target a row another path removed; both sides
+// see the identical error because the workload is deterministic).
+func runEvent(t *testing.T, db *DB, ev equivEvent) {
+	t.Helper()
+	tx := db.Begin()
+	failed := false
+	for _, s := range ev.stmts {
+		if _, err := tx.Exec(context.Background(), s); err != nil {
+			failed = true
+			break
+		}
+	}
+	if ev.abort || failed {
+		tx.Rollback()
+		return
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+// TestRecoveryEquivalenceCorpus runs a scripted random workload against
+// a durable database and an in-memory reference model in lockstep,
+// recording the reference's logical digest at every WAL position. It
+// then simulates a crash at EVERY record boundary (and mid-record) by
+// truncating copies of the log, recovers each, and requires the
+// recovered state to match the reference digest for exactly that
+// prefix: recovery is everywhere-equivalent, not just at the tail.
+func TestRecoveryEquivalenceCorpus(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			evs := genEquivWorkload(rng)
+
+			dir := t.TempDir()
+			db := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways})
+			ref := newDB("ref", nil)
+
+			digestAt := map[uint64]string{0: ref.StateDigest()}
+			for _, ev := range evs {
+				runEvent(t, db, ev)
+				runEvent(t, ref, ev)
+				digestAt[db.wal.LastLSN()] = ref.StateDigest()
+			}
+			if got, want := db.StateDigest(), ref.StateDigest(); got != want {
+				t.Fatal("durable and reference diverged before any crash")
+			}
+			db.Crash() // freeze the log exactly as written
+
+			walPath := filepath.Join(dir, walFile)
+			offs, err := wal.ScanOffsets(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(offs) < 20 {
+				t.Fatalf("workload produced only %d records", len(offs))
+			}
+			whole, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			recoverPrefix := func(t *testing.T, cut int64) *DB {
+				t.Helper()
+				cdir := t.TempDir()
+				if err := os.WriteFile(filepath.Join(cdir, walFile), whole[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return durableOpen(t, cdir, DurabilityOptions{Sync: wal.SyncOff})
+			}
+
+			// Crash at every record boundary: prefix of k records must
+			// recover to the reference state after the event that wrote
+			// record k.
+			for k, off := range offs {
+				lsn := uint64(k + 1)
+				want, ok := digestAt[lsn]
+				if !ok {
+					// A multi-record event (none today, but a Load plus DDL
+					// could be): state between an event's records was never
+					// observed; skip.
+					continue
+				}
+				r := recoverPrefix(t, off)
+				got := r.StateDigest()
+				r.Close()
+				if got != want {
+					t.Fatalf("crash after record %d (lsn %d): recovered digest differs", k+1, lsn)
+				}
+			}
+
+			// Crash mid-record: the torn record must vanish entirely —
+			// recovery equals the state one record earlier.
+			for k, off := range offs {
+				prev := int64(0)
+				prevLSN := uint64(k)
+				if k > 0 {
+					prev = offs[k-1]
+				}
+				cut := prev + (off-prev)/2
+				if cut <= prev {
+					continue
+				}
+				want, ok := digestAt[prevLSN]
+				if !ok {
+					continue
+				}
+				r := recoverPrefix(t, cut)
+				got := r.StateDigest()
+				r.Close()
+				if got != want {
+					t.Fatalf("crash mid-record %d: recovered digest not the pre-record state", k+1)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryEquivalenceWithCheckpoints replays the same workload with
+// an aggressive checkpointer so recovery exercises snapshot + log-tail
+// composition rather than pure log replay.
+func TestRecoveryEquivalenceWithCheckpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	evs := genEquivWorkload(rng)
+
+	dir := t.TempDir()
+	db := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways, CheckpointBytes: 512})
+	ref := newDB("ref", nil)
+	for _, ev := range evs {
+		runEvent(t, db, ev)
+		runEvent(t, ref, ev)
+	}
+	want := ref.StateDigest()
+	db.Crash()
+
+	db2 := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways})
+	defer db2.Close()
+	if got := db2.StateDigest(); got != want {
+		t.Fatal("snapshot + log-tail recovery diverged from reference")
+	}
+}

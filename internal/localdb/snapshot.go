@@ -4,6 +4,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"myriad/internal/schema"
@@ -16,17 +19,30 @@ import (
 type snapshot struct {
 	Version int
 	Name    string
-	Tables  []tableSnapshot
+	// LSN is the WAL position the snapshot covers: recovery replays only
+	// log records with a higher LSN. Zero on snapshots of in-memory
+	// databases (every record replays).
+	LSN    uint64
+	Tables []tableSnapshot
 }
 
 type tableSnapshot struct {
-	Schema  *schema.Schema
-	Rows    []schema.Row
+	Schema *schema.Schema
+	Rows   []schema.Row
+	// Slots carries each row's heap slot (parallel to Rows). Restore
+	// places rows at their original RowIDs so WAL records logged after
+	// the snapshot still resolve, and so the recovered heap order —
+	// including RowID tie-breaks in ordered-index walks — is identical
+	// to the snapshotted state. Nil in pre-durability snapshots; rows
+	// then restore compactly.
+	Slots   []int64
 	Indexes []string // secondary hash-index column names
 	Ordered []string // secondary ordered-index column names
 }
 
-const snapshotVersion = 1
+// snapshotVersion 2 adds LSN and Slots; version 1 snapshots (without
+// either) still load.
+const snapshotVersion = 2
 
 // SaveSnapshot writes the database's committed state to w. Concurrent
 // readers are blocked for the duration (the 1994 prototype had no online
@@ -34,12 +50,29 @@ const snapshotVersion = 1
 func (db *DB) SaveSnapshot(w io.Writer) error {
 	db.latch.RLock()
 	defer db.latch.RUnlock()
+	var lsn uint64
+	if db.wal != nil {
+		lsn = db.wal.LastLSN()
+	}
+	return db.encodeSnapshotLocked(w, lsn)
+}
 
-	snap := snapshot{Version: snapshotVersion, Name: db.name}
-	for _, t := range db.tables {
+// encodeSnapshotLocked writes the snapshot to w; callers hold the
+// database latch (any mode). Tables are emitted in sorted-name order so
+// equal states produce equal bytes.
+func (db *DB) encodeSnapshotLocked(w io.Writer, lsn uint64) error {
+	snap := snapshot{Version: snapshotVersion, Name: db.name, LSN: lsn}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := db.tables[n]
 		ts := tableSnapshot{Schema: t.Schema.Clone()}
-		t.Scan(func(_ storage.RowID, r schema.Row) bool {
+		t.Scan(func(id storage.RowID, r schema.Row) bool {
 			ts.Rows = append(ts.Rows, r.Clone())
+			ts.Slots = append(ts.Slots, int64(id))
 			return true
 		})
 		for _, col := range t.Schema.Columns {
@@ -53,36 +86,112 @@ func (db *DB) SaveSnapshot(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
+// SaveSnapshotFile writes the snapshot to path atomically: the bytes go
+// to a temp file in the same directory, are fsynced, and the temp file
+// is renamed over path (with a directory sync). A crash mid-write can
+// leave a stray temp file but never a corrupt or partial snapshot where
+// a loader will look.
+func (db *DB) SaveSnapshotFile(path string) error {
+	db.latch.RLock()
+	defer db.latch.RUnlock()
+	var lsn uint64
+	if db.wal != nil {
+		lsn = db.wal.LastLSN()
+	}
+	return db.writeSnapshotFileLocked(path, lsn)
+}
+
+// writeSnapshotFileLocked performs the atomic temp+fsync+rename write;
+// callers hold the database latch (any mode).
+func (db *DB) writeSnapshotFileLocked(path string, lsn uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.encodeSnapshotLocked(f, lsn); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// A crashed database must stop publishing state: the snapshot must
+	// not become visible after the kill point (see DB.Crash).
+	if db.crashed.Load() {
+		return fmt.Errorf("localdb %s: crashed before snapshot rename", db.name)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // LoadSnapshot replaces the database's contents with the snapshot read
 // from r. It must be called before the database serves transactions.
 func (db *DB) LoadSnapshot(r io.Reader) error {
+	_, err := db.loadSnapshot(r)
+	return err
+}
+
+// loadSnapshot is LoadSnapshot reporting the snapshot's WAL watermark.
+func (db *DB) loadSnapshot(r io.Reader) (uint64, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("localdb: reading snapshot: %w", err)
+		return 0, fmt.Errorf("localdb: reading snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("localdb: snapshot version %d not supported", snap.Version)
+	if snap.Version < 1 || snap.Version > snapshotVersion {
+		return 0, fmt.Errorf("localdb: snapshot version %d not supported", snap.Version)
 	}
 
 	tables := make(map[string]*storage.Table, len(snap.Tables))
 	for _, ts := range snap.Tables {
 		t, err := storage.NewTable(ts.Schema)
 		if err != nil {
-			return fmt.Errorf("localdb: snapshot table %s: %w", ts.Schema.Table, err)
+			return 0, fmt.Errorf("localdb: snapshot table %s: %w", ts.Schema.Table, err)
 		}
-		for _, row := range ts.Rows {
-			if _, err := t.Insert(row); err != nil {
-				return fmt.Errorf("localdb: snapshot row in %s: %w", ts.Schema.Table, err)
+		if len(ts.Slots) > 0 && len(ts.Slots) != len(ts.Rows) {
+			return 0, fmt.Errorf("localdb: snapshot table %s: %d slots for %d rows", ts.Schema.Table, len(ts.Slots), len(ts.Rows))
+		}
+		for i, row := range ts.Rows {
+			if ts.Slots != nil {
+				err = t.ApplyInsert(storage.RowID(ts.Slots[i]), row)
+			} else {
+				_, err = t.Insert(row)
+			}
+			if err != nil {
+				return 0, fmt.Errorf("localdb: snapshot row in %s: %w", ts.Schema.Table, err)
 			}
 		}
 		for _, col := range ts.Indexes {
 			if err := t.CreateIndex(col); err != nil {
-				return fmt.Errorf("localdb: snapshot index on %s.%s: %w", ts.Schema.Table, col, err)
+				return 0, fmt.Errorf("localdb: snapshot index on %s.%s: %w", ts.Schema.Table, col, err)
 			}
 		}
 		for _, col := range ts.Ordered {
 			if err := t.CreateOrderedIndex(col); err != nil {
-				return fmt.Errorf("localdb: snapshot ordered index on %s.%s: %w", ts.Schema.Table, col, err)
+				return 0, fmt.Errorf("localdb: snapshot ordered index on %s.%s: %w", ts.Schema.Table, col, err)
 			}
 		}
 		tables[strings.ToLower(ts.Schema.Table)] = t
@@ -91,5 +200,5 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 	db.latch.Lock()
 	db.tables = tables
 	db.latch.Unlock()
-	return nil
+	return snap.LSN, nil
 }

@@ -150,6 +150,54 @@ func (t *Table) InsertAt(id RowID, r schema.Row) error {
 	return nil
 }
 
+// ApplyInsert places a row at an exact slot, growing the heap with
+// tombstones as needed. WAL replay and slot-preserving snapshot restore
+// use it: committed rows must land on their original RowIDs (slots
+// consumed by uncommitted or aborted transactions stay tombstones) so
+// the recovered heap order — and every RowID-tie-broken ordered-index
+// walk — is identical to the pre-crash committed state. The target slot
+// must not hold a live row.
+func (t *Table) ApplyInsert(id RowID, r schema.Row) error {
+	if id < 0 {
+		return fmt.Errorf("storage %s: negative slot %d", t.Schema.Table, id)
+	}
+	coerced, err := schema.CoerceRow(t.Schema, r)
+	if err != nil {
+		return err
+	}
+	if int(id) < len(t.rows) {
+		if t.rows[id] != nil {
+			return fmt.Errorf("storage %s: slot %d already occupied", t.Schema.Table, id)
+		}
+	} else {
+		for int64(len(t.rows)) <= int64(id) {
+			t.rows = append(t.rows, nil)
+		}
+	}
+	var key string
+	if t.pk != nil {
+		if key, err = t.keyString(coerced); err != nil {
+			return err
+		}
+		if _, dup := t.pk[key]; dup {
+			return fmt.Errorf("storage %s: duplicate primary key %v on replay", t.Schema.Table, key)
+		}
+		t.pk[key] = id
+	}
+	t.rows[id] = coerced
+	t.live++
+	for col, ix := range t.indexes {
+		ci := t.Schema.ColIndex(col)
+		ix.add(coerced[ci], id)
+	}
+	for col, ix := range t.ordered {
+		ci := t.Schema.ColIndex(col)
+		ix.add(coerced[ci], id)
+	}
+	t.muts.Add(1)
+	return nil
+}
+
 // Get returns the row at id, or nil when deleted/out of range.
 func (t *Table) Get(id RowID) schema.Row {
 	if id < 0 || int(id) >= len(t.rows) {

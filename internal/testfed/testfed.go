@@ -24,6 +24,7 @@ import (
 	"myriad/internal/planner"
 	"myriad/internal/schema"
 	"myriad/internal/sqlparser"
+	"myriad/internal/wal"
 )
 
 // SiteSpec declares one component site of the fixture.
@@ -37,6 +38,14 @@ type SiteSpec struct {
 	Faulty bool
 	// Timeout is the gateway's per-query default timeout (0 = none).
 	Timeout time.Duration
+	// DataDir makes the site durable (WAL-backed in this directory);
+	// durable sites support Kill (hard crash) and Restart. Setup is
+	// skipped on restart when recovered tables exist.
+	DataDir string
+	// WALSync is the durable site's fsync policy (zero = always).
+	WALSync wal.Sync
+	// CheckpointBytes enables the durable site's background checkpointer.
+	CheckpointBytes int64
 }
 
 // Site is one running component site.
@@ -47,6 +56,8 @@ type Site struct {
 	Srv   *comm.Server
 	Addr  string // the comm server's own address
 	Proxy *Proxy // non-nil when the spec was Faulty
+
+	spec SiteSpec // retained for Restart
 }
 
 // Fixture is a running federation over in-process TCP sites.
@@ -61,42 +72,8 @@ type Fixture struct {
 func New(t testing.TB, specs []SiteSpec, integrated []*catalog.IntegratedDef) *Fixture {
 	t.Helper()
 	fx := &Fixture{Fed: core.New("testfed"), sites: make(map[string]*Site)}
-	ctx := context.Background()
 	for _, spec := range specs {
-		d, err := dialect.ForName(spec.Dialect)
-		if err != nil {
-			t.Fatalf("testfed: site %s: %v", spec.Name, err)
-		}
-		db := localdb.New(spec.Name)
-		for _, sql := range spec.Setup {
-			if _, err := db.Exec(ctx, sql); err != nil {
-				t.Fatalf("testfed: site %s setup %q: %v", spec.Name, sql, err)
-			}
-		}
-		gw := gateway.New(spec.Name, db, d)
-		gw.DefaultTimeout = spec.Timeout
-		for _, e := range spec.Exports {
-			if err := gw.DefineExport(e); err != nil {
-				t.Fatalf("testfed: site %s: %v", spec.Name, err)
-			}
-		}
-		srv := comm.NewServer(gw)
-		addr, err := srv.Listen("127.0.0.1:0")
-		if err != nil {
-			t.Fatalf("testfed: site %s listen: %v", spec.Name, err)
-		}
-		site := &Site{Name: spec.Name, DB: db, GW: gw, Srv: srv, Addr: addr}
-		dialAddr := addr
-		if spec.Faulty {
-			site.Proxy = NewProxy(t, addr)
-			dialAddr = site.Proxy.Addr()
-		}
-		conn := gateway.DialRemote(spec.Name, dialAddr, 4)
-		if err := fx.Fed.AttachSite(ctx, conn); err != nil {
-			t.Fatalf("testfed: attaching %s: %v", spec.Name, err)
-		}
-		fx.sites[spec.Name] = site
-		t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+		fx.bootSite(t, spec)
 	}
 	for _, def := range integrated {
 		if err := fx.Fed.DefineIntegrated(def); err != nil {
@@ -104,6 +81,96 @@ func New(t testing.TB, specs []SiteSpec, integrated []*catalog.IntegratedDef) *F
 		}
 	}
 	return fx
+}
+
+// bootSite starts (or, after Kill, restarts) one site and attaches it
+// to the federation.
+func (fx *Fixture) bootSite(t testing.TB, spec SiteSpec) *Site {
+	t.Helper()
+	ctx := context.Background()
+	d, err := dialect.ForName(spec.Dialect)
+	if err != nil {
+		t.Fatalf("testfed: site %s: %v", spec.Name, err)
+	}
+	var db *localdb.DB
+	if spec.DataDir != "" {
+		db, err = localdb.Open(spec.Name, spec.DataDir, localdb.DurabilityOptions{
+			Sync: spec.WALSync, CheckpointBytes: spec.CheckpointBytes,
+		})
+		if err != nil {
+			t.Fatalf("testfed: site %s open %s: %v", spec.Name, spec.DataDir, err)
+		}
+		t.Cleanup(func() { db.Close() }) //nolint:errcheck
+	} else {
+		db = localdb.New(spec.Name)
+	}
+	// A recovered site already has its schema and rows; re-running Setup
+	// would fail on the existing tables (and double the seed rows).
+	if len(db.TableNames()) == 0 {
+		for _, sql := range spec.Setup {
+			if _, err := db.Exec(ctx, sql); err != nil {
+				t.Fatalf("testfed: site %s setup %q: %v", spec.Name, sql, err)
+			}
+		}
+	}
+	gw := gateway.New(spec.Name, db, d)
+	gw.DefaultTimeout = spec.Timeout
+	for _, e := range spec.Exports {
+		if err := gw.DefineExport(e); err != nil {
+			t.Fatalf("testfed: site %s: %v", spec.Name, err)
+		}
+	}
+	srv := comm.NewServer(gw)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("testfed: site %s listen: %v", spec.Name, err)
+	}
+	site := &Site{Name: spec.Name, DB: db, GW: gw, Srv: srv, Addr: addr, spec: spec}
+	dialAddr := addr
+	if spec.Faulty {
+		site.Proxy = NewProxy(t, addr)
+		dialAddr = site.Proxy.Addr()
+	}
+	conn := gateway.DialRemote(spec.Name, dialAddr, 4)
+	if err := fx.Fed.AttachSite(ctx, conn); err != nil {
+		t.Fatalf("testfed: attaching %s: %v", spec.Name, err)
+	}
+	fx.sites[spec.Name] = site
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	return site
+}
+
+// Kill hard-crashes a durable site, kill -9 style: the TCP server stops
+// mid-whatever, buffered WAL bytes are discarded, no shutdown hooks
+// run. The federation still lists the site; queries against it fail
+// until Restart.
+func (fx *Fixture) Kill(t testing.TB, name string) {
+	t.Helper()
+	s := fx.Site(name)
+	if s.spec.DataDir == "" {
+		t.Fatalf("testfed: Kill(%s): site is not durable (no DataDir)", name)
+	}
+	s.Srv.Close() //nolint:errcheck
+	if s.Proxy != nil {
+		s.Proxy.Close()
+	}
+	s.DB.Crash()
+}
+
+// Restart recovers a killed durable site from its data directory —
+// snapshot plus WAL-tail replay — serves it on a fresh port, and
+// re-attaches it to the federation. The returned site replaces the old
+// one in the fixture.
+func (fx *Fixture) Restart(t testing.TB, name string) *Site {
+	t.Helper()
+	old := fx.Site(name)
+	if old.spec.DataDir == "" {
+		t.Fatalf("testfed: Restart(%s): site is not durable (no DataDir)", name)
+	}
+	fx.Fed.DetachSite(name)
+	site := fx.bootSite(t, old.spec)
+	fx.Fed.InvalidateStats()
+	return site
 }
 
 // Site returns the named running site.

@@ -1,0 +1,258 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"myriad/internal/value"
+)
+
+// Record payload encoding (everything after the frame header):
+//
+//	uvarint LSN
+//	byte    kind
+//	commit:       uvarint nops, then per op:
+//	                byte opkind; string table; uvarint slot;
+//	                insert/update additionally: row
+//	createTable:  string table; bytes schema
+//	dropTable:    string table
+//	createIndex:  string table; string column; byte ordered
+//
+// where string/bytes = uvarint length + raw bytes, and a row =
+// uvarint ncols followed by one value each: byte kind tag, then
+// nothing (NULL), zigzag varint (INTEGER), 8-byte LE IEEE bits
+// (FLOAT), string (TEXT), or one byte (BOOLEAN).
+
+// Value tags in the row encoding. Distinct from value.Kind so the
+// on-disk format does not silently shift if the in-memory enum does.
+const (
+	tagNull  byte = 0
+	tagInt   byte = 1
+	tagFloat byte = 2
+	tagText  byte = 3
+	tagBool  byte = 4
+)
+
+func encodeRecord(r *Record) []byte {
+	b := binary.AppendUvarint(nil, r.LSN)
+	b = append(b, byte(r.Kind))
+	switch r.Kind {
+	case RecCommit:
+		b = binary.AppendUvarint(b, uint64(len(r.Ops)))
+		for i := range r.Ops {
+			op := &r.Ops[i]
+			b = append(b, byte(op.Kind))
+			b = appendString(b, op.Table)
+			b = binary.AppendUvarint(b, uint64(op.Row))
+			if op.Kind != OpDelete {
+				b = binary.AppendUvarint(b, uint64(len(op.Vals)))
+				for _, v := range op.Vals {
+					b = appendValue(b, v)
+				}
+			}
+		}
+	case RecCreateTable:
+		b = appendString(b, r.Table)
+		b = binary.AppendUvarint(b, uint64(len(r.Schema)))
+		b = append(b, r.Schema...)
+	case RecDropTable:
+		b = appendString(b, r.Table)
+	case RecCreateIndex:
+		b = appendString(b, r.Table)
+		b = appendString(b, r.Column)
+		if r.Ordered {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v value.Value) []byte {
+	switch v.K {
+	case value.KindInt:
+		b = append(b, tagInt)
+		return binary.AppendVarint(b, v.I)
+	case value.KindFloat:
+		b = append(b, tagFloat)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
+	case value.KindText:
+		b = append(b, tagText)
+		return appendString(b, v.S)
+	case value.KindBool:
+		b = append(b, tagBool)
+		if v.B {
+			return append(b, 1)
+		}
+		return append(b, 0)
+	default:
+		return append(b, tagNull)
+	}
+}
+
+// decoder reads the payload with bounds checks everywhere; it never
+// panics on adversarial input (FuzzWALReplay's contract) and never
+// allocates more than the payload's own length.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("wal: truncated uvarint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("wal: truncated varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("wal: truncated payload at %d", d.off)
+		return 0
+	}
+	c := d.b[d.off]
+	d.off++
+	return c
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("wal: %d-byte field overruns payload at %d", n, d.off)
+		return nil
+	}
+	s := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) string() string { return string(d.bytes()) }
+
+func (d *decoder) value() value.Value {
+	switch tag := d.byte(); tag {
+	case tagNull:
+		return value.Null()
+	case tagInt:
+		return value.NewInt(d.varint())
+	case tagFloat:
+		if d.err != nil {
+			return value.Null()
+		}
+		if len(d.b)-d.off < 8 {
+			d.fail("wal: truncated float at %d", d.off)
+			return value.Null()
+		}
+		bits := binary.LittleEndian.Uint64(d.b[d.off:])
+		d.off += 8
+		return value.NewFloat(math.Float64frombits(bits))
+	case tagText:
+		return value.NewText(d.string())
+	case tagBool:
+		return value.NewBool(d.byte() != 0)
+	default:
+		d.fail("wal: unknown value tag %d at %d", tag, d.off)
+		return value.Null()
+	}
+}
+
+func decodeRecord(payload []byte) (*Record, error) {
+	d := &decoder{b: payload}
+	rec := &Record{LSN: d.uvarint(), Kind: RecordKind(d.byte())}
+	switch rec.Kind {
+	case RecCommit:
+		nops := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		// Each op is at least 3 bytes; an absurd count is corruption, not
+		// an allocation request.
+		if nops > uint64(len(payload)) {
+			return nil, fmt.Errorf("wal: op count %d exceeds payload", nops)
+		}
+		rec.Ops = make([]Op, 0, nops)
+		for i := uint64(0); i < nops && d.err == nil; i++ {
+			op := Op{Kind: OpKind(d.byte()), Table: d.string()}
+			slot := d.uvarint()
+			if slot > math.MaxInt64 {
+				d.fail("wal: slot %d out of range", slot)
+			}
+			op.Row = int64(slot)
+			switch op.Kind {
+			case OpInsert, OpUpdate:
+				ncols := d.uvarint()
+				if d.err != nil {
+					break
+				}
+				if ncols > uint64(len(payload)) {
+					d.fail("wal: column count %d exceeds payload", ncols)
+					break
+				}
+				op.Vals = make([]value.Value, 0, ncols)
+				for j := uint64(0); j < ncols && d.err == nil; j++ {
+					op.Vals = append(op.Vals, d.value())
+				}
+			case OpDelete:
+			default:
+				d.fail("wal: unknown op kind %d", op.Kind)
+			}
+			rec.Ops = append(rec.Ops, op)
+		}
+	case RecCreateTable:
+		rec.Table = d.string()
+		rec.Schema = append([]byte(nil), d.bytes()...)
+	case RecDropTable:
+		rec.Table = d.string()
+	case RecCreateIndex:
+		rec.Table = d.string()
+		rec.Column = d.string()
+		rec.Ordered = d.byte() != 0
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("wal: %d trailing bytes after record", len(payload)-d.off)
+	}
+	return rec, nil
+}

@@ -1,0 +1,430 @@
+// Package wal implements the write-ahead log that gives a component
+// database restart durability: an append-only file of length-prefixed,
+// CRC32-checksummed records describing committed mutations (row
+// insert/update/delete at explicit heap slots) and DDL (table and index
+// creation/drop). Commits append one record and the log syncs under a
+// configurable policy; recovery loads the latest snapshot and replays
+// the log tail past the snapshot's LSN. A torn or corrupted tail — the
+// normal result of a crash mid-append — is detected by the checksum and
+// truncated: replay stops cleanly at the last whole record, so a
+// half-written commit is never half-applied. See README.md for the
+// record format and the recovery protocol.
+//
+// The Log is safe for concurrent appenders (a mutex serializes the
+// file), but replay happens only inside Open, before the database
+// serves transactions.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"myriad/internal/value"
+)
+
+// RecordKind discriminates the logged operation classes.
+type RecordKind byte
+
+// The record kinds. DDL records are logged at statement execution (DDL
+// is auto-committing in spirit, matching the engine's rollback
+// semantics); RecCommit carries one transaction's whole redo batch so a
+// commit is exactly one atomic log record.
+const (
+	RecCommit      RecordKind = 1
+	RecCreateTable RecordKind = 2
+	RecDropTable   RecordKind = 3
+	RecCreateIndex RecordKind = 4
+)
+
+// OpKind discriminates row operations inside a commit record.
+type OpKind byte
+
+// The row operation kinds.
+const (
+	OpInsert OpKind = 1
+	OpUpdate OpKind = 2
+	OpDelete OpKind = 3
+)
+
+// Op is one row mutation. Row is the explicit heap slot the mutation
+// targets: replay places rows at their original slots, so the recovered
+// heap order (and therefore every RowID-tie-broken index walk) is
+// identical to the pre-crash committed state.
+type Op struct {
+	Kind  OpKind
+	Table string
+	Row   int64
+	Vals  []value.Value // new image for insert/update; nil for delete
+}
+
+// Record is one WAL entry.
+type Record struct {
+	LSN  uint64
+	Kind RecordKind
+
+	Ops []Op // RecCommit
+
+	Table   string // DDL target table
+	Column  string // RecCreateIndex
+	Ordered bool   // RecCreateIndex: ordered (B+tree) vs hash
+	Schema  []byte // RecCreateTable: opaque schema encoding (owned by the caller)
+}
+
+// Sync is the fsync policy applied to appends.
+type Sync int
+
+// The sync policies. SyncAlways fsyncs every append before the commit
+// is acknowledged (no acknowledged commit is ever lost). SyncInterval
+// buffers appends in memory and a background flusher writes+fsyncs
+// every Interval (a crash loses at most the last interval's commits).
+// SyncOff buffers and writes through only on explicit Sync/Close or
+// when the buffer grows large (fastest; durability only on clean
+// shutdown and checkpoints).
+const (
+	SyncAlways Sync = iota
+	SyncInterval
+	SyncOff
+)
+
+// String names the policy as it appears in configuration.
+func (s Sync) String() string {
+	switch s {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Sync(%d)", int(s))
+	}
+}
+
+// ParseSync maps a config string to a policy; "" means SyncAlways (the
+// safe default).
+func ParseSync(s string) (Sync, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "none":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always|interval|off)", s)
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	Sync Sync
+	// Interval is the flush period under SyncInterval (default 50ms).
+	Interval time.Duration
+}
+
+const (
+	// frameHeader is the per-record framing overhead: 4-byte little-endian
+	// payload length + 4-byte CRC32 (IEEE) of the payload.
+	frameHeader = 8
+	// maxRecordLen bounds a single record's payload so a corrupted length
+	// field cannot drive a giant allocation.
+	maxRecordLen = 1 << 28
+	// offFlushBytes is the buffer size past which SyncOff writes through
+	// (without fsync) so an idle log does not pin unbounded memory.
+	offFlushBytes        = 256 << 10
+	defaultFlushInterval = 50 * time.Millisecond
+)
+
+// Log is an open write-ahead log file.
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	opts     Options
+	buf      []byte // appended records not yet written to the file
+	fileSize int64
+	lastLSN  uint64
+	closed   bool
+
+	stop     chan struct{} // interval flusher shutdown
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Open opens (creating if absent) the log at path, replays every whole
+// checksummed record through apply (nil to skip replay), truncates any
+// torn or corrupt tail, and returns the log positioned for appending.
+// A framing anomaly — short header, impossible length, checksum
+// mismatch, undecodable payload, or a non-increasing LSN — marks the
+// end of the valid prefix: everything before it is replayed, everything
+// from it on is discarded. An apply error aborts the open (the file is
+// left untouched).
+func Open(path string, opts Options, apply func(*Record) error) (*Log, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = defaultFlushInterval
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	valid, lastLSN := int64(0), uint64(0)
+	for {
+		rec, end, ok := decodeNext(data, valid, lastLSN)
+		if !ok {
+			break
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				return nil, fmt.Errorf("wal: replaying %s at offset %d (lsn %d): %w", path, valid, rec.LSN, err)
+			}
+		}
+		valid, lastLSN = end, rec.LSN
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	if valid < int64(len(data)) {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{f: f, path: path, opts: opts, fileSize: valid, lastLSN: lastLSN,
+		stop: make(chan struct{}), done: make(chan struct{})}
+	if opts.Sync == SyncInterval {
+		go l.flushLoop()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// decodeNext decodes the record framed at off, reporting its end offset
+// and whether the frame was whole, checksummed, decodable, and
+// LSN-increasing. Any anomaly reports ok=false: the valid prefix ends.
+func decodeNext(data []byte, off int64, prevLSN uint64) (*Record, int64, bool) {
+	rest := data[off:]
+	if len(rest) < frameHeader {
+		return nil, 0, false
+	}
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	crc := binary.LittleEndian.Uint32(rest[4:8])
+	if n == 0 || n > maxRecordLen || int64(n) > int64(len(rest)-frameHeader) {
+		return nil, 0, false
+	}
+	payload := rest[frameHeader : frameHeader+int64(n)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, false
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil || rec.LSN <= prevLSN {
+		return nil, 0, false
+	}
+	return rec, off + frameHeader + int64(n), true
+}
+
+// ScanOffsets returns the end offset of each whole valid record in the
+// log at path, in order. Recovery tests use it to crash a workload "at
+// every record boundary" by truncating copies of the log.
+func ScanOffsets(path string) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var offs []int64
+	off, lsn := int64(0), uint64(0)
+	for {
+		rec, end, ok := decodeNext(data, off, lsn)
+		if !ok {
+			return offs, nil
+		}
+		offs = append(offs, end)
+		off, lsn = end, rec.LSN
+	}
+}
+
+// Append assigns the next LSN to rec, appends it, and applies the sync
+// policy. It returns the assigned LSN. Once Append returns under
+// SyncAlways the record is on stable storage.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log %s is closed", l.path)
+	}
+	rec.LSN = l.lastLSN + 1
+	payload := encodeRecord(rec)
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordLen)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, payload...)
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.flushLocked(true); err != nil {
+			return 0, err
+		}
+	case SyncOff:
+		if len(l.buf) >= offFlushBytes {
+			if err := l.flushLocked(false); err != nil {
+				return 0, err
+			}
+		}
+	}
+	l.lastLSN++
+	return l.lastLSN, nil
+}
+
+// flushLocked writes the buffer through to the file, fsyncing when sync
+// is set. Callers hold l.mu.
+func (l *Log) flushLocked(sync bool) error {
+	if len(l.buf) > 0 {
+		n, err := l.f.Write(l.buf)
+		l.fileSize += int64(n)
+		if err != nil {
+			// A short write leaves a torn tail; recovery truncates it. The
+			// unwritten suffix stays buffered so the error is not silent.
+			l.buf = l.buf[n:]
+			return fmt.Errorf("wal: writing %s: %w", l.path, err)
+		}
+		l.buf = l.buf[:0]
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing %s: %w", l.path, err)
+		}
+	}
+	return nil
+}
+
+func (l *Log) flushLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				l.flushLocked(true) //nolint:errcheck // next Append/Sync surfaces it
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Sync writes any buffered records through and fsyncs.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log %s is closed", l.path)
+	}
+	return l.flushLocked(true)
+}
+
+// Size reports the logical log size: bytes on disk plus buffered bytes.
+// The checkpointer uses it as the truncation trigger.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fileSize + int64(len(l.buf))
+}
+
+// LastLSN reports the LSN of the most recently appended (or replayed)
+// record; 0 means the log is empty and nothing was ever logged.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// AdvanceLSN raises the LSN floor to at least lsn. Recovery calls this
+// with the snapshot's LSN after a checkpoint truncated the log: freshly
+// appended records must keep numbering past the snapshot so replay's
+// "skip records at or below the snapshot LSN" rule stays correct.
+func (l *Log) AdvanceLSN(lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.lastLSN {
+		l.lastLSN = lsn
+	}
+}
+
+// Reset discards the log's contents after a checkpoint: every logged
+// record is covered by the snapshot just written, so the file restarts
+// empty. The LSN sequence is NOT reset — record numbering continues
+// past the snapshot.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log %s is closed", l.path)
+	}
+	l.buf = l.buf[:0]
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fileSize = 0
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log. It is idempotent; closing
+// after CloseNoFlush is a no-op.
+func (l *Log) Close() error {
+	l.stopFlusher()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.flushLocked(true)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// CloseNoFlush closes the log abruptly, DISCARDING buffered records —
+// the in-process equivalent of kill -9: bytes already written to the
+// file survive (they are in the OS page cache), buffered user-space
+// bytes are lost. The crash-recovery tests use it.
+func (l *Log) CloseNoFlush() error {
+	l.stopFlusher()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.buf = nil
+	l.closed = true
+	return l.f.Close()
+}
+
+func (l *Log) stopFlusher() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}

@@ -1,0 +1,384 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"myriad/internal/value"
+)
+
+func testRecords() []*Record {
+	return []*Record{
+		{Kind: RecCreateTable, Table: "emp", Schema: []byte("opaque-schema-bytes")},
+		{Kind: RecCommit, Ops: []Op{
+			{Kind: OpInsert, Table: "emp", Row: 0, Vals: []value.Value{
+				value.NewInt(1), value.NewText("ada"), value.NewFloat(95.5), value.NewBool(true), value.Null(),
+			}},
+			{Kind: OpInsert, Table: "emp", Row: 1, Vals: []value.Value{
+				value.NewInt(-2), value.NewText(""), value.NewFloat(-0.0), value.NewBool(false), value.Null(),
+			}},
+		}},
+		{Kind: RecCreateIndex, Table: "emp", Column: "name", Ordered: true},
+		{Kind: RecCreateIndex, Table: "emp", Column: "score", Ordered: false},
+		{Kind: RecCommit, Ops: []Op{
+			{Kind: OpUpdate, Table: "emp", Row: 1, Vals: []value.Value{
+				value.NewInt(-2), value.NewText("grace"), value.Null(), value.NewBool(true), value.NewText("x"),
+			}},
+			{Kind: OpDelete, Table: "emp", Row: 0},
+		}},
+		{Kind: RecDropTable, Table: "emp"},
+	}
+}
+
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Table != b[i].Table || a[i].Row != b[i].Row {
+			return false
+		}
+		if len(a[i].Vals) != len(b[i].Vals) {
+			return false
+		}
+		for j := range a[i].Vals {
+			if a[i].Vals[j] != b[i].Vals[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func recordsEqual(a, b *Record) bool {
+	return a.LSN == b.LSN && a.Kind == b.Kind && a.Table == b.Table &&
+		a.Column == b.Column && a.Ordered == b.Ordered &&
+		bytes.Equal(a.Schema, b.Schema) && opsEqual(a.Ops, b.Ops)
+}
+
+func replayAll(t *testing.T, path string) []*Record {
+	t.Helper()
+	var got []*Record
+	l, err := Open(path, Options{Sync: SyncAlways}, func(r *Record) error {
+		cp := *r
+		got = append(got, &cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open for replay: %v", err)
+	}
+	l.Close()
+	return got
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for i, rec := range want {
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d: lsn = %d, want %d", i, lsn, i+1)
+		}
+	}
+	if got := l.LastLSN(); got != uint64(len(want)) {
+		t.Fatalf("LastLSN = %d, want %d", got, len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(got[i], want[i]) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords() {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, err := ScanOffsets(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != len(testRecords()) {
+		t.Fatalf("ScanOffsets found %d records, want %d", len(offs), len(testRecords()))
+	}
+
+	// Truncate mid-record: everything before the cut survives, the torn
+	// record disappears, and the file is physically truncated to the
+	// valid prefix.
+	for i, end := range offs {
+		prev := int64(0)
+		if i > 0 {
+			prev = offs[i-1]
+		}
+		cut := prev + (end-prev)/2
+		if cut <= prev {
+			continue
+		}
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, path)
+		if len(got) != i {
+			t.Fatalf("cut at %d (mid-record %d): replayed %d records, want %d", cut, i, len(got), i)
+		}
+		if fi, _ := os.Stat(path); fi.Size() != prev {
+			t.Fatalf("cut at %d: file size %d after open, want truncated to %d", cut, fi.Size(), prev)
+		}
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	for _, rec := range recs {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	whole, _ := os.ReadFile(path)
+	offs, _ := ScanOffsets(path)
+
+	// Flip one payload byte in record 2: records 0-1 replay, the rest of
+	// the log (even though intact) is discarded — replay never skips a
+	// bad record to resume beyond it.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[offs[1]+frameHeader+2] ^= 0x40
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records past corruption, want 2", len(got))
+	}
+}
+
+func TestAppendAfterRecoveryContinuesLSN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(&Record{Kind: RecDropTable, Table: "a"}) //nolint:errcheck
+	l.Append(&Record{Kind: RecDropTable, Table: "b"}) //nolint:errcheck
+	l.Close()
+
+	l2, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.Append(&Record{Kind: RecDropTable, Table: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 {
+		t.Fatalf("post-recovery append lsn = %d, want 3", lsn)
+	}
+	l2.Close()
+
+	got := replayAll(t, path)
+	if len(got) != 3 || got[2].Table != "c" {
+		t.Fatalf("replay after append-after-recovery: %d records", len(got))
+	}
+}
+
+func TestResetKeepsLSNSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(&Record{Kind: RecDropTable, Table: "a"}) //nolint:errcheck
+	l.Append(&Record{Kind: RecDropTable, Table: "b"}) //nolint:errcheck
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Size(); got != 0 {
+		t.Fatalf("Size after Reset = %d, want 0", got)
+	}
+	lsn, err := l.Append(&Record{Kind: RecDropTable, Table: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 {
+		t.Fatalf("append after Reset: lsn = %d, want 3 (sequence continues)", lsn)
+	}
+	l.Close()
+
+	// A reader that knows the snapshot covered LSNs <= 2 sees only c.
+	got := replayAll(t, path)
+	if len(got) != 1 || got[0].LSN != 3 {
+		t.Fatalf("replay after Reset: got %d records (first LSN %d), want 1 at LSN 3", len(got), got[0].LSN)
+	}
+}
+
+func TestAdvanceLSN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.AdvanceLSN(10)
+	if got := l.LastLSN(); got != 10 {
+		t.Fatalf("LastLSN after AdvanceLSN(10) = %d", got)
+	}
+	l.AdvanceLSN(5) // never lowers
+	if got := l.LastLSN(); got != 10 {
+		t.Fatalf("LastLSN after AdvanceLSN(5) = %d, want 10", got)
+	}
+	lsn, _ := l.Append(&Record{Kind: RecDropTable, Table: "a"})
+	if lsn != 11 {
+		t.Fatalf("append after advance: lsn = %d, want 11", lsn)
+	}
+}
+
+func TestCloseNoFlushDiscardsBuffered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(&Record{Kind: RecDropTable, Table: "a"}) //nolint:errcheck
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(&Record{Kind: RecDropTable, Table: "lost"}) //nolint:errcheck
+	l.CloseNoFlush()                                     //nolint:errcheck
+
+	got := replayAll(t, path)
+	if len(got) != 1 || got[0].Table != "a" {
+		t.Fatalf("after CloseNoFlush: replayed %d records, want only the synced one", len(got))
+	}
+}
+
+func TestSyncAlwaysSurvivesCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(&Record{Kind: RecDropTable, Table: "a"}) //nolint:errcheck
+	l.Append(&Record{Kind: RecDropTable, Table: "b"}) //nolint:errcheck
+	l.CloseNoFlush()                                  //nolint:errcheck
+
+	if got := replayAll(t, path); len(got) != 2 {
+		t.Fatalf("SyncAlways after crash: replayed %d records, want 2 (no acked commit lost)", len(got))
+	}
+}
+
+func TestSyncIntervalFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncInterval, Interval: 5 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(&Record{Kind: RecDropTable, Table: "a"}) //nolint:errcheck
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fi, err := os.Stat(path)
+		if err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never wrote the record")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	l.CloseNoFlush() //nolint:errcheck
+	if got := replayAll(t, path); len(got) != 1 {
+		t.Fatalf("after interval flush + crash: replayed %d records, want 1", len(got))
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append(&Record{Kind: RecDropTable, Table: "a"}); err == nil {
+		t.Fatal("Append on closed log succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestParseSync(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Sync
+		err  bool
+	}{
+		{"", SyncAlways, false},
+		{"always", SyncAlways, false},
+		{"Interval", SyncInterval, false},
+		{"off", SyncOff, false},
+		{"none", SyncOff, false},
+		{"sometimes", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSync(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseSync(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestApplyErrorAbortsOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(&Record{Kind: RecDropTable, Table: "a"}) //nolint:errcheck
+	l.Close()
+	before, _ := os.ReadFile(path)
+
+	if _, err := Open(path, Options{}, func(*Record) error {
+		return os.ErrInvalid
+	}); err == nil {
+		t.Fatal("Open with failing apply succeeded")
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed open modified the log file")
+	}
+}
