@@ -45,6 +45,7 @@ import (
 	"myriad/internal/executor"
 	"myriad/internal/fedserver"
 	"myriad/internal/gateway"
+	"myriad/internal/wal"
 )
 
 type siteConfig struct {
@@ -82,6 +83,15 @@ type config struct {
 	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 	// SpillDir is where spill runs are written ("" = OS temp dir).
 	SpillDir string `json:"spill_dir,omitempty"`
+	// CoordinatorLog, when set, is the path of the durable two-phase
+	// commit coordinator log: commit decisions are fsynced before phase
+	// two, and on startup the log replays and unfinished global
+	// transactions are re-driven (undecided abort, decided commit).
+	CoordinatorLog string `json:"coordinator_log,omitempty"`
+	// CoordinatorSync selects the coordinator log's append sync policy
+	// for non-decision records: "always" (default), "interval", "off".
+	// Commit decisions are always fsynced regardless.
+	CoordinatorSync string `json:"coordinator_sync,omitempty"`
 }
 
 func main() {
@@ -153,6 +163,25 @@ func run(configPath string) error {
 			return fmt.Errorf("attaching %s (%s): %w", s.Name, s.Addr, err)
 		}
 		log.Printf("myriadd: attached site %s at %s", s.Name, s.Addr)
+	}
+	if cfg.CoordinatorLog != "" {
+		sync, err := wal.ParseSync(cfg.CoordinatorSync)
+		if err != nil {
+			return fmt.Errorf("config: coordinator_sync: %w", err)
+		}
+		if err := fed.EnableCoordinatorLog(cfg.CoordinatorLog, wal.Options{Sync: sync}); err != nil {
+			return fmt.Errorf("coordinator log: %w", err)
+		}
+		if n := fed.Coordinator().Pending(); n > 0 {
+			log.Printf("myriadd: coordinator log replay found %d unfinished global transaction(s), recovering", n)
+			if err := fed.RecoverGlobal(ctx); err != nil {
+				// Not fatal: a participant may still be down. The entries
+				// stay pending; recovering sites can also pull outcomes
+				// through OpTxnStatus.
+				log.Printf("myriadd: global recovery incomplete: %v", err)
+			}
+		}
+		log.Printf("myriadd: coordinator log at %s (sync=%s)", cfg.CoordinatorLog, sync)
 	}
 	for i := range cfg.Integrated {
 		def, err := cfg.Integrated[i].ToDef()

@@ -51,6 +51,11 @@ const (
 	OpDrop    Op = "drop"    // remove an integrated relation (name in Table)
 	OpCatalog Op = "catalog" // render the federation catalog
 	OpExecAt  Op = "execat"  // DML at one site inside a global txn (site in Table)
+	// OpTxnStatus asks the federation coordinator for a prepared
+	// branch's outcome (site in Table, branch id in TxnID); the answer
+	// — commit/abort/pending — rides Response.Status. Recovering sites
+	// use it to resolve in-doubt branches before releasing locks.
+	OpTxnStatus Op = "txnstatus"
 )
 
 // Request is one protocol message from client to server.
@@ -73,6 +78,7 @@ const (
 	ErrNone    ErrKind = ""
 	ErrGeneric ErrKind = "error"
 	ErrTimeout ErrKind = "timeout" // lock/deadline expiry: presumed deadlock
+	ErrInDoubt ErrKind = "indoubt" // commit decided but not acknowledged everywhere
 )
 
 // Response is one protocol message from server to client.
@@ -84,11 +90,17 @@ type Response struct {
 	Affected int
 	Schemas  []*schema.Schema
 	Stats    *storage.TableStats
+	Status   string // OpTxnStatus: commit | abort | pending
 }
 
 // TimeoutError is the client-side representation of a server-reported
 // timeout (presumed deadlock, per the paper's resolution policy).
 var TimeoutError = errors.New("comm: remote timeout (presumed deadlock)")
+
+// InDoubtError is the client-side representation of a server-reported
+// in-doubt commit: the decision is durable and WILL be applied, but not
+// every participant had acknowledged it when the reply was sent.
+var InDoubtError = errors.New("comm: commit in doubt (decision logged, acknowledgement pending)")
 
 // socketBufferBytes fixes SO_RCVBUF/SO_SNDBUF on every protocol
 // connection. A fixed window turns the transport's backpressure into
@@ -114,6 +126,8 @@ func (r *Response) AsError() error {
 		return nil
 	case ErrTimeout:
 		return fmt.Errorf("%w: %s", TimeoutError, r.Err)
+	case ErrInDoubt:
+		return fmt.Errorf("%w: %s", InDoubtError, r.Err)
 	default:
 		return errors.New(r.Err)
 	}

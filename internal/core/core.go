@@ -28,6 +28,7 @@ import (
 	"myriad/internal/schema"
 	"myriad/internal/sqlparser"
 	"myriad/internal/storage"
+	"myriad/internal/wal"
 )
 
 // Strategy re-exports the optimizer strategy choice.
@@ -52,7 +53,8 @@ type Federation struct {
 	mu    sync.RWMutex
 	conns map[string]gateway.Conn
 
-	coord *gtm.Coordinator
+	coordMu sync.RWMutex
+	coord   *gtm.Coordinator
 
 	statsMu sync.Mutex
 	stats   map[string]*storage.TableStats // "site/export" -> stats
@@ -122,13 +124,64 @@ func (f *Federation) Name() string { return f.name }
 // Catalog exposes the federation's metadata store.
 func (f *Federation) Catalog() *catalog.Catalog { return f.cat }
 
-// Coordinator exposes the global transaction manager (for its stats).
-func (f *Federation) Coordinator() *gtm.Coordinator { return f.coord }
+// Coordinator exposes the global transaction manager (for its stats
+// and recovery operations).
+func (f *Federation) Coordinator() *gtm.Coordinator {
+	f.coordMu.RLock()
+	defer f.coordMu.RUnlock()
+	return f.coord
+}
 
 // SetLocalQueryTimeout sets the timeout attached to each local query
 // submitted to a gateway on behalf of a global transaction — the
 // paper's global-deadlock resolution knob.
-func (f *Federation) SetLocalQueryTimeout(d time.Duration) { f.coord.OpTimeout = d }
+func (f *Federation) SetLocalQueryTimeout(d time.Duration) { f.Coordinator().OpTimeout = d }
+
+// EnableCoordinatorLog attaches a durable coordinator log at path: the
+// two-phase commit decision is fsynced before phase two, and after a
+// restart the same path replays into the pending table (call
+// RecoverGlobal to re-drive what it finds). Enable it before the
+// federation begins global transactions.
+func (f *Federation) EnableCoordinatorLog(path string, opts wal.Options) error {
+	return f.Coordinator().AttachLog(path, opts)
+}
+
+// RecoverGlobal resolves every unfinished global transaction known to
+// the coordinator log: undecided ones abort at every participant,
+// decided ones commit. Call at boot after the sites are attached, and
+// again whenever in-doubt transactions may have become resolvable.
+func (f *Federation) RecoverGlobal(ctx context.Context) error {
+	return f.Coordinator().Recover(ctx)
+}
+
+// RestartCoordinator replaces the coordinator with a fresh one that
+// replays the existing coordinator log — a coordinator crash+restart in
+// process form (the recovery tests pair it with gtm.ArmKill). The old
+// coordinator's log is closed if it still holds it; its per-incarnation
+// stats are lost, exactly as a real restart loses them. Follow with
+// RecoverGlobal to re-drive the unfinished transactions the replay
+// found.
+func (f *Federation) RestartCoordinator(opts wal.Options) error {
+	f.coordMu.Lock()
+	old := f.coord
+	f.coordMu.Unlock()
+	path := old.LogPath()
+	if path == "" {
+		return fmt.Errorf("core: coordinator has no durable log to restart from")
+	}
+	if !old.Killed() {
+		old.Close() //nolint:errcheck
+	}
+	c, err := gtm.NewWithLog(connProvider{f}, path, opts)
+	if err != nil {
+		return fmt.Errorf("core: restarting coordinator: %w", err)
+	}
+	c.OpTimeout = old.OpTimeout
+	f.coordMu.Lock()
+	f.coord = c
+	f.coordMu.Unlock()
+	return nil
+}
 
 // AttachSite registers a component database's gateway connection and
 // imports its export relation schemas into the catalog.
@@ -385,7 +438,7 @@ func (f *Federation) Explain(ctx context.Context, sql string, strategy Strategy)
 // specific sites via ExecSite (updating integrated relations through
 // their mappings is the view-update problem, future work in 1994 and
 // future work here).
-func (f *Federation) Begin() *gtm.Txn { return f.coord.Begin() }
+func (f *Federation) Begin() *gtm.Txn { return f.Coordinator().Begin() }
 
 // Transfer is a convenience for the canonical funds-transfer global
 // transaction used by the banking example and benches: debit at one

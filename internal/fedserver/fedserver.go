@@ -91,8 +91,11 @@ func New(fed *core.Federation) *Server {
 
 func fail(err error) *comm.Response {
 	kind := comm.ErrGeneric
-	if errors.Is(err, gtm.ErrDeadlockAbort) || errors.Is(err, gateway.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, gtm.ErrDeadlockAbort) || errors.Is(err, gateway.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
 		kind = comm.ErrTimeout
+	case errors.Is(err, gtm.ErrInDoubt):
+		kind = comm.ErrInDoubt
 	}
 	return &comm.Response{Err: err.Error(), Kind: kind}
 }
@@ -156,6 +159,11 @@ func (s *Server) Handle(ctx context.Context, req *comm.Request) *comm.Response {
 			txn.Abort(ctx)
 		}
 		return &comm.Response{}
+
+	case comm.OpTxnStatus:
+		// A recovering site asks for a prepared branch's outcome before
+		// releasing its locks (Table = site name, TxnID = branch id).
+		return &comm.Response{Status: s.fed.Coordinator().Status(req.Table, req.TxnID)}
 
 	case comm.OpExplain:
 		sql, strategy := stripStrategy(req.SQL, core.StrategyCostBased)

@@ -440,13 +440,52 @@ func (g *Gateway) Prepare(ctx context.Context, txn uint64) error {
 	return branch.Prepare()
 }
 
-// Commit is 2PC phase two (or a one-phase commit).
+// Commit is 2PC phase two (or a one-phase commit). An unknown branch
+// commits successfully: a yes vote is durable before it is cast, so a
+// recovered site always still knows its prepared branches — a commit
+// arriving for an unknown one means the branch already finished and
+// only the acknowledgement was lost, and re-drives must be idempotent.
 func (g *Gateway) Commit(ctx context.Context, txn uint64) error {
 	branch, ok := g.db.Resume(lockmgr.TxnID(txn))
 	if !ok {
-		return fmt.Errorf("gateway %s: unknown transaction %d", g.site, txn)
+		return nil
 	}
 	return branch.Commit()
+}
+
+// PreparedBranches lists the in-doubt (prepared) branch ids the site's
+// engine recovered, in ascending order.
+func (g *Gateway) PreparedBranches() []uint64 {
+	return g.db.PreparedTxns()
+}
+
+// ResolvePrepared resolves every recovered prepared branch through
+// status — the pull path of in-doubt resolution, for a site that comes
+// back while the coordinator is reachable: StatusCommit commits the
+// branch, StatusAbort rolls it back (releasing its locks), and
+// StatusPending leaves it holding them. The first error stops the walk;
+// already-resolved branches are skipped.
+func (g *Gateway) ResolvePrepared(ctx context.Context, status func(ctx context.Context, branch uint64) (string, error)) error {
+	for _, id := range g.db.PreparedTxns() {
+		branch, ok := g.db.Resume(lockmgr.TxnID(id))
+		if !ok {
+			continue
+		}
+		st, err := status(ctx, id)
+		if err != nil {
+			return fmt.Errorf("gateway %s: resolving branch %d: %w", g.site, id, err)
+		}
+		switch st {
+		case "commit":
+			if err := branch.Commit(); err != nil {
+				return fmt.Errorf("gateway %s: committing resolved branch %d: %w", g.site, id, err)
+			}
+		case "abort":
+			branch.Rollback()
+		default: // pending — the coordinator has not decided; keep waiting
+		}
+	}
+	return nil
 }
 
 // Abort rolls the branch back; it is idempotent and succeeds for

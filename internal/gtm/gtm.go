@@ -4,18 +4,31 @@
 // global schedule under strict 2PL), and the paper's global-deadlock
 // policy — a timeout attached to each local query; expiry is presumed to
 // be a global deadlock and aborts the entire global transaction.
+//
+// Commit durability rides a WAL-backed coordinator log (see log.go and
+// README.md): the commit decision is fsynced before phase two, a
+// restarted coordinator replays the log and re-drives unfinished
+// outcomes, and a recovering participant resolves its prepared branches
+// by asking the coordinator. The transaction state machine
+// (stActive → stPreparing → stCommitting/stAborting → terminal) makes
+// Commit, timeout-driven aborts, and recovery mutually exclusive: once
+// a transaction leaves stActive exactly one party drives it to exactly
+// one terminal state.
 package gtm
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"myriad/internal/gateway"
 	"myriad/internal/schema"
+	"myriad/internal/wal"
 )
 
 // Errors reported by the coordinator.
@@ -29,47 +42,150 @@ var (
 	// ErrPrepareFailed is returned by Commit when a participant voted
 	// no; the transaction has been rolled back everywhere.
 	ErrPrepareFailed = errors.New("gtm: a participant failed to prepare; transaction rolled back")
+	// ErrInDoubt is returned by Commit when the commit decision is
+	// durable but at least one participant has not acknowledged it. The
+	// transaction WILL commit — the decision is logged and resolution
+	// (Coordinator.Recover) re-drives it — but the caller must not
+	// assume every site already applied it.
+	ErrInDoubt = errors.New("gtm: commit decided but not yet acknowledged everywhere")
+	// ErrCoordinatorKilled is returned by Commit when an armed crash
+	// point fired (test instrumentation; see ArmKill).
+	ErrCoordinatorKilled = errors.New("gtm: coordinator killed at crash point")
 )
 
-// ConnProvider resolves a site name to its gateway connection.
+// ConnProvider resolves a site name to its gateway connection. It is
+// consulted afresh for recovery re-drives, so a site restarted at a new
+// address resolves to its new connection.
 type ConnProvider interface {
 	Conn(site string) (gateway.Conn, bool)
 }
 
 // Stats counts transaction outcomes (atomic; safe to read concurrently).
+// Every finished transaction lands in exactly one of Committed,
+// Aborted, or InDoubt; resolving an in-doubt transaction moves it from
+// InDoubt to its final bucket, so Begun == Committed+Aborted+InDoubt
+// holds whenever no transaction is mid-flight.
 type Stats struct {
 	Begun         atomic.Int64
 	Committed     atomic.Int64
 	Aborted       atomic.Int64
 	TimeoutAborts atomic.Int64
 	PrepareNo     atomic.Int64
+	InDoubt       atomic.Int64
 }
+
+// KillPoint names a coordinator crash point for the recovery tests.
+type KillPoint int32
+
+// The crash points. Killing "after prepare" models a coordinator lost
+// between collecting yes votes and logging the decision (recovery must
+// presume abort); "after decision" models one lost between the durable
+// decision and phase two (recovery must re-drive the commit).
+const (
+	KillNone KillPoint = iota
+	KillAfterPrepare
+	KillAfterDecision
+)
+
+// defaultPhaseTimeout bounds each 2PC RPC (prepare, commit, abort, and
+// recovery re-drives) when no OpTimeout is configured, so one stalled
+// site can never pin a commit forever.
+const defaultPhaseTimeout = 30 * time.Second
 
 // Coordinator creates and finishes global transactions for one
 // federation.
 type Coordinator struct {
 	provider ConnProvider
 	// OpTimeout is attached to every local query/update submitted to a
-	// gateway on behalf of a global transaction (paper §2). Zero means
-	// no coordinator-imposed timeout.
+	// gateway on behalf of a global transaction (paper §2), and bounds
+	// each 2PC phase RPC. Zero means no coordinator-imposed timeout on
+	// queries and the default phase timeout on 2PC RPCs.
 	OpTimeout time.Duration
+
+	// TestHookBetweenPhases, when set, runs after the commit decision is
+	// durable and before phase two begins (crash-matrix tests kill a
+	// participant here).
+	TestHookBetweenPhases func()
 
 	nextID atomic.Uint64
 	Stats  Stats
+
+	// pendMu guards pend and log appends (the log itself also locks, but
+	// pend updates must be atomic with their records).
+	pendMu sync.Mutex
+	pend   map[uint64]*pendingGlobal
+	log    *wal.Log
+	path   string
+
+	kill atomic.Int32 // armed KillPoint
+	dead atomic.Bool  // a kill point fired; the coordinator is frozen
 }
 
 // New returns a coordinator resolving sites through provider.
+//
+// It honors the MYRIAD_TEST_DURABLE env hook the way localdb does: when
+// set, the coordinator log is opened in a fresh temp directory with
+// always-fsync appends, so a test run forces every federation through
+// the durable decision-logging path without touching call sites.
 func New(provider ConnProvider) *Coordinator {
-	return &Coordinator{provider: provider}
+	c := &Coordinator{provider: provider, pend: make(map[uint64]*pendingGlobal)}
+	if v := os.Getenv("MYRIAD_TEST_DURABLE"); v != "" {
+		dir, err := os.MkdirTemp("", "myriad-coordlog-*")
+		if err != nil {
+			panic(fmt.Sprintf("gtm: MYRIAD_TEST_DURABLE tempdir: %v", err))
+		}
+		if err := c.AttachLog(filepath.Join(dir, "coord.log"), wal.Options{Sync: wal.SyncAlways}); err != nil {
+			panic(fmt.Sprintf("gtm: MYRIAD_TEST_DURABLE coordinator log: %v", err))
+		}
+	}
+	return c
+}
+
+// NewWithLog returns a coordinator attached to the coordinator log at
+// path, replaying whatever the log holds (skipping the env hook — the
+// caller has chosen its log). Used to restart a coordinator over an
+// existing log after a crash; pair with Recover to re-drive what the
+// replay found unfinished.
+func NewWithLog(provider ConnProvider, path string, opts wal.Options) (*Coordinator, error) {
+	c := &Coordinator{provider: provider, pend: make(map[uint64]*pendingGlobal)}
+	if err := c.AttachLog(path, opts); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 type txnState uint8
 
 const (
 	stActive txnState = iota
+	stPreparing
+	stCommitting
+	stAborting
 	stCommitted
 	stAborted
+	stInDoubt
 )
+
+func (s txnState) String() string {
+	switch s {
+	case stActive:
+		return "active"
+	case stPreparing:
+		return "preparing"
+	case stCommitting:
+		return "committing"
+	case stAborting:
+		return "aborting"
+	case stCommitted:
+		return "committed"
+	case stAborted:
+		return "aborted"
+	case stInDoubt:
+		return "in-doubt"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
 
 // Txn is one global transaction.
 type Txn struct {
@@ -96,6 +212,13 @@ func (c *Coordinator) Begin() *Txn {
 
 // ID returns the global transaction id.
 func (t *Txn) ID() uint64 { return t.id }
+
+// State reports the transaction's lifecycle stage (for tests/metrics).
+func (t *Txn) State() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state.String()
+}
 
 // Sites lists the sites this transaction has touched.
 func (t *Txn) Sites() []string {
@@ -131,14 +254,22 @@ func (t *Txn) branchFor(ctx context.Context, site string) (branch, error) {
 	return br, nil
 }
 
+// doneErr describes why the transaction accepts no further operations;
+// callers hold t.mu.
 func (t *Txn) doneErr() error {
-	if t.timedOut {
-		return ErrDeadlockAbort
-	}
-	if t.state == stAborted {
+	switch t.state {
+	case stAborting, stAborted:
+		if t.timedOut {
+			return ErrDeadlockAbort
+		}
 		return ErrAborted
+	case stInDoubt:
+		return ErrInDoubt
+	case stCommitted:
+		return fmt.Errorf("gtm: transaction %d already committed", t.id)
+	default:
+		return fmt.Errorf("gtm: transaction %d is committing", t.id)
 	}
-	return fmt.Errorf("gtm: transaction %d already committed", t.id)
 }
 
 // opCtx attaches the coordinator's per-local-query timeout.
@@ -149,8 +280,18 @@ func (t *Txn) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(ctx, t.c.OpTimeout)
 }
 
+// phaseTimeout bounds one 2PC RPC.
+func (c *Coordinator) phaseTimeout() time.Duration {
+	if c.OpTimeout > 0 {
+		return c.OpTimeout
+	}
+	return defaultPhaseTimeout
+}
+
 // handleErr aborts the whole global transaction when a local operation
-// timed out — the paper's presumed-deadlock rule.
+// timed out — the paper's presumed-deadlock rule. The abort only takes
+// effect while the transaction is still active: once Commit has begun,
+// a stale timeout cannot roll back branches mid-phase.
 func (t *Txn) handleErr(err error) error {
 	if err == nil {
 		return nil
@@ -194,10 +335,20 @@ func (t *Txn) ExecSite(ctx context.Context, site, sql string) (int, error) {
 	return n, nil
 }
 
-// Commit runs two-phase commit across every touched site: parallel
-// PREPARE, then parallel COMMIT when all vote yes; any no-vote (or
-// prepare error) aborts everywhere and returns ErrPrepareFailed.
-// Transactions that touched one site use one-phase commit.
+// Commit runs two-phase commit across every touched site: the global
+// transaction is registered in the coordinator log, prepared everywhere
+// in parallel, the commit decision is made durable, and then phase two
+// drives the commits. Any no-vote (or prepare error) aborts everywhere
+// and returns ErrPrepareFailed. A phase-two failure leaves the
+// transaction in-doubt (ErrInDoubt): the durable decision guarantees it
+// will commit once resolution reaches the participant. Transactions
+// that touched at most one site use one-phase commit.
+//
+// Commit is mutually exclusive with timeout-driven aborts: the
+// stActive→stPreparing transition claims the transaction, after which
+// abortInternal is a no-op, so a concurrent local timeout can no longer
+// roll back branches mid-phase and the outcome Commit reports is the
+// outcome that happened.
 func (t *Txn) Commit(ctx context.Context) error {
 	t.mu.Lock()
 	if t.state != stActive {
@@ -205,6 +356,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 		t.mu.Unlock()
 		return err
 	}
+	t.state = stPreparing
 	branches := make(map[string]branch, len(t.branches))
 	for s, b := range t.branches {
 		branches[s] = b
@@ -212,20 +364,16 @@ func (t *Txn) Commit(ctx context.Context) error {
 	t.mu.Unlock()
 
 	if len(branches) <= 1 {
-		for site, br := range branches {
-			if err := br.conn.Commit(ctx, br.id); err != nil {
-				t.abortInternal(false)
-				return fmt.Errorf("gtm: one-phase commit at %s: %w", site, err)
-			}
-		}
-		t.mu.Lock()
-		t.state = stCommitted
-		t.mu.Unlock()
-		t.c.Stats.Committed.Add(1)
-		return nil
+		return t.commitOnePhase(ctx, branches)
 	}
 
-	// Phase one: prepare everywhere in parallel.
+	if err := t.c.logBegin(t, branches); err != nil {
+		t.finishAbort(branches, false)
+		return fmt.Errorf("gtm: coordinator log: %w", err)
+	}
+
+	// Phase one: prepare everywhere in parallel, each RPC bounded so a
+	// stalled site turns into a vote-no instead of an eternal hang.
 	type vote struct {
 		site string
 		err  error
@@ -233,7 +381,9 @@ func (t *Txn) Commit(ctx context.Context) error {
 	votes := make(chan vote, len(branches))
 	for site, br := range branches {
 		go func(site string, br branch) {
-			votes <- vote{site: site, err: br.conn.Prepare(ctx, br.id)}
+			pctx, cancel := context.WithTimeout(ctx, t.c.phaseTimeout())
+			defer cancel()
+			votes <- vote{site: site, err: br.conn.Prepare(pctx, br.id)}
 		}(site, br)
 	}
 	var prepareErr error
@@ -245,12 +395,37 @@ func (t *Txn) Commit(ctx context.Context) error {
 	}
 	if prepareErr != nil {
 		t.c.Stats.PrepareNo.Add(1)
-		t.abortInternal(false)
+		t.finishAbort(branches, false)
 		return fmt.Errorf("%w (%v)", ErrPrepareFailed, prepareErr)
 	}
 
-	// Phase two: commit everywhere in parallel. Participants promised
-	// to commit after a successful prepare.
+	if t.c.killAt(KillAfterPrepare) {
+		return ErrCoordinatorKilled
+	}
+
+	// The decision: one fsynced record is the commit point. If it cannot
+	// be made durable the transaction aborts — participants are prepared
+	// and will hear the abort (or presume it).
+	if err := t.c.logDecision(t.id); err != nil {
+		t.finishAbort(branches, false)
+		return fmt.Errorf("gtm: logging commit decision: %w", err)
+	}
+
+	if t.c.killAt(KillAfterDecision) {
+		return ErrCoordinatorKilled
+	}
+	if hook := t.c.TestHookBetweenPhases; hook != nil {
+		hook()
+	}
+
+	t.mu.Lock()
+	t.state = stCommitting
+	t.mu.Unlock()
+
+	// Phase two: commit everywhere in parallel. Participants promised to
+	// commit after a successful prepare. The decision is already made,
+	// so the caller's context no longer governs: each RPC runs on a
+	// fresh bounded context.
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var commitErr error
@@ -258,58 +433,163 @@ func (t *Txn) Commit(ctx context.Context) error {
 		wg.Add(1)
 		go func(site string, br branch) {
 			defer wg.Done()
-			if err := br.conn.Commit(ctx, br.id); err != nil {
+			pctx, cancel := context.WithTimeout(context.Background(), t.c.phaseTimeout())
+			defer cancel()
+			if err := br.conn.Commit(pctx, br.id); err != nil {
 				mu.Lock()
 				if commitErr == nil {
-					commitErr = fmt.Errorf("gtm: phase-two commit at %s: %w", site, err)
+					commitErr = fmt.Errorf("phase-two commit at %s: %w", site, err)
 				}
 				mu.Unlock()
 			}
 		}(site, br)
 	}
 	wg.Wait()
+	if commitErr != nil {
+		// In-doubt: the decision is durable but not acknowledged
+		// everywhere. The pending entry survives (Recover re-drives it);
+		// the transaction is NOT counted committed.
+		t.mu.Lock()
+		t.state = stInDoubt
+		t.mu.Unlock()
+		t.c.Stats.InDoubt.Add(1)
+		return fmt.Errorf("%w: %v", ErrInDoubt, commitErr)
+	}
+	t.c.logEnd(t.id)
 	t.mu.Lock()
 	t.state = stCommitted
 	t.mu.Unlock()
 	t.c.Stats.Committed.Add(1)
-	return commitErr
+	return nil
 }
 
-// Abort rolls back every branch. It is idempotent.
+// commitOnePhase commits a transaction that touched at most one site:
+// no prepare, no coordinator log record — the single participant's own
+// WAL is the commit point. A failure reports the transaction aborted
+// (with a single site there is no prepared state to resolve; a commit
+// whose acknowledgement was lost is the classic one-phase ambiguity and
+// surfaces as the returned error).
+func (t *Txn) commitOnePhase(ctx context.Context, branches map[string]branch) error {
+	for site, br := range branches {
+		pctx, cancel := context.WithTimeout(ctx, t.c.phaseTimeout())
+		err := br.conn.Commit(pctx, br.id)
+		cancel()
+		if err != nil {
+			t.finishAbort(branches, false)
+			return fmt.Errorf("gtm: one-phase commit at %s: %w", site, err)
+		}
+	}
+	t.mu.Lock()
+	t.state = stCommitted
+	t.mu.Unlock()
+	t.c.Stats.Committed.Add(1)
+	return nil
+}
+
+// Abort rolls back every branch. It is idempotent, and a no-op once
+// Commit has claimed the transaction.
 func (t *Txn) Abort(ctx context.Context) {
 	t.abortInternal(false)
 }
 
+// abortInternal aborts an ACTIVE transaction (local timeouts and
+// explicit Abort). Any other state is someone else's transaction to
+// finish: Commit past stActive owns the outcome, and a terminal state
+// is final.
 func (t *Txn) abortInternal(timeout bool) {
 	t.mu.Lock()
 	if t.state != stActive {
 		t.mu.Unlock()
 		return
 	}
-	t.state = stAborted
+	t.state = stAborting
 	t.timedOut = timeout
 	branches := make(map[string]branch, len(t.branches))
 	for s, b := range t.branches {
 		branches[s] = b
 	}
 	t.mu.Unlock()
+	t.finishAbortClaimed(branches, timeout)
+}
 
+// finishAbort drives an abort from inside Commit (prepare failure or a
+// log error); Commit already owns the transaction.
+func (t *Txn) finishAbort(branches map[string]branch, timeout bool) {
+	t.mu.Lock()
+	t.state = stAborting
+	t.timedOut = timeout
+	t.mu.Unlock()
+	t.finishAbortClaimed(branches, timeout)
+}
+
+// finishAbortClaimed rolls back every branch and records the terminal
+// state; the caller has already moved the transaction to stAborting.
+func (t *Txn) finishAbortClaimed(branches map[string]branch, timeout bool) {
 	var wg sync.WaitGroup
+	var acked atomic.Bool
+	acked.Store(true)
 	for _, br := range branches {
 		wg.Add(1)
 		go func(br branch) {
 			defer wg.Done()
 			// Abort must not be blocked by the failed operation's
 			// context; use a fresh, bounded one.
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			ctx, cancel := context.WithTimeout(context.Background(), t.c.phaseTimeout())
 			defer cancel()
-			br.conn.Abort(ctx, br.id) //nolint:errcheck // best-effort rollback
+			if err := br.conn.Abort(ctx, br.id); err != nil {
+				acked.Store(false)
+			}
 		}(br)
 	}
 	wg.Wait()
+	t.mu.Lock()
+	t.state = stAborted
+	t.mu.Unlock()
 	t.c.Stats.Aborted.Add(1)
 	if timeout {
 		t.c.Stats.TimeoutAborts.Add(1)
+	}
+	// The global transaction is finished only if every participant heard
+	// the abort; otherwise the pending entry stays for Recover to
+	// re-drive (an unresolved participant holds locks until then, or
+	// presumes abort when it recovers and finds no decision).
+	if acked.Load() {
+		t.c.logEnd(t.id)
+	}
+}
+
+// resolveInDoubt moves an in-doubt transaction to its final state after
+// resolution re-drove the decision successfully.
+func (t *Txn) resolveInDoubt(commit bool) {
+	t.mu.Lock()
+	if t.state != stInDoubt {
+		t.mu.Unlock()
+		return
+	}
+	if commit {
+		t.state = stCommitted
+	} else {
+		t.state = stAborted
+	}
+	t.mu.Unlock()
+	t.c.Stats.InDoubt.Add(-1)
+	if commit {
+		t.c.Stats.Committed.Add(1)
+	} else {
+		t.c.Stats.Aborted.Add(1)
+	}
+}
+
+// driving reports whether the transaction's own Commit/Abort call is
+// still in charge of its outcome (resolution must keep hands off).
+func (t *Txn) driving() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.state {
+	case stActive, stPreparing, stCommitting, stAborting:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -319,3 +599,27 @@ func (t *Txn) Active() bool {
 	defer t.mu.Unlock()
 	return t.state == stActive
 }
+
+// ArmKill arms a crash point: the next Commit reaching it freezes the
+// coordinator — the log is closed without flushing (kill -9 semantics)
+// and Commit returns ErrCoordinatorKilled with branches left exactly as
+// the protocol had them. Test instrumentation for the crash matrix.
+func (c *Coordinator) ArmKill(p KillPoint) { c.kill.Store(int32(p)) }
+
+// killAt fires an armed crash point.
+func (c *Coordinator) killAt(p KillPoint) bool {
+	if p == KillNone || KillPoint(c.kill.Load()) != p {
+		return false
+	}
+	c.kill.Store(int32(KillNone))
+	c.dead.Store(true)
+	c.pendMu.Lock()
+	if c.log != nil {
+		c.log.CloseNoFlush() //nolint:errcheck
+	}
+	c.pendMu.Unlock()
+	return true
+}
+
+// Killed reports whether a crash point fired.
+func (c *Coordinator) Killed() bool { return c.dead.Load() }

@@ -24,6 +24,14 @@ type fakeConn struct {
 
 	failPrepare bool
 	failExec    error
+	failCommit  error
+	// stallPrepare makes Prepare block until its context expires — a
+	// wedged participant, from the coordinator's point of view.
+	stallPrepare bool
+	// prepareStarted (closed on entry) and prepareHold (waited on) let a
+	// test freeze the coordinator mid-phase-one. Single-use.
+	prepareStarted chan struct{}
+	prepareHold    chan struct{}
 }
 
 var _ gateway.Conn = (*fakeConn)(nil)
@@ -65,7 +73,20 @@ func (f *fakeConn) Begin(context.Context) (uint64, error) {
 	f.nextTxn++
 	return f.nextTxn, nil
 }
-func (f *fakeConn) Prepare(_ context.Context, txn uint64) error {
+func (f *fakeConn) Prepare(ctx context.Context, txn uint64) error {
+	f.mu.Lock()
+	started, hold, stall := f.prepareStarted, f.prepareHold, f.stallPrepare
+	f.mu.Unlock()
+	if started != nil {
+		close(started)
+	}
+	if hold != nil {
+		<-hold
+	}
+	if stall {
+		<-ctx.Done()
+		return ctx.Err()
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.failPrepare {
@@ -77,6 +98,9 @@ func (f *fakeConn) Prepare(_ context.Context, txn uint64) error {
 func (f *fakeConn) Commit(_ context.Context, txn uint64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.failCommit != nil {
+		return f.failCommit
+	}
 	f.commits++
 	return nil
 }

@@ -1,0 +1,193 @@
+package gtm
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"myriad/internal/wal"
+)
+
+// bareCoord builds a coordinator with no log attached, regardless of
+// the MYRIAD_TEST_DURABLE hook, so log tests control their own path.
+func bareCoord(p ConnProvider) *Coordinator {
+	return &Coordinator{provider: p, pend: make(map[uint64]*pendingGlobal)}
+}
+
+func coordLogPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "coord.log")
+}
+
+// TestLogRetiresFinishedTransactions: a clean two-phase commit leaves
+// nothing pending — the end record retires the entry — and a reopened
+// log replays to an empty pending table with the id counter advanced.
+func TestLogRetiresFinishedTransactions(t *testing.T) {
+	p := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	c := bareCoord(p)
+	path := coordLogPath(t)
+	if err := c.AttachLog(path, wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txn := c.Begin()
+	txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+	txn.ExecSite(ctx, "b", "x") //nolint:errcheck
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d after clean commit", c.Pending())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewWithLog(p, path, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Pending() != 0 {
+		t.Fatalf("replay found %d pending, want 0", c2.Pending())
+	}
+	if next := c2.Begin().ID(); next <= txn.ID() {
+		t.Fatalf("replayed coordinator reissued id %d (already used %d)", next, txn.ID())
+	}
+}
+
+// TestReplayUndecidedPresumesAbort: a crash between prepare and the
+// decision replays as an undecided entry; Status answers abort and
+// Recover drives aborts to every participant.
+func TestReplayUndecidedPresumesAbort(t *testing.T) {
+	p := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	c := bareCoord(p)
+	path := coordLogPath(t)
+	if err := c.AttachLog(path, wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txn := c.Begin()
+	txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+	txn.ExecSite(ctx, "b", "x") //nolint:errcheck
+	c.ArmKill(KillAfterPrepare)
+	if err := txn.Commit(ctx); !errors.Is(err, ErrCoordinatorKilled) {
+		t.Fatalf("Commit = %v, want ErrCoordinatorKilled", err)
+	}
+	if !c.Killed() {
+		t.Fatal("kill point did not fire")
+	}
+
+	c2, err := NewWithLog(p, path, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Pending() != 1 {
+		t.Fatalf("replay found %d pending, want 1", c2.Pending())
+	}
+	// Branch ids 1 at each site (first branch each fake issued).
+	if st := c2.Status("a", 1); st != StatusAbort {
+		t.Fatalf("Status = %q, want abort (no durable decision)", st)
+	}
+	if err := c2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Pending() != 0 {
+		t.Fatalf("pending = %d after recovery", c2.Pending())
+	}
+	if p["a"].aborts != 1 || p["b"].aborts != 1 {
+		t.Fatalf("aborts a=%d b=%d, want 1/1", p["a"].aborts, p["b"].aborts)
+	}
+	if p["a"].commits != 0 || p["b"].commits != 0 {
+		t.Fatal("presumed abort committed something")
+	}
+}
+
+// TestReplayDecidedRecommits: a crash after the fsynced decision
+// replays as a decided entry; Status answers commit and Recover drives
+// commits everywhere. A second Recover is a no-op.
+func TestReplayDecidedRecommits(t *testing.T) {
+	p := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	c := bareCoord(p)
+	path := coordLogPath(t)
+	if err := c.AttachLog(path, wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txn := c.Begin()
+	txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+	txn.ExecSite(ctx, "b", "x") //nolint:errcheck
+	c.ArmKill(KillAfterDecision)
+	if err := txn.Commit(ctx); !errors.Is(err, ErrCoordinatorKilled) {
+		t.Fatalf("Commit = %v, want ErrCoordinatorKilled", err)
+	}
+
+	c2, err := NewWithLog(p, path, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Status("b", 1); st != StatusCommit {
+		t.Fatalf("Status = %q, want commit (decision is durable)", st)
+	}
+	if err := c2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p["a"].commits != 1 || p["b"].commits != 1 {
+		t.Fatalf("commits a=%d b=%d, want 1/1", p["a"].commits, p["b"].commits)
+	}
+	if err := c2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p["a"].commits != 1 || p["b"].commits != 1 {
+		t.Fatal("second Recover re-drove a retired transaction")
+	}
+}
+
+// TestStatusPendingMidPhaseOne: while a live Commit is collecting
+// votes, a participant asking for its outcome is told to keep waiting.
+func TestStatusPendingMidPhaseOne(t *testing.T) {
+	p := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	c := bareCoord(p)
+	if err := c.AttachLog(coordLogPath(t), wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txn := c.Begin()
+	txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+	txn.ExecSite(ctx, "b", "x") //nolint:errcheck
+
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	p["a"].prepareStarted = started
+	p["a"].prepareHold = hold
+	done := make(chan error, 1)
+	go func() { done <- txn.Commit(ctx) }()
+	<-started
+
+	if st := c.Status("a", 1); st != StatusPending {
+		t.Fatalf("Status mid-phase-one = %q, want pending", st)
+	}
+	// Recover must leave the live transaction alone.
+	if err := c.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p["a"].aborts != 0 && p["b"].aborts != 0 {
+		t.Fatal("Recover aborted a transaction whose Commit is live")
+	}
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatalf("Commit = %v", err)
+	}
+	if st := c.Status("a", 1); st != StatusAbort {
+		t.Fatalf("Status of retired branch = %q, want abort (presumed)", st)
+	}
+}
+
+// TestUnknownBranchStatusIsAbort: presumed abort covers branches the
+// coordinator never heard of.
+func TestUnknownBranchStatusIsAbort(t *testing.T) {
+	_, c := twoSites()
+	if st := c.Status("a", 999); st != StatusAbort {
+		t.Fatalf("Status = %q, want abort", st)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -76,7 +77,17 @@ type DB struct {
 	// The checkpointer snapshots only when it is zero while holding the
 	// database latch exclusively: at that moment the table state is
 	// exactly the committed state, which is exactly the WAL's content.
+	// Recovered prepared branches count too: a checkpoint must never
+	// truncate a pending branch's prepare record.
 	dirtyTxns atomic.Int64
+	// recPrep collects prepared branches seen during WAL replay that no
+	// later commit/abort record retired; Open promotes them to live
+	// prepared transactions. nil outside recovery.
+	recPrep map[uint64]*wal.Record
+	// maxBranch is the highest branch id the replayed log named; fresh
+	// transaction ids start past it so a coordinator re-driving an old
+	// branch can never address an unrelated new transaction.
+	maxBranch uint64
 }
 
 // ScannedRows reports the total rows heap scans have pulled from
@@ -210,6 +221,26 @@ func (db *DB) forget(id lockmgr.TxnID) {
 	db.txnMu.Unlock()
 }
 
+// PreparedTxns lists the branch ids of transactions in the prepared
+// state, sorted. After a crash these are the in-doubt branches whose
+// outcome must come from the coordinator.
+func (db *DB) PreparedTxns() []uint64 {
+	db.txnMu.Lock()
+	list := make([]*Txn, 0, len(db.txns))
+	for _, tx := range db.txns {
+		list = append(list, tx)
+	}
+	db.txnMu.Unlock()
+	var out []uint64
+	for _, tx := range list {
+		if tx.State() == "prepared" {
+			out = append(out, uint64(tx.id))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Exec parses and executes a statement in autocommit mode.
 func (db *DB) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 	tx := db.Begin()
@@ -308,6 +339,15 @@ type Txn struct {
 	// mutations; it contributes to db.dirtyTxns (the checkpointer's
 	// quiescence condition).
 	dirty bool
+	// preparedLogged marks that a RecPrepare record for this branch is on
+	// stable storage, so its outcome must also be logged (RecCommit with
+	// the branch id, or RecAbort).
+	preparedLogged bool
+	// recovered marks a prepared branch rebuilt from the WAL after a
+	// crash: its redo ops are NOT yet applied to the heap (replay applies
+	// only committed state), so Commit must apply them, and Rollback has
+	// no undo work.
+	recovered bool
 }
 
 // record registers one applied row mutation: the undo entry for
@@ -410,15 +450,40 @@ func (tx *Txn) QueryStmt(ctx context.Context, sel *sqlparser.Select) (*schema.Re
 }
 
 // Prepare votes in two-phase commit: after a successful prepare the
-// transaction retains its locks and guarantees that Commit will succeed.
+// transaction retains its locks and guarantees that Commit will
+// succeed. On a durable database a writing branch's yes vote is made
+// durable first — a RecPrepare record carrying the redo batch and the
+// held locks is appended and fsynced regardless of sync policy — so a
+// branch that voted yes survives kill -9 still prepared, still holding
+// its locks, and resolvable by the coordinator's decision. A failed
+// append rolls the transaction back (the vote is no).
 func (tx *Txn) Prepare() error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	if tx.state != txnActive {
 		return tx.checkActive()
 	}
+	if tx.db.wal != nil && len(tx.redo) > 0 {
+		rec := &wal.Record{Kind: wal.RecPrepare, Branch: uint64(tx.id), Ops: tx.redo, Locks: lockEntries(tx.db.lm.HeldLocks(tx.id))}
+		if _, err := tx.db.wal.AppendSync(rec); err != nil {
+			tx.rollbackLocked()
+			return fmt.Errorf("localdb %s: prepare log append: %w", tx.db.name, err)
+		}
+		tx.preparedLogged = true
+	}
 	tx.state = txnPrepared
 	return nil
+}
+
+// lockEntries renders a lock snapshot for a prepare record, sorted by
+// resource so the log bytes are deterministic.
+func lockEntries(held map[string]lockmgr.Mode) []wal.LockEntry {
+	out := make([]wal.LockEntry, 0, len(held))
+	for r, m := range held {
+		out = append(out, wal.LockEntry{Resource: r, Mode: byte(m)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
 }
 
 // Commit makes the transaction's effects durable and releases locks.
@@ -434,9 +499,40 @@ func (tx *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	if tx.db.wal != nil && len(tx.redo) > 0 {
-		if _, err := tx.db.wal.Append(&wal.Record{Kind: wal.RecCommit, Ops: tx.redo}); err != nil {
+		rec := &wal.Record{Kind: wal.RecCommit, Ops: tx.redo}
+		var err error
+		if tx.preparedLogged {
+			// A prepared branch's outcome must be durable before the ack:
+			// the coordinator stops re-driving once acknowledged, so the
+			// commit record cannot ride a lazy sync policy. The branch id
+			// lets replay retire the matching prepare record.
+			rec.Branch = uint64(tx.id)
+			_, err = tx.db.wal.AppendSync(rec)
+		} else {
+			_, err = tx.db.wal.Append(rec)
+		}
+		if err != nil {
+			if tx.recovered {
+				// Keep the branch prepared: the decision lives in the
+				// coordinator log and resolution can retry later.
+				return fmt.Errorf("localdb %s: commit log append for recovered branch %d: %w", tx.db.name, tx.id, err)
+			}
 			tx.rollbackLocked()
 			return fmt.Errorf("localdb %s: commit log append: %w", tx.db.name, err)
+		}
+		if tx.recovered {
+			// Replay left the heap at the committed pre-crash state; the
+			// branch's ops apply only now, after the commit record is on
+			// stable storage (crash in between replays them from the log).
+			tx.db.latch.Lock()
+			aerr := tx.db.applyOps(tx.redo)
+			tx.db.latch.Unlock()
+			if aerr != nil {
+				// Unreachable short of corruption: the branch's slots were
+				// reserved and its locks held across recovery. The log has
+				// the commit, so surface rather than roll back.
+				return fmt.Errorf("localdb %s: applying recovered branch %d: %w", tx.db.name, tx.id, aerr)
+			}
 		}
 		tx.db.maybeCheckpoint()
 	}
@@ -458,8 +554,15 @@ func (tx *Txn) Rollback() {
 	tx.rollbackLocked()
 }
 
-// rollbackLocked is Rollback's body; callers hold tx.mu.
+// rollbackLocked is Rollback's body; callers hold tx.mu. A recovered
+// branch has no undo (its ops never reached the heap); for any branch
+// with a durable prepare record, a best-effort RecAbort retires it —
+// best-effort because presumed abort covers a lost record: recovery
+// finds the prepare, asks the coordinator, and hears "abort".
 func (tx *Txn) rollbackLocked() {
+	if tx.preparedLogged && tx.db.wal != nil {
+		tx.db.wal.Append(&wal.Record{Kind: wal.RecAbort, Branch: uint64(tx.id)}) //nolint:errcheck
+	}
 	tx.db.latch.Lock()
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"myriad/internal/lockmgr"
 	"myriad/internal/schema"
 	"myriad/internal/spill"
 	"myriad/internal/storage"
@@ -58,6 +59,7 @@ func Open(name, dir string, opts DurabilityOptions) (*DB, error) {
 	db := newDB(name, opts.Budget)
 	db.dir = dir
 	db.ckptBytes = opts.CheckpointBytes
+	db.recPrep = make(map[uint64]*wal.Record)
 
 	var snapLSN uint64
 	if f, err := os.Open(filepath.Join(dir, snapshotFile)); err == nil {
@@ -86,6 +88,7 @@ func Open(name, dir string, opts DurabilityOptions) (*DB, error) {
 	}
 	l.AdvanceLSN(snapLSN)
 	db.wal = l
+	db.promoteRecovered()
 
 	if opts.CheckpointBytes > 0 {
 		db.ckptNotify = make(chan struct{}, 1)
@@ -143,30 +146,102 @@ func (db *DB) applyRecord(rec *wal.Record) error {
 		}
 		return t.CreateIndex(rec.Column)
 	case wal.RecCommit:
-		for i := range rec.Ops {
-			op := &rec.Ops[i]
-			t, err := db.table(op.Table)
-			if err != nil {
-				return err
-			}
-			switch op.Kind {
-			case wal.OpInsert:
-				err = t.ApplyInsert(storage.RowID(op.Row), op.Vals)
-			case wal.OpUpdate:
-				_, err = t.Update(storage.RowID(op.Row), op.Vals)
-			case wal.OpDelete:
-				_, err = t.Delete(storage.RowID(op.Row))
-			default:
-				err = fmt.Errorf("unknown op kind %d", op.Kind)
-			}
-			if err != nil {
-				return fmt.Errorf("op %d on %s: %w", i, op.Table, err)
-			}
+		if rec.Branch > db.maxBranch {
+			db.maxBranch = rec.Branch
 		}
+		if rec.Branch != 0 {
+			delete(db.recPrep, rec.Branch)
+		}
+		return db.applyOps(rec.Ops)
+	case wal.RecPrepare:
+		// A prepared branch's ops do NOT apply at replay — they were never
+		// committed. The record is held aside; if no later commit/abort
+		// retires it, Open resurrects the branch in the prepared state.
+		if rec.Branch > db.maxBranch {
+			db.maxBranch = rec.Branch
+		}
+		db.recPrep[rec.Branch] = rec
+		return nil
+	case wal.RecAbort:
+		if rec.Branch > db.maxBranch {
+			db.maxBranch = rec.Branch
+		}
+		delete(db.recPrep, rec.Branch)
 		return nil
 	default:
 		return fmt.Errorf("unknown record kind %d", rec.Kind)
 	}
+}
+
+// applyOps applies one redo batch to the tables. Callers are either
+// replay (the sole writer during Open) or a recovered branch's Commit
+// holding the database latch exclusively.
+func (db *DB) applyOps(ops []wal.Op) error {
+	for i := range ops {
+		op := &ops[i]
+		t, err := db.table(op.Table)
+		if err != nil {
+			return err
+		}
+		switch op.Kind {
+		case wal.OpInsert:
+			err = t.ApplyInsert(storage.RowID(op.Row), op.Vals)
+		case wal.OpUpdate:
+			_, err = t.Update(storage.RowID(op.Row), op.Vals)
+		case wal.OpDelete:
+			_, err = t.Delete(storage.RowID(op.Row))
+		default:
+			err = fmt.Errorf("unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("op %d on %s: %w", i, op.Table, err)
+		}
+	}
+	return nil
+}
+
+// promoteRecovered turns the prepare records that survived replay
+// unretired into live prepared transactions: in-doubt branches that
+// still hold their logged locks, still reserve the heap slots their
+// inserts target, and still block checkpoints until the coordinator's
+// decision arrives. It runs at the tail of Open, before the database
+// serves transactions.
+func (db *DB) promoteRecovered() {
+	ids := make([]uint64, 0, len(db.recPrep))
+	for id := range db.recPrep {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := db.recPrep[id]
+		tx := &Txn{
+			db:             db,
+			id:             lockmgr.TxnID(id),
+			state:          txnPrepared,
+			redo:           rec.Ops,
+			dirty:          true,
+			preparedLogged: true,
+			recovered:      true,
+		}
+		db.dirtyTxns.Add(1)
+		db.txns[tx.id] = tx
+		for _, lk := range rec.Locks {
+			db.lm.Regrant(tx.id, lk.Resource, lockmgr.Mode(lk.Mode))
+		}
+		for i := range rec.Ops {
+			op := &rec.Ops[i]
+			if op.Kind != wal.OpInsert {
+				continue
+			}
+			if t, err := db.table(op.Table); err == nil {
+				t.ReserveSlots(storage.RowID(op.Row))
+			}
+		}
+	}
+	if lockmgr.TxnID(db.maxBranch) > db.nextTxn {
+		db.nextTxn = lockmgr.TxnID(db.maxBranch)
+	}
+	db.recPrep = nil
 }
 
 // maybeCheckpoint nudges the background checkpointer when the log has

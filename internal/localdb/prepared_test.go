@@ -1,0 +1,226 @@
+package localdb
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"myriad/internal/lockmgr"
+	"myriad/internal/wal"
+)
+
+// Durable PREPARED state: a branch that voted yes must survive kill -9
+// still holding its locks, block checkpoint truncation of its prepare
+// record, and commit or roll back exactly once when resolution arrives.
+
+func seedAcct(t *testing.T, db *DB) {
+	t.Helper()
+	db.MustExec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+	db.MustExec(`INSERT INTO acct (id, bal) VALUES (1, 100), (2, 200)`)
+}
+
+// prepareCrash seeds a durable db, runs a branch (update + insert) up
+// to a durable yes vote, hard-crashes, and reopens. It returns the
+// recovered db and the prepared branch id.
+func prepareCrash(t *testing.T, dir string) (*DB, uint64) {
+	t.Helper()
+	db := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways})
+	seedAcct(t, db)
+
+	tx := db.Begin()
+	ctx := context.Background()
+	if _, err := tx.Exec(ctx, `UPDATE acct SET bal = bal + 10 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `INSERT INTO acct (id, bal) VALUES (3, 300)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	id := tx.ID()
+	db.Crash()
+
+	db2 := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways})
+	t.Cleanup(func() { db2.Close() }) //nolint:errcheck
+	if ids := db2.PreparedTxns(); len(ids) != 1 || ids[0] != id {
+		t.Fatalf("PreparedTxns after crash = %v, want [%d]", ids, id)
+	}
+	return db2, id
+}
+
+// expectRowLocked asserts the recovered branch still excludes writers
+// from the row it updated.
+func expectRowLocked(t *testing.T, db *DB) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := db.Exec(ctx, `UPDATE acct SET bal = 0 WHERE id = 1`); err == nil {
+		t.Fatal("conflicting write succeeded against a recovered prepared branch")
+	}
+}
+
+// refDigest computes the expected state digest: the seed, optionally
+// with the branch's ops applied.
+func refDigest(t *testing.T, applied bool) string {
+	t.Helper()
+	ref := NewScratch(nil)
+	seedAcct(t, ref)
+	if applied {
+		ref.MustExec(`UPDATE acct SET bal = bal + 10 WHERE id = 1`)
+		ref.MustExec(`INSERT INTO acct (id, bal) VALUES (3, 300)`)
+	}
+	return ref.StateDigest()
+}
+
+func TestPreparedSurvivesCrashAndCommits(t *testing.T) {
+	dir := t.TempDir()
+	db, id := prepareCrash(t, dir)
+
+	// Not applied yet, and still holding its locks.
+	if got, want := db.StateDigest(), refDigest(t, false); got != want {
+		t.Fatalf("recovered digest with undecided branch\n got %s\nwant %s", got, want)
+	}
+	expectRowLocked(t, db)
+
+	// The outcome arrives: commit. The redo applies exactly once and the
+	// locks release.
+	branch, ok := db.Resume(lockmgr.TxnID(id))
+	if !ok {
+		t.Fatalf("Resume(%d) failed for recovered prepared branch", id)
+	}
+	if err := branch.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := db.StateDigest(), refDigest(t, true); got != want {
+		t.Fatalf("digest after resolved commit\n got %s\nwant %s", got, want)
+	}
+	if ids := db.PreparedTxns(); len(ids) != 0 {
+		t.Fatalf("PreparedTxns after commit = %v", ids)
+	}
+	if _, err := db.Exec(context.Background(), `UPDATE acct SET bal = bal - 1 WHERE id = 1`); err != nil {
+		t.Fatalf("write after resolution: %v", err)
+	}
+
+	// No double apply: the resolved commit is durable and another crash
+	// replays it exactly once.
+	db.Crash()
+	db3 := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways})
+	defer db3.Close()
+	ref := NewScratch(nil)
+	seedAcct(t, ref)
+	ref.MustExec(`UPDATE acct SET bal = bal + 10 WHERE id = 1`)
+	ref.MustExec(`INSERT INTO acct (id, bal) VALUES (3, 300)`)
+	ref.MustExec(`UPDATE acct SET bal = bal - 1 WHERE id = 1`)
+	if got, want := db3.StateDigest(), ref.StateDigest(); got != want {
+		t.Fatalf("digest after second crash\n got %s\nwant %s", got, want)
+	}
+	if ids := db3.PreparedTxns(); len(ids) != 0 {
+		t.Fatalf("branch resurrected after its commit: %v", ids)
+	}
+}
+
+func TestPreparedSurvivesCrashAndAborts(t *testing.T) {
+	dir := t.TempDir()
+	db, id := prepareCrash(t, dir)
+
+	branch, ok := db.Resume(lockmgr.TxnID(id))
+	if !ok {
+		t.Fatalf("Resume(%d) failed", id)
+	}
+	branch.Rollback()
+	if got, want := db.StateDigest(), refDigest(t, false); got != want {
+		t.Fatalf("digest after resolved abort\n got %s\nwant %s", got, want)
+	}
+	if ids := db.PreparedTxns(); len(ids) != 0 {
+		t.Fatalf("PreparedTxns after abort = %v", ids)
+	}
+	// Locks released.
+	if _, err := db.Exec(context.Background(), `UPDATE acct SET bal = 0 WHERE id = 1`); err != nil {
+		t.Fatalf("write after abort: %v", err)
+	}
+
+	// The abort record keeps the branch dead across another crash.
+	db.Crash()
+	db3 := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways})
+	defer db3.Close()
+	if ids := db3.PreparedTxns(); len(ids) != 0 {
+		t.Fatalf("aborted branch resurrected: %v", ids)
+	}
+}
+
+// TestRecoveredBranchReservesSlots: the prepared branch's logged insert
+// slot must stay reserved through recovery — a new autocommit insert
+// lands past it, and the resolved commit fills the gap it owned.
+func TestRecoveredBranchReservesSlots(t *testing.T) {
+	dir := t.TempDir()
+	db, id := prepareCrash(t, dir)
+
+	db.MustExec(`INSERT INTO acct (id, bal) VALUES (9, 900)`)
+	branch, _ := db.Resume(lockmgr.TxnID(id))
+	if err := branch.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ids := mustQueryInts(t, db, `SELECT id FROM acct`)
+	if len(ids) != 4 {
+		t.Fatalf("rows after commit = %v, want 4 distinct rows (no slot collision)", ids)
+	}
+	seen := map[int64]bool{}
+	for _, v := range ids {
+		if seen[v] {
+			t.Fatalf("duplicate row id %d: slot collision between recovery and new insert", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestRecoveredBranchIDNotReissued: the id counter advances past every
+// replayed branch so a new transaction can never collide with the
+// prepared one a re-drive is about to address.
+func TestRecoveredBranchIDNotReissued(t *testing.T) {
+	db, id := prepareCrash(t, t.TempDir())
+	tx := db.Begin()
+	defer tx.Rollback()
+	if tx.ID() <= id {
+		t.Fatalf("new branch id %d collides with recovered prepared branch %d", tx.ID(), id)
+	}
+}
+
+// TestCheckpointPreservesPreparedBranch: a checkpoint taken while a
+// branch sits prepared must not truncate the prepare record away — the
+// branch still exists (locks and all) after a crash that follows the
+// checkpoint.
+func TestCheckpointPreservesPreparedBranch(t *testing.T) {
+	dir := t.TempDir()
+	db := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways})
+	seedAcct(t, db)
+	tx := db.Begin()
+	if _, err := tx.Exec(context.Background(), `UPDATE acct SET bal = bal + 10 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	id := tx.ID()
+
+	// Checkpoints defer while dirty transactions (the prepared branch)
+	// exist, so whatever this call does must keep the branch recoverable.
+	db.Checkpoint() //nolint:errcheck
+	db.MustExec(`INSERT INTO acct (id, bal) VALUES (5, 500)`)
+	db.Crash()
+
+	db2 := durableOpen(t, dir, DurabilityOptions{Sync: wal.SyncAlways})
+	defer db2.Close()
+	if ids := db2.PreparedTxns(); len(ids) != 1 || ids[0] != id {
+		t.Fatalf("PreparedTxns after checkpoint+crash = %v, want [%d]", ids, id)
+	}
+	expectRowLocked(t, db2)
+	branch, _ := db2.Resume(lockmgr.TxnID(id))
+	if err := branch.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	vals := mustQueryInts(t, db2, `SELECT bal FROM acct WHERE id = 1`)
+	if len(vals) != 1 || vals[0] != 110 {
+		t.Fatalf("bal after resolved commit = %v, want [110]", vals)
+	}
+}

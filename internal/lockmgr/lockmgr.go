@@ -94,6 +94,16 @@ func upgrade(cur, want Mode) Mode {
 // The caller interprets it as a presumed deadlock.
 var ErrTimeout = errors.New("lockmgr: lock wait timeout (presumed deadlock)")
 
+// ErrUpgradeDeadlock is returned without waiting when a lock upgrade is
+// provably doomed: another transaction already holds the resource AND
+// waits on an upgrade incompatible with the requester's current lock,
+// while the requester's upgrade is incompatible with that holder's lock
+// — under strict 2PL neither can ever proceed (the classic two-S-
+// holders-both-want-X deadlock). It wraps ErrTimeout so callers treat
+// it with presumed-deadlock semantics, just detected locally and
+// immediately instead of after burning the full lock-wait timeout.
+var ErrUpgradeDeadlock = fmt.Errorf("lockmgr: mutual lock-upgrade deadlock: %w", ErrTimeout)
+
 // TxnID identifies a lock owner.
 type TxnID uint64
 
@@ -148,6 +158,24 @@ func (m *Manager) Acquire(ctx context.Context, txn TxnID, resource string, mode 
 		m.note(txn, resource, want)
 		m.mu.Unlock()
 		return nil
+	}
+	// A doomed upgrade fails now rather than timing out: if a queued
+	// waiter also holds this resource (it is upgrading too), and the two
+	// transactions' requests are mutually blocked by each other's held
+	// locks, strict 2PL guarantees neither ever advances. The younger
+	// request — this one — loses.
+	if holding {
+		for _, q := range ls.waiters {
+			heldQ, owns := ls.holders[q.txn]
+			if !owns || q.txn == txn {
+				continue
+			}
+			wantQ := upgrade(heldQ, q.mode)
+			if !compatible(want, heldQ) && !compatible(wantQ, cur) {
+				m.mu.Unlock()
+				return ErrUpgradeDeadlock
+			}
+		}
 	}
 	w := &waiter{txn: txn, mode: want, ch: make(chan struct{})}
 	ls.waiters = append(ls.waiters, w)
@@ -275,4 +303,36 @@ func (m *Manager) HeldCount(txn TxnID) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.held[txn])
+}
+
+// HeldLocks returns a snapshot of every lock txn holds, as
+// resource→mode. Two-phase commit logs it in the prepare record so a
+// recovered prepared branch can re-acquire exactly these locks.
+func (m *Manager) HeldLocks(txn TxnID) map[string]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Mode, len(m.held[txn]))
+	for r, mode := range m.held[txn] {
+		out[r] = mode
+	}
+	return out
+}
+
+// Regrant installs a lock without waiting, merging with any mode txn
+// already holds. Recovery uses it to restore a prepared branch's locks
+// before the database serves new transactions, so nothing can conflict;
+// it must not be called on a contended live lock table.
+func (m *Manager) Regrant(txn TxnID, resource string, mode Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.locks[resource]
+	if !ok {
+		ls = &lockState{holders: make(map[TxnID]Mode)}
+		m.locks[resource] = ls
+	}
+	if cur, ok := ls.holders[txn]; ok {
+		mode = upgrade(cur, mode)
+	}
+	ls.holders[txn] = mode
+	m.note(txn, resource, mode)
 }

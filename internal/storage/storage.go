@@ -198,6 +198,18 @@ func (t *Table) ApplyInsert(id RowID, r schema.Row) error {
 	return nil
 }
 
+// ReserveSlots grows the heap with tombstones so a plain Insert never
+// allocates a slot at or below id. Recovery of a prepared (in-doubt)
+// two-phase-commit branch uses it: the branch's redo ops target
+// explicit slots that must stay free until the branch commits or
+// aborts, so post-recovery inserts by other transactions must allocate
+// past them.
+func (t *Table) ReserveSlots(id RowID) {
+	for int64(len(t.rows)) <= int64(id) {
+		t.rows = append(t.rows, nil)
+	}
+}
+
 // Get returns the row at id, or nil when deleted/out of range.
 func (t *Table) Get(id RowID) schema.Row {
 	if id < 0 || int(id) >= len(t.rows) {

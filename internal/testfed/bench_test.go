@@ -203,6 +203,40 @@ func BenchmarkExternalSort(b *testing.B) {
 	})
 }
 
+// BenchmarkGlobalTxn2PC measures the global-transaction commit path
+// over real TCP against two durable sites with the coordinator's
+// decision log on fsync-always: a mixed read/write transaction touching
+// both sites pays two phases plus one durable decision; the single-site
+// variant takes the one-phase fast path; the read-only variant measures
+// protocol overhead with no redo to apply.
+func BenchmarkGlobalTxn2PC(b *testing.B) {
+	fx := newTwoPCFixture(b, false)
+	ctx := context.Background()
+
+	run := func(b *testing.B, sites []string, write bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			txn := fx.Fed.Begin()
+			for _, s := range sites {
+				if _, err := txn.QuerySite(ctx, s, `SELECT bal FROM ACCT WHERE id = 2`); err != nil {
+					b.Fatal(err)
+				}
+				if write {
+					if _, err := txn.ExecSite(ctx, s, updAcct); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := txn.Commit(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("two-site-mixed", func(b *testing.B) { run(b, []string{"a", "b"}, true) })
+	b.Run("one-site-mixed", func(b *testing.B) { run(b, []string{"a"}, true) })
+	b.Run("two-site-read", func(b *testing.B) { run(b, []string{"a", "b"}, false) })
+}
+
 // BenchmarkOuterMergeSpill drains a two-site OUTERJOIN-MERGE (20k rows
 // per site, half overlapping): the in-memory grouped merge vs the
 // spill-backed one under a 64KB budget.

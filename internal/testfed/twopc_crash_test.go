@@ -1,0 +1,324 @@
+package testfed
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"myriad/internal/gateway"
+	"myriad/internal/gtm"
+	"myriad/internal/localdb"
+	"myriad/internal/wal"
+)
+
+// The 2PC crash matrix: global transactions across two durable sites,
+// with the coordinator or a participant hard-killed at each protocol
+// point that matters, then recovered from logs. Every scenario must
+// leave the two sites in the same logical state (both applied or
+// neither), release every lock, and retire the coordinator's pending
+// entry.
+
+const createAcct = `CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`
+
+// updAcct is the transfer both branches run (export name ACCT).
+const updAcct = `UPDATE ACCT SET bal = bal + 10 WHERE id = 1`
+
+func acctSeed() []string {
+	return []string{
+		createAcct,
+		`INSERT INTO acct (id, bal) VALUES (1, 100)`,
+		`INSERT INTO acct (id, bal) VALUES (2, 200)`,
+		`INSERT INTO acct (id, bal) VALUES (3, 300)`,
+	}
+}
+
+// acctDigest is the reference state digest: the seed, optionally with
+// the transfer applied.
+func acctDigest(t *testing.T, applied bool) string {
+	t.Helper()
+	ref := localdb.NewScratch(nil)
+	for _, sql := range acctSeed() {
+		ref.MustExec(sql)
+	}
+	if applied {
+		ref.MustExec(`UPDATE acct SET bal = bal + 10 WHERE id = 1`)
+	}
+	return ref.StateDigest()
+}
+
+// newTwoPCFixture boots two durable sites seeded identically and
+// attaches a durable coordinator log (unless the MYRIAD_TEST_DURABLE
+// hook already did).
+func newTwoPCFixture(t testing.TB, faultyB bool) *Fixture {
+	t.Helper()
+	specs := []SiteSpec{
+		{Name: "a", Setup: acctSeed(), DataDir: t.TempDir(),
+			Exports: []gateway.Export{{Name: "ACCT", LocalTable: "acct"}}},
+		{Name: "b", Setup: acctSeed(), DataDir: t.TempDir(), Faulty: faultyB,
+			Exports: []gateway.Export{{Name: "ACCT", LocalTable: "acct"}}},
+	}
+	fx := New(t, specs, nil)
+	if fx.Fed.Coordinator().LogPath() == "" {
+		path := filepath.Join(t.TempDir(), "coord.log")
+		if err := fx.Fed.EnableCoordinatorLog(path, wal.Options{Sync: wal.SyncAlways}); err != nil {
+			t.Fatalf("coordinator log: %v", err)
+		}
+	}
+	return fx
+}
+
+// transfer runs the update at both sites inside a fresh global
+// transaction and returns it ready to commit.
+func transfer(t *testing.T, fx *Fixture) *gtm.Txn {
+	t.Helper()
+	ctx := context.Background()
+	txn := fx.Fed.Begin()
+	for _, site := range []string{"a", "b"} {
+		if _, err := txn.ExecSite(ctx, site, updAcct); err != nil {
+			t.Fatalf("ExecSite(%s): %v", site, err)
+		}
+	}
+	return txn
+}
+
+// expectLocked asserts a conflicting autocommit write on the
+// transferred row cannot get its lock.
+func expectLocked(t *testing.T, db *localdb.DB) {
+	t.Helper()
+	wctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if _, err := db.Exec(wctx, `UPDATE acct SET bal = 0 WHERE id = 1`); err == nil {
+		t.Fatal("conflicting write succeeded while the branch should hold its locks")
+	}
+}
+
+// expectConverged asserts both sites hold the same expected state with
+// no prepared branch left behind.
+func expectConverged(t *testing.T, fx *Fixture, want string) {
+	t.Helper()
+	for _, s := range []string{"a", "b"} {
+		db := fx.Site(s).DB
+		if got := db.StateDigest(); got != want {
+			t.Fatalf("site %s digest diverged\n got %s\nwant %s", s, got, want)
+		}
+		if ids := db.PreparedTxns(); len(ids) != 0 {
+			t.Fatalf("site %s still holds prepared branches %v", s, ids)
+		}
+	}
+	if n := fx.Fed.Coordinator().Pending(); n != 0 {
+		t.Fatalf("coordinator still has %d pending global transaction(s)", n)
+	}
+}
+
+// restartCoordinator replays the coordinator log into a fresh
+// coordinator, as a crashed coordinator process would on reboot.
+func restartCoordinator(t *testing.T, fx *Fixture) {
+	t.Helper()
+	if err := fx.Fed.RestartCoordinator(wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatalf("restarting coordinator: %v", err)
+	}
+}
+
+// TestCoordCrashBeforeDecision: the coordinator dies after collecting
+// yes votes but before the decision is durable. Both participants sit
+// prepared, holding locks; the restarted coordinator finds a begun,
+// undecided transaction and must presume abort everywhere.
+func TestCoordCrashBeforeDecision(t *testing.T) {
+	fx := newTwoPCFixture(t, false)
+	ctx := context.Background()
+	txn := transfer(t, fx)
+
+	fx.Fed.Coordinator().ArmKill(gtm.KillAfterPrepare)
+	if err := txn.Commit(ctx); !errors.Is(err, gtm.ErrCoordinatorKilled) {
+		t.Fatalf("Commit = %v, want ErrCoordinatorKilled", err)
+	}
+
+	// Both branches voted yes and hold their locks.
+	for _, s := range []string{"a", "b"} {
+		if ids := fx.Site(s).DB.PreparedTxns(); len(ids) != 1 {
+			t.Fatalf("site %s prepared branches = %v, want one", s, ids)
+		}
+	}
+	expectLocked(t, fx.Site("a").DB)
+
+	restartCoordinator(t, fx)
+	if n := fx.Fed.Coordinator().Pending(); n != 1 {
+		t.Fatalf("replayed coordinator sees %d pending, want 1", n)
+	}
+	// The pull answer for a prepared branch must be abort: no durable
+	// decision exists.
+	branch := fx.Site("a").DB.PreparedTxns()[0]
+	if st := fx.Fed.Coordinator().Status("a", branch); st != gtm.StatusAbort {
+		t.Fatalf("Status(a, %d) = %q, want abort", branch, st)
+	}
+
+	if err := fx.Fed.RecoverGlobal(ctx); err != nil {
+		t.Fatalf("RecoverGlobal: %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, false))
+
+	// Locks are gone: the same transfer now commits end to end.
+	if err := transfer(t, fx).Commit(ctx); err != nil {
+		t.Fatalf("transfer after recovery: %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, true))
+}
+
+// TestCoordCrashAfterDecision: the coordinator dies after fsyncing the
+// commit decision but before any phase-two RPC. The restarted
+// coordinator must re-drive the commit to both participants.
+func TestCoordCrashAfterDecision(t *testing.T) {
+	fx := newTwoPCFixture(t, false)
+	ctx := context.Background()
+	txn := transfer(t, fx)
+
+	fx.Fed.Coordinator().ArmKill(gtm.KillAfterDecision)
+	if err := txn.Commit(ctx); !errors.Is(err, gtm.ErrCoordinatorKilled) {
+		t.Fatalf("Commit = %v, want ErrCoordinatorKilled", err)
+	}
+	expectLocked(t, fx.Site("b").DB)
+
+	restartCoordinator(t, fx)
+	branch := fx.Site("a").DB.PreparedTxns()[0]
+	if st := fx.Fed.Coordinator().Status("a", branch); st != gtm.StatusCommit {
+		t.Fatalf("Status(a, %d) = %q, want commit (decision is durable)", branch, st)
+	}
+
+	if err := fx.Fed.RecoverGlobal(ctx); err != nil {
+		t.Fatalf("RecoverGlobal: %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, true))
+}
+
+// participantCrashInDoubt drives the shared front half of the
+// participant-crash scenarios: site a is hard-killed after voting yes
+// (between the durable decision and phase two), Commit reports
+// in-doubt, and the restarted site comes back with the prepared branch
+// holding its locks. It returns the restarted site.
+func participantCrashInDoubt(t *testing.T, fx *Fixture) *Site {
+	t.Helper()
+	ctx := context.Background()
+	c := fx.Fed.Coordinator()
+	txn := transfer(t, fx)
+
+	c.TestHookBetweenPhases = func() { fx.Kill(t, "a") }
+	err := txn.Commit(ctx)
+	c.TestHookBetweenPhases = nil
+	if !errors.Is(err, gtm.ErrInDoubt) {
+		t.Fatalf("Commit = %v, want ErrInDoubt", err)
+	}
+	if got := c.Stats.InDoubt.Load(); got != 1 {
+		t.Fatalf("InDoubt stat = %d, want 1", got)
+	}
+	if got := c.Stats.Committed.Load(); got != 0 {
+		t.Fatalf("Committed stat = %d, want 0 while in doubt", got)
+	}
+
+	// The surviving participant already applied the commit.
+	if got, want := fx.Site("b").DB.StateDigest(), acctDigest(t, true); got != want {
+		t.Fatalf("site b digest\n got %s\nwant %s", got, want)
+	}
+
+	// The crashed participant recovers its prepared branch from its WAL
+	// — still holding locks, awaiting the outcome.
+	site := fx.Restart(t, "a")
+	if ids := site.GW.PreparedBranches(); len(ids) != 1 {
+		t.Fatalf("recovered prepared branches = %v, want one", ids)
+	}
+	expectLocked(t, site.DB)
+	return site
+}
+
+// TestParticipantCrashPushResolution: after the participant recovers,
+// the coordinator's resolution pass re-drives the durable commit
+// decision to it (the push path).
+func TestParticipantCrashPushResolution(t *testing.T) {
+	fx := newTwoPCFixture(t, false)
+	ctx := context.Background()
+	participantCrashInDoubt(t, fx)
+
+	if err := fx.Fed.RecoverGlobal(ctx); err != nil {
+		t.Fatalf("RecoverGlobal: %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, true))
+
+	c := fx.Fed.Coordinator()
+	if got := c.Stats.InDoubt.Load(); got != 0 {
+		t.Fatalf("InDoubt stat = %d after resolution, want 0", got)
+	}
+	if got := c.Stats.Committed.Load(); got != 1 {
+		t.Fatalf("Committed stat = %d after resolution, want 1", got)
+	}
+}
+
+// TestParticipantCrashPullResolution: the recovered participant asks
+// the coordinator for each prepared branch's outcome and resolves
+// itself (the pull path); a later coordinator resolution pass is a
+// no-op re-drive.
+func TestParticipantCrashPullResolution(t *testing.T) {
+	fx := newTwoPCFixture(t, false)
+	ctx := context.Background()
+	site := participantCrashInDoubt(t, fx)
+
+	c := fx.Fed.Coordinator()
+	err := site.GW.ResolvePrepared(ctx, func(_ context.Context, branch uint64) (string, error) {
+		return c.Status("a", branch), nil
+	})
+	if err != nil {
+		t.Fatalf("ResolvePrepared: %v", err)
+	}
+	if got, want := site.DB.StateDigest(), acctDigest(t, true); got != want {
+		t.Fatalf("site a digest after pull resolution\n got %s\nwant %s", got, want)
+	}
+	if ids := site.GW.PreparedBranches(); len(ids) != 0 {
+		t.Fatalf("prepared branches remain after pull resolution: %v", ids)
+	}
+
+	// The coordinator's push pass is idempotent against the
+	// already-resolved branch and retires the pending entry.
+	if err := fx.Fed.RecoverGlobal(ctx); err != nil {
+		t.Fatalf("RecoverGlobal: %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, true))
+}
+
+// TestStalledSitePrepareBounded: a participant that wedges silently
+// during phase one (responses stop flowing, connection stays up) must
+// turn into a bounded vote-no abort, not an eternal hang — the 2PC RPCs
+// honor the coordinator's timeout.
+func TestStalledSitePrepareBounded(t *testing.T) {
+	fx := newTwoPCFixture(t, true)
+	fx.Fed.SetLocalQueryTimeout(10 * time.Second) // generous: covers ExecSite
+	txn := transfer(t, fx)
+	fx.Fed.SetLocalQueryTimeout(300 * time.Millisecond)
+
+	fx.Site("b").Proxy.StallAfter(0)
+	start := time.Now()
+	err := txn.Commit(context.Background())
+	elapsed := time.Since(start)
+	if !errors.Is(err, gtm.ErrPrepareFailed) {
+		t.Fatalf("Commit = %v, want ErrPrepareFailed", err)
+	}
+	// Phase one (300ms) plus the abort pass (300ms) plus slack.
+	if elapsed > 3*time.Second {
+		t.Fatalf("commit against a stalled site took %v; phases are not bounded", elapsed)
+	}
+
+	// Site a heard the abort and rolled back; b is wedged behind the
+	// stall and its pending entry survives for a later resolution pass.
+	if got, want := fx.Site("a").DB.StateDigest(), acctDigest(t, false); got != want {
+		t.Fatalf("site a digest after bounded abort\n got %s\nwant %s", got, want)
+	}
+	if n := fx.Fed.Coordinator().Pending(); n != 1 {
+		t.Fatalf("pending = %d, want 1 (stalled site has not acknowledged)", n)
+	}
+
+	// Once the stall clears, resolution finishes the abort everywhere.
+	fx.Site("b").Proxy.StallAfter(-1)
+	if err := fx.Fed.RecoverGlobal(context.Background()); err != nil {
+		t.Fatalf("RecoverGlobal after stall cleared: %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, false))
+}

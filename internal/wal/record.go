@@ -12,12 +12,21 @@ import (
 //
 //	uvarint LSN
 //	byte    kind
-//	commit:       uvarint nops, then per op:
-//	                byte opkind; string table; uvarint slot;
-//	                insert/update additionally: row
-//	createTable:  string table; bytes schema
-//	dropTable:    string table
-//	createIndex:  string table; string column; byte ordered
+//	commit:        uvarint nops, then per op:
+//	                 byte opkind; string table; uvarint slot;
+//	                 insert/update additionally: row
+//	               then, optionally (absent in pre-2PC logs):
+//	                 uvarint branch (0 = not a prepared branch)
+//	createTable:   string table; bytes schema
+//	dropTable:     string table
+//	createIndex:   string table; string column; byte ordered
+//	prepare:       uvarint branch; ops as in commit;
+//	               uvarint nlocks, then per lock: string resource; byte mode
+//	abort:         uvarint branch
+//	coordBegin:    uvarint gid; uvarint nsites, then per site:
+//	                 string site; uvarint branch
+//	coordDecision: uvarint gid; byte commit
+//	coordEnd:      uvarint gid
 //
 // where string/bytes = uvarint length + raw bytes, and a row =
 // uvarint ncols followed by one value each: byte kind tag, then
@@ -39,19 +48,34 @@ func encodeRecord(r *Record) []byte {
 	b = append(b, byte(r.Kind))
 	switch r.Kind {
 	case RecCommit:
-		b = binary.AppendUvarint(b, uint64(len(r.Ops)))
-		for i := range r.Ops {
-			op := &r.Ops[i]
-			b = append(b, byte(op.Kind))
-			b = appendString(b, op.Table)
-			b = binary.AppendUvarint(b, uint64(op.Row))
-			if op.Kind != OpDelete {
-				b = binary.AppendUvarint(b, uint64(len(op.Vals)))
-				for _, v := range op.Vals {
-					b = appendValue(b, v)
-				}
-			}
+		b = appendOps(b, r.Ops)
+		b = binary.AppendUvarint(b, r.Branch)
+	case RecPrepare:
+		b = binary.AppendUvarint(b, r.Branch)
+		b = appendOps(b, r.Ops)
+		b = binary.AppendUvarint(b, uint64(len(r.Locks)))
+		for _, lk := range r.Locks {
+			b = appendString(b, lk.Resource)
+			b = append(b, lk.Mode)
 		}
+	case RecAbort:
+		b = binary.AppendUvarint(b, r.Branch)
+	case RecCoordBegin:
+		b = binary.AppendUvarint(b, r.GID)
+		b = binary.AppendUvarint(b, uint64(len(r.Sites)))
+		for i, s := range r.Sites {
+			b = appendString(b, s)
+			b = binary.AppendUvarint(b, r.Branches[i])
+		}
+	case RecCoordDecision:
+		b = binary.AppendUvarint(b, r.GID)
+		if r.Commit {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case RecCoordEnd:
+		b = binary.AppendUvarint(b, r.GID)
 	case RecCreateTable:
 		b = appendString(b, r.Table)
 		b = binary.AppendUvarint(b, uint64(len(r.Schema)))
@@ -65,6 +89,23 @@ func encodeRecord(r *Record) []byte {
 			b = append(b, 1)
 		} else {
 			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func appendOps(b []byte, ops []Op) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		b = append(b, byte(op.Kind))
+		b = appendString(b, op.Table)
+		b = binary.AppendUvarint(b, uint64(op.Row))
+		if op.Kind != OpDelete {
+			b = binary.AppendUvarint(b, uint64(len(op.Vals)))
+			for _, v := range op.Vals {
+				b = appendValue(b, v)
+			}
 		}
 	}
 	return b
@@ -194,48 +235,94 @@ func (d *decoder) value() value.Value {
 	}
 }
 
+// ops decodes a RecCommit/RecPrepare op batch.
+func (d *decoder) ops() []Op {
+	nops := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	// Each op is at least 3 bytes; an absurd count is corruption, not
+	// an allocation request.
+	if nops > uint64(len(d.b)) {
+		d.fail("wal: op count %d exceeds payload", nops)
+		return nil
+	}
+	ops := make([]Op, 0, nops)
+	for i := uint64(0); i < nops && d.err == nil; i++ {
+		op := Op{Kind: OpKind(d.byte()), Table: d.string()}
+		slot := d.uvarint()
+		if slot > math.MaxInt64 {
+			d.fail("wal: slot %d out of range", slot)
+		}
+		op.Row = int64(slot)
+		switch op.Kind {
+		case OpInsert, OpUpdate:
+			ncols := d.uvarint()
+			if d.err != nil {
+				break
+			}
+			if ncols > uint64(len(d.b)) {
+				d.fail("wal: column count %d exceeds payload", ncols)
+				break
+			}
+			op.Vals = make([]value.Value, 0, ncols)
+			for j := uint64(0); j < ncols && d.err == nil; j++ {
+				op.Vals = append(op.Vals, d.value())
+			}
+		case OpDelete:
+		default:
+			d.fail("wal: unknown op kind %d", op.Kind)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
 func decodeRecord(payload []byte) (*Record, error) {
 	d := &decoder{b: payload}
 	rec := &Record{LSN: d.uvarint(), Kind: RecordKind(d.byte())}
 	switch rec.Kind {
 	case RecCommit:
-		nops := d.uvarint()
-		if d.err != nil {
-			return nil, d.err
+		rec.Ops = d.ops()
+		// The branch id is a post-hoc addition; logs written before
+		// two-phase commit end right after the ops.
+		if d.err == nil && d.off < len(payload) {
+			rec.Branch = d.uvarint()
 		}
-		// Each op is at least 3 bytes; an absurd count is corruption, not
-		// an allocation request.
-		if nops > uint64(len(payload)) {
-			return nil, fmt.Errorf("wal: op count %d exceeds payload", nops)
+	case RecPrepare:
+		rec.Branch = d.uvarint()
+		rec.Ops = d.ops()
+		nlocks := d.uvarint()
+		if d.err == nil && nlocks > uint64(len(payload)) {
+			d.fail("wal: lock count %d exceeds payload", nlocks)
 		}
-		rec.Ops = make([]Op, 0, nops)
-		for i := uint64(0); i < nops && d.err == nil; i++ {
-			op := Op{Kind: OpKind(d.byte()), Table: d.string()}
-			slot := d.uvarint()
-			if slot > math.MaxInt64 {
-				d.fail("wal: slot %d out of range", slot)
+		if d.err == nil {
+			rec.Locks = make([]LockEntry, 0, nlocks)
+			for i := uint64(0); i < nlocks && d.err == nil; i++ {
+				rec.Locks = append(rec.Locks, LockEntry{Resource: d.string(), Mode: d.byte()})
 			}
-			op.Row = int64(slot)
-			switch op.Kind {
-			case OpInsert, OpUpdate:
-				ncols := d.uvarint()
-				if d.err != nil {
-					break
-				}
-				if ncols > uint64(len(payload)) {
-					d.fail("wal: column count %d exceeds payload", ncols)
-					break
-				}
-				op.Vals = make([]value.Value, 0, ncols)
-				for j := uint64(0); j < ncols && d.err == nil; j++ {
-					op.Vals = append(op.Vals, d.value())
-				}
-			case OpDelete:
-			default:
-				d.fail("wal: unknown op kind %d", op.Kind)
-			}
-			rec.Ops = append(rec.Ops, op)
 		}
+	case RecAbort:
+		rec.Branch = d.uvarint()
+	case RecCoordBegin:
+		rec.GID = d.uvarint()
+		nsites := d.uvarint()
+		if d.err == nil && nsites > uint64(len(payload)) {
+			d.fail("wal: site count %d exceeds payload", nsites)
+		}
+		if d.err == nil {
+			rec.Sites = make([]string, 0, nsites)
+			rec.Branches = make([]uint64, 0, nsites)
+			for i := uint64(0); i < nsites && d.err == nil; i++ {
+				rec.Sites = append(rec.Sites, d.string())
+				rec.Branches = append(rec.Branches, d.uvarint())
+			}
+		}
+	case RecCoordDecision:
+		rec.GID = d.uvarint()
+		rec.Commit = d.byte() != 0
+	case RecCoordEnd:
+		rec.GID = d.uvarint()
 	case RecCreateTable:
 		rec.Table = d.string()
 		rec.Schema = append([]byte(nil), d.bytes()...)

@@ -35,11 +35,25 @@ type RecordKind byte
 // is auto-committing in spirit, matching the engine's rollback
 // semantics); RecCommit carries one transaction's whole redo batch so a
 // commit is exactly one atomic log record.
+//
+// RecPrepare/RecAbort are the participant side of two-phase commit: a
+// prepare record makes a branch's yes vote durable (its redo batch plus
+// the locks it holds, so recovery can re-acquire them), and an abort
+// record retires a prepared branch without applying it. RecCoord*
+// records form the coordinator log (see internal/gtm): begin names the
+// participant sites and branch ids, decision is the atomic commit/abort
+// choice fsynced before phase two, and end marks every participant
+// acknowledged (the global transaction needs no further recovery work).
 const (
-	RecCommit      RecordKind = 1
-	RecCreateTable RecordKind = 2
-	RecDropTable   RecordKind = 3
-	RecCreateIndex RecordKind = 4
+	RecCommit        RecordKind = 1
+	RecCreateTable   RecordKind = 2
+	RecDropTable     RecordKind = 3
+	RecCreateIndex   RecordKind = 4
+	RecPrepare       RecordKind = 5
+	RecAbort         RecordKind = 6
+	RecCoordBegin    RecordKind = 7
+	RecCoordDecision RecordKind = 8
+	RecCoordEnd      RecordKind = 9
 )
 
 // OpKind discriminates row operations inside a commit record.
@@ -63,17 +77,39 @@ type Op struct {
 	Vals  []value.Value // new image for insert/update; nil for delete
 }
 
+// LockEntry names one lock a prepared branch holds: the resource string
+// and the mode byte are opaque to the wal (the lock manager owns both
+// encodings); recovery re-acquires them verbatim.
+type LockEntry struct {
+	Resource string
+	Mode     byte
+}
+
 // Record is one WAL entry.
 type Record struct {
 	LSN  uint64
 	Kind RecordKind
 
-	Ops []Op // RecCommit
+	Ops []Op // RecCommit, RecPrepare
 
 	Table   string // DDL target table
 	Column  string // RecCreateIndex
 	Ordered bool   // RecCreateIndex: ordered (B+tree) vs hash
 	Schema  []byte // RecCreateTable: opaque schema encoding (owned by the caller)
+
+	// Branch is the local transaction id of a two-phase-commit branch
+	// (RecPrepare, RecAbort; on RecCommit it correlates the commit with
+	// an earlier prepare — 0 means the commit was not part of a prepared
+	// branch).
+	Branch uint64
+	// Locks are the locks a prepared branch holds (RecPrepare).
+	Locks []LockEntry
+
+	// Coordinator-log fields (RecCoordBegin/Decision/End).
+	GID      uint64   // global transaction id
+	Sites    []string // RecCoordBegin: participant sites, parallel to Branches
+	Branches []uint64 // RecCoordBegin: per-site branch ids
+	Commit   bool     // RecCoordDecision: true = commit, false = abort
 }
 
 // Sync is the fsync policy applied to appends.
@@ -284,6 +320,34 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 				return 0, err
 			}
 		}
+	}
+	l.lastLSN++
+	return l.lastLSN, nil
+}
+
+// AppendSync appends rec and forces it (and everything buffered before
+// it) onto stable storage regardless of the configured sync policy.
+// Two-phase commit uses it for prepare votes and commit decisions: a
+// yes vote or a decision must never be lost even when ordinary commits
+// run under SyncInterval or SyncOff.
+func (l *Log) AppendSync(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log %s is closed", l.path)
+	}
+	rec.LSN = l.lastLSN + 1
+	payload := encodeRecord(rec)
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordLen)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, payload...)
+	if err := l.flushLocked(true); err != nil {
+		return 0, err
 	}
 	l.lastLSN++
 	return l.lastLSN, nil
