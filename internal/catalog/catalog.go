@@ -13,6 +13,7 @@ import (
 
 	"myriad/internal/integration"
 	"myriad/internal/schema"
+	"myriad/internal/storage"
 )
 
 // SourceDef maps an integrated relation onto one export relation at one
@@ -140,6 +141,7 @@ type Catalog struct {
 	federation string
 	exports    map[string]map[string]*schema.Schema // site -> export -> schema
 	integrated map[string]*IntegratedDef
+	fragStats  map[string]*storage.TableStats // "site/export" -> fragment stats
 }
 
 // New creates an empty catalog for the named federation.
@@ -148,6 +150,7 @@ func New(federation string) *Catalog {
 		federation: federation,
 		exports:    make(map[string]map[string]*schema.Schema),
 		integrated: make(map[string]*IntegratedDef),
+		fragStats:  make(map[string]*storage.TableStats),
 	}
 }
 
@@ -227,6 +230,31 @@ func (c *Catalog) Drop(name string) error {
 	}
 	delete(c.integrated, lc)
 	return nil
+}
+
+// SetFragmentStats records (or, with nil, clears) per-fragment
+// statistics for one export relation at one site. The planner consults
+// these ahead of its StatsProvider for cardinality estimates and source
+// selection, so administratively registered fragment metadata (an
+// archive site known empty, a shard with a fixed key range) steers
+// planning without a round trip to the site.
+func (c *Catalog) SetFragmentStats(site, export string, ts *storage.TableStats) {
+	key := strings.ToLower(site) + "/" + strings.ToLower(export)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts == nil {
+		delete(c.fragStats, key)
+		return
+	}
+	c.fragStats[key] = ts
+}
+
+// FragmentStats looks up registered fragment statistics.
+func (c *Catalog) FragmentStats(site, export string) (*storage.TableStats, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ts, ok := c.fragStats[strings.ToLower(site)+"/"+strings.ToLower(export)]
+	return ts, ok
 }
 
 // Integrated looks up an integrated relation definition.

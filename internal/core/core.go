@@ -110,6 +110,9 @@ func New(name string) *Federation {
 		Strategy: StrategyCostBased,
 	}
 	f.coord = gtm.New(connProvider{f})
+	// Cached stats are correctness-bearing (they drive source pruning),
+	// so writes the federation coordinates must drop the cache.
+	f.coord.OnCommit = f.InvalidateStats
 	return f
 }
 
@@ -177,6 +180,7 @@ func (f *Federation) RestartCoordinator(opts wal.Options) error {
 		return fmt.Errorf("core: restarting coordinator: %w", err)
 	}
 	c.OpTimeout = old.OpTimeout
+	c.OnCommit = f.InvalidateStats
 	f.coordMu.Lock()
 	f.coord = c
 	f.coordMu.Unlock()
@@ -413,6 +417,12 @@ func (f *Federation) Explain(ctx context.Context, sql string, strategy Strategy)
 	b.WriteString(plan.Describe())
 	for _, ss := range plan.ScanSets {
 		for _, sc := range ss.Scans {
+			if sc.Pruned != "" {
+				// Source selection: the site is never contacted, so
+				// there is no access path to ask it about.
+				fmt.Fprintf(&b, "access @%s: pruned (%s)\n", sc.Site, sc.Pruned)
+				continue
+			}
 			conn, ok := f.Conn(sc.Site)
 			if !ok {
 				fmt.Fprintf(&b, "access @%s: (site detached)\n", sc.Site)

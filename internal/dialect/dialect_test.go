@@ -1,6 +1,7 @@
 package dialect
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -118,5 +119,46 @@ func TestQuotedIdentifierEscaping(t *testing.T) {
 	got := Postgres().Render(stmt)
 	if !strings.Contains(got, `"we""ird"`) {
 		t.Errorf("embedded quote not escaped: %s", got)
+	}
+}
+
+// TestGeneratedInListRoundTripByteIdentical guards the bind-join probe
+// protocol: the executor generates probe subqueries with large IN
+// lists and ships their rendered text to gateways, which re-parse and
+// re-render them. That pipeline is only safe if a generated IN-list
+// query survives render -> parse -> render byte-identically in every
+// dialect (and through the canonical printer).
+func TestGeneratedInListRoundTripByteIdentical(t *testing.T) {
+	var ints strings.Builder
+	for i := 0; i < 1500; i++ {
+		if i > 0 {
+			ints.WriteString(", ")
+		}
+		fmt.Fprintf(&ints, "%d", i*7)
+	}
+	sql := `SELECT id, k, kt FROM p WHERE k IN (` + ints.String() + `)` +
+		` AND kt IN ('t0', 'isn''t', 't2')` +
+		` AND pv NOT IN (1, 2, 3)` +
+		` ORDER BY id`
+	stmt := parse(t, sql)
+
+	canon1 := sqlparser.FormatStatement(stmt, nil)
+	canonBack, err := sqlparser.Parse(canon1)
+	if err != nil {
+		t.Fatalf("canonical re-parse failed: %v", err)
+	}
+	if canon2 := sqlparser.FormatStatement(canonBack, nil); canon2 != canon1 {
+		t.Errorf("canonical round trip not byte-identical:\n 1st: %.120s\n 2nd: %.120s", canon1, canon2)
+	}
+
+	for _, d := range []*Dialect{Canonical(), Oracle(), Postgres()} {
+		wire1 := d.Render(stmt)
+		back, err := d.Parse(wire1)
+		if err != nil {
+			t.Fatalf("[%s] re-parse of generated IN-list query failed: %v", d.Name, err)
+		}
+		if wire2 := d.Render(back); wire2 != wire1 {
+			t.Errorf("[%s] round trip not byte-identical:\n 1st: %.120s\n 2nd: %.120s", d.Name, wire1, wire2)
+		}
 	}
 }

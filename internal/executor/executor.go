@@ -179,7 +179,16 @@ type Metrics struct {
 	RemoteQueries int
 	RowsShipped   int
 	SemijoinUsed  bool
-	SemijoinSkip  bool // IN-list exceeded the bound; fell back to full scan
+	SemijoinSkip  bool // key set exceeded the cap/budget; fell back to full scan
+	// ShippedKeys counts join-key literals shipped to probe sites by the
+	// bind join (each live probe scan receives every batch, so a key
+	// probing two sites counts twice).
+	ShippedKeys int
+	// BindJoinBatches counts the IN-list batches the bind join shipped.
+	BindJoinBatches int
+	// PrunedSources counts the source scans source selection proved
+	// empty — sites the query never contacted.
+	PrunedSources int
 	// ScratchBypassed reports that the residual streamed straight off
 	// the fan-in without a scratch engine.
 	ScratchBypassed bool
@@ -241,7 +250,7 @@ func ExecuteStreamMetered(ctx context.Context, plan *planner.Plan, runner SiteRu
 // are themselves lazy, so RowsShipped and Sources settle when the
 // returned stream is closed.
 func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunner, opts Options) (schema.RowStream, *Metrics, error) {
-	m := &Metrics{}
+	m := &Metrics{PrunedSources: countPrunedSources(plan)}
 	var mu sync.Mutex
 	budget := queryBudget(opts)
 	// flushSpill settles the spill counters; it runs when the result
@@ -269,7 +278,7 @@ func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunne
 		// planner's ScanOrdering claim: the merge would silently
 		// reorder, so fall back to the scratch engine (fresh metrics —
 		// the aborted attempt's scans were torn down).
-		m = &Metrics{}
+		m = &Metrics{PrunedSources: countPrunedSources(plan)}
 	}
 
 	scratch := localdb.NewScratch(budget)
@@ -303,7 +312,6 @@ func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunne
 			wg.Add(1)
 			go func(i int, ss *planner.ScanSet) {
 				defer wg.Done()
-				var inList []sqlparser.Expr
 				if ss.SemiFrom != "" {
 					build := byAlias[strings.ToLower(ss.SemiFrom)]
 					if build == nil {
@@ -311,22 +319,19 @@ func ExecuteStreamOpts(ctx context.Context, plan *planner.Plan, runner SiteRunne
 						cancel()
 						return
 					}
-					vals, over, err := semiValues(wctx, scratch, build.TempTable, ss.SemiBuildCol, plan.MaxInList)
+					handled, err := runSemijoin(wctx, scratch, ss, build, plan, runner, bound, opts, budget, m, &mu)
 					if err != nil {
 						errs[i] = err
 						cancel()
 						return
 					}
-					mu.Lock()
-					if over {
-						m.SemijoinSkip = true
-					} else {
-						m.SemijoinUsed = true
-						inList = vals
+					if handled {
+						return
 					}
-					mu.Unlock()
+					// Fall through: key collection overflowed the cap or
+					// the budget; load the fragments unreduced.
 				}
-				if err := loadScanSet(wctx, scratch, ss, runner, inList, bound, opts, budget, m, &mu); err != nil {
+				if err := loadScanSet(wctx, scratch, ss, runner, nil, bound, opts, budget, m, &mu); err != nil {
 					errs[i] = err
 					cancel()
 				}
@@ -388,6 +393,14 @@ func openScanSet(ctx context.Context, ss *planner.ScanSet, runner SiteRunner, in
 	errs := make([]error, len(ss.Scans))
 	var wg sync.WaitGroup
 	for i, scan := range ss.Scans {
+		if scan.Pruned != "" {
+			// Source selection proved the fragment empty: feed the
+			// fan-in an empty stream so the combine keeps its source
+			// arity, without contacting the site (no RemoteQueries, no
+			// Sources entry).
+			streams[i] = schema.StreamOf(&schema.ResultSet{Columns: ss.Spec.Columns})
+			continue
+		}
 		wg.Add(1)
 		go func(i int, scan *planner.RemoteScan) {
 			defer wg.Done()
@@ -918,15 +931,150 @@ func streamBound(plan *planner.Plan) int64 {
 	return r.Limit.Count + r.Limit.Offset
 }
 
-// semiValues collects the distinct probe values of the (already loaded)
-// semijoin build side from the scratch engine.
-func semiValues(ctx context.Context, scratch *localdb.DB, table, col string, max int) ([]sqlparser.Expr, bool, error) {
-	rs, err := scratch.Query(ctx, fmt.Sprintf("SELECT %s FROM %s", col, table))
-	if err != nil {
-		return nil, false, fmt.Errorf("executor: semijoin build values: %w", err)
+// defaultBindMaxKeys bounds bind-join key collection when the plan
+// does not set Plan.BindMaxKeys.
+const defaultBindMaxKeys = 100000
+
+// countPrunedSources totals the scans source selection proved empty.
+func countPrunedSources(plan *planner.Plan) int {
+	n := 0
+	for _, ss := range plan.ScanSets {
+		for _, sc := range ss.Scans {
+			if sc.Pruned != "" {
+				n++
+			}
+		}
 	}
-	vals, over := distinctValues(rs, col, max)
-	return vals, over, nil
+	return n
+}
+
+// runSemijoin executes the reduction of probe scan set ss by its
+// already-loaded build side: collect the build side's distinct keys,
+// then load ss reduced by IN-list — for a bind join (SemiBind) in
+// MaxInList-sized batches shipped sequentially. The batches partition
+// the distinct keys, so each probe row matches exactly one batch and
+// per-batch combining stays exact for every combine kind. handled=false
+// (with SemijoinSkip set) means key collection overflowed the key cap
+// or the memory budget: the caller must load the fragments unreduced.
+// The fallback is decided before any probe scan opens, so no partial
+// temp-table state needs undoing.
+func runSemijoin(ctx context.Context, scratch *localdb.DB, ss, build *planner.ScanSet, plan *planner.Plan, runner SiteRunner, bound int64, opts Options, budget *spill.Budget, m *Metrics, mu *sync.Mutex) (bool, error) {
+	maxIn := plan.MaxInList
+	if maxIn <= 0 {
+		maxIn = 1000
+	}
+	keyCap := maxIn // legacy single-shot semijoin: one IN-list or nothing
+	if ss.SemiBind {
+		keyCap = plan.BindMaxKeys
+		if keyCap <= 0 {
+			keyCap = defaultBindMaxKeys
+		}
+	}
+	vals, reserved, over, err := semiValues(ctx, scratch, build.TempTable, ss.SemiBuildCol, keyCap, budget)
+	if budget != nil {
+		defer budget.Release(reserved)
+	}
+	if err != nil {
+		return false, err
+	}
+	mu.Lock()
+	if over {
+		m.SemijoinSkip = true
+	} else {
+		m.SemijoinUsed = true
+	}
+	mu.Unlock()
+	if over {
+		return false, nil
+	}
+	if len(vals) == 0 {
+		// Empty build side (or all-NULL keys): the equi-join can match
+		// nothing, so nothing ships and the probe temp table stays
+		// empty.
+		return true, nil
+	}
+	probes := 0
+	for _, sc := range ss.Scans {
+		if sc.Pruned == "" && sc.SemiProbe != nil {
+			probes++
+		}
+	}
+	for start := 0; start < len(vals); start += maxIn {
+		end := start + maxIn
+		if end > len(vals) {
+			end = len(vals)
+		}
+		batch := vals[start:end]
+		mu.Lock()
+		m.BindJoinBatches++
+		m.ShippedKeys += len(batch) * probes
+		mu.Unlock()
+		if err := loadScanSet(ctx, scratch, ss, runner, batch, bound, opts, budget, m, mu); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// semiValues streams the distinct non-NULL probe values of the
+// (already loaded) semijoin build side out of the scratch engine. The
+// dedup set is charged to the query budget like any blocking
+// operator's state; over=true when the distinct set exceeds max or the
+// budget refuses a reservation, in which case the caller falls back to
+// ship-all (and must Release(reserved) either way).
+func semiValues(ctx context.Context, scratch *localdb.DB, table, col string, max int, budget *spill.Budget) (vals []sqlparser.Expr, reserved int64, over bool, err error) {
+	sel := &sqlparser.Select{
+		Items: []sqlparser.SelectItem{{Expr: &sqlparser.ColumnRef{Column: col}}},
+		From:  []sqlparser.TableRef{{Name: table}},
+	}
+	rows, qerr := scratch.QueryStreamStmt(ctx, sel)
+	if qerr != nil {
+		return nil, 0, false, fmt.Errorf("executor: semijoin build values: %w", qerr)
+	}
+	defer rows.Close()
+	if max <= 0 {
+		max = defaultBindMaxKeys
+	}
+	seen := make(map[string]bool)
+	var keys []value.Value
+	for {
+		r, rerr := rows.Next(ctx)
+		if rerr != nil {
+			return nil, reserved, false, fmt.Errorf("executor: semijoin build values: %w", rerr)
+		}
+		if r == nil {
+			break
+		}
+		v := r[0]
+		if v.IsNull() {
+			continue
+		}
+		k := fmt.Sprintf("%d|%s", v.K, v.Text())
+		if seen[k] {
+			continue
+		}
+		cost := int64(len(k)) + 48
+		if budget != nil && !budget.Reserve(cost) {
+			return nil, reserved, true, nil
+		}
+		reserved += cost
+		seen[k] = true
+		keys = append(keys, v)
+		if len(keys) > max {
+			return nil, reserved, true, nil
+		}
+	}
+	// Deterministic order also makes each MaxInList batch a contiguous
+	// key range.
+	sort.Slice(keys, func(a, b int) bool {
+		c, ok := value.Compare(keys[a], keys[b])
+		return ok && c < 0
+	})
+	vals = make([]sqlparser.Expr, len(keys))
+	for i, v := range keys {
+		vals[i] = &sqlparser.Literal{Val: v}
+	}
+	return vals, reserved, false, nil
 }
 
 // ---------------------------------------------------------------------
@@ -944,7 +1092,7 @@ func ExecuteMaterialized(ctx context.Context, plan *planner.Plan, runner SiteRun
 
 // ExecuteMaterializedMetered is ExecuteMaterialized with metrics.
 func ExecuteMaterializedMetered(ctx context.Context, plan *planner.Plan, runner SiteRunner) (*schema.ResultSet, *Metrics, error) {
-	m := &Metrics{}
+	m := &Metrics{PrunedSources: countPrunedSources(plan)}
 	scratch := localdb.NewScratch(spill.EnvBudget())
 
 	var wave1, wave2 []*planner.ScanSet
@@ -976,13 +1124,33 @@ func ExecuteMaterializedMetered(ctx context.Context, plan *planner.Plan, runner 
 						errs[i] = fmt.Errorf("executor: semijoin build side %q missing", ss.SemiFrom)
 						return
 					}
-					vals, over := distinctValues(build, ss.SemiBuildCol, plan.MaxInList)
+					max := plan.MaxInList
+					if ss.SemiBind {
+						// The reference path ships the whole key set as
+						// one IN-list; IN-reduction never changes the
+						// residual's result, so single-shot vs batched
+						// stay row-identical.
+						if max = plan.BindMaxKeys; max <= 0 {
+							max = defaultBindMaxKeys
+						}
+					}
+					vals, over := distinctValues(build, ss.SemiBuildCol, max)
+					probes := 0
+					for _, sc := range ss.Scans {
+						if sc.Pruned == "" && sc.SemiProbe != nil {
+							probes++
+						}
+					}
 					mu.Lock()
 					if over {
 						m.SemijoinSkip = true
 					} else {
 						m.SemijoinUsed = true
 						inList = vals
+						if len(vals) > 0 {
+							m.BindJoinBatches++
+							m.ShippedKeys += len(vals) * probes
+						}
 					}
 					mu.Unlock()
 				}
@@ -1040,6 +1208,12 @@ func materializeScanSet(ctx context.Context, ss *planner.ScanSet, runner SiteRun
 	errs := make([]error, len(ss.Scans))
 	var wg sync.WaitGroup
 	for i, scan := range ss.Scans {
+		if scan.Pruned != "" {
+			// Source selection: the fragment is provably empty; align
+			// positionally without contacting the site.
+			frags[i] = &schema.ResultSet{Columns: append([]string(nil), ss.Spec.Columns...)}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, scan *planner.RemoteScan) {
 			defer wg.Done()

@@ -107,6 +107,15 @@ type Coordinator struct {
 	// participant here).
 	TestHookBetweenPhases func()
 
+	// OnCommit, when set, runs after a global transaction commits (both
+	// one-phase and two-phase, including in-doubt transactions resolved
+	// to commit). The federation hooks it to invalidate its statistics
+	// cache: cached per-site stats steer bind-join choice and source
+	// pruning, so they must not survive writes the federation itself
+	// coordinated. Set it before the coordinator begins transactions;
+	// the callback must be safe to call from multiple goroutines.
+	OnCommit func()
+
 	nextID atomic.Uint64
 	Stats  Stats
 
@@ -460,7 +469,15 @@ func (t *Txn) Commit(ctx context.Context) error {
 	t.state = stCommitted
 	t.mu.Unlock()
 	t.c.Stats.Committed.Add(1)
+	t.c.notifyCommit()
 	return nil
+}
+
+// notifyCommit fires the OnCommit hook, if any.
+func (c *Coordinator) notifyCommit() {
+	if hook := c.OnCommit; hook != nil {
+		hook()
+	}
 }
 
 // commitOnePhase commits a transaction that touched at most one site:
@@ -483,6 +500,7 @@ func (t *Txn) commitOnePhase(ctx context.Context, branches map[string]branch) er
 	t.state = stCommitted
 	t.mu.Unlock()
 	t.c.Stats.Committed.Add(1)
+	t.c.notifyCommit()
 	return nil
 }
 
@@ -575,6 +593,7 @@ func (t *Txn) resolveInDoubt(commit bool) {
 	t.c.Stats.InDoubt.Add(-1)
 	if commit {
 		t.c.Stats.Committed.Add(1)
+		t.c.notifyCommit()
 	} else {
 		t.c.Stats.Aborted.Add(1)
 	}

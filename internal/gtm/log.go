@@ -268,7 +268,11 @@ func (c *Coordinator) resolve(ctx context.Context, p *pendingGlobal) error {
 	}
 	c.logEnd(p.gid)
 	if p.txn != nil {
-		p.txn.resolveInDoubt(p.decided)
+		p.txn.resolveInDoubt(p.decided) // fires OnCommit for commits
+	} else if p.decided {
+		// Replayed from the log after a restart: no Txn to move, but the
+		// re-driven commit changed site state all the same.
+		c.notifyCommit()
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package localdb
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"myriad/internal/schema"
@@ -27,6 +28,7 @@ const (
 	accessPKPoint
 	accessHashEq
 	accessOrdered
+	accessMultiEq
 )
 
 // String names the access kind for explain output.
@@ -38,6 +40,8 @@ func (k accessKind) String() string {
 		return "hash-eq"
 	case accessOrdered:
 		return "ordered-range"
+	case accessMultiEq:
+		return "multi-eq"
 	default:
 		return "heap"
 	}
@@ -53,12 +57,13 @@ type orderHint struct {
 
 // accessChoice is one planned access path.
 type accessChoice struct {
-	kind accessKind
-	col  string      // indexed column (hash-eq / ordered)
-	eq   value.Value // hash-eq probe value
-	lo   storage.Bound
-	hi   storage.Bound
-	desc bool
+	kind   accessKind
+	col    string        // indexed column (hash-eq / ordered / multi-eq)
+	eq     value.Value   // hash-eq probe value
+	eqList []value.Value // multi-eq probe values, sorted ascending, deduplicated
+	lo     storage.Bound
+	hi     storage.Bound
+	desc   bool
 	// order reports that the path emits rows already in the hint's
 	// order, so the caller can skip its sort operator.
 	order bool
@@ -74,6 +79,8 @@ func (c *accessChoice) Describe(table string) string {
 	switch c.kind {
 	case accessHashEq:
 		fmt.Fprintf(&b, "(%s = %s)", c.col, c.eq)
+	case accessMultiEq:
+		fmt.Fprintf(&b, "(%s IN %d values)", c.col, len(c.eqList))
 	case accessOrdered:
 		fmt.Fprintf(&b, "(%s", c.col)
 		if c.lo.Set {
@@ -253,6 +260,86 @@ func extractRanges(local []sqlparser.Expr, sc *schema.Schema) map[string]*colRan
 	return out
 }
 
+// inListConstraint is one column's positive IN-list constraint: the
+// distinct probe values, coerced to the column type and sorted
+// ascending. A bind join's shipped probe predicate is exactly this
+// shape, so large lists here must not degrade to heap scans.
+type inListConstraint struct {
+	col  string
+	vals []value.Value
+}
+
+// extractInLists collects "col IN (literal, ...)" conjuncts whose
+// members all coerce to the column's declared type: the shape a hash
+// index serves with one probe per value, or an ordered index with one
+// point walk per value — in sorted value order, which satisfies a
+// single-column ORDER BY on that column outright. NULL members are
+// dropped (col = NULL is never true, so they match nothing; the filter
+// above agrees). Values are coerced so index probes compare Identical
+// to stored rows, and deduplicated so cost and work scale with the
+// distinct-value count. Lists with any non-literal, NOT IN, or a
+// class-incompatible member stay plain filters.
+func extractInLists(local []sqlparser.Expr, sc *schema.Schema) map[string]*inListConstraint {
+	var out map[string]*inListConstraint
+	for _, c := range local {
+		in, ok := c.(*sqlparser.InExpr)
+		if !ok || in.Not || len(in.List) == 0 {
+			continue
+		}
+		cr, ok := in.E.(*sqlparser.ColumnRef)
+		if !ok {
+			continue
+		}
+		ci := sc.ColIndex(cr.Column)
+		if ci < 0 {
+			continue
+		}
+		colType := sc.Columns[ci].Type
+		vals := make([]value.Value, 0, len(in.List))
+		usable := true
+		for _, m := range in.List {
+			lit, okl := m.(*sqlparser.Literal)
+			if !okl {
+				usable = false
+				break
+			}
+			if lit.Val.IsNull() {
+				continue
+			}
+			if !compatibleLiteral(lit.Val, colType) {
+				usable = false
+				break
+			}
+			cv, err := schema.Coerce(lit.Val, colType)
+			if err != nil {
+				usable = false
+				break
+			}
+			vals = append(vals, cv)
+		}
+		if !usable {
+			continue
+		}
+		sort.Slice(vals, func(i, j int) bool { return schema.CompareSort(vals[i], vals[j]) < 0 })
+		keep := vals[:0]
+		for _, v := range vals {
+			if len(keep) == 0 || schema.CompareSort(v, keep[len(keep)-1]) != 0 {
+				keep = append(keep, v)
+			}
+		}
+		lc := strings.ToLower(sc.Columns[ci].Name)
+		if out == nil {
+			out = make(map[string]*inListConstraint)
+		}
+		// Two IN conjuncts on one column: keep the smaller list (the
+		// filter above reapplies both, so either is a safe superset).
+		if prev, dup := out[lc]; !dup || len(keep) < len(prev.vals) {
+			out[lc] = &inListConstraint{col: sc.Columns[ci].Name, vals: keep}
+		}
+	}
+	return out
+}
+
 // Cost-model constants, in units of "heap rows read". Index access
 // pays per-row overhead (tree walk amortized over the scan, per-row
 // heap Get) the sequential heap scan does not; the sort penalty charges
@@ -284,6 +371,7 @@ func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) acc
 		n = actual
 	}
 	ranges := extractRanges(local, sc)
+	inLists := extractInLists(local, sc)
 
 	// Selectivity of every extracted constraint combined — the sort
 	// feeds only surviving rows, so the sort penalty scales with it.
@@ -298,6 +386,19 @@ func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) acc
 		} else {
 			combined *= 1.0 / 3
 		}
+	}
+	for lc, il := range inLists {
+		if _, dup := ranges[lc]; dup {
+			continue // already charged for this column
+		}
+		f := 1.0 / 3
+		if cs, ok := stats.Col(il.col); ok {
+			f = float64(len(il.vals)) * cs.EqFraction(n)
+		}
+		if f > 1 {
+			f = 1
+		}
+		combined *= f
 	}
 
 	wantsOrder := hint != nil
@@ -341,6 +442,33 @@ func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) acc
 			satisfies := wantsOrder && strings.EqualFold(hint.col, r.col)
 			consider(accessChoice{
 				kind: accessOrdered, col: r.col, lo: r.lo, hi: r.hi,
+				desc: satisfies && hint.desc, order: satisfies, frac: frac, rows: n,
+			}, frac*orderedRowCost+sortPenalty(satisfies))
+		}
+	}
+
+	// An IN list probes its indexed column once per distinct value:
+	// hash lookups when a hash index exists, or point walks on an
+	// ordered index — which emit rows in sorted value order and so
+	// serve a single-column ORDER BY on that column with no sort.
+	for _, il := range inLists {
+		cs, hasStats := stats.Col(il.col)
+		eqf := 0.1
+		if hasStats {
+			eqf = cs.EqFraction(n)
+		}
+		frac := float64(len(il.vals)) * eqf
+		if frac > 1 {
+			frac = 1
+		}
+		if _, ok := t.Index(il.col); ok {
+			consider(accessChoice{kind: accessMultiEq, col: il.col, eqList: il.vals, frac: frac, rows: n},
+				frac*hashRowCost+sortPenalty(false))
+		}
+		if _, ok := t.OrderedIndex(il.col); ok && !disableOrderedAccess {
+			satisfies := wantsOrder && strings.EqualFold(hint.col, il.col)
+			consider(accessChoice{
+				kind: accessMultiEq, col: il.col, eqList: il.vals,
 				desc: satisfies && hint.desc, order: satisfies, frac: frac, rows: n,
 			}, frac*orderedRowCost+sortPenalty(satisfies))
 		}
@@ -475,6 +603,67 @@ func (s *indexScanIter) refill() {
 }
 
 func (s *indexScanIter) Close() { s.closed = true; s.batch = nil; s.cur = nil }
+
+// multiPointIter serves an IN list from an ordered index as one point
+// walk per value, in sorted value order (reverse for desc) — so its
+// output is ordered by the probed column and can satisfy a
+// single-column ORDER BY with no sort stage. Rows read count toward
+// ScannedRows through the underlying point walks, keeping the "reads
+// only its matches" property observable.
+type multiPointIter struct {
+	db     *DB
+	t      *storage.Table
+	ix     *storage.OrderedIndex
+	vals   []value.Value
+	desc   bool
+	pos    int
+	cur    *indexScanIter
+	closed bool
+}
+
+func newMultiPointIter(db *DB, t *storage.Table, ix *storage.OrderedIndex, vals []value.Value, desc bool) *multiPointIter {
+	if desc {
+		rev := make([]value.Value, len(vals))
+		for i, v := range vals {
+			rev[len(vals)-1-i] = v
+		}
+		vals = rev
+	}
+	return &multiPointIter{db: db, t: t, ix: ix, vals: vals, desc: desc}
+}
+
+func (m *multiPointIter) Next(ctx context.Context) ([]value.Value, error) {
+	if m.closed {
+		return nil, nil
+	}
+	for {
+		if m.cur == nil {
+			if m.pos >= len(m.vals) {
+				return nil, nil
+			}
+			b := storage.BoundAt(m.vals[m.pos], true)
+			m.cur = newIndexScanIter(m.db, m.t, m.ix, b, b, m.desc)
+			m.pos++
+		}
+		r, err := m.cur.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return r, nil
+		}
+		m.cur.Close()
+		m.cur = nil
+	}
+}
+
+func (m *multiPointIter) Close() {
+	m.closed = true
+	if m.cur != nil {
+		m.cur.Close()
+		m.cur = nil
+	}
+}
 
 // ---------------------------------------------------------------------
 // Explain

@@ -739,6 +739,29 @@ func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts [
 		ix, _ := t.OrderedIndex(choice.col)
 		it, err := tx.filterLocal(newIndexScanIter(tx.db, t, ix, choice.lo, choice.hi, choice.desc), local, b)
 		return it, &choice, err
+	case accessMultiEq:
+		// Hash probes when unordered output is fine; ordered point
+		// walks when the choice promises sorted output (or no hash
+		// index exists).
+		if ix, ok := t.Index(choice.col); ok && !choice.order {
+			var rows [][]value.Value
+			tx.db.latch.RLock()
+			for _, v := range choice.eqList {
+				for _, id := range ix.Lookup(v) {
+					if r := t.Get(id); r != nil {
+						rows = append(rows, r)
+					}
+				}
+			}
+			tx.db.latch.RUnlock()
+			tx.db.scanRows.Add(int64(len(rows)))
+			it, err := tx.filterLocal(newSliceIter(rows), local, b)
+			return it, &choice, err
+		}
+		if ix, ok := t.OrderedIndex(choice.col); ok {
+			it, err := tx.filterLocal(newMultiPointIter(tx.db, t, ix, choice.eqList, choice.desc), local, b)
+			return it, &choice, err
+		}
 	}
 
 	// Heap scan: rows stream out in slot order, batch-copied under the

@@ -69,6 +69,12 @@ type RemoteScan struct {
 	// which the executor attaches the IN-list.
 	SemiProbe sqlparser.Expr
 	EstRows   float64
+	// Pruned, when non-empty, records why source selection dropped this
+	// scan: the catalog/cached statistics prove the fragment cannot
+	// contribute rows (empty fragment, or a pushed conjunct disjoint
+	// with the column's [min, max]). The executor substitutes an empty
+	// fragment instead of contacting the site.
+	Pruned string
 }
 
 // SQL renders the scan's canonical SQL.
@@ -90,6 +96,17 @@ type ScanSet struct {
 	SemiFrom     string
 	SemiBuildCol string
 
+	// SemiBind authorizes the batched bind join: the executor may split
+	// the collected keys into MaxInList-sized batches and ship the probe
+	// subqueries once per batch (the batches partition the keys, so
+	// per-batch combining is exact). Without it a key set larger than
+	// MaxInList falls back to shipping the fragments whole.
+	SemiBind bool
+	// EstKeys/EstBatches are the planner's distinct-key and batch-count
+	// estimates for the bind join (EXPLAIN only).
+	EstKeys    float64
+	EstBatches int
+
 	// ScanOrdering, when non-nil, declares that every source scan
 	// streams its fragment already sorted on these keys (indexes into
 	// Schema.Columns) — set when the LIMIT/ORDER BY pushdown ships the
@@ -108,8 +125,13 @@ type Plan struct {
 	// Residual is the query remaining after remote scans, phrased over
 	// the temp tables (aliases preserved).
 	Residual *sqlparser.Select
-	// MaxInList bounds semijoin IN-lists (0 = default 1000).
+	// MaxInList bounds one shipped IN-list — the bind join's batch size
+	// (0 = default 1000).
 	MaxInList int
+	// BindMaxKeys bounds the total distinct keys a bind join may collect
+	// before falling back to shipping fragments whole (0 = default
+	// 100000).
+	BindMaxKeys int
 }
 
 // Describe renders a human-readable plan (myriadctl EXPLAIN).
@@ -118,11 +140,19 @@ func (p *Plan) Describe() string {
 	fmt.Fprintf(&b, "strategy: %s\n", p.Strategy)
 	for _, ss := range p.ScanSets {
 		fmt.Fprintf(&b, "scan-set %s (%s, est %.0f rows)", ss.Alias, ss.Def.Name, ss.EstRows)
-		if ss.SemiFrom != "" {
+		switch {
+		case ss.SemiFrom != "" && ss.SemiBind:
+			fmt.Fprintf(&b, " [bind-join probe of %s on %s, ~%.0f keys in ~%d batches]",
+				ss.SemiFrom, ss.SemiBuildCol, ss.EstKeys, ss.EstBatches)
+		case ss.SemiFrom != "":
 			fmt.Fprintf(&b, " [semijoin probe of %s on %s]", ss.SemiFrom, ss.SemiBuildCol)
 		}
 		b.WriteByte('\n')
 		for _, sc := range ss.Scans {
+			if sc.Pruned != "" {
+				fmt.Fprintf(&b, "  @%s: pruned (%s)\n", sc.Site, sc.Pruned)
+				continue
+			}
 			fmt.Fprintf(&b, "  @%s: %s (est %.0f)\n", sc.Site, sc.SQL(), sc.EstRows)
 		}
 	}
@@ -134,11 +164,12 @@ func (p *Plan) Describe() string {
 type Planner struct {
 	Catalog *catalog.Catalog
 	Stats   StatsProvider
-	// SemiMaxBuild is the largest estimated build side considered for a
-	// semijoin (default 2000 rows).
-	SemiMaxBuild float64
-	// SemiMinRatio is the minimum probe/build size ratio to bother
-	// (default 4).
+	// BindMaxKeys is the largest estimated distinct-key set a bind join
+	// may ship; beyond it the join falls back to whole fragments
+	// (default 100000 keys).
+	BindMaxKeys float64
+	// SemiMinRatio is the minimum probe/shipped-keys size ratio to
+	// bother with a semijoin at all (default 4).
 	SemiMinRatio float64
 }
 
@@ -147,12 +178,12 @@ func New(cat *catalog.Catalog, stats StatsProvider) *Planner {
 	if stats == nil {
 		stats = NoStats{}
 	}
-	return &Planner{Catalog: cat, Stats: stats, SemiMaxBuild: 2000, SemiMinRatio: 4}
+	return &Planner{Catalog: cat, Stats: stats, BindMaxKeys: 100000, SemiMinRatio: 4}
 }
 
 // Plan compiles a parsed global SELECT.
 func (p *Planner) Plan(ctx context.Context, sel *sqlparser.Select, strategy Strategy) (*Plan, error) {
-	plan := &Plan{Strategy: strategy, MaxInList: 1000}
+	plan := &Plan{Strategy: strategy, MaxInList: 1000, BindMaxKeys: int(p.BindMaxKeys)}
 	residual, err := p.planSelect(ctx, sel, strategy, plan, 0, false)
 	if err != nil {
 		return nil, err
@@ -233,10 +264,15 @@ func (p *Planner) planSelect(ctx context.Context, sel *sqlparser.Select, strateg
 		if residual, ok := p.pushAggregates(sel, sets); ok {
 			return residual, nil
 		}
+		// Source selection runs only on non-aggregate-pushed plans: a
+		// pruned source under partial aggregation would drop its
+		// zero-count partial row, which is not the same as contributing
+		// nothing (SUM over no partials is NULL, not 0).
+		p.pruneSources(ctx, sets)
 		if nl := p.pushLimit(sel, sets, branch > 0, unionDistinct); nl != nil {
 			out.Limit = nl
 		}
-		p.chooseSemijoin(sel, sets)
+		p.chooseSemijoin(ctx, sel, sets, plan)
 		reorderJoins(&out, sets)
 	}
 
@@ -468,7 +504,7 @@ func (p *Planner) buildScan(ctx context.Context, src *catalog.SourceDef, tempSch
 	}
 
 	est := 1000.0
-	if ts, ok := p.Stats.Stats(ctx, src.Site, src.Export); ok {
+	if ts, ok := p.sourceStats(ctx, src.Site, src.Export); ok {
 		est = float64(ts.Rows)
 		if src.Filter != "" {
 			if f, err := sqlparser.ParseExpr(src.Filter); err == nil {
@@ -477,6 +513,18 @@ func (p *Planner) buildScan(ctx context.Context, src *catalog.SourceDef, tempSch
 		}
 	}
 	return &RemoteScan{Site: src.Site, Select: sel}, est, nil
+}
+
+// sourceStats resolves statistics for one export fragment: per-site
+// fragment stats registered in the catalog win over the (possibly
+// staler) StatsProvider cache.
+func (p *Planner) sourceStats(ctx context.Context, site, export string) (*storage.TableStats, bool) {
+	if p.Catalog != nil {
+		if ts, ok := p.Catalog.FragmentStats(site, export); ok {
+			return ts, true
+		}
+	}
+	return p.Stats.Stats(ctx, site, export)
 }
 
 // ---------------------------------------------------------------------
@@ -507,7 +555,7 @@ func (p *Planner) pushSelections(sel *sqlparser.Select, sets map[string]*ScanSet
 			} else {
 				scan.Select.Where = &sqlparser.BinaryExpr{Op: "AND", L: scan.Select.Where, R: translated}
 			}
-			if ts, hasStats := p.Stats.Stats(context.Background(), src.Site, src.Export); hasStats {
+			if ts, hasStats := p.sourceStats(context.Background(), src.Site, src.Export); hasStats {
 				scan.EstRows *= estimateSelectivity(translated, ts)
 			} else {
 				scan.EstRows *= 0.25
@@ -518,6 +566,152 @@ func (p *Planner) pushSelections(sel *sqlparser.Select, sets map[string]*ScanSet
 			ss.EstRows += scan.EstRows
 		}
 	}
+}
+
+// pruneSources drops source scans the statistics prove empty for this
+// query: a fragment with zero rows, or one whose scan-level WHERE (the
+// source Filter plus pushed-down selections, already in export terms)
+// contains a conjunct disjoint with the column's [min, max] or over an
+// all-NULL column. Pruned scans stay in ss.Scans — index-parallel with
+// Def.Sources — marked with the reason; the executor substitutes an
+// empty fragment instead of contacting the site.
+//
+// Pruning makes cached statistics correctness-bearing, so the stats
+// cache must be invalidated on writes; core wires gtm commits to
+// Federation.InvalidateStats, and out-of-band loads must call it
+// explicitly (see internal/planner/README.md).
+func (p *Planner) pruneSources(ctx context.Context, sets map[string]*ScanSet) {
+	for _, ss := range sets {
+		changed := false
+		for i := range ss.Def.Sources {
+			src := &ss.Def.Sources[i]
+			scan := ss.Scans[i]
+			if scan.Pruned != "" {
+				continue
+			}
+			ts, ok := p.sourceStats(ctx, src.Site, src.Export)
+			if !ok {
+				continue
+			}
+			if reason := proveEmpty(scan.Select.Where, ts); reason != "" {
+				scan.Pruned = reason
+				scan.EstRows = 0
+				changed = true
+			}
+		}
+		if changed {
+			ss.EstRows = 0
+			for _, scan := range ss.Scans {
+				ss.EstRows += scan.EstRows
+			}
+		}
+	}
+}
+
+// proveEmpty returns a non-empty reason when the statistics prove no
+// fragment row can satisfy where. Conservative: only plain
+// column-vs-literal comparisons (and BETWEEN) over columns with usable
+// stats are judged; everything else contributes nothing.
+func proveEmpty(where sqlparser.Expr, ts *storage.TableStats) string {
+	if ts.Rows == 0 {
+		return "empty fragment"
+	}
+	for _, conj := range sqlparser.SplitConjuncts(where) {
+		switch x := conj.(type) {
+		case *sqlparser.BinaryExpr:
+			op := x.Op
+			switch op {
+			case "=", "<", "<=", ">", ">=":
+			default:
+				continue
+			}
+			col, lit, ok := columnLiteral(x)
+			if !ok || lit.IsNull() {
+				continue
+			}
+			// columnLiteral loses sidedness; "lit op col" flips the op.
+			if _, litLeft := x.L.(*sqlparser.Literal); litLeft {
+				op = flipCompareOp(op)
+			}
+			cs, found := ts.Col(col)
+			if !found {
+				continue
+			}
+			if cs.Nulls == ts.Rows {
+				return fmt.Sprintf("%s is all NULL", col)
+			}
+			if cs.Min.IsNull() || cs.Max.IsNull() {
+				continue
+			}
+			cmpMin, ok1 := value.Compare(lit, cs.Min)
+			cmpMax, ok2 := value.Compare(lit, cs.Max)
+			if !ok1 || !ok2 {
+				continue
+			}
+			disjoint := false
+			switch op {
+			case "=":
+				disjoint = cmpMin < 0 || cmpMax > 0
+			case "<":
+				disjoint = cmpMin <= 0
+			case "<=":
+				disjoint = cmpMin < 0
+			case ">":
+				disjoint = cmpMax >= 0
+			case ">=":
+				disjoint = cmpMax > 0
+			}
+			if disjoint {
+				return fmt.Sprintf("%s %s %s disjoint with [%s, %s]",
+					col, op, lit.Text(), cs.Min.Text(), cs.Max.Text())
+			}
+		case *sqlparser.BetweenExpr:
+			if x.Not {
+				continue
+			}
+			cr, isCol := x.E.(*sqlparser.ColumnRef)
+			lo, loLit := x.Lo.(*sqlparser.Literal)
+			hi, hiLit := x.Hi.(*sqlparser.Literal)
+			if !isCol || !loLit || !hiLit || lo.Val.IsNull() || hi.Val.IsNull() {
+				continue
+			}
+			cs, found := ts.Col(cr.Column)
+			if !found {
+				continue
+			}
+			if cs.Nulls == ts.Rows {
+				return fmt.Sprintf("%s is all NULL", cr.Column)
+			}
+			if cs.Min.IsNull() || cs.Max.IsNull() {
+				continue
+			}
+			cmpHiMin, ok1 := value.Compare(hi.Val, cs.Min)
+			cmpLoMax, ok2 := value.Compare(lo.Val, cs.Max)
+			if !ok1 || !ok2 {
+				continue
+			}
+			if cmpHiMin < 0 || cmpLoMax > 0 {
+				return fmt.Sprintf("%s BETWEEN %s AND %s disjoint with [%s, %s]",
+					cr.Column, lo.Val.Text(), hi.Val.Text(), cs.Min.Text(), cs.Max.Text())
+			}
+		}
+	}
+	return ""
+}
+
+// flipCompareOp mirrors a comparison across its operands.
+func flipCompareOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
 }
 
 // pushLimit pushes LIMIT into single-relation, group-free UNION ALL
@@ -655,8 +849,20 @@ func scanOrdering(orderBy []sqlparser.OrderItem, ss *ScanSet) []schema.SortKey {
 }
 
 // chooseSemijoin finds one equi-join between two aliases where shipping
-// the small side's keys into the big side's scans pays off.
-func (p *Planner) chooseSemijoin(sel *sqlparser.Select, sets map[string]*ScanSet) {
+// the small (driving) side's distinct keys into the big (probe) side's
+// scans pays off, and marks the probe set for the batched bind join.
+// The decision is stats-driven: estimated distinct keys must fit the
+// configured cap and the probe fragments must be big enough that keys
+// out + matches back beats shipping the fragments whole.
+func (p *Planner) chooseSemijoin(ctx context.Context, sel *sqlparser.Select, sets map[string]*ScanSet, plan *Plan) {
+	maxIn := plan.MaxInList
+	if maxIn <= 0 {
+		maxIn = 1000
+	}
+	maxKeys := p.BindMaxKeys
+	if maxKeys <= 0 {
+		maxKeys = 100000
+	}
 	conds := sqlparser.SplitConjuncts(sel.Where)
 	for _, j := range sel.Joins {
 		if j.Kind == sqlparser.JoinInner {
@@ -684,7 +890,28 @@ func (p *Planner) chooseSemijoin(sel *sqlparser.Select, sets map[string]*ScanSet
 			small, big = big, small
 			smallCol, bigCol = bigCol, smallCol
 		}
-		if small.EstRows > p.SemiMaxBuild || big.EstRows < small.EstRows*p.SemiMinRatio {
+		// Shipped keys must compare on the probe site exactly as the
+		// residual join would; mismatched type classes would lean on
+		// per-site coercion semantics, so fall back to ship-all.
+		if !comparableJoinCols(small.Def, smallCol, big.Def, bigCol) {
+			continue
+		}
+		probes := liveScanCount(big)
+		if probes == 0 {
+			continue // every probe fragment pruned; nothing to reduce
+		}
+		keys := p.estimateKeys(ctx, small, smallCol)
+		if keys > maxKeys {
+			continue // IN-lists would exceed the configured key budget
+		}
+		// Probe rows matching the keys ship either way; the bind join
+		// pays keys out (once per live probe scan) plus matches back,
+		// against ship-all's full fragment set.
+		match := big.EstRows
+		if bd := p.estimateKeys(ctx, big, bigCol); bd > 0 && keys < bd {
+			match = big.EstRows * keys / bd
+		}
+		if big.EstRows < keys*p.SemiMinRatio || big.EstRows <= keys*float64(probes)+match {
 			continue
 		}
 		if big.SemiFrom != "" || small.SemiFrom != "" {
@@ -695,7 +922,7 @@ func (p *Planner) chooseSemijoin(sel *sqlparser.Select, sets map[string]*ScanSet
 			continue
 		}
 		// Every probe source must map the probe column.
-		probes := make([]sqlparser.Expr, len(big.Def.Sources))
+		probeExprs := make([]sqlparser.Expr, len(big.Def.Sources))
 		allMapped := true
 		for i, src := range big.Def.Sources {
 			mapped, ok := src.MapFold(bigCol)
@@ -708,7 +935,7 @@ func (p *Planner) chooseSemijoin(sel *sqlparser.Select, sets map[string]*ScanSet
 				allMapped = false
 				break
 			}
-			probes[i] = e
+			probeExprs[i] = e
 		}
 		if !allMapped {
 			continue
@@ -716,10 +943,75 @@ func (p *Planner) chooseSemijoin(sel *sqlparser.Select, sets map[string]*ScanSet
 		big.SemiFrom = small.Alias
 		big.SemiBuildCol = smallCol
 		for i := range big.Scans {
-			big.Scans[i].SemiProbe = probes[i]
+			big.Scans[i].SemiProbe = probeExprs[i]
+		}
+		big.SemiBind = true
+		big.EstKeys = keys
+		big.EstBatches = int(math.Ceil(keys / float64(maxIn)))
+		if big.EstBatches < 1 {
+			big.EstBatches = 1
 		}
 		return // one semijoin per query keeps the executor's DAG simple
 	}
+}
+
+// liveScanCount counts the scans source selection did not prune.
+func liveScanCount(ss *ScanSet) int {
+	n := 0
+	for _, sc := range ss.Scans {
+		if sc.Pruned == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// comparableJoinCols reports whether two integrated join columns share
+// a comparison class (ints and floats interchange; anything else must
+// match exactly), i.e. a shipped IN-list of build keys filters the
+// probe site exactly as the residual join predicate would.
+func comparableJoinCols(a *catalog.IntegratedDef, acol string, b *catalog.IntegratedDef, bcol string) bool {
+	ai, bi := a.ColIndex(acol), b.ColIndex(bcol)
+	if ai < 0 || bi < 0 {
+		return false
+	}
+	at, bt := a.Columns[ai].Type, b.Columns[bi].Type
+	numeric := func(t schema.Type) bool { return t == schema.TInt || t == schema.TFloat }
+	if numeric(at) && numeric(bt) {
+		return true
+	}
+	return at == bt
+}
+
+// estimateKeys estimates the distinct values of integrated column col
+// across ss's live scans: per scan, the column's distinct count capped
+// by the scan's post-pushdown row estimate, summed (floored at 1).
+func (p *Planner) estimateKeys(ctx context.Context, ss *ScanSet, col string) float64 {
+	total := 0.0
+	for i := range ss.Def.Sources {
+		src := &ss.Def.Sources[i]
+		scan := ss.Scans[i]
+		if scan.Pruned != "" {
+			continue
+		}
+		d := scan.EstRows
+		if mapped, ok := src.MapFold(col); ok {
+			if e, err := sqlparser.ParseExpr(mapped); err == nil {
+				if cr, isCol := e.(*sqlparser.ColumnRef); isCol {
+					if ts, found := p.sourceStats(ctx, src.Site, src.Export); found {
+						if cs, has := ts.Col(cr.Column); has && cs.Distinct > 0 && float64(cs.Distinct) < d {
+							d = float64(cs.Distinct)
+						}
+					}
+				}
+			}
+		}
+		total += d
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
 }
 
 // reorderJoins rewrites all-inner join trees into a FROM list ordered by

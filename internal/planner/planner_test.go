@@ -378,12 +378,92 @@ func TestSemijoinChosenWhenProfitable(t *testing.T) {
 			t.Error("probe scan missing SemiProbe expression")
 		}
 	}
+	if !probe.SemiBind {
+		t.Error("profitable semijoin not authorized for batched binding")
+	}
+	if out := plan.Describe(); !strings.Contains(out, "bind-join probe") {
+		t.Errorf("Describe missing bind-join marker:\n%s", out)
+	}
+}
+
+func TestSourceSelectionPrunesDisjointFragment(t *testing.T) {
+	cat := testCatalog(t)
+	// west's STUDENT fragment holds only ids 1000-1999: a conjunct
+	// id < 100 can never match there.
+	cat.SetFragmentStats("west", "STUDENT", &storage.TableStats{
+		Rows: 1000,
+		Columns: []storage.ColumnStats{
+			{Name: "id", Distinct: 1000, Min: value.NewInt(1000), Max: value.NewInt(1999)},
+		},
+	})
+	p := New(cat, statsFor())
+	plan := mustPlan(t, p, `SELECT name FROM S WHERE id < 100`, CostBased)
+	var pruned, live int
+	for _, sc := range plan.ScanSets[0].Scans {
+		if sc.Pruned != "" {
+			pruned++
+			if sc.Site != "west" {
+				t.Errorf("pruned wrong site %s (%s)", sc.Site, sc.Pruned)
+			}
+		} else {
+			live++
+		}
+	}
+	if pruned != 1 || live != 1 {
+		t.Fatalf("pruned=%d live=%d:\n%s", pruned, live, plan.Describe())
+	}
+	if out := plan.Describe(); !strings.Contains(out, "pruned") {
+		t.Errorf("Describe missing pruned marker:\n%s", out)
+	}
+}
+
+func TestSourceSelectionPrunesEmptyFragment(t *testing.T) {
+	cat := testCatalog(t)
+	cat.SetFragmentStats("west", "STUDENT", &storage.TableStats{Rows: 0})
+	p := New(cat, statsFor())
+	plan := mustPlan(t, p, `SELECT name FROM S WHERE gpa > 3`, CostBased)
+	found := false
+	for _, sc := range plan.ScanSets[0].Scans {
+		if sc.Site == "west" {
+			found = true
+			if sc.Pruned == "" {
+				t.Errorf("empty fragment not pruned:\n%s", plan.Describe())
+			}
+		} else if sc.Pruned != "" {
+			t.Errorf("non-empty fragment pruned: %s (%s)", sc.Site, sc.Pruned)
+		}
+	}
+	if !found {
+		t.Fatal("west scan missing from plan")
+	}
+}
+
+func TestSourceSelectionKeepsAggregatePushdownSound(t *testing.T) {
+	// A pruned source under partial aggregation would drop its
+	// zero-count partial row; pruning must stand down when aggregates
+	// were pushed.
+	cat := testCatalog(t)
+	cat.SetFragmentStats("west", "STUDENT", &storage.TableStats{Rows: 0})
+	p := New(cat, statsFor())
+	plan := mustPlan(t, p, `SELECT COUNT(*) FROM S`, CostBased)
+	for _, ss := range plan.ScanSets {
+		for _, sc := range ss.Scans {
+			if sc.Pruned != "" {
+				t.Errorf("pruned a source under aggregate pushdown: %s (%s)", sc.Site, sc.Pruned)
+			}
+		}
+	}
 }
 
 func TestSemijoinNotChosenWhenBuildTooBig(t *testing.T) {
 	stats := statsFor()
+	// Scale the key column's distinct count with the row count: the
+	// cost model prices the shipped key set, and a huge build with 50
+	// distinct keys would (correctly) still bind-join.
 	stats["east/student"].Rows = 50000
+	stats["east/student"].Columns[0].Distinct = 50000
 	stats["west/student"].Rows = 50000
+	stats["west/student"].Columns[0].Distinct = 50000
 	p := New(testCatalog(t), stats)
 	plan := mustPlan(t, p, `SELECT s.name, e.course FROM S s JOIN E e ON s.id = e.sid`, CostBased)
 	for _, ss := range plan.ScanSets {

@@ -70,6 +70,11 @@ var equivalenceCorpus = []string{
 	`SELECT id AS ident, v FROM R WHERE v >= 90`,
 	`SELECT id, v FROM R WHERE v > 90 LIMIT 500`,
 	`SELECT id, v FROM D WHERE v < 3`,
+	// Cross-site equi-joins with a selective side: under the cost-based
+	// strategy these may plan as bind joins (shipping key batches to
+	// the probe sites), and must still match the materialized path.
+	`SELECT r.id, d.v FROM R r JOIN D d ON r.id = d.id WHERE d.v = 7 ORDER BY r.id`,
+	`SELECT d.id, r.id AS rid, r.v FROM D d JOIN R r ON d.v = r.v WHERE d.id < 5 ORDER BY d.id, rid, r.v`,
 }
 
 // TestStreamingMatchesMaterialized holds the streaming executor
