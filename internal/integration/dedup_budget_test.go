@@ -2,16 +2,16 @@ package integration
 
 import (
 	"context"
-	"strings"
 	"testing"
 
 	"myriad/internal/schema"
 	"myriad/internal/spill"
 )
 
-// dedupFixture builds two sources of n distinct two-column rows each
-// (no overlap) for UNION DISTINCT fan-in.
-func dedupFixture(n int) (spec *Spec, sources []schema.RowStream) {
+// dedupFixture builds two sources of n two-column rows each for UNION
+// DISTINCT fan-in. Both sources start at base offsets; identical bases
+// make the sources exact duplicates of each other.
+func dedupFixture(n int, base2 int64) (spec *Spec, sources []schema.RowStream) {
 	spec = &Spec{Kind: UnionDistinct, Columns: []string{"id", "v"}}
 	mk := func(base int64) schema.RowStream {
 		rows := make([]schema.Row, n)
@@ -20,7 +20,7 @@ func dedupFixture(n int) (spec *Spec, sources []schema.RowStream) {
 		}
 		return &gatedStream{cols: spec.Columns, rows: rows}
 	}
-	return spec, []schema.RowStream{mk(0), mk(1 << 20)}
+	return spec, []schema.RowStream{mk(0), mk(base2)}
 }
 
 // drainAllRows pulls the stream dry, returning rows and terminal error.
@@ -39,36 +39,59 @@ func drainAllRows(s schema.RowStream) (int, error) {
 	}
 }
 
-// TestUnionDistinctDedupBudget: every fan-in mode's dedup map is
-// accounted against the query budget and fails fast with a clear error
-// past the grouped allowance, instead of ballooning the federation.
+// TestUnionDistinctDedupBudget: every fan-in mode's dedup completes
+// under a 16-byte budget instead of failing fast. The combined and
+// interleave modes spill their first-occurrence dedup state to runs;
+// the ordered merge scopes dedup to one merge-key run at a time and
+// never needs to spill at all.
 func TestUnionDistinctDedupBudget(t *testing.T) {
 	modes := []FanInMode{FanInSourceOrder, FanInInterleave, FanInMergeOrdered}
 	for _, mode := range modes {
 		t.Run(mode.String(), func(t *testing.T) {
-			spec, sources := dedupFixture(5000)
+			// Identical sources: 5000 distinct rows duplicated across the
+			// two branches; dedup must collapse them exactly.
+			spec, sources := dedupFixture(5000, 0)
+			budget := spill.NewBudget(16, t.TempDir())
 			opts := StreamOptions{
 				Mode:      mode,
 				MergeKeys: []schema.SortKey{{Col: 0}},
-				// 16-byte budget -> 4KB grouped allowance: a few thousand
-				// distinct keys blow it deterministically.
-				Budget: spill.NewBudget(16, t.TempDir()),
+				Budget:    budget,
 			}
 			c := CombineStreamsOpts(context.Background(), spec, sources, opts)
 			defer c.Close()
-			_, err := drainAllRows(c)
-			if err == nil || !strings.Contains(err.Error(), "memory budget") {
-				t.Fatalf("err = %v", err)
+			n, err := drainAllRows(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 5000 {
+				t.Fatalf("rows = %d, want 5000", n)
+			}
+			_, runs := budget.Stats()
+			if mode == FanInMergeOrdered {
+				// Per-key-group dedup is bounded by one run of equal merge
+				// keys; a 16-byte budget still never forces a spill.
+				if runs != 0 {
+					t.Fatalf("ordered merge dedup spilled %d runs", runs)
+				}
+			} else if runs == 0 {
+				t.Fatalf("%s dedup under a 16-byte budget did not spill", mode)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if used := budget.Used(); used != 0 {
+				t.Fatalf("budget not released: %d", used)
 			}
 		})
 	}
 }
 
 // TestUnionDistinctDedupWithinBudget: a budget with room lets the same
-// dedup complete and dedup correctly.
+// dedup complete in memory, deduping correctly across disjoint sources.
 func TestUnionDistinctDedupWithinBudget(t *testing.T) {
-	spec, sources := dedupFixture(500)
-	opts := StreamOptions{Budget: spill.NewBudget(1<<20, t.TempDir())}
+	spec, sources := dedupFixture(500, 1<<20)
+	budget := spill.NewBudget(1<<20, t.TempDir())
+	opts := StreamOptions{Budget: budget}
 	c := CombineStreamsOpts(context.Background(), spec, sources, opts)
 	defer c.Close()
 	n, err := drainAllRows(c)
@@ -77,5 +100,8 @@ func TestUnionDistinctDedupWithinBudget(t *testing.T) {
 	}
 	if n != 1000 {
 		t.Fatalf("rows = %d", n)
+	}
+	if _, runs := budget.Stats(); runs != 0 {
+		t.Fatalf("in-budget dedup spilled %d runs", runs)
 	}
 }

@@ -177,16 +177,17 @@ func CombineStreamsOpts(ctx context.Context, spec *Spec, sources []schema.RowStr
 	}
 	switch spec.Kind {
 	case UnionAll, UnionDistinct:
-		var seen *dedupState
-		if spec.Kind == UnionDistinct {
-			budget := opts.Budget
-			if budget == nil {
-				budget = spill.EnvBudget()
-			}
-			seen = newDedupState(budget)
+		distinct := spec.Kind == UnionDistinct
+		budget := opts.Budget
+		if budget == nil {
+			budget = spill.EnvBudget()
 		}
 		switch mode {
 		case FanInInterleave:
+			var seen *dedupState
+			if distinct {
+				seen = newDedupState(budget)
+			}
 			c := &interleaveStream{seen: seen}
 			c.init(spec, sources, fctx, cancel)
 			cap := windowBatches(len(sources), opts.RowBudget) * len(sources)
@@ -206,7 +207,7 @@ func CombineStreamsOpts(ctx context.Context, spec *Spec, sources []schema.RowStr
 			}()
 			return c
 		case FanInMergeOrdered:
-			c := &mergeStream{keys: opts.MergeKeys, seen: seen}
+			c := &mergeStream{keys: opts.MergeKeys, dedup: distinct, budget: budget}
 			c.init(spec, sources, fctx, cancel)
 			c.feeds = startFeeds(fctx, &c.wg, sources, spec, opts)
 			c.heads = make([]schema.Row, len(sources))
@@ -215,6 +216,10 @@ func CombineStreamsOpts(ctx context.Context, spec *Spec, sources []schema.RowStr
 			c.bpos = make([]int, len(sources))
 			return c
 		default:
+			var seen *dedupState
+			if distinct {
+				seen = newDedupState(budget)
+			}
 			c := &combinedStream{seen: seen}
 			c.init(spec, sources, fctx, cancel)
 			c.feeds = startFeeds(fctx, &c.wg, sources, spec, opts)
@@ -296,21 +301,58 @@ func (b *fanInBase) closeBase() error {
 }
 
 // dedupState is the UNION-distinct first-occurrence-wins filter shared
-// by the fan-in operators: a spill.DedupSet (accounted against the
-// query's memory budget under the grouped allowance, failing fast past
-// it — the engine's GROUP BY treatment) keyed on the encoded row.
+// by the source-order and interleave fan-ins: a spill.Deduper keyed on
+// the encoded row. While the key set fits the query's memory budget
+// rows stream through immediately; past it the deduper spills to
+// sort-based dedup and the deferred first occurrences drain — still in
+// arrival order — from tailNext once every source is exhausted, so the
+// fan-in never fails on dedup volume and never holds more than the
+// budget plus one key group.
 type dedupState struct {
-	set *spill.DedupSet
+	d    *spill.Deduper
+	tail *spill.Iterator
 }
 
 func newDedupState(budget *spill.Budget) *dedupState {
-	return &dedupState{set: spill.NewDedupSet(budget, "UNION dedup")}
+	return &dedupState{d: spill.NewDeduper(budget, "UNION dedup")}
 }
 
-// admit reports whether the row is the first occurrence of its key; an
-// error means the dedup set outgrew the budget's allowance.
+// admit reports whether the row is a first occurrence to emit now;
+// false also covers rows deferred to the tail after a spill.
 func (d *dedupState) admit(r schema.Row) (bool, error) {
-	return d.set.Admit(encodeRow(r))
+	return d.d.Admit(encodeRow(r), r)
+}
+
+// tailNext streams the deferred first occurrences after the inputs are
+// exhausted; nil means nothing (more) was deferred.
+func (d *dedupState) tailNext(ctx context.Context) (schema.Row, error) {
+	if d.tail == nil {
+		if !d.d.Spilled() {
+			return nil, nil
+		}
+		t, err := d.d.Tail(ctx)
+		if err != nil {
+			return nil, err
+		}
+		d.tail = t
+	}
+	rec, err := d.tail.Next(ctx)
+	if err != nil || rec == nil {
+		return nil, err
+	}
+	return spill.TailRow(rec), nil
+}
+
+// close releases the dedup reservation and removes any spill state.
+func (d *dedupState) close() {
+	if d == nil {
+		return
+	}
+	if d.tail != nil {
+		d.tail.Close()
+		d.tail = nil
+	}
+	d.d.Close()
 }
 
 // sourceFeed is one producer goroutine's output: batches flow through a
@@ -494,7 +536,17 @@ func (c *combinedStream) Next(ctx context.Context) (schema.Row, error) {
 	for {
 		for c.bpos >= len(c.batch) {
 			if c.cur >= len(c.feeds) {
-				return nil, nil
+				// Every source is exhausted; drain any dedup tail (first
+				// occurrences deferred after a spill, in arrival order).
+				if c.seen == nil {
+					return nil, nil
+				}
+				r, err := c.seen.tailNext(ctx)
+				if err != nil {
+					c.fail(err)
+					return nil, c.err
+				}
+				return r, nil
 			}
 			var item feedItem
 			var ok bool
@@ -739,6 +791,7 @@ func (c *combinedStream) nextEntity(ctx context.Context) (schema.Row, error) {
 // the outer-merge stores hold. Idempotent.
 func (c *combinedStream) Close() error {
 	err := c.closeBase()
+	c.seen.close()
 	for _, it := range c.mits {
 		if it != nil {
 			it.Close()
@@ -796,7 +849,15 @@ func (c *interleaveStream) Next(ctx context.Context) (schema.Row, error) {
 					c.fail(err)
 					return nil, c.err
 				}
-				return nil, nil
+				if c.seen == nil {
+					return nil, nil
+				}
+				r, err := c.seen.tailNext(ctx)
+				if err != nil {
+					c.fail(err)
+					return nil, c.err
+				}
+				return r, nil
 			}
 			if item.err != nil {
 				c.fail(item.err)
@@ -822,6 +883,7 @@ func (c *interleaveStream) Next(ctx context.Context) (schema.Row, error) {
 
 func (c *interleaveStream) Close() error {
 	err := c.closeBase()
+	c.seen.close()
 	// closeBase waited the feeders out; the closer goroutine only has
 	// the channel close left. Wait so Close leaves no goroutine behind.
 	<-c.closerDone
@@ -849,7 +911,18 @@ type mergeStream struct {
 	batches [][]schema.Row
 	bpos    []int
 	inited  bool
-	seen    *dedupState
+
+	// UNION-distinct over a merged-ordered stream must stay streaming —
+	// the executor substitutes this merge for a downstream ORDER BY, so
+	// rows cannot be deferred to a tail. Instead dedup is scoped to one
+	// merge-key run at a time: equal full rows necessarily carry equal
+	// merge keys, so duplicates are confined to a run, and the set resets
+	// whenever the key advances — memory is one key group, not the
+	// stream.
+	dedup     bool
+	budget    *spill.Budget
+	groupSeen *spill.DedupSet
+	groupKey  schema.Row
 }
 
 // advance loads the next row of source i into heads[i] (nil + done when
@@ -925,8 +998,12 @@ func (c *mergeStream) Next(ctx context.Context) (schema.Row, error) {
 			c.fail(err)
 			return nil, c.err
 		}
-		if c.seen != nil {
-			first, err := c.seen.admit(r)
+		if c.dedup {
+			if c.groupKey == nil || schema.CompareRowsBy(r, c.groupKey, c.keys) != 0 {
+				c.groupSeen = spill.NewDedupSet(c.budget, "UNION dedup (one merge-key group)")
+				c.groupKey = r
+			}
+			first, err := c.groupSeen.Admit(encodeRow(r))
 			if err != nil {
 				c.fail(err)
 				return nil, c.err

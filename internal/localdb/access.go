@@ -47,26 +47,40 @@ func (k accessKind) String() string {
 	}
 }
 
-// orderHint is the statement's ORDER BY intent when it is a single
-// plain column of the base table — the only shape a single-column
-// ordered index can satisfy outright.
+// orderHint is the statement's ORDER BY intent when every item is a
+// plain column of the base table in one uniform direction — the shape
+// an ordered-index walk (single-column or composite) can satisfy
+// outright.
 type orderHint struct {
-	col  string
+	cols []string
 	desc bool
 }
 
 // accessChoice is one planned access path.
 type accessChoice struct {
 	kind   accessKind
-	col    string        // indexed column (hash-eq / ordered / multi-eq)
+	col    string        // indexed column (hash-eq / multi-eq; first key column for ordered)
 	eq     value.Value   // hash-eq probe value
 	eqList []value.Value // multi-eq probe values, sorted ascending, deduplicated
+
+	// Ordered-walk plan: the index, its key columns, the
+	// equality-pinned prefix values, the (optional) range bounds on the
+	// column after the prefix, and the derived tuple-prefix scan bounds.
+	ix     *storage.OrderedIndex
+	cols   []string
+	eqVals []value.Value
 	lo     storage.Bound
 	hi     storage.Bound
+	tlo    storage.TupleBound
+	thi    storage.TupleBound
 	desc   bool
 	// order reports that the path emits rows already in the hint's
 	// order, so the caller can skip its sort operator.
 	order bool
+	// group reports that the path emits rows with equal group keys
+	// adjacent (and groups in group-key sort order), so grouped
+	// execution can fold group-at-a-time with no accumulation state.
+	group bool
 	// frac is the estimated fraction of the table the path reads.
 	frac float64
 	rows int64 // table rows the estimate was made against
@@ -82,20 +96,39 @@ func (c *accessChoice) Describe(table string) string {
 	case accessMultiEq:
 		fmt.Fprintf(&b, "(%s IN %d values)", c.col, len(c.eqList))
 	case accessOrdered:
-		fmt.Fprintf(&b, "(%s", c.col)
-		if c.lo.Set {
-			op := ">"
-			if c.lo.Inclusive {
-				op = ">="
+		b.WriteString("(")
+		for i, v := range c.eqVals {
+			if i > 0 {
+				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, " %s %s", op, c.lo.V)
+			fmt.Fprintf(&b, "%s = %s", c.cols[i], v)
 		}
-		if c.hi.Set {
-			op := "<"
-			if c.hi.Inclusive {
-				op = "<="
+		k := len(c.eqVals)
+		if c.lo.Set || c.hi.Set {
+			if k > 0 {
+				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, " %s %s", op, c.hi.V)
+			b.WriteString(c.cols[k])
+			if c.lo.Set {
+				op := ">"
+				if c.lo.Inclusive {
+					op = ">="
+				}
+				fmt.Fprintf(&b, " %s %s", op, c.lo.V)
+			}
+			if c.hi.Set {
+				op := "<"
+				if c.hi.Inclusive {
+					op = "<="
+				}
+				fmt.Fprintf(&b, " %s %s", op, c.hi.V)
+			}
+			k++
+		}
+		if k == 0 {
+			b.WriteString(strings.Join(c.cols, ", "))
+		} else if k < len(c.cols) {
+			fmt.Fprintf(&b, ", %s", strings.Join(c.cols[k:], ", "))
 		}
 		if c.desc {
 			b.WriteString(" desc")
@@ -107,6 +140,9 @@ func (c *accessChoice) Describe(table string) string {
 	}
 	if c.order {
 		b.WriteString("; serves ORDER BY (no sort)")
+	}
+	if c.group {
+		b.WriteString("; serves GROUP BY (streamed)")
 	}
 	return b.String()
 }
@@ -357,11 +393,67 @@ const (
 // identical data; production code never sets it.
 var disableOrderedAccess bool
 
+// servesPrefix reports whether a walk ordered by rem (the index key
+// columns after the equality-pinned prefix) delivers the columns in
+// want in their stated order. Columns pinned by an equality constraint
+// are constant and skippable wherever they appear in want, as is a
+// column the walk already ordered (a repeat is constant within ties);
+// every other wanted column must match the next remaining index column.
+func servesPrefix(want, rem []string, eqCols map[string]bool) bool {
+	matched := make(map[string]bool, len(want))
+	i := 0
+	for _, w := range want {
+		lw := strings.ToLower(w)
+		if eqCols[lw] || matched[lw] {
+			continue
+		}
+		if i < len(rem) && strings.EqualFold(rem[i], w) {
+			matched[strings.ToLower(rem[i])] = true
+			i++
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// servesGroupSet reports whether a walk ordered by rem keeps rows with
+// equal values on every column of want adjacent — the contiguity
+// streamed grouping needs. Unlike ORDER BY, grouping is insensitive to
+// key order, so want is a set: it streams iff some prefix of the
+// walk's ordering columns covers exactly the wanted columns that are
+// not already pinned constant by an equality (rows can only interleave
+// on a walk column outside the group key).
+func servesGroupSet(want, rem []string, eqCols map[string]bool) bool {
+	need := make(map[string]bool, len(want))
+	for _, w := range want {
+		lw := strings.ToLower(w)
+		if !eqCols[lw] {
+			need[lw] = true
+		}
+	}
+	for i := 0; len(need) > 0; i++ {
+		if i >= len(rem) {
+			return false
+		}
+		lr := strings.ToLower(rem[i])
+		if eqCols[lr] {
+			continue // constant under the walk: cannot split a group
+		}
+		if !need[lr] {
+			return false
+		}
+		delete(need, lr)
+	}
+	return true
+}
+
 // chooseAccess picks the access path for one base table given its
-// pushed-down conjuncts and the statement's order hint. Callers must
-// hold the database latch (the stats read touches table rows when the
-// cache is stale).
-func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) accessChoice {
+// pushed-down conjuncts, the statement's order hint, and — for grouped
+// statements — the group-key columns resolved onto this table (nil
+// when grouping cannot stream). Callers must hold the database latch
+// (the stats read touches table rows when the cache is stale).
+func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint, groupCols []string) accessChoice {
 	sc := t.Schema
 	stats := t.CachedStats()
 	n := stats.Rows
@@ -372,6 +464,12 @@ func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) acc
 	}
 	ranges := extractRanges(local, sc)
 	inLists := extractInLists(local, sc)
+	eqCols := make(map[string]bool, len(ranges))
+	for lc, r := range ranges {
+		if r.eq != nil {
+			eqCols[lc] = true
+		}
+	}
 
 	// Selectivity of every extracted constraint combined — the sort
 	// feeds only surviving rows, so the sort penalty scales with it.
@@ -408,9 +506,18 @@ func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) acc
 		}
 		return combined * sortPassCost
 	}
+	// A path that does not stream grouping leaves grouped execution a
+	// hash or sort pass over its output — charged like an unserved sort.
+	wantsGroup := len(groupCols) > 0
+	groupPenalty := func(satisfies bool) float64 {
+		if !wantsGroup || satisfies {
+			return 0
+		}
+		return combined * sortPassCost
+	}
 
 	best := accessChoice{kind: accessHeap, frac: 1, rows: n}
-	bestCost := 1.0 + sortPenalty(false)
+	bestCost := 1.0 + sortPenalty(false) + groupPenalty(false)
 
 	consider := func(c accessChoice, cost float64) {
 		if cost < bestCost {
@@ -419,38 +526,80 @@ func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) acc
 	}
 
 	for _, r := range ranges {
-		cs, hasStats := stats.Col(r.col)
-		if r.eq != nil {
-			if _, ok := t.Index(r.col); ok {
-				frac := 0.1
-				if hasStats {
-					frac = cs.EqFraction(n)
-				}
-				consider(accessChoice{kind: accessHashEq, col: r.col, eq: *r.eq, frac: frac, rows: n},
-					frac*hashRowCost+sortPenalty(false))
-			}
+		if r.eq == nil {
+			continue
 		}
-		if _, ok := t.OrderedIndex(r.col); ok && !disableOrderedAccess && (r.lo.Set || r.hi.Set) {
-			frac := 1.0 / 3
+		if _, ok := t.Index(r.col); ok {
+			cs, hasStats := stats.Col(r.col)
+			frac := 0.1
 			if hasStats {
-				if r.eq != nil {
-					frac = cs.EqFraction(n)
+				frac = cs.EqFraction(n)
+			}
+			consider(accessChoice{kind: accessHashEq, col: r.col, eq: *r.eq, frac: frac, rows: n},
+				frac*hashRowCost+sortPenalty(false)+groupPenalty(false))
+		}
+	}
+
+	// Every ordered index — single-column or composite — yields one
+	// candidate walk: the longest equality-pinned prefix of its key
+	// columns narrows the scan to a prefix group, an optional range on
+	// the next column narrows it further, and the remaining key order
+	// may serve the ORDER BY or stream the GROUP BY.
+	if !disableOrderedAccess {
+		for _, info := range t.OrderedIndexes() {
+			idxCols := info.Columns
+			k := 0
+			var eqVals []value.Value
+			frac := 1.0
+			for k < len(idxCols) {
+				r, ok := ranges[strings.ToLower(idxCols[k])]
+				if !ok || r.eq == nil {
+					break
+				}
+				eqVals = append(eqVals, *r.eq)
+				if cs, okc := stats.Col(r.col); okc {
+					frac *= cs.EqFraction(n)
 				} else {
-					frac = cs.RangeFraction(r.lo, r.hi, n)
+					frac *= 0.1
+				}
+				k++
+			}
+			var rng *colRange
+			if k < len(idxCols) {
+				if r, ok := ranges[strings.ToLower(idxCols[k])]; ok && (r.lo.Set || r.hi.Set) {
+					rng = r
+					if cs, okc := stats.Col(r.col); okc {
+						frac *= cs.RangeFraction(r.lo, r.hi, n)
+					} else {
+						frac *= 1.0 / 3
+					}
 				}
 			}
-			satisfies := wantsOrder && strings.EqualFold(hint.col, r.col)
-			consider(accessChoice{
-				kind: accessOrdered, col: r.col, lo: r.lo, hi: r.hi,
-				desc: satisfies && hint.desc, order: satisfies, frac: frac, rows: n,
-			}, frac*orderedRowCost+sortPenalty(satisfies))
+			rem := idxCols[k:]
+			satOrder := wantsOrder && servesPrefix(hint.cols, rem, eqCols)
+			satGroup := wantsGroup && servesGroupSet(groupCols, rem, eqCols)
+			if k == 0 && rng == nil && !satOrder && !satGroup {
+				continue // unconstrained walk serving nothing
+			}
+			c := accessChoice{
+				kind: accessOrdered, col: idxCols[0], ix: info.Index,
+				cols: idxCols, eqVals: eqVals,
+				desc:  satOrder && hint.desc,
+				order: satOrder, group: satGroup, frac: frac, rows: n,
+			}
+			if rng != nil {
+				c.lo, c.hi = rng.lo, rng.hi
+			}
+			c.tlo, c.thi = tupleBounds(eqVals, rng)
+			consider(c, frac*orderedRowCost+sortPenalty(satOrder)+groupPenalty(satGroup))
 		}
 	}
 
 	// An IN list probes its indexed column once per distinct value:
 	// hash lookups when a hash index exists, or point walks on an
 	// ordered index — which emit rows in sorted value order and so
-	// serve a single-column ORDER BY on that column with no sort.
+	// serve a single-column ORDER BY (or stream a single-column GROUP
+	// BY) on that column with no sort.
 	for _, il := range inLists {
 		cs, hasStats := stats.Col(il.col)
 		eqf := 0.1
@@ -463,82 +612,126 @@ func chooseAccess(t *storage.Table, local []sqlparser.Expr, hint *orderHint) acc
 		}
 		if _, ok := t.Index(il.col); ok {
 			consider(accessChoice{kind: accessMultiEq, col: il.col, eqList: il.vals, frac: frac, rows: n},
-				frac*hashRowCost+sortPenalty(false))
+				frac*hashRowCost+sortPenalty(false)+groupPenalty(false))
 		}
-		if _, ok := t.OrderedIndex(il.col); ok && !disableOrderedAccess {
-			satisfies := wantsOrder && strings.EqualFold(hint.col, il.col)
+		if ix, ok := t.OrderedIndex(il.col); ok && !disableOrderedAccess {
+			satisfies := wantsOrder && servesPrefix(hint.cols, []string{il.col}, eqCols)
+			satGroup := wantsGroup && servesGroupSet(groupCols, []string{il.col}, eqCols)
 			consider(accessChoice{
-				kind: accessMultiEq, col: il.col, eqList: il.vals,
-				desc: satisfies && hint.desc, order: satisfies, frac: frac, rows: n,
-			}, frac*orderedRowCost+sortPenalty(satisfies))
-		}
-	}
-
-	// A full ordered walk on the hint column serves ORDER BY with no
-	// sort even without a usable range on that column.
-	if wantsOrder && !best.order && !disableOrderedAccess {
-		if _, ok := t.OrderedIndex(hint.col); ok {
-			c := accessChoice{kind: accessOrdered, col: hint.col, desc: hint.desc, order: true, frac: 1, rows: n}
-			if r, okr := ranges[strings.ToLower(hint.col)]; okr {
-				c.lo, c.hi = r.lo, r.hi
-				if cs, okc := stats.Col(hint.col); okc {
-					c.frac = cs.RangeFraction(r.lo, r.hi, n)
-				}
-			}
-			consider(c, c.frac*orderedRowCost)
+				kind: accessMultiEq, col: il.col, eqList: il.vals, ix: ix,
+				desc: satisfies && hint.desc, order: satisfies, group: satGroup, frac: frac, rows: n,
+			}, frac*orderedRowCost+sortPenalty(satisfies)+groupPenalty(satGroup))
 		}
 	}
 	return best
 }
 
-// deriveOrderHint maps the statement's ORDER BY onto the base table
-// when it is a single plain column reference resolving there: the only
-// shape a single-column ordered index walk satisfies. Qualified
+// tupleBounds builds the scan bounds for an ordered walk from the
+// equality-pinned prefix values and the optional range on the next key
+// column: lo = (eq..., range lo) and hi = (eq..., range hi), with a
+// bare inclusive (eq...) prefix bound on whichever side has no range.
+func tupleBounds(eqVals []value.Value, rng *colRange) (lo, hi storage.TupleBound) {
+	if len(eqVals) == 0 && rng == nil {
+		return storage.TupleBound{}, storage.TupleBound{}
+	}
+	if rng != nil && rng.lo.Set {
+		lo = storage.TupleBoundAt(append(append([]value.Value{}, eqVals...), rng.lo.V), rng.lo.Inclusive)
+	} else if len(eqVals) > 0 {
+		lo = storage.TupleBoundAt(eqVals, true)
+	}
+	if rng != nil && rng.hi.Set {
+		hi = storage.TupleBoundAt(append(append([]value.Value{}, eqVals...), rng.hi.V), rng.hi.Inclusive)
+	} else if len(eqVals) > 0 {
+		hi = storage.TupleBoundAt(eqVals, true)
+	}
+	return lo, hi
+}
+
+// baseColumns resolves each expression as a plain column reference on
+// the first FROM entry, returning nil unless every one is. Qualified
 // references must name the base; unqualified ones must be unambiguous
 // across the statement's relations (otherwise compilation would reject
 // the query anyway — returning no hint keeps that error on its normal
-// path). The walk's tie order (ascending heap slot within equal keys)
-// is exactly the stable sort's arrival order, so the substitution is
-// row-identical, not merely equivalent.
-func (tx *Txn) deriveOrderHint(sel *sqlparser.Select, from []sqlparser.TableRef) *orderHint {
-	if len(sel.OrderBy) != 1 || len(from) == 0 {
-		return nil
-	}
-	cr, ok := sel.OrderBy[0].Expr.(*sqlparser.ColumnRef)
-	if !ok {
+// path).
+func (tx *Txn) baseColumns(exprs []sqlparser.Expr, sel *sqlparser.Select, from []sqlparser.TableRef) []string {
+	if len(exprs) == 0 || len(from) == 0 {
 		return nil
 	}
 	base := from[0]
 	tx.db.latch.RLock()
 	defer tx.db.latch.RUnlock()
 	bt, err := tx.db.table(base.Name)
-	if err != nil || bt.Schema.ColIndex(cr.Column) < 0 {
+	if err != nil {
 		return nil
 	}
-	if cr.Table != "" {
-		if !strings.EqualFold(cr.Table, base.EffectiveName()) {
-			return nil
-		}
-		return &orderHint{col: cr.Column, desc: sel.OrderBy[0].Desc}
-	}
-	// Unqualified: the column must not resolve in any other relation
-	// (including a select-item alias shadowing it would be fine — the
-	// alias path only fires when the input column does NOT resolve,
-	// and here it does).
 	others := append([]sqlparser.TableRef{}, from[1:]...)
 	for _, j := range sel.Joins {
 		others = append(others, j.Table)
 	}
-	for _, ref := range others {
-		ot, err := tx.db.table(ref.Name)
-		if err != nil {
+	cols := make([]string, 0, len(exprs))
+	for _, e := range exprs {
+		cr, ok := e.(*sqlparser.ColumnRef)
+		if !ok || bt.Schema.ColIndex(cr.Column) < 0 {
 			return nil
 		}
-		if ot.Schema.ColIndex(cr.Column) >= 0 {
-			return nil
+		if cr.Table != "" {
+			if !strings.EqualFold(cr.Table, base.EffectiveName()) {
+				return nil
+			}
+		} else {
+			// Unqualified: the column must not resolve in any other
+			// relation (a select-item alias shadowing it would be fine —
+			// the alias path only fires when the input column does NOT
+			// resolve, and here it does).
+			for _, ref := range others {
+				ot, err := tx.db.table(ref.Name)
+				if err != nil {
+					return nil
+				}
+				if ot.Schema.ColIndex(cr.Column) >= 0 {
+					return nil
+				}
+			}
 		}
+		cols = append(cols, cr.Column)
 	}
-	return &orderHint{col: cr.Column, desc: sel.OrderBy[0].Desc}
+	return cols
+}
+
+// deriveOrderHint maps the statement's ORDER BY onto the base table
+// when every item is a plain column reference resolving there in one
+// uniform direction: the shape an ordered index walk satisfies. The
+// walk's tie order (ascending heap slot within equal keys) is exactly
+// the stable sort's arrival order, so the substitution is
+// row-identical, not merely equivalent.
+func (tx *Txn) deriveOrderHint(sel *sqlparser.Select, from []sqlparser.TableRef) *orderHint {
+	if len(sel.OrderBy) == 0 {
+		return nil
+	}
+	desc := sel.OrderBy[0].Desc
+	exprs := make([]sqlparser.Expr, 0, len(sel.OrderBy))
+	for _, it := range sel.OrderBy {
+		if it.Desc != desc {
+			return nil
+		}
+		exprs = append(exprs, it.Expr)
+	}
+	cols := tx.baseColumns(exprs, sel, from)
+	if cols == nil {
+		return nil
+	}
+	return &orderHint{cols: cols, desc: desc}
+}
+
+// deriveGroupHint maps the statement's GROUP BY onto the base table
+// when every key is a plain column reference resolving there — the
+// shape an ordered walk can feed group-at-a-time. Join builds and
+// filters above the scan preserve the contiguity of equal base-table
+// group keys (the hash join probes the scan in order, emitting each
+// probe row's matches as one contiguous block), so the hint stays
+// valid for multi-relation statements too.
+func (tx *Txn) deriveGroupHint(sel *sqlparser.Select, from []sqlparser.TableRef) []string {
+	return tx.baseColumns(sel.GroupBy, sel, from)
 }
 
 // indexScanIter streams rows in ordered-index order, batch-copied
@@ -558,8 +751,8 @@ type indexScanIter struct {
 	closed bool
 }
 
-func newIndexScanIter(db *DB, t *storage.Table, ix *storage.OrderedIndex, lo, hi storage.Bound, desc bool) *indexScanIter {
-	return &indexScanIter{db: db, t: t, cur: ix.Cursor(lo, hi, desc)}
+func newIndexScanIter(db *DB, t *storage.Table, ix *storage.OrderedIndex, lo, hi storage.TupleBound, desc bool) *indexScanIter {
+	return &indexScanIter{db: db, t: t, cur: ix.CursorTuple(lo, hi, desc)}
 }
 
 func (s *indexScanIter) Next(ctx context.Context) ([]value.Value, error) {
@@ -641,7 +834,7 @@ func (m *multiPointIter) Next(ctx context.Context) ([]value.Value, error) {
 			if m.pos >= len(m.vals) {
 				return nil, nil
 			}
-			b := storage.BoundAt(m.vals[m.pos], true)
+			b := storage.TupleBoundAt([]value.Value{m.vals[m.pos]}, true)
 			m.cur = newIndexScanIter(m.db, m.t, m.ix, b, b, m.desc)
 			m.pos++
 		}
@@ -701,11 +894,13 @@ func (db *DB) explainSimple(sel *sqlparser.Select, b *strings.Builder) error {
 	used := make([]bool, len(conjuncts))
 
 	grouped := len(sel.GroupBy) > 0 || selectHasAggregates(sel)
+	var groupCols []string
 	if grouped {
 		hint = nil // the grouped path orders its own output
+		groupCols = tx.deriveGroupHint(sel, from)
 	}
 
-	describe := func(ref sqlparser.TableRef, h *orderHint) error {
+	describe := func(ref sqlparser.TableRef, h *orderHint, g []string) error {
 		db.latch.RLock()
 		defer db.latch.RUnlock()
 		t, err := db.table(ref.Name)
@@ -735,21 +930,21 @@ func (db *DB) explainSimple(sel *sqlparser.Select, b *strings.Builder) error {
 			fmt.Fprintf(b, "%s\n", (&accessChoice{kind: accessPKPoint}).Describe(qual))
 			return nil
 		}
-		choice := chooseAccess(t, local, h)
+		choice := chooseAccess(t, local, h, g)
 		fmt.Fprintf(b, "%s\n", choice.Describe(qual))
 		return nil
 	}
 
-	if err := describe(from[0], hint); err != nil {
+	if err := describe(from[0], hint, groupCols); err != nil {
 		return err
 	}
 	for _, ref := range from[1:] {
-		if err := describe(ref, nil); err != nil {
+		if err := describe(ref, nil, nil); err != nil {
 			return err
 		}
 	}
 	for _, j := range sel.Joins {
-		if err := describe(j.Table, nil); err != nil {
+		if err := describe(j.Table, nil, nil); err != nil {
 			return err
 		}
 	}

@@ -395,7 +395,7 @@ func mustSelect(t *testing.T, sql string) *sqlparser.Select {
 
 // Bound0 returns an unset storage bound (helper keeping test call
 // sites short).
-func Bound0() storage.Bound { return storage.Bound{} }
+func Bound0() storage.TupleBound { return storage.TupleBound{} }
 
 // Benchmarks: the PR 5 acceptance numbers.
 

@@ -691,13 +691,22 @@ func (tx *Txn) execCreateIndex(ctx context.Context, s *sqlparser.CreateIndex) (*
 		return nil, err
 	}
 	if s.Ordered {
-		if err := t.CreateOrderedIndex(s.Column); err != nil {
+		if err := t.CreateOrderedIndex(s.Columns...); err != nil {
 			return nil, err
 		}
-	} else if err := t.CreateIndex(s.Column); err != nil {
-		return nil, err
+	} else {
+		if len(s.Columns) != 1 {
+			return nil, fmt.Errorf("localdb: hash index on %s takes a single column", s.Table)
+		}
+		if err := t.CreateIndex(s.Columns[0]); err != nil {
+			return nil, err
+		}
 	}
-	if err := tx.db.logDDL(&wal.Record{Kind: wal.RecCreateIndex, Table: s.Table, Column: s.Column, Ordered: s.Ordered}); err != nil {
+	rec := &wal.Record{Kind: wal.RecCreateIndex, Table: s.Table, Column: s.Columns[0], Ordered: s.Ordered}
+	if len(s.Columns) > 1 {
+		rec.Columns = s.Columns[1:]
+	}
+	if err := tx.db.logDDL(rec); err != nil {
 		return nil, err
 	}
 	return &ExecResult{}, nil

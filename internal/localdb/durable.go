@@ -142,7 +142,8 @@ func (db *DB) applyRecord(rec *wal.Record) error {
 			return err
 		}
 		if rec.Ordered {
-			return t.CreateOrderedIndex(rec.Column)
+			cols := append([]string{rec.Column}, rec.Columns...)
+			return t.CreateOrderedIndex(cols...)
 		}
 		return t.CreateIndex(rec.Column)
 	case wal.RecCommit:
@@ -397,10 +398,9 @@ func (db *DB) StateDigest() string {
 				fmt.Fprintf(h, "index %s\n", strings.ToLower(col.Name))
 			}
 		}
-		for _, col := range t.OrderedIndexColumns() {
-			fmt.Fprintf(h, "ordered %s:", strings.ToLower(col))
-			ix, _ := t.OrderedIndex(col)
-			c := ix.Cursor(storage.Bound{}, storage.Bound{}, false)
+		for _, info := range t.OrderedIndexes() {
+			fmt.Fprintf(h, "ordered %s:", strings.ToLower(strings.Join(info.Columns, ",")))
+			c := info.Index.CursorTuple(storage.TupleBound{}, storage.TupleBound{}, false)
 			for {
 				id, ok := c.Next()
 				if !ok {

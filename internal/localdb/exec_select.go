@@ -90,6 +90,27 @@ func (tx *Txn) execSelect(ctx context.Context, sel *sqlparser.Select) (*schema.R
 }
 
 func (tx *Txn) execUnion(ctx context.Context, sel *sqlparser.Select) (*schema.ResultSet, error) {
+	it, cols, err := tx.unionIter(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	rs := &schema.ResultSet{Columns: cols}
+	if err := drainInto(ctx, it, rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// unionIter assembles the streaming pipeline for a compound SELECT:
+// every branch's pipeline is opened eagerly (locks are acquired in
+// branch order, as the old materializing executor did), concatenated,
+// deduplicated when any link is a plain UNION, then sorted and limited
+// by the clauses written on the final branch. Nothing materializes:
+// dedup runs through the budget-true spill.Deduper, ORDER BY through
+// the external merge sort, and a LIMIT closes the concatenation early
+// so unstarted branches never pull a row.
+func (tx *Txn) unionIter(ctx context.Context, sel *sqlparser.Select) (rowIter, []string, error) {
 	var branches []*sqlparser.Select
 	var alls []bool
 	cur := sel
@@ -104,108 +125,90 @@ func (tx *Txn) execUnion(ctx context.Context, sel *sqlparser.Select) (*schema.Re
 	last := branches[len(branches)-1]
 	orderBy, limit := last.OrderBy, last.Limit
 
-	// The union path materializes every branch before combining; that
-	// accumulation — and the dedup map a distinct union builds over it —
-	// is accounted against the memory budget under the grouped
-	// allowance, failing fast past it (union spill is future work, like
-	// grouped spill).
-	var out *schema.ResultSet
+	var its []rowIter
+	var cols []string
 	distinct := false
-	var matBytes int64
-	account := func(rows []schema.Row) error {
-		if tx.db.budget.Limit() <= 0 {
-			return nil
+	built := false
+	defer func() {
+		if !built {
+			for _, it := range its {
+				it.Close()
+			}
 		}
-		for _, r := range rows {
-			matBytes += schema.RowBytes(r)
-		}
-		if tx.db.budget.ExceedsGrouped(matBytes) {
-			return fmt.Errorf("localdb: UNION materialization (~%d bytes) exceeds the memory budget (%d bytes; union spill not yet implemented)",
-				matBytes, tx.db.budget.Limit())
-		}
-		return nil
-	}
+	}()
 	for i, br := range branches {
 		core := *br
 		core.Compound = nil
 		core.OrderBy = nil
 		core.Limit = nil
-		rs, err := tx.execSimpleSelect(ctx, &core)
+		it, c, err := tx.selectIter(ctx, &core)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if err := account(rs.Rows); err != nil {
-			return nil, err
+		its = append(its, it)
+		if cols == nil {
+			cols = c
+		} else if len(c) != len(cols) {
+			return nil, nil, fmt.Errorf("localdb: UNION branches have %d and %d columns", len(cols), len(c))
 		}
-		if out == nil {
-			out = rs
-			continue
-		}
-		if len(rs.Columns) != len(out.Columns) {
-			return nil, fmt.Errorf("localdb: UNION branches have %d and %d columns", len(out.Columns), len(rs.Columns))
-		}
-		out.Rows = append(out.Rows, rs.Rows...)
-		if !alls[i-1] {
+		if i > 0 && !alls[i-1] {
 			distinct = true
 		}
 	}
+
+	var out rowIter = newConcatIter(its)
 	if distinct {
-		var err error
-		if out.Rows, err = dedupeRowsBudgeted(out.Rows, tx.db.budget); err != nil {
-			return nil, err
-		}
+		out = newDistinctIter(out, tx.db.budget)
 	}
 	if len(orderBy) > 0 {
-		if err := sortResultSet(out, orderBy); err != nil {
-			return nil, err
+		itemFns, sortFns, descs, err := compileUnionOrderBy(orderBy, cols)
+		if err != nil {
+			return nil, nil, err
 		}
+		out = newSortIter(out, itemFns, sortFns, descs, tx.db.budget)
 	}
-	applyLimit(out, limit)
-	return out, nil
+	if limit != nil {
+		out = newLimitIter(out, limit.Count, limit.Offset)
+	}
+	built = true
+	return out, cols, nil
 }
 
-// sortResultSet orders a materialized result by output-column references
-// or ordinals (used for UNION results, where ORDER BY sees the union's
-// column list).
-func sortResultSet(rs *schema.ResultSet, orderBy []sqlparser.OrderItem) error {
-	type key struct {
-		col  int
-		desc bool
+// compileUnionOrderBy resolves a compound select's ORDER BY — output
+// column references or 1-based ordinals only, per the UNION scoping
+// rule — into slot evaluators over the union's output rows, plus the
+// identity projection the sort carries rows through.
+func compileUnionOrderBy(orderBy []sqlparser.OrderItem, cols []string) (itemFns, sortFns []evalFn, descs []bool, err error) {
+	slotFn := func(ci int) evalFn {
+		return func(r []value.Value) (value.Value, error) { return r[ci], nil }
 	}
-	keys := make([]key, len(orderBy))
+	rs := &schema.ResultSet{Columns: cols}
+	sortFns = make([]evalFn, len(orderBy))
+	descs = make([]bool, len(orderBy))
 	for i, o := range orderBy {
 		switch e := o.Expr.(type) {
 		case *sqlparser.ColumnRef:
 			ci := rs.ColIndex(e.Column)
 			if ci < 0 {
-				return fmt.Errorf("localdb: ORDER BY column %q not in result", e.Column)
+				return nil, nil, nil, fmt.Errorf("localdb: ORDER BY column %q not in result", e.Column)
 			}
-			keys[i] = key{col: ci, desc: o.Desc}
+			sortFns[i] = slotFn(ci)
 		case *sqlparser.Literal:
 			n, ok := e.Val.Int()
-			if !ok || n < 1 || int(n) > len(rs.Columns) {
-				return fmt.Errorf("localdb: ORDER BY ordinal %s out of range", e.Val)
+			if !ok || n < 1 || int(n) > len(cols) {
+				return nil, nil, nil, fmt.Errorf("localdb: ORDER BY ordinal %s out of range", e.Val)
 			}
-			keys[i] = key{col: int(n) - 1, desc: o.Desc}
+			sortFns[i] = slotFn(int(n) - 1)
 		default:
-			return fmt.Errorf("localdb: UNION ORDER BY must reference output columns")
+			return nil, nil, nil, fmt.Errorf("localdb: UNION ORDER BY must reference output columns")
 		}
+		descs[i] = o.Desc
 	}
-	sort.SliceStable(rs.Rows, func(a, b int) bool {
-		ra, rb := rs.Rows[a], rs.Rows[b]
-		for _, k := range keys {
-			c := compareForSort(ra[k.col], rb[k.col])
-			if c == 0 {
-				continue
-			}
-			if k.desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	return nil
+	itemFns = make([]evalFn, len(cols))
+	for i := range cols {
+		itemFns[i] = slotFn(i)
+	}
+	return itemFns, sortFns, descs, nil
 }
 
 // compareKeys orders two sort-key tuples with per-key direction;
@@ -245,19 +248,6 @@ func applyLimit(rs *schema.ResultSet, limit *sqlparser.LimitClause) {
 	if limit.Count >= 0 && int(limit.Count) < len(rs.Rows) {
 		rs.Rows = rs.Rows[:limit.Count]
 	}
-}
-
-func dedupeRows(rows []schema.Row) []schema.Row {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	for _, r := range rows {
-		k := rowKey(r)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
-		}
-	}
-	return out
 }
 
 // rowKey builds a collision-safe grouping key for a row.
@@ -329,11 +319,14 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 	from := tx.orderJoinBuilds(sel)
 	grouped := len(sel.GroupBy) > 0 || selectHasAggregates(sel)
 	var hint *orderHint
-	if !grouped {
+	var groupCols []string
+	if grouped {
+		groupCols = tx.deriveGroupHint(sel, from)
+	} else {
 		hint = tx.deriveOrderHint(sel, from)
 	}
 	b := &rowBinder{}
-	it, baseChoice, err := tx.scanBase(ctx, from[0], conjuncts, used, b, hint)
+	it, baseChoice, err := tx.scanBase(ctx, from[0], conjuncts, used, b, hint, groupCols)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -371,13 +364,12 @@ func (tx *Txn) selectIter(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 	}
 
 	if grouped {
-		rs, err := tx.execGrouped(ctx, sel, b, it)
+		git, cols, err := tx.groupPipeline(sel, b, it, baseChoice != nil && baseChoice.group)
 		if err != nil {
 			return nil, nil, err
 		}
 		built = true
-		it.Close()
-		return newRowSliceIter(rs.Rows), rs.Columns, nil
+		return git, cols, nil
 	}
 
 	// Plain projection path.
@@ -637,7 +629,7 @@ func selectHasAggregates(sel *sqlparser.Select) bool {
 // drop its sort stage. All pushed conjuncts are still applied as a
 // filter above the scan (index bounds narrow reads, they never replace
 // the predicate).
-func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts []sqlparser.Expr, used []bool, b *rowBinder, hint *orderHint) (rowIter, *accessChoice, error) {
+func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts []sqlparser.Expr, used []bool, b *rowBinder, hint *orderHint, groupCols []string) (rowIter, *accessChoice, error) {
 	tx.db.latch.RLock()
 	t, err := tx.db.table(ref.Name)
 	tx.db.latch.RUnlock()
@@ -718,7 +710,7 @@ func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts [
 	b.add(qual, sc)
 
 	tx.db.latch.RLock()
-	choice := chooseAccess(t, local, hint)
+	choice := chooseAccess(t, local, hint, groupCols)
 	tx.db.latch.RUnlock()
 
 	switch choice.kind {
@@ -736,14 +728,13 @@ func (tx *Txn) scanBase(ctx context.Context, ref sqlparser.TableRef, conjuncts [
 		it, err := tx.filterLocal(newSliceIter(rows), local, b)
 		return it, &choice, err
 	case accessOrdered:
-		ix, _ := t.OrderedIndex(choice.col)
-		it, err := tx.filterLocal(newIndexScanIter(tx.db, t, ix, choice.lo, choice.hi, choice.desc), local, b)
+		it, err := tx.filterLocal(newIndexScanIter(tx.db, t, choice.ix, choice.tlo, choice.thi, choice.desc), local, b)
 		return it, &choice, err
 	case accessMultiEq:
 		// Hash probes when unordered output is fine; ordered point
 		// walks when the choice promises sorted output (or no hash
 		// index exists).
-		if ix, ok := t.Index(choice.col); ok && !choice.order {
+		if ix, ok := t.Index(choice.col); ok && !choice.order && !choice.group {
 			var rows [][]value.Value
 			tx.db.latch.RLock()
 			for _, v := range choice.eqList {
@@ -818,7 +809,7 @@ func (tx *Txn) joinWith(ctx context.Context, left rowIter, b *rowBinder, ref sql
 	if kind == sqlparser.JoinLeft {
 		scanConjuncts, scanUsed = nil, nil
 	}
-	right, _, err := tx.scanBase(ctx, ref, scanConjuncts, scanUsed, b, nil)
+	right, _, err := tx.scanBase(ctx, ref, scanConjuncts, scanUsed, b, nil, nil)
 	if err != nil {
 		left.Close()
 		return nil, err
@@ -966,270 +957,35 @@ type aggState struct {
 	inited   bool
 }
 
-// execGrouped consumes the input pipeline row by row, folding each row
-// into its group's aggregate states; only the groups are materialized.
-func (tx *Txn) execGrouped(ctx context.Context, sel *sqlparser.Select, b *rowBinder, it rowIter) (*schema.ResultSet, error) {
-	items, err := expandItems(sel.Items, b)
-	if err != nil {
-		return nil, err
-	}
+// distinctStateBytes approximates the map-entry overhead of one
+// DISTINCT-aggregate dedup key, matching spill's dedup accounting.
+const distinctStateBytes = 48
 
-	// Collect unique aggregate calls across items, HAVING, ORDER BY.
-	var aggs []*aggSpec
-	aggIndex := make(map[string]int)
-	collect := func(e sqlparser.Expr) error {
-		var werr error
-		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
-			f, ok := x.(*sqlparser.FuncExpr)
-			if !ok || !sqlparser.AggregateFuncs[f.Name] {
-				return true
-			}
-			key := sqlparser.FormatExpr(f, nil)
-			if _, dup := aggIndex[key]; dup {
-				return false
-			}
-			spec := &aggSpec{fn: f, key: key, distinct: f.Distinct}
-			if !f.Star {
-				if len(f.Args) != 1 {
-					werr = fmt.Errorf("localdb: %s expects one argument", f.Name)
-					return false
-				}
-				fn, err := compileExpr(f.Args[0], b)
-				if err != nil {
-					werr = err
-					return false
-				}
-				spec.argFn = fn
-			}
-			aggIndex[key] = len(aggs)
-			aggs = append(aggs, spec)
-			return false
-		})
-		return werr
-	}
-	for _, it := range items {
-		if err := collect(it.Expr); err != nil {
-			return nil, err
-		}
-	}
-	if sel.Having != nil {
-		if err := collect(sel.Having); err != nil {
-			return nil, err
-		}
-	}
-	for _, o := range sel.OrderBy {
-		if err := collect(o.Expr); err != nil {
-			return nil, err
-		}
-	}
-
-	// Compile group keys.
-	keyFns := make([]evalFn, len(sel.GroupBy))
-	keyStrs := make([]string, len(sel.GroupBy))
-	for i, g := range sel.GroupBy {
-		fn, err := compileExpr(g, b)
-		if err != nil {
-			return nil, err
-		}
-		keyFns[i] = fn
-		keyStrs[i] = sqlparser.FormatExpr(g, nil)
-	}
-
-	// Build groups from the streaming input. Accumulation is bounded by
-	// the group count, not the input size, but a high-cardinality GROUP
-	// BY can still balloon: the database's memory budget accounts each
-	// new group's approximate footprint and fails fast — with a clear
-	// error instead of an OOM — past the grouped allowance. (Grouped
-	// state cannot spill yet; when grouped spill lands this error goes
-	// away. The allowance is spill.GroupedOvershoot x the budget, so
-	// modest groupings complete under test-tiny spill budgets.)
-	type group struct {
-		keys   []value.Value
-		states []*aggState
-	}
-	const aggStateBytes = 96 // approximate aggState + pointer footprint
-	groups := make(map[string]*group)
-	var order []string
-	var groupBytes int64
-	for {
-		r, err := it.Next(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if r == nil {
-			break
-		}
-		keys := make([]value.Value, len(keyFns))
-		for i, fn := range keyFns {
-			v, err := fn(r)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		gk := rowKey(keys)
-		g, ok := groups[gk]
-		if !ok {
-			if tx.db.budget.Limit() > 0 {
-				groupBytes += schema.RowBytes(keys) + int64(len(gk)) + int64(len(aggs))*aggStateBytes
-				if tx.db.budget.ExceedsGrouped(groupBytes) {
-					return nil, fmt.Errorf("localdb: GROUP BY accumulation (%d groups, ~%d bytes) exceeds the memory budget (%d bytes; grouped spill not yet implemented)",
-						len(groups)+1, groupBytes, tx.db.budget.Limit())
-				}
-			}
-			g = &group{keys: keys, states: make([]*aggState, len(aggs))}
-			for i := range g.states {
-				g.states[i] = &aggState{sumIsInt: true}
-				if aggs[i].distinct {
-					g.states[i].seen = make(map[string]bool)
-				}
-			}
-			groups[gk] = g
-			order = append(order, gk)
-		}
-		for i, spec := range aggs {
-			if err := accumulate(g.states[i], spec, r); err != nil {
-				return nil, err
-			}
-		}
-	}
-	// Global aggregate over an empty input still yields one group.
-	if len(sel.GroupBy) == 0 && len(groups) == 0 {
-		g := &group{states: make([]*aggState, len(aggs))}
-		for i := range g.states {
-			g.states[i] = &aggState{sumIsInt: true}
-			if aggs[i].distinct {
-				g.states[i].seen = make(map[string]bool)
-			}
-		}
-		groups[""] = g
-		order = append(order, "")
-	}
-
-	// Group output row layout: [group keys..., agg results...].
-	gb := &groupBinder{keyStrs: keyStrs, groupBy: sel.GroupBy, aggIndex: aggIndex, nKeys: len(keyStrs)}
-
-	itemFns := make([]evalFn, len(items))
-	for i, it := range items {
-		fn, err := gb.compile(it.Expr)
-		if err != nil {
-			return nil, err
-		}
-		itemFns[i] = fn
-	}
-	var havingFn evalFn
-	if sel.Having != nil {
-		if havingFn, err = gb.compile(sel.Having); err != nil {
-			return nil, err
-		}
-	}
-	sortFns := make([]evalFn, len(sel.OrderBy))
-	descs := make([]bool, len(sel.OrderBy))
-	for i, o := range sel.OrderBy {
-		descs[i] = o.Desc
-		// Allow aliases and ordinals as in the plain path.
-		if lit, ok := o.Expr.(*sqlparser.Literal); ok {
-			if n, isInt := lit.Val.Int(); isInt && n >= 1 && int(n) <= len(items) {
-				sortFns[i] = itemFns[n-1]
-				continue
-			}
-		}
-		if cr, ok := o.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
-			found := false
-			for j, it := range items {
-				if strings.EqualFold(it.Name, cr.Column) {
-					sortFns[i] = itemFns[j]
-					found = true
-					break
-				}
-			}
-			if found {
-				continue
-			}
-		}
-		fn, err := gb.compile(o.Expr)
-		if err != nil {
-			return nil, err
-		}
-		sortFns[i] = fn
-	}
-
-	type outRow struct {
-		proj schema.Row
-		keys []value.Value
-	}
-	var outs []outRow
-	for _, gk := range order {
-		g := groups[gk]
-		grow := make([]value.Value, len(keyStrs)+len(aggs))
-		copy(grow, g.keys)
-		for i, spec := range aggs {
-			grow[len(keyStrs)+i] = finalize(g.states[i], spec)
-		}
-		if havingFn != nil {
-			ok, err := evalBool(havingFn, grow)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		proj := make(schema.Row, len(itemFns))
-		for i, fn := range itemFns {
-			v, err := fn(grow)
-			if err != nil {
-				return nil, err
-			}
-			proj[i] = v
-		}
-		var keys []value.Value
-		if len(sortFns) > 0 {
-			keys = make([]value.Value, len(sortFns))
-			for i, fn := range sortFns {
-				v, err := fn(grow)
-				if err != nil {
-					return nil, err
-				}
-				keys[i] = v
-			}
-		}
-		outs = append(outs, outRow{proj: proj, keys: keys})
-	}
-	if len(sortFns) > 0 {
-		sort.SliceStable(outs, func(a, b int) bool {
-			return compareKeys(outs[a].keys, outs[b].keys, descs) < 0
-		})
-	}
-	rs := &schema.ResultSet{Columns: itemNames(items)}
-	for _, o := range outs {
-		rs.Rows = append(rs.Rows, o.proj)
-	}
-	if sel.Distinct {
-		rs.Rows = dedupeRows(rs.Rows)
-	}
-	applyLimit(rs, sel.Limit)
-	return rs, nil
-}
-
-func accumulate(st *aggState, spec *aggSpec, row []value.Value) error {
+// accumulate folds one input row into an aggregate state. It reports
+// how many bytes of DISTINCT dedup state the row added (zero for
+// non-distinct aggregates and duplicate values) so single-live-group
+// strategies can account that growth — the only part of their footprint
+// that scales with the group's row count — against the memory budget.
+func accumulate(st *aggState, spec *aggSpec, row []value.Value) (int64, error) {
 	if spec.fn.Star {
 		st.count++
-		return nil
+		return 0, nil
 	}
 	v, err := spec.argFn(row)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if v.IsNull() {
-		return nil
+		return 0, nil
 	}
+	var added int64
 	if spec.distinct {
 		k := rowKey([]value.Value{v})
 		if st.seen[k] {
-			return nil
+			return 0, nil
 		}
 		st.seen[k] = true
+		added = int64(len(k)) + distinctStateBytes
 	}
 	st.count++
 	switch spec.fn.Name {
@@ -1243,7 +999,7 @@ func accumulate(st *aggState, spec *aggSpec, row []value.Value) error {
 			}
 			f, ok := v.Float()
 			if !ok {
-				return fmt.Errorf("localdb: %s of non-numeric %s", spec.fn.Name, v.K)
+				return 0, fmt.Errorf("localdb: %s of non-numeric %s", spec.fn.Name, v.K)
 			}
 			st.sumF += f
 		}
@@ -1262,7 +1018,7 @@ func accumulate(st *aggState, spec *aggSpec, row []value.Value) error {
 			st.max = v
 		}
 	}
-	return nil
+	return added, nil
 }
 
 func finalize(st *aggState, spec *aggSpec) value.Value {

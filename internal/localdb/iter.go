@@ -614,63 +614,101 @@ func (t *topKIter) Close() {
 
 // distinctIter drops rows whose encoded key was already seen,
 // preserving first-occurrence order (streaming DISTINCT). The dedup
-// set is accounted against the database's memory budget under the
-// grouped allowance (spill.DedupSet): like GROUP BY state it cannot
-// spill yet, so past the allowance the query fails fast with a clear
-// error instead of ballooning the engine.
+// state is a spill.Deduper: while the key set fits the database's
+// memory budget rows stream through exactly as the old map-based
+// operator emitted them; past the budget the deduper switches to
+// sort-based dedup, and the deferred first occurrences drain from its
+// budget-bounded tail — still in arrival order — once the child is
+// exhausted.
 type distinctIter struct {
 	child  rowIter
-	seen   *spill.DedupSet
+	seen   *spill.Deduper
+	tail   *spill.Iterator
 	closed bool
 }
 
 func newDistinctIter(child rowIter, budget *spill.Budget) *distinctIter {
-	return &distinctIter{child: child, seen: spill.NewDedupSet(budget, "DISTINCT dedup")}
+	return &distinctIter{child: child, seen: spill.NewDeduper(budget, "DISTINCT dedup")}
 }
 
 func (d *distinctIter) Next(ctx context.Context) ([]value.Value, error) {
 	if d.closed {
 		return nil, nil
 	}
-	for {
+	for d.tail == nil {
 		r, err := d.child.Next(ctx)
-		if err != nil || r == nil {
-			return nil, err
-		}
-		first, err := d.seen.Admit(rowKey(r))
 		if err != nil {
 			return nil, err
 		}
-		if first {
+		if r == nil {
+			if !d.seen.Spilled() {
+				return nil, nil
+			}
+			if d.tail, err = d.seen.Tail(ctx); err != nil {
+				return nil, err
+			}
+			break
+		}
+		emit, err := d.seen.Admit(rowKey(r), r)
+		if err != nil {
+			return nil, err
+		}
+		if emit {
 			return r, nil
 		}
 	}
+	rec, err := d.tail.Next(ctx)
+	if err != nil || rec == nil {
+		return nil, err
+	}
+	return spill.TailRow(rec), nil
 }
 
 func (d *distinctIter) Close() {
 	if !d.closed {
 		d.closed = true
 		d.child.Close()
-		d.seen = nil
+		d.seen.Close()
+		if d.tail != nil {
+			d.tail.Close()
+			d.tail = nil
+		}
 	}
 }
 
-// dedupeRowsBudgeted is dedupeRows with the dedup set accounted against
-// the budget's grouped allowance (the rows themselves were accounted by
-// the materializing caller).
-func dedupeRowsBudgeted(rows []schema.Row, budget *spill.Budget) ([]schema.Row, error) {
-	seen := spill.NewDedupSet(budget, "UNION dedup")
-	out := rows[:0]
-	for _, r := range rows {
-		first, err := seen.Admit(rowKey(r))
-		if err != nil {
-			return nil, err
+// concatIter streams its children one after another (the UNION ALL
+// shape). Exhausted children are closed eagerly so their scan state is
+// released while later branches run.
+type concatIter struct {
+	its    []rowIter
+	pos    int
+	closed bool
+}
+
+func newConcatIter(its []rowIter) *concatIter { return &concatIter{its: its} }
+
+func (c *concatIter) Next(ctx context.Context) ([]value.Value, error) {
+	if c.closed {
+		return nil, nil
+	}
+	for c.pos < len(c.its) {
+		r, err := c.its[c.pos].Next(ctx)
+		if err != nil || r != nil {
+			return r, err
 		}
-		if first {
-			out = append(out, r)
+		c.its[c.pos].Close()
+		c.pos++
+	}
+	return nil, nil
+}
+
+func (c *concatIter) Close() {
+	if !c.closed {
+		c.closed = true
+		for _, it := range c.its {
+			it.Close()
 		}
 	}
-	return out, nil
 }
 
 // limitIter implements OFFSET/LIMIT with early termination: once count

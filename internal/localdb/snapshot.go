@@ -37,7 +37,11 @@ type tableSnapshot struct {
 	// then restore compactly.
 	Slots   []int64
 	Indexes []string // secondary hash-index column names
-	Ordered []string // secondary ordered-index column names
+	Ordered []string // single-column ordered-index column names
+	// OrderedMulti lists composite ordered indexes as column lists. A
+	// separate field (rather than widening Ordered) keeps pre-composite
+	// snapshots loadable: gob zeroes the missing field.
+	OrderedMulti [][]string
 }
 
 // snapshotVersion 2 adds LSN and Slots; version 1 snapshots (without
@@ -80,7 +84,13 @@ func (db *DB) encodeSnapshotLocked(w io.Writer, lsn uint64) error {
 				ts.Indexes = append(ts.Indexes, col.Name)
 			}
 		}
-		ts.Ordered = t.OrderedIndexColumns()
+		for _, info := range t.OrderedIndexes() {
+			if len(info.Columns) == 1 {
+				ts.Ordered = append(ts.Ordered, info.Columns[0])
+			} else {
+				ts.OrderedMulti = append(ts.OrderedMulti, info.Columns)
+			}
+		}
 		snap.Tables = append(snap.Tables, ts)
 	}
 	return gob.NewEncoder(w).Encode(&snap)
@@ -192,6 +202,11 @@ func (db *DB) loadSnapshot(r io.Reader) (uint64, error) {
 		for _, col := range ts.Ordered {
 			if err := t.CreateOrderedIndex(col); err != nil {
 				return 0, fmt.Errorf("localdb: snapshot ordered index on %s.%s: %w", ts.Schema.Table, col, err)
+			}
+		}
+		for _, cols := range ts.OrderedMulti {
+			if err := t.CreateOrderedIndex(cols...); err != nil {
+				return 0, fmt.Errorf("localdb: snapshot ordered index on %s (%s): %w", ts.Schema.Table, strings.Join(cols, ", "), err)
 			}
 		}
 		tables[strings.ToLower(ts.Schema.Table)] = t

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"strings"
 	"testing"
 
 	"myriad/internal/schema"
@@ -104,25 +103,53 @@ func TestExternalSortEarlyClose(t *testing.T) {
 	}
 }
 
-// TestGroupByOverBudget: GROUP BY accumulation past the grouped
-// allowance fails fast with a clear error (grouped spill is not
-// implemented yet), while modest groupings under the same budget
-// complete.
+// TestGroupByOverBudget: GROUP BY past the memory budget no longer
+// fails fast — grouping spills sorted runs and folds adjacent key runs
+// group-at-a-time, so even a grouping with as many groups as rows
+// completes, matches the unlimited in-memory strategy row for row, and
+// leaks neither run files nor budget.
 func TestGroupByOverBudget(t *testing.T) {
+	const n = 20_000
 	ctx := context.Background()
-	db := spillFixture(t, 100_000, spill.NewBudget(1024, t.TempDir()))
+	dir := t.TempDir()
+	budget := spill.NewBudget(1024, dir)
+	db := spillFixture(t, n, budget)
+	resident := spillFixture(t, n, nil)
 
-	// ~1000 distinct v values: well within the grouped allowance.
-	if _, err := db.Query(ctx, `SELECT v, COUNT(*) FROM t GROUP BY v`); err != nil {
-		t.Fatalf("modest grouping errored: %v", err)
+	for _, q := range []string{
+		// ~1000 distinct v values: many rows per group.
+		`SELECT v, COUNT(*), SUM(id) FROM t GROUP BY v`,
+		// One group per row: the case the old fail-fast path rejected.
+		`SELECT id, COUNT(*) FROM t GROUP BY id`,
+	} {
+		want, err := resident.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: %d groups, want %d", q, len(got.Rows), len(want.Rows))
+		}
+		for i := range want.Rows {
+			for c := range want.Rows[i] {
+				w, g := want.Rows[i][c], got.Rows[i][c]
+				if w.K != g.K || w.Text() != g.Text() {
+					t.Fatalf("%s: row %d col %d: want %s, got %s", q, i, c, w, g)
+				}
+			}
+		}
 	}
-	// 100k distinct ids: far past the allowance.
-	_, err := db.Query(ctx, `SELECT id, COUNT(*) FROM t GROUP BY id`)
-	if err == nil {
-		t.Fatal("runaway grouping did not error")
+	if _, runs := budget.Stats(); runs == 0 {
+		t.Fatal("grouping under a 1KB budget did not spill")
 	}
-	if !strings.Contains(err.Error(), "memory budget") {
-		t.Fatalf("unclear over-budget error: %v", err)
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("spill files leaked: %d", len(ents))
+	}
+	if used := budget.Used(); used != 0 {
+		t.Fatalf("budget not released: %d", used)
 	}
 }
 

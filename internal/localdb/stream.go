@@ -149,11 +149,7 @@ func (tx *Txn) streamStmt(ctx context.Context, sel *sqlparser.Select) (rowIter, 
 		return nil, nil, err
 	}
 	if sel.Compound != nil {
-		rs, err := tx.execUnion(ctx, sel)
-		if err != nil {
-			return nil, nil, err
-		}
-		return newRowSliceIter(rs.Rows), rs.Columns, nil
+		return tx.unionIter(ctx, sel)
 	}
 	return tx.selectIter(ctx, sel)
 }

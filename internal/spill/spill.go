@@ -20,6 +20,7 @@
 package spill
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"fmt"
@@ -225,7 +226,7 @@ func (d *DedupSet) Admit(key string) (bool, error) {
 	if d.budget.Limit() > 0 {
 		d.bytes += int64(len(key)) + dedupKeyBytes
 		if d.budget.ExceedsGrouped(d.bytes) {
-			return false, fmt.Errorf("spill: %s (%d keys, ~%d bytes) exceeds the memory budget (%d bytes; dedup spill not yet implemented)",
+			return false, fmt.Errorf("spill: %s (%d keys, ~%d bytes) exceeds the memory budget (%d bytes)",
 				d.what, len(d.seen)+1, d.bytes, d.budget.Limit())
 		}
 	}
@@ -442,10 +443,13 @@ func (it *Iterator) Close() {
 // ---------------------------------------------------------------------
 // Run files
 
-// runFile is one sorted run on disk. The file is kept on disk until
-// close so leak checks can observe cleanup.
+// runFile is one sorted run on disk. The descriptor is closed as soon
+// as the run is written and reopened for the merge, so the number of
+// live runs is bounded by disk space, not the process fd limit — a
+// tiny budget over a large input can produce thousands of runs. The
+// file itself stays on disk until close so leak checks can observe
+// cleanup.
 type runFile struct {
-	f    *os.File
 	name string
 }
 
@@ -458,10 +462,9 @@ func closeRuns(runs []*runFile) {
 }
 
 func (r *runFile) close() {
-	if r.f != nil {
-		r.f.Close()
-		r.f = nil
+	if r.name != "" {
 		os.Remove(r.name)
+		r.name = ""
 	}
 }
 
@@ -477,14 +480,16 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// writeRun writes already-sorted rows as one run file.
+// writeRun writes already-sorted rows as one run file and closes the
+// descriptor; the merge reopens it.
 func writeRun(budget *Budget, rows []schema.Row) (*runFile, error) {
 	f, err := os.CreateTemp(budget.Dir(), "myriad-spill-*.run")
 	if err != nil {
 		return nil, fmt.Errorf("spill: creating run: %w", err)
 	}
-	rf := &runFile{f: f, name: f.Name()}
-	cw := &countingWriter{w: f}
+	rf := &runFile{name: f.Name()}
+	bw := bufio.NewWriter(f)
+	cw := &countingWriter{w: bw}
 	enc := gob.NewEncoder(cw)
 	for i := 0; i < len(rows); i += runBatchRows {
 		j := i + runBatchRows
@@ -492,9 +497,19 @@ func writeRun(budget *Budget, rows []schema.Row) (*runFile, error) {
 			j = len(rows)
 		}
 		if err := enc.Encode(rows[i:j]); err != nil {
+			f.Close()
 			rf.close()
 			return nil, fmt.Errorf("spill: writing run: %w", err)
 		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		rf.close()
+		return nil, fmt.Errorf("spill: writing run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		rf.close()
+		return nil, fmt.Errorf("spill: writing run: %w", err)
 	}
 	budget.noteRun(cw.n)
 	return rf, nil
@@ -533,21 +548,27 @@ func (c *runCursor) next() (schema.Row, error) {
 type runMerge struct {
 	cmp   func(a, b schema.Row) int
 	runs  []*runFile
+	files []*os.File
 	curs  []*runCursor
 	heads []schema.Row
 }
 
 func newRunMerge(cmp func(a, b schema.Row) int, runs []*runFile) (*runMerge, error) {
 	m := &runMerge{cmp: cmp, runs: runs}
+	m.files = make([]*os.File, len(runs))
 	m.curs = make([]*runCursor, len(runs))
 	m.heads = make([]schema.Row, len(runs))
 	for i, r := range runs {
-		if _, err := r.f.Seek(0, io.SeekStart); err != nil {
-			return nil, fmt.Errorf("spill: rewinding run: %w", err)
+		f, err := os.Open(r.name)
+		if err != nil {
+			m.close()
+			return nil, fmt.Errorf("spill: reopening run: %w", err)
 		}
-		m.curs[i] = &runCursor{dec: gob.NewDecoder(r.f)}
+		m.files[i] = f
+		m.curs[i] = &runCursor{dec: gob.NewDecoder(bufio.NewReader(f))}
 		h, err := m.curs[i].next()
 		if err != nil {
+			m.close()
 			return nil, err
 		}
 		m.heads[i] = h
@@ -579,6 +600,12 @@ func (m *runMerge) next() (schema.Row, error) {
 }
 
 func (m *runMerge) close() {
+	for _, f := range m.files {
+		if f != nil {
+			f.Close()
+		}
+	}
+	m.files = nil
 	closeRuns(m.runs)
 	m.runs = nil
 	m.curs = nil
@@ -598,8 +625,14 @@ func compactRuns(budget *Budget, cmp func(a, b schema.Row) int, group []*runFile
 	if err != nil {
 		return nil, fmt.Errorf("spill: creating run: %w", err)
 	}
-	rf := &runFile{f: f, name: f.Name()}
-	cw := &countingWriter{w: f}
+	rf := &runFile{name: f.Name()}
+	fail := func(err error) (*runFile, error) {
+		f.Close()
+		rf.close()
+		return nil, err
+	}
+	bw := bufio.NewWriter(f)
+	cw := &countingWriter{w: bw}
 	enc := gob.NewEncoder(cw)
 	batch := make([]schema.Row, 0, runBatchRows)
 	flush := func() error {
@@ -615,8 +648,7 @@ func compactRuns(budget *Budget, cmp func(a, b schema.Row) int, group []*runFile
 	for {
 		r, err := m.next()
 		if err != nil {
-			rf.close()
-			return nil, err
+			return fail(err)
 		}
 		if r == nil {
 			break
@@ -624,14 +656,19 @@ func compactRuns(budget *Budget, cmp func(a, b schema.Row) int, group []*runFile
 		batch = append(batch, r)
 		if len(batch) == runBatchRows {
 			if err := flush(); err != nil {
-				rf.close()
-				return nil, err
+				return fail(err)
 			}
 		}
 	}
 	if err := flush(); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("spill: writing run: %w", err))
+	}
+	if err := f.Close(); err != nil {
 		rf.close()
-		return nil, err
+		return nil, fmt.Errorf("spill: writing run: %w", err)
 	}
 	budget.noteRun(cw.n)
 	return rf, nil

@@ -136,12 +136,14 @@ type DropTable struct {
 }
 
 // CreateIndex is a CREATE [ORDERED] INDEX statement: a secondary index
-// on one column — hash (equality probes) by default, ordered (range
-// scans and sort-free ORDER BY) with the ORDERED modifier.
+// — hash (equality probes, one column) by default, ordered (range scans
+// and sort-free ORDER BY) with the ORDERED modifier. Ordered indexes
+// may be composite: CREATE ORDERED INDEX i ON t (a, b) orders by a,
+// then b.
 type CreateIndex struct {
 	Name    string
 	Table   string
-	Column  string
+	Columns []string
 	Ordered bool
 }
 

@@ -815,14 +815,27 @@ func (p *parser) parseCreateIndexTail(ordered bool) (Statement, error) {
 	if err := p.expectOp("("); err != nil {
 		return nil, err
 	}
-	col, err := p.ident()
-	if err != nil {
-		return nil, err
+	var cols []string
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if !p.isOp(",") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
 	}
 	if err := p.expectOp(")"); err != nil {
 		return nil, err
 	}
-	return &CreateIndex{Name: name, Table: table, Column: col, Ordered: ordered}, nil
+	if len(cols) > 1 && !ordered {
+		return nil, errf(p.tok.pos, "hash indexes take a single column (use CREATE ORDERED INDEX for a composite key)")
+	}
+	return &CreateIndex{Name: name, Table: table, Columns: cols, Ordered: ordered}, nil
 }
 
 func (p *parser) parseDrop() (Statement, error) {

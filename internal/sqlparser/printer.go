@@ -195,7 +195,12 @@ func writeStatement(b *strings.Builder, s Statement, st *Style) {
 		b.WriteString(" ON ")
 		b.WriteString(st.ident(x.Table))
 		b.WriteString(" (")
-		b.WriteString(st.ident(x.Column))
+		for i, col := range x.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(st.ident(col))
+		}
 		b.WriteString(")")
 	case *TxnStmt:
 		switch x.Kind {

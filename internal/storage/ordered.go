@@ -1,23 +1,25 @@
 package storage
 
 import (
-	"math"
 	"sort"
 
 	"myriad/internal/schema"
 	"myriad/internal/value"
 )
 
-// OrderedIndex is a secondary index that keeps (value, RowID) pairs in
-// the federation-wide sort order: schema.CompareSort over the value
-// (NULLs first, the same total order the engine's ORDER BY and the
-// fan-in merge use), ties broken by ascending RowID — which is heap
-// arrival order, so an index walk reproduces exactly the stable sort of
-// a heap scan. It is a B+tree: inserts split nodes upward, deletes
-// remove in place (an emptied node is unlinked, but siblings are never
-// rebalanced — correct at any occupancy, merely sparser after
-// adversarial delete patterns), and the leaf level is doubly linked for
-// range scans in either direction.
+// OrderedIndex is a secondary index that keeps (key tuple, RowID) pairs
+// in the federation-wide sort order: schema.CompareSort column by
+// column over the key tuple (NULLs first, the same total order the
+// engine's ORDER BY and the fan-in merge use), ties broken by ascending
+// RowID — which is heap arrival order, so an index walk reproduces
+// exactly the stable sort of a heap scan. Single-column indexes are the
+// one-column special case of the same structure; composite indexes
+// (CREATE ORDERED INDEX ... ON t (a, b)) order by a first, then b, then
+// RowID. It is a B+tree: inserts split nodes upward, deletes remove in
+// place (an emptied node is unlinked, but siblings are never rebalanced
+// — correct at any occupancy, merely sparser after adversarial delete
+// patterns), and the leaf level is doubly linked for range scans in
+// either direction.
 //
 // The order is total because a column's stored values are
 // kind-homogeneous (schema.CoerceRow coerces every non-NULL value to
@@ -27,17 +29,18 @@ import (
 // Like the rest of the storage engine it is not thread-safe; the DBMS
 // layer's table locks and the database latch serialize access.
 type OrderedIndex struct {
-	root *onode
-	size int
+	root  *onode
+	size  int
+	width int // key tuple width (1 for single-column indexes)
 }
 
 // orderedFanout is the maximum entries per leaf (and children per
 // branch); nodes split at fanout+1.
 const orderedFanout = 64
 
-// oentry is one indexed pair.
+// oentry is one indexed pair: the key tuple and the heap slot.
 type oentry struct {
-	v  value.Value
+	vs []value.Value
 	id RowID
 }
 
@@ -53,17 +56,40 @@ type onode struct {
 	prev *onode
 }
 
-// NewOrderedIndex returns an empty index.
-func NewOrderedIndex() *OrderedIndex { return &OrderedIndex{} }
+// NewOrderedIndex returns an empty index over width-column key tuples.
+func NewOrderedIndex(width int) *OrderedIndex {
+	if width < 1 {
+		width = 1
+	}
+	return &OrderedIndex{width: width}
+}
 
 // Len reports the number of indexed entries.
 func (ix *OrderedIndex) Len() int { return ix.size }
 
-// compareEntry is the index's total order: CompareSort on the value,
-// then RowID. RowIDs are unique per table, so no two entries of one
-// index compare equal.
+// Width reports the key tuple width.
+func (ix *OrderedIndex) Width() int { return ix.width }
+
+// compareTuples orders two key tuples column by column under
+// schema.CompareSort, over the first min(len(a), len(b)) columns.
+func compareTuples(a, b []value.Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := schema.CompareSort(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// compareEntry is the index's total order: CompareSort column-wise on
+// the key tuple, then RowID. Tuples of one index share a width, and
+// RowIDs are unique per table, so no two entries compare equal.
 func compareEntry(a, b oentry) int {
-	if c := schema.CompareSort(a.v, b.v); c != 0 {
+	if c := compareTuples(a.vs, b.vs); c != 0 {
 		return c
 	}
 	switch {
@@ -76,10 +102,32 @@ func compareEntry(a, b oentry) int {
 	}
 }
 
-// add inserts (v, id). The pair must not already be present (the table
+// probe is a seek target addressing the boundary of a key-prefix group
+// rather than a concrete entry: it compares against an entry by the
+// prefix columns alone, and on a prefix match sorts just before the
+// group (after=false) or just after it (after=true). It replaces RowID
+// sentinels — with tuple keys the "before every pair with this key"
+// position is a prefix boundary, not a RowID extreme.
+type probe struct {
+	vs    []value.Value
+	after bool
+}
+
+// compareProbe orders a probe against an entry; it never returns 0.
+func compareProbe(p probe, e oentry) int {
+	if c := compareTuples(p.vs, e.vs); c != 0 {
+		return c
+	}
+	if p.after {
+		return 1
+	}
+	return -1
+}
+
+// add inserts (vs, id). The pair must not already be present (the table
 // maintains the index, and a slot is indexed at most once).
-func (ix *OrderedIndex) add(v value.Value, id RowID) {
-	e := oentry{v: v, id: id}
+func (ix *OrderedIndex) add(vs []value.Value, id RowID) {
+	e := oentry{vs: vs, id: id}
 	if ix.root == nil {
 		ix.root = &onode{leaf: true, ents: []oentry{e}}
 		ix.size++
@@ -137,12 +185,12 @@ func (ix *OrderedIndex) insert(n *onode, e oentry) (right *onode, sep oentry, sp
 	return rb, promoted, true
 }
 
-// remove deletes (v, id) if present.
-func (ix *OrderedIndex) remove(v value.Value, id RowID) {
+// remove deletes (vs, id) if present.
+func (ix *OrderedIndex) remove(vs []value.Value, id RowID) {
 	if ix.root == nil {
 		return
 	}
-	if removed, _ := ix.delete(ix.root, oentry{v: v, id: id}); removed {
+	if removed, _ := ix.delete(ix.root, oentry{vs: vs, id: id}); removed {
 		ix.size--
 	}
 	// Collapse a chain of single-child roots so height tracks size.
@@ -198,10 +246,10 @@ func (ix *OrderedIndex) delete(n *onode, e oentry) (removed, emptied bool) {
 // ---------------------------------------------------------------------
 // Range scans
 
-// Bound is one end of an ordered-index scan range. The zero Bound is
-// unbounded. V may be NULL: NULLs sort first, so an exclusive NULL
-// lower bound means "skip the NULL entries" — how a predicate-driven
-// scan expresses SQL's NULL-excluding comparisons.
+// Bound is one end of a single-column ordered-index scan range. The
+// zero Bound is unbounded. V may be NULL: NULLs sort first, so an
+// exclusive NULL lower bound means "skip the NULL entries" — how a
+// predicate-driven scan expresses SQL's NULL-excluding comparisons.
 type Bound struct {
 	V         value.Value
 	Inclusive bool
@@ -211,6 +259,31 @@ type Bound struct {
 // BoundAt returns an inclusive or exclusive bound at v.
 func BoundAt(v value.Value, inclusive bool) Bound {
 	return Bound{V: v, Inclusive: inclusive, Set: true}
+}
+
+// TupleBound is one end of a composite-index scan range: a key-tuple
+// prefix of up to the index width. An inclusive bound admits every
+// entry whose prefix equals Vs; an exclusive bound excludes the whole
+// prefix group — so an equality prefix plus a range column expresses as
+// lo = (eq..., x) and hi = (eq...) inclusive, and pure prefix equality
+// as lo = hi = (eq...) inclusive. The zero TupleBound is unbounded.
+type TupleBound struct {
+	Vs        []value.Value
+	Inclusive bool
+	Set       bool
+}
+
+// TupleBoundAt returns an inclusive or exclusive tuple bound at vs.
+func TupleBoundAt(vs []value.Value, inclusive bool) TupleBound {
+	return TupleBound{Vs: vs, Inclusive: inclusive, Set: true}
+}
+
+// tupleBound converts a single-column bound.
+func (b Bound) tupleBound() TupleBound {
+	if !b.Set {
+		return TupleBound{}
+	}
+	return TupleBound{Vs: []value.Value{b.V}, Inclusive: b.Inclusive, Set: true}
 }
 
 // opos is a cursor position: an entry within a leaf. The zero opos is
@@ -244,18 +317,18 @@ func (p opos) back() opos {
 	return opos{}
 }
 
-// seekGE returns the position of the first entry >= e, or invalid when
-// every entry sorts before e.
-func (ix *OrderedIndex) seekGE(e oentry) opos {
+// seekProbe returns the position of the first entry the probe sorts
+// before, or invalid when every entry sorts before it.
+func (ix *OrderedIndex) seekProbe(p probe) opos {
 	n := ix.root
 	if n == nil {
 		return opos{}
 	}
 	for !n.leaf {
-		ci := sort.Search(len(n.seps), func(i int) bool { return compareEntry(e, n.seps[i]) < 0 })
+		ci := sort.Search(len(n.seps), func(i int) bool { return compareProbe(p, n.seps[i]) < 0 })
 		n = n.kids[ci]
 	}
-	pos := sort.Search(len(n.ents), func(j int) bool { return compareEntry(n.ents[j], e) >= 0 })
+	pos := sort.Search(len(n.ents), func(j int) bool { return compareProbe(p, n.ents[j]) < 0 })
 	if pos < len(n.ents) {
 		return opos{n, pos}
 	}
@@ -289,19 +362,27 @@ func (ix *OrderedIndex) last() opos {
 	return opos{n, len(n.ents) - 1}
 }
 
-// Cursor opens a range scan over [lo, hi] in either direction.
+// Cursor opens a single-column range scan over [lo, hi] in either
+// direction; see CursorTuple for the ordering contract.
+func (ix *OrderedIndex) Cursor(lo, hi Bound, desc bool) *OrderedCursor {
+	return ix.CursorTuple(lo.tupleBound(), hi.tupleBound(), desc)
+}
+
+// CursorTuple opens a range scan over [lo, hi] prefix bounds in either
+// direction.
 //
-// Ascending order is (value asc, RowID asc). Descending order is
-// (value desc, RowID asc within each equal-value group): a descending
-// walk emits each group of equal values in ascending-RowID order, so
-// it reproduces exactly a stable descending sort of the heap's arrival
-// order — the contract that lets the engine substitute a backward index
-// walk for ORDER BY ... DESC without changing a single tie.
+// Ascending order is (key tuple asc, RowID asc). Descending order is
+// (key tuple desc, RowID asc within each equal-tuple group): a
+// descending walk emits each group of equal tuples in ascending-RowID
+// order, so it reproduces exactly a stable descending sort of the
+// heap's arrival order — the contract that lets the engine substitute a
+// backward index walk for ORDER BY ... DESC without changing a single
+// tie.
 //
 // The cursor holds positions into the tree; the index must not be
 // mutated while a cursor is live (the DBMS layer's table S lock
 // guarantees that for the statement's lifetime).
-func (ix *OrderedIndex) Cursor(lo, hi Bound, desc bool) *OrderedCursor {
+func (ix *OrderedIndex) CursorTuple(lo, hi TupleBound, desc bool) *OrderedCursor {
 	c := &OrderedCursor{ix: ix, lo: lo, hi: hi, desc: desc}
 	if desc {
 		c.initDesc()
@@ -311,34 +392,34 @@ func (ix *OrderedIndex) Cursor(lo, hi Bound, desc bool) *OrderedCursor {
 	return c
 }
 
-// OrderedCursor walks an ordered-index range; see Cursor.
+// OrderedCursor walks an ordered-index range; see CursorTuple.
 type OrderedCursor struct {
 	ix     *OrderedIndex
-	lo, hi Bound
+	lo, hi TupleBound
 	desc   bool
 
 	pos opos // ascending: next entry to emit
-	// descending: the current equal-value group [gstart, gend] is
+	// descending: the current equal-tuple group [gstart, gend] is
 	// emitted forward from gcur; then the walk steps back before gstart.
 	gstart, gcur, gend opos
 	done               bool
 }
 
-// belowLo reports whether v sorts before the scan's lower bound.
-func (c *OrderedCursor) belowLo(v value.Value) bool {
+// belowLo reports whether vs sorts before the scan's lower bound.
+func (c *OrderedCursor) belowLo(vs []value.Value) bool {
 	if !c.lo.Set {
 		return false
 	}
-	cmp := schema.CompareSort(v, c.lo.V)
+	cmp := compareTuples(vs, c.lo.Vs)
 	return cmp < 0 || (cmp == 0 && !c.lo.Inclusive)
 }
 
-// aboveHi reports whether v sorts after the scan's upper bound.
-func (c *OrderedCursor) aboveHi(v value.Value) bool {
+// aboveHi reports whether vs sorts after the scan's upper bound.
+func (c *OrderedCursor) aboveHi(vs []value.Value) bool {
 	if !c.hi.Set {
 		return false
 	}
-	cmp := schema.CompareSort(v, c.hi.V)
+	cmp := compareTuples(vs, c.hi.Vs)
 	return cmp > 0 || (cmp == 0 && !c.hi.Inclusive)
 }
 
@@ -347,11 +428,9 @@ func (c *OrderedCursor) initAsc() {
 		c.pos = c.ix.first()
 		return
 	}
-	probe := oentry{v: c.lo.V, id: math.MinInt64}
-	if !c.lo.Inclusive {
-		probe.id = math.MaxInt64
-	}
-	c.pos = c.ix.seekGE(probe)
+	// An inclusive bound starts at the prefix group's first entry, an
+	// exclusive one just past its last.
+	c.pos = c.ix.seekProbe(probe{vs: c.lo.Vs, after: !c.lo.Inclusive})
 }
 
 func (c *OrderedCursor) initDesc() {
@@ -360,33 +439,29 @@ func (c *OrderedCursor) initDesc() {
 		p = c.ix.last()
 	} else {
 		// The first entry past the bound; its predecessor is the last in
-		// range. An inclusive bound probes past every (V, id) pair, an
-		// exclusive one probes before them.
-		probe := oentry{v: c.hi.V, id: math.MaxInt64}
-		if !c.hi.Inclusive {
-			probe.id = math.MinInt64
-		}
-		if after := c.ix.seekGE(probe); after.valid() {
+		// range. An inclusive bound probes past the whole prefix group,
+		// an exclusive one probes before it.
+		if after := c.ix.seekProbe(probe{vs: c.hi.Vs, after: c.hi.Inclusive}); after.valid() {
 			p = after.back()
 		} else {
 			p = c.ix.last()
 		}
 	}
-	if !p.valid() || c.belowLo(p.entry().v) {
+	if !p.valid() || c.belowLo(p.entry().vs) {
 		c.done = true
 		return
 	}
 	c.openGroup(p)
 }
 
-// openGroup positions the cursor on the equal-value group ending at
+// openGroup positions the cursor on the equal-tuple group ending at
 // end (inclusive), to be emitted in forward (ascending RowID) order.
 func (c *OrderedCursor) openGroup(end opos) {
-	v := end.entry().v
+	vs := end.entry().vs
 	start := end
 	for {
 		p := start.back()
-		if !p.valid() || schema.CompareSort(p.entry().v, v) != 0 {
+		if !p.valid() || compareTuples(p.entry().vs, vs) != 0 {
 			break
 		}
 		start = p
@@ -401,7 +476,7 @@ func (c *OrderedCursor) Next() (RowID, bool) {
 		return 0, false
 	}
 	if !c.desc {
-		if !c.pos.valid() || c.aboveHi(c.pos.entry().v) {
+		if !c.pos.valid() || c.aboveHi(c.pos.entry().vs) {
 			c.done = true
 			return 0, false
 		}
@@ -412,10 +487,10 @@ func (c *OrderedCursor) Next() (RowID, bool) {
 	e := c.gcur.entry()
 	if c.gcur == c.gend {
 		// Group exhausted after this entry: the entry before the group's
-		// start carries the next (smaller) value; bound-check it and open
+		// start carries the next (smaller) tuple; bound-check it and open
 		// its group.
 		p := c.gstart.back()
-		if !p.valid() || c.belowLo(p.entry().v) {
+		if !p.valid() || c.belowLo(p.entry().vs) {
 			c.done = true
 		} else {
 			c.openGroup(p)

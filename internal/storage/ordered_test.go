@@ -9,6 +9,9 @@ import (
 	"myriad/internal/value"
 )
 
+// one wraps a single value as an index key tuple.
+func one(v value.Value) []value.Value { return []value.Value{v} }
+
 // collect drains a cursor into a RowID slice.
 func collect(c *OrderedCursor) []RowID {
 	var out []RowID
@@ -33,20 +36,38 @@ func idsEqual(t *testing.T, got, want []RowID) {
 	}
 }
 
-// refSort orders (value, id) pairs the way the index must: CompareSort
-// on the value, then ascending id.
+// refSort orders (tuple, id) pairs the way the index must: CompareSort
+// column by column, then ascending id.
 func refSort(pairs []oentry) {
 	sort.SliceStable(pairs, func(a, b int) bool { return compareEntry(pairs[a], pairs[b]) < 0 })
 }
 
+// refDesc derives the descending walk from an ascending reference:
+// tuples reverse, ids ascend within each equal-tuple group — exactly a
+// stable descending sort of arrival order.
+func refDesc(ref []oentry) []RowID {
+	var want []RowID
+	for i := len(ref) - 1; i >= 0; {
+		j := i
+		for j >= 0 && compareTuples(ref[j].vs, ref[i].vs) == 0 {
+			j--
+		}
+		for k := j + 1; k <= i; k++ {
+			want = append(want, ref[k].id)
+		}
+		i = j
+	}
+	return want
+}
+
 func TestOrderedIndexFullWalkMatchesSort(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	ix := NewOrderedIndex()
+	ix := NewOrderedIndex(1)
 	var ref []oentry
 	for i := 0; i < 5000; i++ {
 		v := value.NewInt(int64(rng.Intn(300))) // heavy duplicates
-		ix.add(v, RowID(i))
-		ref = append(ref, oentry{v: v, id: RowID(i)})
+		ix.add(one(v), RowID(i))
+		ref = append(ref, oentry{vs: one(v), id: RowID(i)})
 	}
 	if ix.Len() != 5000 {
 		t.Fatalf("Len = %d", ix.Len())
@@ -57,28 +78,14 @@ func TestOrderedIndexFullWalkMatchesSort(t *testing.T) {
 		want[i] = e.id
 	}
 	idsEqual(t, collect(ix.Cursor(Bound{}, Bound{}, false)), want)
-
-	// Descending: values reverse, ids ascend within each equal group —
-	// exactly a stable descending sort of arrival order.
-	var wantDesc []RowID
-	for i := len(ref) - 1; i >= 0; {
-		j := i
-		for j >= 0 && schema.CompareSort(ref[j].v, ref[i].v) == 0 {
-			j--
-		}
-		for k := j + 1; k <= i; k++ {
-			wantDesc = append(wantDesc, ref[k].id)
-		}
-		i = j
-	}
-	idsEqual(t, collect(ix.Cursor(Bound{}, Bound{}, true)), wantDesc)
+	idsEqual(t, collect(ix.Cursor(Bound{}, Bound{}, true)), refDesc(ref))
 }
 
 func TestOrderedIndexRangeBounds(t *testing.T) {
-	ix := NewOrderedIndex()
+	ix := NewOrderedIndex(1)
 	// ids 0..99 with value id/10: ten of each value 0..9.
 	for i := 0; i < 100; i++ {
-		ix.add(value.NewInt(int64(i/10)), RowID(i))
+		ix.add(one(value.NewInt(int64(i/10))), RowID(i))
 	}
 	ids := func(lo, hi Bound, desc bool) []RowID { return collect(ix.Cursor(lo, hi, desc)) }
 
@@ -124,13 +131,13 @@ func TestOrderedIndexRangeBounds(t *testing.T) {
 }
 
 func TestOrderedIndexNullBounds(t *testing.T) {
-	ix := NewOrderedIndex()
+	ix := NewOrderedIndex(1)
 	// NULLs at ids 0..4, then values 1..5 at ids 5..9.
 	for i := 0; i < 5; i++ {
-		ix.add(value.Null(), RowID(i))
+		ix.add(one(value.Null()), RowID(i))
 	}
 	for i := 0; i < 5; i++ {
-		ix.add(value.NewInt(int64(i+1)), RowID(5+i))
+		ix.add(one(value.NewInt(int64(i+1))), RowID(5+i))
 	}
 
 	// NULLs sort first: a full ascending walk leads with them.
@@ -153,21 +160,21 @@ func TestOrderedIndexNullBounds(t *testing.T) {
 
 func TestOrderedIndexDeleteAndReinsert(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	ix := NewOrderedIndex()
+	ix := NewOrderedIndex(1)
 	live := map[RowID]value.Value{}
 	next := RowID(0)
 	for step := 0; step < 20000; step++ {
 		if len(live) > 0 && rng.Intn(3) == 0 {
 			// Delete a random live entry.
 			for id, v := range live {
-				ix.remove(v, id)
+				ix.remove(one(v), id)
 				delete(live, id)
 				break
 			}
 			continue
 		}
 		v := value.NewInt(int64(rng.Intn(50)))
-		ix.add(v, next)
+		ix.add(one(v), next)
 		live[next] = v
 		next++
 	}
@@ -176,7 +183,7 @@ func TestOrderedIndexDeleteAndReinsert(t *testing.T) {
 	}
 	var ref []oentry
 	for id, v := range live {
-		ref = append(ref, oentry{v: v, id: id})
+		ref = append(ref, oentry{vs: one(v), id: id})
 	}
 	refSort(ref)
 	want := make([]RowID, len(ref))
@@ -187,7 +194,7 @@ func TestOrderedIndexDeleteAndReinsert(t *testing.T) {
 
 	// Drain completely and rebuild.
 	for id, v := range live {
-		ix.remove(v, id)
+		ix.remove(one(v), id)
 	}
 	if ix.Len() != 0 {
 		t.Fatalf("Len after drain = %d", ix.Len())
@@ -195,8 +202,152 @@ func TestOrderedIndexDeleteAndReinsert(t *testing.T) {
 	if got := collect(ix.Cursor(Bound{}, Bound{}, false)); len(got) != 0 {
 		t.Fatalf("drained index yielded %v", got)
 	}
-	ix.add(value.NewInt(1), 1)
+	ix.add(one(value.NewInt(1)), 1)
 	idsEqual(t, collect(ix.Cursor(Bound{}, Bound{}, false)), []RowID{1})
+}
+
+// pair builds a two-column key tuple.
+func pair(a, b value.Value) []value.Value { return []value.Value{a, b} }
+
+func TestCompositeIndexFullWalkMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix := NewOrderedIndex(2)
+	var ref []oentry
+	for i := 0; i < 5000; i++ {
+		// Heavy duplicates in both columns, NULLs sprinkled into each.
+		a, b := value.NewInt(int64(rng.Intn(20))), value.NewInt(int64(rng.Intn(10)))
+		if rng.Intn(10) == 0 {
+			a = value.Null()
+		}
+		if rng.Intn(10) == 0 {
+			b = value.Null()
+		}
+		ix.add(pair(a, b), RowID(i))
+		ref = append(ref, oentry{vs: pair(a, b), id: RowID(i)})
+	}
+	refSort(ref)
+	want := make([]RowID, len(ref))
+	for i, e := range ref {
+		want[i] = e.id
+	}
+	idsEqual(t, collect(ix.CursorTuple(TupleBound{}, TupleBound{}, false)), want)
+	idsEqual(t, collect(ix.CursorTuple(TupleBound{}, TupleBound{}, true)), refDesc(ref))
+}
+
+func TestCompositeIndexPrefixBounds(t *testing.T) {
+	ix := NewOrderedIndex(2)
+	// ids 0..99 keyed (id/10, id%10): a in 0..9, b in 0..9, ordered
+	// exactly by id.
+	for i := 0; i < 100; i++ {
+		ix.add(pair(value.NewInt(int64(i/10)), value.NewInt(int64(i%10))), RowID(i))
+	}
+	ids := func(lo, hi TupleBound, desc bool) []RowID { return collect(ix.CursorTuple(lo, hi, desc)) }
+	span := func(from, to int) []RowID {
+		var w []RowID
+		for i := from; i < to; i++ {
+			w = append(w, RowID(i))
+		}
+		return w
+	}
+
+	// Prefix bounds address whole leading-column groups.
+	idsEqual(t, ids(TupleBoundAt(one(value.NewInt(3)), true), TupleBoundAt(one(value.NewInt(5)), false), false), span(30, 50))
+	idsEqual(t, ids(TupleBoundAt(one(value.NewInt(3)), false), TupleBoundAt(one(value.NewInt(5)), true), false), span(40, 60))
+	// Prefix equality [7, 7] inclusive selects the full a=7 group.
+	idsEqual(t, ids(TupleBoundAt(one(value.NewInt(7)), true), TupleBoundAt(one(value.NewInt(7)), true), false), span(70, 80))
+
+	// Full-tuple bounds: a=4 AND b in [2, 6).
+	idsEqual(t,
+		ids(TupleBoundAt(pair(value.NewInt(4), value.NewInt(2)), true),
+			TupleBoundAt(pair(value.NewInt(4), value.NewInt(6)), false), false),
+		span(42, 46))
+	// Mixed widths: from (4, 7) inclusive through the whole a=5 group.
+	idsEqual(t,
+		ids(TupleBoundAt(pair(value.NewInt(4), value.NewInt(7)), true),
+			TupleBoundAt(one(value.NewInt(5)), true), false),
+		span(47, 60))
+
+	// Descending prefix range [3, 5]: a groups 5,4,3, ids ascending
+	// within each equal (a, b) tuple — here tuples are unique, so ids
+	// descend across the span.
+	got := ids(TupleBoundAt(one(value.NewInt(3)), true), TupleBoundAt(one(value.NewInt(5)), true), true)
+	var want []RowID
+	for i := 59; i >= 30; i-- {
+		want = append(want, RowID(i))
+	}
+	idsEqual(t, got, want)
+
+	// Empty prefix range.
+	if got := ids(TupleBoundAt(one(value.NewInt(5)), false), TupleBoundAt(one(value.NewInt(5)), false), false); len(got) != 0 {
+		t.Fatalf("exclusive-empty prefix range returned %v", got)
+	}
+}
+
+// TestCompositeIndexChurn mirrors the single-column delete/reinsert
+// suite: random insert/delete churn against a reference model, with
+// range probes at random prefix and full-tuple bounds.
+func TestCompositeIndexChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ix := NewOrderedIndex(2)
+	live := map[RowID][]value.Value{}
+	next := RowID(0)
+	check := func() {
+		var ref []oentry
+		for id, vs := range live {
+			ref = append(ref, oentry{vs: vs, id: id})
+		}
+		refSort(ref)
+		want := make([]RowID, len(ref))
+		for i, e := range ref {
+			want[i] = e.id
+		}
+		idsEqual(t, collect(ix.CursorTuple(TupleBound{}, TupleBound{}, false)), want)
+		idsEqual(t, collect(ix.CursorTuple(TupleBound{}, TupleBound{}, true)), refDesc(ref))
+
+		// A random prefix range probe, both directions.
+		lo, hi := int64(rng.Intn(8)), int64(rng.Intn(8))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var inRange []oentry
+		for _, e := range ref {
+			if !e.vs[0].IsNull() && e.vs[0].I >= lo && e.vs[0].I <= hi {
+				inRange = append(inRange, e)
+			}
+		}
+		want = want[:0]
+		for _, e := range inRange {
+			want = append(want, e.id)
+		}
+		tlo := TupleBoundAt(one(value.NewInt(lo)), true)
+		thi := TupleBoundAt(one(value.NewInt(hi)), true)
+		idsEqual(t, collect(ix.CursorTuple(tlo, thi, false)), want)
+		idsEqual(t, collect(ix.CursorTuple(tlo, thi, true)), refDesc(inRange))
+	}
+	for step := 0; step < 20000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			for id, vs := range live {
+				ix.remove(vs, id)
+				delete(live, id)
+				break
+			}
+		} else {
+			vs := pair(value.NewInt(int64(rng.Intn(8))), value.NewInt(int64(rng.Intn(4))))
+			if rng.Intn(12) == 0 {
+				vs[1] = value.Null()
+			}
+			ix.add(vs, next)
+			live[next] = vs
+			next++
+		}
+		if step%4000 == 3999 {
+			check()
+		}
+	}
+	if ix.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(live))
+	}
+	check()
 }
 
 func TestTableMaintainsOrderedIndex(t *testing.T) {
@@ -262,6 +413,101 @@ func TestTableMaintainsOrderedIndex(t *testing.T) {
 	if got := tbl.OrderedIndexColumns(); len(got) != 1 || got[0] != "v" {
 		t.Fatalf("OrderedIndexColumns = %v", got)
 	}
+}
+
+func TestTableMaintainsCompositeOrderedIndex(t *testing.T) {
+	sc := &schema.Schema{
+		Table: "t",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TInt},
+			{Name: "a", Type: schema.TInt},
+			{Name: "b", Type: schema.TInt},
+		},
+		Key: []string{"id"},
+	}
+	tbl, err := NewTable(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a, b) = (id%5, id%3): duplicates in both columns.
+	for i := 0; i < 60; i++ {
+		r := schema.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 5)), value.NewInt(int64(i % 3))}
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.CreateOrderedIndex("a", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateOrderedIndex("A", "b"); err == nil {
+		t.Fatal("duplicate composite index allowed")
+	}
+	// (b, a) is a different index than (a, b); a alone too.
+	if err := tbl.CreateOrderedIndex("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateOrderedIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateOrderedIndex("a", "a"); err == nil {
+		t.Fatal("repeated column allowed in one index")
+	}
+
+	infos := tbl.OrderedIndexes()
+	if len(infos) != 3 {
+		t.Fatalf("OrderedIndexes returned %d entries", len(infos))
+	}
+	wantCols := [][]string{{"a"}, {"a", "b"}, {"b", "a"}}
+	for i, want := range wantCols {
+		got := infos[i].Columns
+		if len(got) != len(want) {
+			t.Fatalf("index %d columns = %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("index %d columns = %v, want %v", i, got, want)
+			}
+		}
+	}
+	// Composite indexes stay out of the single-column listing.
+	if got := tbl.OrderedIndexColumns(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("OrderedIndexColumns = %v", got)
+	}
+
+	var ab *OrderedIndex
+	for _, info := range infos {
+		if len(info.Columns) == 2 && info.Columns[0] == "a" {
+			ab = info.Index
+		}
+	}
+	verify := func() {
+		t.Helper()
+		var ref []oentry
+		tbl.Scan(func(id RowID, r schema.Row) bool {
+			ref = append(ref, oentry{vs: pair(r[1], r[2]), id: id})
+			return true
+		})
+		refSort(ref)
+		want := make([]RowID, len(ref))
+		for i, e := range ref {
+			want[i] = e.id
+		}
+		idsEqual(t, collect(ab.CursorTuple(TupleBound{}, TupleBound{}, false)), want)
+	}
+	verify()
+
+	// Update that changes only b must re-index; one that changes
+	// neither key column must not disturb the walk.
+	if _, err := tbl.Update(RowID(7), schema.Row{value.NewInt(7), value.NewInt(7 % 5), value.NewInt(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Delete(RowID(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.InsertAt(RowID(30), schema.Row{value.NewInt(30), value.NewInt(4), value.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	verify()
 }
 
 func TestCachedStatsStaleness(t *testing.T) {

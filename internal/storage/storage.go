@@ -15,6 +15,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,9 +34,9 @@ type Table struct {
 
 	rows    []schema.Row // nil entry = tombstone
 	live    int
-	pk      map[string]RowID         // primary-key index (composite keys joined)
-	indexes map[string]*HashIndex    // secondary hash, by lower-cased column name
-	ordered map[string]*OrderedIndex // secondary ordered, by lower-cased column name
+	pk      map[string]RowID       // primary-key index (composite keys joined)
+	indexes map[string]*HashIndex  // secondary hash, by lower-cased column name
+	ordered map[string]*orderedDef // secondary ordered, by lower-cased comma-joined column list
 
 	// Statistics cache (see CachedStats). muts counts mutations since
 	// creation and is atomic so readers under the shared database latch
@@ -55,7 +56,7 @@ func NewTable(sc *schema.Schema) (*Table, error) {
 	t := &Table{
 		Schema:  sc.Clone(),
 		indexes: make(map[string]*HashIndex),
-		ordered: make(map[string]*OrderedIndex),
+		ordered: make(map[string]*orderedDef),
 	}
 	if len(sc.Key) > 0 {
 		t.pk = make(map[string]RowID)
@@ -112,9 +113,8 @@ func (t *Table) Insert(r schema.Row) (RowID, error) {
 		ci := t.Schema.ColIndex(col)
 		ix.add(coerced[ci], id)
 	}
-	for col, ix := range t.ordered {
-		ci := t.Schema.ColIndex(col)
-		ix.add(coerced[ci], id)
+	for _, d := range t.ordered {
+		d.ix.add(d.keyOf(coerced), id)
 	}
 	t.muts.Add(1)
 	return id, nil
@@ -142,9 +142,8 @@ func (t *Table) InsertAt(id RowID, r schema.Row) error {
 		ci := t.Schema.ColIndex(col)
 		ix.add(r[ci], id)
 	}
-	for col, ix := range t.ordered {
-		ci := t.Schema.ColIndex(col)
-		ix.add(r[ci], id)
+	for _, d := range t.ordered {
+		d.ix.add(d.keyOf(r), id)
 	}
 	t.muts.Add(1)
 	return nil
@@ -190,9 +189,8 @@ func (t *Table) ApplyInsert(id RowID, r schema.Row) error {
 		ci := t.Schema.ColIndex(col)
 		ix.add(coerced[ci], id)
 	}
-	for col, ix := range t.ordered {
-		ci := t.Schema.ColIndex(col)
-		ix.add(coerced[ci], id)
+	for _, d := range t.ordered {
+		d.ix.add(d.keyOf(coerced), id)
 	}
 	t.muts.Add(1)
 	return nil
@@ -254,9 +252,8 @@ func (t *Table) Delete(id RowID) (schema.Row, error) {
 		ci := t.Schema.ColIndex(col)
 		ix.remove(old[ci], id)
 	}
-	for col, ix := range t.ordered {
-		ci := t.Schema.ColIndex(col)
-		ix.remove(old[ci], id)
+	for _, d := range t.ordered {
+		d.ix.remove(d.keyOf(old), id)
 	}
 	t.rows[id] = nil
 	t.live--
@@ -296,11 +293,17 @@ func (t *Table) Update(id RowID, r schema.Row) (schema.Row, error) {
 			ix.add(coerced[ci], id)
 		}
 	}
-	for col, ix := range t.ordered {
-		ci := t.Schema.ColIndex(col)
-		if !value.Identical(old[ci], coerced[ci]) {
-			ix.remove(old[ci], id)
-			ix.add(coerced[ci], id)
+	for _, d := range t.ordered {
+		changed := false
+		for _, ci := range d.cis {
+			if !value.Identical(old[ci], coerced[ci]) {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			d.ix.remove(d.keyOf(old), id)
+			d.ix.add(d.keyOf(coerced), id)
 		}
 	}
 	t.rows[id] = coerced
@@ -364,37 +367,109 @@ func (t *Table) Index(column string) (*HashIndex, bool) {
 	return ix, ok
 }
 
-// CreateOrderedIndex builds an ordered secondary index on the column.
-func (t *Table) CreateOrderedIndex(column string) error {
-	ci := t.Schema.ColIndex(column)
-	if ci < 0 {
-		return fmt.Errorf("storage %s: no column %q", t.Schema.Table, column)
+// orderedDef binds an ordered index to its key columns.
+type orderedDef struct {
+	cols []string // schema-cased column names, in index key order
+	cis  []int    // column positions in the schema, parallel to cols
+	ix   *OrderedIndex
+}
+
+// keyOf extracts the index key tuple from a row.
+func (d *orderedDef) keyOf(r schema.Row) []value.Value {
+	vs := make([]value.Value, len(d.cis))
+	for i, ci := range d.cis {
+		vs[i] = r[ci]
 	}
-	lc := strings.ToLower(t.Schema.Columns[ci].Name)
-	if _, exists := t.ordered[lc]; exists {
-		return fmt.Errorf("storage %s: ordered index on %q already exists", t.Schema.Table, column)
+	return vs
+}
+
+// orderedKey names an ordered index by its column list (lower-cased,
+// comma-joined) — the same columns in a different order are a different
+// index.
+func orderedKey(columns []string) string {
+	return strings.ToLower(strings.Join(columns, ","))
+}
+
+// CreateOrderedIndex builds an ordered secondary index over the columns
+// (one for a single-column index, several for a composite index ordered
+// by the first column, then the second, and so on).
+func (t *Table) CreateOrderedIndex(columns ...string) error {
+	if len(columns) == 0 {
+		return fmt.Errorf("storage %s: ordered index needs at least one column", t.Schema.Table)
 	}
-	ix := NewOrderedIndex()
+	d := &orderedDef{ix: NewOrderedIndex(len(columns))}
+	seen := make(map[int]bool, len(columns))
+	for _, col := range columns {
+		ci := t.Schema.ColIndex(col)
+		if ci < 0 {
+			return fmt.Errorf("storage %s: no column %q", t.Schema.Table, col)
+		}
+		if seen[ci] {
+			return fmt.Errorf("storage %s: duplicate column %q in ordered index", t.Schema.Table, col)
+		}
+		seen[ci] = true
+		d.cols = append(d.cols, t.Schema.Columns[ci].Name)
+		d.cis = append(d.cis, ci)
+	}
+	key := orderedKey(d.cols)
+	if _, exists := t.ordered[key]; exists {
+		return fmt.Errorf("storage %s: ordered index on %q already exists", t.Schema.Table, strings.Join(d.cols, ", "))
+	}
 	t.Scan(func(id RowID, r schema.Row) bool {
-		ix.add(r[ci], id)
+		d.ix.add(d.keyOf(r), id)
 		return true
 	})
-	t.ordered[lc] = ix
+	t.ordered[key] = d
 	return nil
 }
 
-// OrderedIndex returns the ordered secondary index on column, if any.
+// OrderedIndex returns the single-column ordered secondary index on
+// column, if any.
 func (t *Table) OrderedIndex(column string) (*OrderedIndex, bool) {
-	ix, ok := t.ordered[strings.ToLower(column)]
-	return ix, ok
+	d, ok := t.ordered[orderedKey([]string{column})]
+	if !ok {
+		return nil, false
+	}
+	return d.ix, true
 }
 
-// OrderedIndexColumns lists the ordered-indexed columns in schema order
-// (for snapshots and explain output).
+// OrderedIndexInfo describes one ordered index for planners, explain
+// output, and snapshots.
+type OrderedIndexInfo struct {
+	Columns []string // schema-cased, in index key order
+	Index   *OrderedIndex
+}
+
+// OrderedIndexes lists every ordered index (single-column and
+// composite) in a deterministic order: by width, then by the position
+// of the leading column in the schema, then by the full column list.
+func (t *Table) OrderedIndexes() []OrderedIndexInfo {
+	infos := make([]OrderedIndexInfo, 0, len(t.ordered))
+	pos := make(map[string]int)
+	for _, d := range t.ordered {
+		infos = append(infos, OrderedIndexInfo{Columns: d.cols, Index: d.ix})
+		pos[orderedKey(d.cols)] = d.cis[0]
+	}
+	sort.Slice(infos, func(a, b int) bool {
+		ca, cb := infos[a].Columns, infos[b].Columns
+		if len(ca) != len(cb) {
+			return len(ca) < len(cb)
+		}
+		if pa, pb := pos[orderedKey(ca)], pos[orderedKey(cb)]; pa != pb {
+			return pa < pb
+		}
+		return orderedKey(ca) < orderedKey(cb)
+	})
+	return infos
+}
+
+// OrderedIndexColumns lists the single-column ordered-indexed columns
+// in schema order. Composite indexes are not included — enumerate them
+// with OrderedIndexes.
 func (t *Table) OrderedIndexColumns() []string {
 	var cols []string
 	for _, c := range t.Schema.Columns {
-		if _, ok := t.ordered[strings.ToLower(c.Name)]; ok {
+		if _, ok := t.ordered[orderedKey([]string{c.Name})]; ok {
 			cols = append(cols, c.Name)
 		}
 	}

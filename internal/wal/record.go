@@ -19,7 +19,10 @@ import (
 //	                 uvarint branch (0 = not a prepared branch)
 //	createTable:   string table; bytes schema
 //	dropTable:     string table
-//	createIndex:   string table; string column; byte ordered
+//	createIndex:   string table; string column; byte ordered;
+//	               then, optionally (absent in pre-composite logs and
+//	               for single-column indexes):
+//	                 uvarint nextra, then nextra further key columns
 //	prepare:       uvarint branch; ops as in commit;
 //	               uvarint nlocks, then per lock: string resource; byte mode
 //	abort:         uvarint branch
@@ -89,6 +92,12 @@ func encodeRecord(r *Record) []byte {
 			b = append(b, 1)
 		} else {
 			b = append(b, 0)
+		}
+		if len(r.Columns) > 0 {
+			b = binary.AppendUvarint(b, uint64(len(r.Columns)))
+			for _, c := range r.Columns {
+				b = appendString(b, c)
+			}
 		}
 	}
 	return b
@@ -332,6 +341,18 @@ func decodeRecord(payload []byte) (*Record, error) {
 		rec.Table = d.string()
 		rec.Column = d.string()
 		rec.Ordered = d.byte() != 0
+		if d.err == nil && d.off < len(payload) {
+			n := d.uvarint()
+			if d.err == nil && n > uint64(len(payload)) {
+				d.fail("wal: extra index column count %d exceeds payload", n)
+			}
+			if d.err == nil {
+				rec.Columns = make([]string, 0, n)
+				for i := uint64(0); i < n && d.err == nil; i++ {
+					rec.Columns = append(rec.Columns, d.string())
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
 	}

@@ -93,8 +93,12 @@ type Record struct {
 	Ops []Op // RecCommit, RecPrepare
 
 	Table   string // DDL target table
-	Column  string // RecCreateIndex
+	Column  string // RecCreateIndex: first (or only) key column
 	Ordered bool   // RecCreateIndex: ordered (B+tree) vs hash
+	// Columns carries the remaining key columns of a composite ordered
+	// index (empty for single-column indexes, so pre-composite records
+	// decode unchanged).
+	Columns []string
 	Schema  []byte // RecCreateTable: opaque schema encoding (owned by the caller)
 
 	// Branch is the local transaction id of a two-phase-commit branch
@@ -186,7 +190,19 @@ type Log struct {
 	buf      []byte // appended records not yet written to the file
 	fileSize int64
 	lastLSN  uint64
-	closed   bool
+	// syncedLSN is the highest LSN known durable (on disk and fsynced);
+	// guarded by mu. Group commit compares a caller's LSN against it to
+	// decide whether a preceding flush already covered the record.
+	syncedLSN uint64
+	closed    bool
+
+	// syncMu serializes fsyncs for group commit, acquired strictly
+	// before mu (never while holding mu). Concurrent synced appenders
+	// buffer their records under mu, then queue on syncMu: the first
+	// caller through flushes everything buffered — including the
+	// records of everyone parked behind it — in a single fsync, and the
+	// parked callers wake to find syncedLSN already past their record.
+	syncMu sync.Mutex
 
 	stop     chan struct{} // interval flusher shutdown
 	done     chan struct{}
@@ -295,62 +311,91 @@ func ScanOffsets(path string) ([]int64, error) {
 // SyncAlways the record is on stable storage.
 func (l *Log) Append(rec *Record) (uint64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return 0, fmt.Errorf("wal: log %s is closed", l.path)
+	if err := l.appendLocked(rec); err != nil {
+		l.mu.Unlock()
+		return 0, err
 	}
-	rec.LSN = l.lastLSN + 1
-	payload := encodeRecord(rec)
-	if len(payload) > maxRecordLen {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordLen)
+	lsn := rec.LSN
+	var flushErr error
+	if l.opts.Sync == SyncOff && len(l.buf) >= offFlushBytes {
+		flushErr = l.flushLocked(false)
 	}
-	var hdr [frameHeader]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	l.buf = append(l.buf, hdr[:]...)
-	l.buf = append(l.buf, payload...)
-	switch l.opts.Sync {
-	case SyncAlways:
-		if err := l.flushLocked(true); err != nil {
+	l.mu.Unlock()
+	if flushErr != nil {
+		return 0, flushErr
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncTo(lsn); err != nil {
 			return 0, err
 		}
-	case SyncOff:
-		if len(l.buf) >= offFlushBytes {
-			if err := l.flushLocked(false); err != nil {
-				return 0, err
-			}
-		}
 	}
-	l.lastLSN++
-	return l.lastLSN, nil
+	return lsn, nil
 }
 
 // AppendSync appends rec and forces it (and everything buffered before
 // it) onto stable storage regardless of the configured sync policy.
 // Two-phase commit uses it for prepare votes and commit decisions: a
 // yes vote or a decision must never be lost even when ordinary commits
-// run under SyncInterval or SyncOff.
+// run under SyncInterval or SyncOff. Concurrent callers group-commit:
+// one fsync covers every record buffered when it runs.
 func (l *Log) AppendSync(rec *Record) (uint64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if err := l.appendLocked(rec); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	lsn := rec.LSN
+	l.mu.Unlock()
+	if err := l.syncTo(lsn); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// appendLocked assigns the next LSN to rec and frames it into the
+// buffer. Callers hold l.mu. The LSN is consumed even if a later flush
+// fails: the bytes stay buffered, so reusing the number could replay a
+// duplicate LSN after a partial write.
+func (l *Log) appendLocked(rec *Record) error {
 	if l.closed {
-		return 0, fmt.Errorf("wal: log %s is closed", l.path)
+		return fmt.Errorf("wal: log %s is closed", l.path)
 	}
 	rec.LSN = l.lastLSN + 1
 	payload := encodeRecord(rec)
 	if len(payload) > maxRecordLen {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordLen)
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordLen)
 	}
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
-	if err := l.flushLocked(true); err != nil {
-		return 0, err
+	l.lastLSN = rec.LSN
+	return nil
+}
+
+// syncTo makes every record with LSN ≤ lsn durable, batching concurrent
+// callers into one fsync. Callers queue on syncMu (held across the
+// flush, never while waiting for l.mu inside a flush holder): whoever
+// enters first flushes the whole buffer — including records appended by
+// callers now parked behind it — and each parked caller wakes to find
+// syncedLSN already past its record, returning without touching the
+// file. N concurrent committers cost ~1 fsync, not N.
+func (l *Log) syncTo(lsn uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.syncedLSN >= lsn {
+		return nil // a preceding group flush covered this record
 	}
-	l.lastLSN++
-	return l.lastLSN, nil
+	if l.closed {
+		// Close flushed everything through before marking closed (so the
+		// syncedLSN check above covers clean shutdown); reaching here
+		// means CloseNoFlush discarded the buffered record.
+		return fmt.Errorf("wal: log %s closed before record %d was synced", l.path, lsn)
+	}
+	return l.flushLocked(true)
 }
 
 // flushLocked writes the buffer through to the file, fsyncing when sync
@@ -371,6 +416,7 @@ func (l *Log) flushLocked(sync bool) error {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: syncing %s: %w", l.path, err)
 		}
+		l.syncedLSN = l.lastLSN
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -380,5 +381,90 @@ func TestApplyErrorAbortsOpen(t *testing.T) {
 	after, _ := os.ReadFile(path)
 	if !bytes.Equal(before, after) {
 		t.Fatal("failed open modified the log file")
+	}
+}
+
+// TestGroupCommitConcurrentAppendSync: 16 goroutines AppendSync
+// concurrently; every record must land durably with a unique LSN, in
+// LSN order on disk, and any caller whose record was covered by another
+// caller's fsync must still observe it as durable. The test closes the
+// log abruptly after the last AppendSync returns (CloseNoFlush, the
+// in-process kill -9): group commit must never acknowledge a record
+// that a crash at that point could lose.
+func TestGroupCommitConcurrentAppendSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "group.wal")
+	l, err := Open(path, Options{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	const perWorker = 25
+	lsns := make(chan uint64, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				lsn, err := l.AppendSync(&Record{Kind: RecCoordDecision, GID: uint64(w*perWorker + i), Commit: true})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				lsns <- lsn
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(lsns)
+	seen := make(map[uint64]bool)
+	for lsn := range lsns {
+		if seen[lsn] {
+			t.Fatalf("duplicate LSN %d", lsn)
+		}
+		seen[lsn] = true
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("%d LSNs assigned, want %d", len(seen), workers*perWorker)
+	}
+	// Abrupt close: acknowledged AppendSyncs must already be on disk.
+	if err := l.CloseNoFlush(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != workers*perWorker {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*perWorker)
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
+
+// TestGroupCommitCloseNoFlushUnsynced: a caller parked on the group
+// commit gate when CloseNoFlush discards the buffer must get an error,
+// never a false durability acknowledgement.
+func TestGroupCommitCloseNoFlushUnsynced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.wal")
+	l, err := Open(path, Options{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer a record without syncing, then discard; a late syncTo must
+	// refuse. Exercised via the internal pieces because wedging a real
+	// AppendSync between its buffer and sync steps needs a failpoint.
+	l.mu.Lock()
+	rec := &Record{Kind: RecCoordDecision, GID: 7}
+	if err := l.appendLocked(rec); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	l.mu.Unlock()
+	if err := l.CloseNoFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.syncTo(rec.LSN); err == nil {
+		t.Fatal("syncTo acknowledged a record CloseNoFlush discarded")
 	}
 }
