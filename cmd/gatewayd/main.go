@@ -14,6 +14,7 @@
 //	  "dialect": "oracle",          // oracle | postgres | canonical
 //	  "listen": ":7101",
 //	  "timeout_ms": 2000,           // per-local-query timeout (deadlock knob)
+//	  "lock_wait_ms": 8000,         // lock-wait backstop; 0 = request deadline only
 //	  "setup": ["CREATE TABLE ...", "INSERT INTO ..."],
 //	  "setup_files": ["seed.sql"],
 //	  "data_dir": "/var/lib/myriad/east", // WAL + checkpoints (crash durability)
@@ -92,6 +93,12 @@ type config struct {
 	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 	// SpillDir is where spill runs are written ("" = OS temp dir).
 	SpillDir string `json:"spill_dir,omitempty"`
+	// LockWaitMs caps how long any statement may wait for a lock before
+	// failing with the timeout the federation treats as a presumed
+	// deadlock — the backstop behind wound-wait and the coordinator's
+	// detector. 0 (the default) leaves waits bounded only by each
+	// request's own deadline.
+	LockWaitMs int64 `json:"lock_wait_ms,omitempty"`
 }
 
 func main() {
@@ -212,6 +219,10 @@ func run(configPath string) error {
 	gw := gateway.New(cfg.Site, db, d)
 	if cfg.TimeoutMs > 0 {
 		gw.DefaultTimeout = time.Duration(cfg.TimeoutMs) * time.Millisecond
+	}
+	if cfg.LockWaitMs > 0 {
+		db.SetLockWait(time.Duration(cfg.LockWaitMs) * time.Millisecond)
+		log.Printf("gatewayd: lock-wait backstop %dms", cfg.LockWaitMs)
 	}
 	for _, e := range cfg.Exports {
 		exp := gateway.Export{Name: e.Name, LocalTable: e.Table, Predicate: e.Predicate}

@@ -14,6 +14,8 @@
 //	  "listen": ":7100",
 //	  "strategy": "cost-based",            // or "simple"
 //	  "local_query_timeout_ms": 2000,      // deadlock-resolution timeout
+//	  "deadlock_detect_ms": 1000,          // global detector tick; 0 = off
+//	  "coordinator_compact_bytes": 1048576, // coordinator log compaction trigger; 0 = off
 //	  "sites": [{"name": "east", "addr": "localhost:7101", "pool": 4}],
 //	  "integrated": [
 //	    {"name": "ALL_STUDENTS",
@@ -92,6 +94,17 @@ type config struct {
 	// for non-decision records: "always" (default), "interval", "off".
 	// Commit decisions are always fsynced regardless.
 	CoordinatorSync string `json:"coordinator_sync,omitempty"`
+	// CoordinatorCompactBytes triggers coordinator-log compaction (the
+	// log is rewritten down to its live entries) when it outgrows this
+	// size. Absent defaults to 1MB whenever coordinator_log is set;
+	// 0 disables automatic compaction.
+	CoordinatorCompactBytes *int64 `json:"coordinator_compact_bytes,omitempty"`
+	// DeadlockDetectMs is the tick of the coordinator's global deadlock
+	// detector, which stitches every site's waits-for edges and wounds
+	// the youngest transaction of each cycle. Absent defaults to 1000ms;
+	// 0 disables detection, leaving deadlocks to the sites' wound-wait
+	// fast path and lock-wait timeouts.
+	DeadlockDetectMs *int64 `json:"deadlock_detect_ms,omitempty"`
 }
 
 func main() {
@@ -181,7 +194,21 @@ func run(configPath string) error {
 				log.Printf("myriadd: global recovery incomplete: %v", err)
 			}
 		}
-		log.Printf("myriadd: coordinator log at %s (sync=%s)", cfg.CoordinatorLog, sync)
+		compact := int64(1 << 20)
+		if cfg.CoordinatorCompactBytes != nil {
+			compact = *cfg.CoordinatorCompactBytes
+		}
+		fed.Coordinator().SetCompactBytes(compact)
+		log.Printf("myriadd: coordinator log at %s (sync=%s, compact_bytes=%d)", cfg.CoordinatorLog, sync, compact)
+	}
+	detect := int64(1000)
+	if cfg.DeadlockDetectMs != nil {
+		detect = *cfg.DeadlockDetectMs
+	}
+	if detect > 0 {
+		fed.StartDeadlockDetector(time.Duration(detect) * time.Millisecond)
+		defer fed.StopDeadlockDetector()
+		log.Printf("myriadd: global deadlock detector every %dms", detect)
 	}
 	for i := range cfg.Integrated {
 		def, err := cfg.Integrated[i].ToDef()

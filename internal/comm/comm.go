@@ -56,6 +56,12 @@ const (
 	// — commit/abort/pending — rides Response.Status. Recovering sites
 	// use it to resolve in-doubt branches before releasing locks.
 	OpTxnStatus Op = "txnstatus"
+	// OpWaitGraph snapshots live lock waits-for edges as
+	// Response.Waits. Against a gateway it returns the site's local
+	// edges (the coordinator's deadlock detector pulls these every
+	// tick); against a federation server it returns the stitched
+	// edges of every reachable site.
+	OpWaitGraph Op = "waitgraph"
 )
 
 // Request is one protocol message from client to server.
@@ -68,6 +74,10 @@ type Request struct {
 	// Stream requests a frame-sequence response (header, row batches,
 	// trailer) instead of a single Response; see Client.DoStream.
 	Stream bool
+	// GID carries the owning global transaction's id on OpBegin (0 =
+	// no global transaction), giving the site the branch→global
+	// mapping its waits-for edges report back.
+	GID uint64
 }
 
 // ErrKind discriminates error causes across the wire.
@@ -79,7 +89,23 @@ const (
 	ErrGeneric ErrKind = "error"
 	ErrTimeout ErrKind = "timeout" // lock/deadline expiry: presumed deadlock
 	ErrInDoubt ErrKind = "indoubt" // commit decided but not acknowledged everywhere
+	ErrWounded ErrKind = "wounded" // chosen as deadlock victim; abort and retry
 )
+
+// WaitEdge is one live waits-for edge reported by a site: branch
+// Waiter has been blocked on Resource for WaitMs milliseconds behind
+// the Holders branches. WaiterGID/HolderGIDs carry the global
+// transaction ids of global branches (0 = purely local), the key the
+// coordinator stitches per-site edges on. Durations travel as elapsed
+// milliseconds, not timestamps, so sites need no clock agreement.
+type WaitEdge struct {
+	Waiter     uint64
+	WaiterGID  uint64
+	Holders    []uint64
+	HolderGIDs []uint64
+	Resource   string
+	WaitMs     int64
+}
 
 // Response is one protocol message from server to client.
 type Response struct {
@@ -90,7 +116,8 @@ type Response struct {
 	Affected int
 	Schemas  []*schema.Schema
 	Stats    *storage.TableStats
-	Status   string // OpTxnStatus: commit | abort | pending
+	Status   string     // OpTxnStatus: commit | abort | pending
+	Waits    []WaitEdge // OpWaitGraph: live waits-for edges
 }
 
 // TimeoutError is the client-side representation of a server-reported
@@ -101,6 +128,12 @@ var TimeoutError = errors.New("comm: remote timeout (presumed deadlock)")
 // in-doubt commit: the decision is durable and WILL be applied, but not
 // every participant had acknowledged it when the reply was sent.
 var InDoubtError = errors.New("comm: commit in doubt (decision logged, acknowledgement pending)")
+
+// WoundedError is the client-side representation of a server-reported
+// wound: the transaction was chosen as a deadlock victim (by the
+// wound-wait fast path or the coordinator's detector), must abort, and
+// may be retried under a fresh global id.
+var WoundedError = errors.New("comm: transaction wounded (deadlock victim, retry)")
 
 // socketBufferBytes fixes SO_RCVBUF/SO_SNDBUF on every protocol
 // connection. A fixed window turns the transport's backpressure into
@@ -128,6 +161,8 @@ func (r *Response) AsError() error {
 		return fmt.Errorf("%w: %s", TimeoutError, r.Err)
 	case ErrInDoubt:
 		return fmt.Errorf("%w: %s", InDoubtError, r.Err)
+	case ErrWounded:
+		return fmt.Errorf("%w: %s", WoundedError, r.Err)
 	default:
 		return errors.New(r.Err)
 	}
@@ -158,12 +193,23 @@ type Server struct {
 	wg    sync.WaitGroup
 	conns map[net.Conn]bool
 
+	// baseCtx parents every request context and is canceled by Close,
+	// so a handler parked inside the engine (a lock wait, a stalled
+	// scan) cannot hold shutdown hostage for its full timeout.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	closed bool
 }
 
 // NewServer wraps handler; call Listen (or Serve) to start.
 func NewServer(handler Handler) *Server {
-	return &Server{handler: handler, conns: make(map[net.Conn]bool)}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		handler: handler,
+		conns:   make(map[net.Conn]bool),
+		baseCtx: ctx, baseCancel: cancel,
+	}
 }
 
 // Listen binds addr ("host:port"; ":0" picks a free port) and serves in
@@ -221,7 +267,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		ctx := context.Background()
+		ctx := s.baseCtx
 		cancel := func() {}
 		if req.TimeoutMs > 0 {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
@@ -259,6 +305,7 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	s.baseCancel()
 	var err error
 	if ln != nil {
 		err = ln.Close()

@@ -195,6 +195,39 @@ func TestServerClose(t *testing.T) {
 	}
 }
 
+// TestCloseCancelsParkedHandler: a handler blocked inside the engine —
+// here the "slow" query with no timeout, standing in for a statement
+// parked on a lock — must not hold Close hostage: the server cancels
+// in-flight request contexts so shutdown (and the crash harness's
+// kill -9 simulation) returns promptly.
+func TestCloseCancelsParkedHandler(t *testing.T) {
+	srv := NewServer(echoHandler{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Dial(addr, 1)
+	defer c.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(context.Background(), &Request{Op: OpQuery, SQL: "slow"}) //nolint:errcheck
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request park server-side
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Close blocked %v behind a parked handler", elapsed)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked request never returned after server close")
+	}
+}
+
 func TestDialLazyAndBrokenConnRecovery(t *testing.T) {
 	// Dialing a dead address fails only at Do time.
 	c := Dial("127.0.0.1:1", 1)

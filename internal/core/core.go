@@ -55,6 +55,9 @@ type Federation struct {
 
 	coordMu sync.RWMutex
 	coord   *gtm.Coordinator
+	// detectInterval remembers the armed deadlock-detector tick so a
+	// coordinator restart re-arms it (0 = detector off).
+	detectInterval time.Duration
 
 	statsMu sync.Mutex
 	stats   map[string]*storage.TableStats // "site/export" -> stats
@@ -116,10 +119,13 @@ func New(name string) *Federation {
 	return f
 }
 
-// connProvider adapts Federation to gtm.ConnProvider.
+// connProvider adapts Federation to gtm.ConnProvider (and
+// gtm.SiteLister, so the deadlock detector polls the full roster).
 type connProvider struct{ f *Federation }
 
 func (p connProvider) Conn(site string) (gateway.Conn, bool) { return p.f.Conn(site) }
+
+func (p connProvider) Sites() []string { return p.f.Sites() }
 
 // Name returns the federation's name.
 func (f *Federation) Name() string { return f.name }
@@ -139,6 +145,30 @@ func (f *Federation) Coordinator() *gtm.Coordinator {
 // submitted to a gateway on behalf of a global transaction — the
 // paper's global-deadlock resolution knob.
 func (f *Federation) SetLocalQueryTimeout(d time.Duration) { f.Coordinator().OpTimeout = d }
+
+// StartDeadlockDetector arms the coordinator's global deadlock
+// detector: every interval (<=0 selects the gtm default, one second)
+// it pulls each attached site's lock waits-for edges, stitches the
+// federation-wide graph, and wounds the youngest global transaction of
+// every cycle. The interval survives RestartCoordinator — the fresh
+// coordinator is re-armed automatically.
+func (f *Federation) StartDeadlockDetector(interval time.Duration) {
+	f.coordMu.Lock()
+	f.detectInterval = interval
+	c := f.coord
+	f.coordMu.Unlock()
+	c.StartDetector(interval)
+}
+
+// StopDeadlockDetector stops the detector (and stops re-arming it on
+// coordinator restarts).
+func (f *Federation) StopDeadlockDetector() {
+	f.coordMu.Lock()
+	f.detectInterval = 0
+	c := f.coord
+	f.coordMu.Unlock()
+	c.StopDetector()
+}
 
 // EnableCoordinatorLog attaches a durable coordinator log at path: the
 // two-phase commit decision is fsynced before phase two, and after a
@@ -175,6 +205,7 @@ func (f *Federation) RestartCoordinator(opts wal.Options) error {
 	if !old.Killed() {
 		old.Close() //nolint:errcheck
 	}
+	old.StopDetector()
 	c, err := gtm.NewWithLog(connProvider{f}, path, opts)
 	if err != nil {
 		return fmt.Errorf("core: restarting coordinator: %w", err)
@@ -183,7 +214,11 @@ func (f *Federation) RestartCoordinator(opts wal.Options) error {
 	c.OnCommit = f.InvalidateStats
 	f.coordMu.Lock()
 	f.coord = c
+	interval := f.detectInterval
 	f.coordMu.Unlock()
+	if interval > 0 {
+		c.StartDetector(interval)
+	}
 	return nil
 }
 
@@ -467,16 +502,31 @@ func (f *Federation) Transfer(ctx context.Context, debitSite, debitSQL, creditSi
 }
 
 // WithRetry runs fn inside a fresh global transaction, committing on
-// success. Transactions aborted by the timeout mechanism (presumed
-// global deadlock) are retried up to maxAttempts times — the standard
-// client idiom under MYRIAD's deadlock policy. fn must be safe to
-// re-run; any other error aborts and is returned as-is.
+// success. Transactions aborted by the deadlock machinery — wounded as
+// a victim or timed out on a presumed deadlock — are retried up to
+// maxAttempts times, the standard client idiom under MYRIAD's deadlock
+// policy. fn must be safe to re-run; any other error aborts and is
+// returned as-is.
 func (f *Federation) WithRetry(ctx context.Context, maxAttempts int, fn func(*gtm.Txn) error) error {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			// A wounded victim restarted instantly re-enters under an even
+			// younger global id and keeps losing to the same older holder;
+			// back off briefly so the survivor can finish.
+			delay := time.Duration(5<<uint(attempt-1)) * time.Millisecond
+			if delay > 100*time.Millisecond {
+				delay = 100 * time.Millisecond
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return lastErr
+			}
+		}
 		txn := f.Begin()
 		err := fn(txn)
 		if err == nil {

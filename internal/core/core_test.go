@@ -329,6 +329,11 @@ func TestGlobalTransaction2PC(t *testing.T) {
 func TestGlobalDeadlockTimeoutAbort(t *testing.T) {
 	fed, east, west := buildUniversity(t)
 	ctx := context.Background()
+	// This test pins the LAST tier of the deadlock scheme — the lock-wait
+	// timeout backstop — so the wound-wait fast path (which would resolve
+	// the cycle before any wait parks) is switched off at both sites.
+	east.SetWoundWait(false)
+	west.SetWoundWait(false)
 
 	east.MustExec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER NOT NULL)`)
 	east.MustExec(`INSERT INTO acct VALUES (1, 100)`)

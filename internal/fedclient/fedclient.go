@@ -19,6 +19,11 @@ import (
 // wire.
 var ErrDeadlockAbort = errors.New("fedclient: global transaction aborted (timeout, presumed deadlock)")
 
+// ErrWounded mirrors a server-side deadlock-victim abort across the
+// wire: the transaction lost a deadlock to an older transaction and
+// was aborted everywhere; retrying it is the expected response.
+var ErrWounded = errors.New("fedclient: global transaction wounded (deadlock victim)")
+
 // Client talks to one federation server.
 type Client struct {
 	c *comm.Client
@@ -39,6 +44,9 @@ func (cl *Client) do(ctx context.Context, req *comm.Request) (*comm.Response, er
 	}
 	if resp.Kind == comm.ErrTimeout {
 		return nil, fmt.Errorf("%w: %s", ErrDeadlockAbort, resp.Err)
+	}
+	if resp.Kind == comm.ErrWounded {
+		return nil, fmt.Errorf("%w: %s", ErrWounded, resp.Err)
 	}
 	if err := resp.AsError(); err != nil {
 		return nil, err
@@ -75,11 +83,15 @@ func (cl *Client) QueryStream(ctx context.Context, sql string) (schema.RowStream
 	return st.AsRowStream(mapWireErr), nil
 }
 
-// mapWireErr surfaces server-reported timeouts as deadlock aborts, the
-// same mapping do applies on the Response path.
+// mapWireErr surfaces server-reported timeouts as deadlock aborts and
+// wounds as ErrWounded, the same mapping do applies on the Response
+// path.
 func mapWireErr(err error) error {
 	if errors.Is(err, comm.TimeoutError) {
 		return fmt.Errorf("%w: %v", ErrDeadlockAbort, err)
+	}
+	if errors.Is(err, comm.WoundedError) {
+		return fmt.Errorf("%w: %v", ErrWounded, err)
 	}
 	return err
 }
@@ -180,9 +192,10 @@ func (t *Txn) Abort(ctx context.Context) error {
 }
 
 // AliveAfter reports whether the transaction is still usable after err:
-// a timeout (presumed global deadlock) aborts it server-side.
+// a timeout (presumed global deadlock) or a deadlock wound aborts it
+// server-side.
 func (t *Txn) AliveAfter(err error) bool {
-	return !errors.Is(err, ErrDeadlockAbort)
+	return !errors.Is(err, ErrDeadlockAbort) && !errors.Is(err, ErrWounded)
 }
 
 func resultText(rs *schema.ResultSet) string {

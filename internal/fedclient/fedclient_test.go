@@ -241,9 +241,12 @@ func TestDeadlockAbortCrossesWire(t *testing.T) {
 	}()
 	wg.Wait()
 
+	// The cycle resolves either by the sites' wound-wait fast path
+	// (ErrWounded) or the timeout backstop (ErrDeadlockAbort); both must
+	// cross the wire typed, and the victim must read as dead.
 	sawDeadlock := false
 	for i, err := range errs {
-		if errors.Is(err, fedclient.ErrDeadlockAbort) {
+		if errors.Is(err, fedclient.ErrDeadlockAbort) || errors.Is(err, fedclient.ErrWounded) {
 			sawDeadlock = true
 			if ts := []*fedclient.Txn{t1, t2}[i]; ts.AliveAfter(err) {
 				t.Error("AliveAfter reports alive after deadlock abort")

@@ -92,6 +92,8 @@ func New(fed *core.Federation) *Server {
 func fail(err error) *comm.Response {
 	kind := comm.ErrGeneric
 	switch {
+	case errors.Is(err, gtm.ErrWounded) || errors.Is(err, gateway.ErrWounded):
+		kind = comm.ErrWounded
 	case errors.Is(err, gtm.ErrDeadlockAbort) || errors.Is(err, gateway.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
 		kind = comm.ErrTimeout
 	case errors.Is(err, gtm.ErrInDoubt):
@@ -263,6 +265,9 @@ func (s *Server) logSources(sql string, m *executor.Metrics) {
 // streamErr tags federation errors with the wire kind their streaming
 // trailer carries (mirrors fail's mapping on the Response path).
 func streamErr(err error) error {
+	if errors.Is(err, gtm.ErrWounded) || errors.Is(err, gateway.ErrWounded) {
+		return &comm.KindError{Kind: comm.ErrWounded, Err: err}
+	}
 	if errors.Is(err, gtm.ErrDeadlockAbort) || errors.Is(err, gateway.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
 		return &comm.KindError{Kind: comm.ErrTimeout, Err: err}
 	}

@@ -30,10 +30,16 @@ type Conn interface {
 	// consumes, and closing the stream early terminates the remote scan.
 	QueryStream(ctx context.Context, txn uint64, sql string) (schema.RowStream, error)
 	Exec(ctx context.Context, txn uint64, sql string) (int, error)
-	Begin(ctx context.Context) (uint64, error)
+	// Begin opens a transaction branch on behalf of global transaction
+	// gid (0 = no global transaction). The site tags the branch's locks
+	// with the gid so its waits-for edges carry the branch→global
+	// mapping the coordinator's deadlock detector stitches on.
+	Begin(ctx context.Context, gid uint64) (uint64, error)
 	Prepare(ctx context.Context, txn uint64) error
 	Commit(ctx context.Context, txn uint64) error
 	Abort(ctx context.Context, txn uint64) error
+	// WaitGraph snapshots the site's live lock waits-for edges.
+	WaitGraph(ctx context.Context) ([]comm.WaitEdge, error)
 	Close() error
 }
 
@@ -78,8 +84,15 @@ func (c *LocalConn) Exec(ctx context.Context, txn uint64, sql string) (int, erro
 	return c.G.Exec(ctx, txn, sql)
 }
 
-// Begin opens a transaction branch.
-func (c *LocalConn) Begin(ctx context.Context) (uint64, error) { return c.G.Begin(ctx) }
+// Begin opens a transaction branch for global transaction gid.
+func (c *LocalConn) Begin(ctx context.Context, gid uint64) (uint64, error) {
+	return c.G.Begin(ctx, gid)
+}
+
+// WaitGraph snapshots the site's live lock waits-for edges.
+func (c *LocalConn) WaitGraph(ctx context.Context) ([]comm.WaitEdge, error) {
+	return c.G.WaitGraph(), nil
+}
 
 // Prepare votes in 2PC phase one.
 func (c *LocalConn) Prepare(ctx context.Context, txn uint64) error { return c.G.Prepare(ctx, txn) }
@@ -121,10 +134,14 @@ func (c *RemoteConn) do(ctx context.Context, req *comm.Request) (*comm.Response,
 }
 
 // wireErr maps a wire-level error into the gateway error vocabulary,
-// surfacing remote timeouts as ErrTimeout (presumed global deadlock).
+// surfacing remote timeouts as ErrTimeout (presumed global deadlock)
+// and remote wounds as ErrWounded (chosen deadlock victim).
 func (c *RemoteConn) wireErr(err error) error {
 	if errors.Is(err, comm.TimeoutError) {
 		return fmt.Errorf("%w: site %s: %v", ErrTimeout, c.site, err)
+	}
+	if errors.Is(err, comm.WoundedError) {
+		return fmt.Errorf("%w: site %s: %v", ErrWounded, c.site, err)
 	}
 	return fmt.Errorf("gateway %s: %w", c.site, err)
 }
@@ -198,13 +215,23 @@ func (c *RemoteConn) Exec(ctx context.Context, txn uint64, sql string) (int, err
 	return resp.Affected, nil
 }
 
-// Begin opens a transaction branch at the remote site.
-func (c *RemoteConn) Begin(ctx context.Context) (uint64, error) {
-	resp, err := c.do(ctx, &comm.Request{Op: comm.OpBegin})
+// Begin opens a transaction branch at the remote site on behalf of
+// global transaction gid.
+func (c *RemoteConn) Begin(ctx context.Context, gid uint64) (uint64, error) {
+	resp, err := c.do(ctx, &comm.Request{Op: comm.OpBegin, GID: gid})
 	if err != nil {
 		return 0, err
 	}
 	return resp.TxnID, nil
+}
+
+// WaitGraph snapshots the remote site's live lock waits-for edges.
+func (c *RemoteConn) WaitGraph(ctx context.Context) ([]comm.WaitEdge, error) {
+	resp, err := c.do(ctx, &comm.Request{Op: comm.OpWaitGraph})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Waits, nil
 }
 
 // Prepare votes in 2PC phase one.

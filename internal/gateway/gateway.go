@@ -27,6 +27,12 @@ import (
 // global transaction manager treats it as a presumed global deadlock.
 var ErrTimeout = errors.New("gateway: local query timeout (presumed global deadlock)")
 
+// ErrWounded is surfaced when a branch's lock wait was preempted as a
+// deadlock victim — by the site-local wound-wait fast path or by the
+// coordinator's global detector. The global transaction manager aborts
+// the victim and reports a retryable error to the client.
+var ErrWounded = errors.New("gateway: lock wait wounded (deadlock victim)")
+
 // ExportColumn maps a federation-visible column to a local column.
 type ExportColumn struct {
 	Export string
@@ -202,6 +208,9 @@ func (g *Gateway) simulateLatency() {
 }
 
 func mapErr(err error) error {
+	if errors.Is(err, lockmgr.ErrWounded) {
+		return fmt.Errorf("%w: %v", ErrWounded, err)
+	}
 	if errors.Is(err, lockmgr.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("%w: %v", ErrTimeout, err)
 	}
@@ -425,10 +434,33 @@ func (g *Gateway) Exec(ctx context.Context, txn uint64, sql string) (int, error)
 	return res.RowsAffected, nil
 }
 
-// Begin opens a local transaction branch and returns its id.
-func (g *Gateway) Begin(ctx context.Context) (uint64, error) {
-	tx := g.db.Begin()
+// Begin opens a local transaction branch for global transaction gid
+// (0 = purely local) and returns its id.
+func (g *Gateway) Begin(ctx context.Context, gid uint64) (uint64, error) {
+	tx := g.db.BeginGlobal(gid)
 	return tx.ID(), nil
+}
+
+// WaitGraph snapshots the site's live lock waits-for edges in the wire
+// representation. Wait durations are reported as elapsed milliseconds
+// so the coordinator needs no clock agreement with the site.
+func (g *Gateway) WaitGraph() []comm.WaitEdge {
+	edges := g.db.WaitGraph()
+	out := make([]comm.WaitEdge, 0, len(edges))
+	for _, e := range edges {
+		we := comm.WaitEdge{
+			Waiter:    uint64(e.Waiter),
+			WaiterGID: e.WaiterGID,
+			Resource:  e.Resource,
+			WaitMs:    time.Since(e.Since).Milliseconds(),
+		}
+		for _, h := range e.Holders {
+			we.Holders = append(we.Holders, uint64(h))
+		}
+		we.HolderGIDs = append(we.HolderGIDs, e.HolderGIDs...)
+		out = append(out, we)
+	}
+	return out
 }
 
 // Prepare is 2PC phase one for the branch.
@@ -489,8 +521,13 @@ func (g *Gateway) ResolvePrepared(ctx context.Context, status func(ctx context.C
 }
 
 // Abort rolls the branch back; it is idempotent and succeeds for
-// unknown branches (they may have aborted already).
+// unknown branches (they may have aborted already). The branch is
+// wounded first: if a statement is parked in the lock manager it holds
+// the branch's mutex, so rollback would block behind it forever —
+// wounding fails the parked wait immediately and lets the statement
+// unwind before the rollback takes the mutex.
 func (g *Gateway) Abort(ctx context.Context, txn uint64) error {
+	g.db.Wound(lockmgr.TxnID(txn))
 	branch, ok := g.db.Resume(lockmgr.TxnID(txn))
 	if !ok {
 		return nil
@@ -879,6 +916,9 @@ func (g *Gateway) HandleStream(ctx context.Context, req *comm.Request, sink comm
 // streamErr tags gateway errors with the wire error kind a streaming
 // trailer carries (mirrors the kind mapping of the Response path).
 func streamErr(err error) error {
+	if errors.Is(err, ErrWounded) || errors.Is(err, lockmgr.ErrWounded) {
+		return &comm.KindError{Kind: comm.ErrWounded, Err: err}
+	}
 	if errors.Is(err, ErrTimeout) || errors.Is(err, lockmgr.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
 		return &comm.KindError{Kind: comm.ErrTimeout, Err: err}
 	}
@@ -890,7 +930,10 @@ func streamErr(err error) error {
 func (g *Gateway) Handle(ctx context.Context, req *comm.Request) *comm.Response {
 	fail := func(err error) *comm.Response {
 		kind := comm.ErrGeneric
-		if errors.Is(err, ErrTimeout) || errors.Is(err, lockmgr.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, ErrWounded) || errors.Is(err, lockmgr.ErrWounded):
+			kind = comm.ErrWounded
+		case errors.Is(err, ErrTimeout) || errors.Is(err, lockmgr.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
 			kind = comm.ErrTimeout
 		}
 		return &comm.Response{Err: err.Error(), Kind: kind}
@@ -933,11 +976,13 @@ func (g *Gateway) Handle(ctx context.Context, req *comm.Request) *comm.Response 
 		}
 		return &comm.Response{Affected: n}
 	case comm.OpBegin:
-		id, err := g.Begin(ctx)
+		id, err := g.Begin(ctx, req.GID)
 		if err != nil {
 			return fail(err)
 		}
 		return &comm.Response{TxnID: id}
+	case comm.OpWaitGraph:
+		return &comm.Response{Waits: g.WaitGraph()}
 	case comm.OpPrepare:
 		if err := g.Prepare(ctx, req.TxnID); err != nil {
 			return fail(err)

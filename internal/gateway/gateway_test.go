@@ -202,7 +202,7 @@ func TestTransactionBranch2PC(t *testing.T) {
 	g, db := testGateway(t, dialect.Postgres())
 	ctx := context.Background()
 
-	txn, err := g.Begin(ctx)
+	txn, err := g.Begin(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestTransactionBranch2PC(t *testing.T) {
 	}
 
 	// Abort path.
-	txn2, _ := g.Begin(ctx)
+	txn2, _ := g.Begin(ctx, 0)
 	if _, err := g.Exec(ctx, txn2, `DELETE FROM STUDENT WHERE id = 2`); err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestTimeoutMapsToErrTimeout(t *testing.T) {
 
 	// ...and the gateway's default timeout fires.
 	g.DefaultTimeout = 30 * time.Millisecond
-	txn, _ := g.Begin(ctx)
+	txn, _ := g.Begin(ctx, 0)
 	_, err := g.Exec(ctx, txn, `UPDATE STUDENT SET gpa = 2 WHERE id = 1`)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
@@ -363,7 +363,7 @@ func TestRemoteConnOverTCP(t *testing.T) {
 	}
 
 	// Distributed txn branch over TCP.
-	txn, err := conn.Begin(ctx)
+	txn, err := conn.Begin(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,11 +383,11 @@ func TestRemoteConnOverTCP(t *testing.T) {
 
 	// Timeout classification crosses the wire.
 	g.DefaultTimeout = 30 * time.Millisecond
-	blockTxn, _ := conn.Begin(ctx)
+	blockTxn, _ := conn.Begin(ctx, 0)
 	if _, err := conn.Exec(ctx, blockTxn, `UPDATE STUDENT SET gpa = 9 WHERE id = 1`); err != nil {
 		t.Fatal(err)
 	}
-	other, _ := conn.Begin(ctx)
+	other, _ := conn.Begin(ctx, 0)
 	_, err = conn.Exec(ctx, other, `UPDATE STUDENT SET gpa = 8 WHERE id = 1`)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("timeout over TCP: %v", err)

@@ -1,0 +1,232 @@
+package gtm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"myriad/internal/comm"
+)
+
+// Global deadlock detection (the second tier of the deadlock scheme;
+// see internal/lockmgr's package comment for the full picture).
+//
+// Each site's lock manager exposes its live waits-for edges, tagged
+// with the global transaction id of every branch that belongs to one.
+// The detector periodically pulls those per-site snapshots, stitches
+// them into one federation-wide graph — branches of the same global
+// transaction collapse into a single node keyed by gid, purely local
+// transactions stay site-scoped — and looks for cycles. For every
+// cycle it wounds the YOUNGEST global transaction in it (largest gid:
+// ids are handed out monotonically, so the youngest has done the least
+// work), re-using the coordinator's locked abort state machine. The
+// victim's client sees retryable ErrWounded.
+//
+// Snapshots from different sites are not taken atomically, so the
+// stitched graph can contain edges that no longer exist (a phantom
+// cycle) — wounding then aborts a transaction that was not actually
+// deadlocked. That is safe (the victim just retries) and rare: a cycle
+// observed across two consecutive passes is real, and real cycles
+// never resolve on their own.
+
+// defaultDetectInterval is the detector tick used when a caller
+// enables detection without choosing an interval.
+const defaultDetectInterval = time.Second
+
+// node keys in the stitched global graph: a global transaction is one
+// node across all its branches; a local transaction is scoped to its
+// site so equal branch ids at different sites never collide.
+func globalNode(gid uint64) string            { return fmt.Sprintf("g/%d", gid) }
+func localNode(site string, id uint64) string { return fmt.Sprintf("l/%s/%d", site, id) }
+
+// StartDetector launches the background global deadlock detector,
+// pulling waits-for snapshots every interval (<=0 selects the
+// default). Restarting an already-running detector replaces it.
+func (c *Coordinator) StartDetector(interval time.Duration) {
+	if interval <= 0 {
+		interval = defaultDetectInterval
+	}
+	c.detMu.Lock()
+	defer c.detMu.Unlock()
+	c.stopDetectorLocked()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.detStop, c.detDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if c.dead.Load() {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), c.phaseTimeout())
+				c.DetectOnce(ctx) //nolint:errcheck // best-effort; next tick retries
+				cancel()
+			}
+		}
+	}()
+}
+
+// StopDetector stops the background detector and waits for its
+// goroutine to exit. Safe to call when none is running.
+func (c *Coordinator) StopDetector() {
+	c.detMu.Lock()
+	defer c.detMu.Unlock()
+	c.stopDetectorLocked()
+}
+
+func (c *Coordinator) stopDetectorLocked() {
+	if c.detStop == nil {
+		return
+	}
+	close(c.detStop)
+	<-c.detDone
+	c.detStop, c.detDone = nil, nil
+}
+
+// detectSites decides which sites to poll: the provider's full roster
+// when it volunteers one, otherwise every site a live transaction has
+// touched (sufficient for any cycle involving this coordinator's
+// transactions — their edges only exist at touched sites).
+func (c *Coordinator) detectSites() []string {
+	if sl, ok := c.provider.(SiteLister); ok {
+		if sites := sl.Sites(); len(sites) > 0 {
+			return sites
+		}
+	}
+	seen := make(map[string]bool)
+	var sites []string
+	c.liveMu.Lock()
+	live := make([]*Txn, 0, len(c.live))
+	for _, t := range c.live {
+		live = append(live, t)
+	}
+	c.liveMu.Unlock()
+	for _, t := range live {
+		for _, s := range t.Sites() {
+			if !seen[s] {
+				seen[s] = true
+				sites = append(sites, s)
+			}
+		}
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// DetectOnce runs one detection pass: pull each site's waits-for
+// edges, stitch the global graph, and wound the youngest global
+// transaction of every cycle found. It returns the gids wounded this
+// pass. An unreachable site only hides its own edges (its error is
+// ignored): deadlock detection is an optimization over the lock-wait
+// timeout backstop, so a partial graph just delays resolution.
+func (c *Coordinator) DetectOnce(ctx context.Context) []uint64 {
+	adj := make(map[string][]string)
+	for _, site := range c.detectSites() {
+		conn, ok := c.provider.Conn(site)
+		if !ok {
+			continue
+		}
+		edges, err := conn.WaitGraph(ctx)
+		if err != nil {
+			continue
+		}
+		stitch(adj, site, edges)
+	}
+	var wounded []uint64
+	for _, gid := range victims(adj) {
+		if c.Wound(gid) {
+			wounded = append(wounded, gid)
+		}
+	}
+	return wounded
+}
+
+// stitch adds one site's edges to the global adjacency map.
+func stitch(adj map[string][]string, site string, edges []comm.WaitEdge) {
+	for _, e := range edges {
+		w := localNode(site, e.Waiter)
+		if e.WaiterGID != 0 {
+			w = globalNode(e.WaiterGID)
+		}
+		for i, h := range e.Holders {
+			n := localNode(site, h)
+			if i < len(e.HolderGIDs) && e.HolderGIDs[i] != 0 {
+				n = globalNode(e.HolderGIDs[i])
+			}
+			if n != w { // branches of one global waiting on a sibling branch's holder
+				adj[w] = append(adj[w], n)
+			}
+		}
+	}
+}
+
+// victims finds cycles in the stitched graph by DFS and returns the
+// youngest global transaction (largest gid) of each cycle that
+// contains one, deduplicated. Cycles made of local transactions only
+// are invisible to the coordinator's wound machinery and are left to
+// the sites' own timeouts.
+func victims(adj map[string][]string) []uint64 {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make(map[string]int, len(adj))
+	var path []string
+	onPath := make(map[string]int) // node -> index in path
+	chosen := make(map[uint64]bool)
+
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = gray
+		onPath[n] = len(path)
+		path = append(path, n)
+		for _, m := range adj[n] {
+			switch color[m] {
+			case white:
+				dfs(m)
+			case gray:
+				// Cycle: path[onPath[m]:] plus the back edge.
+				var youngest uint64
+				for _, p := range path[onPath[m]:] {
+					var gid uint64
+					if _, err := fmt.Sscanf(p, "g/%d", &gid); err == nil && gid > youngest {
+						youngest = gid
+					}
+				}
+				if youngest != 0 {
+					chosen[youngest] = true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		delete(onPath, n)
+		color[n] = black
+	}
+
+	// Deterministic traversal order so tests see stable victim choices.
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+
+	out := make([]uint64, 0, len(chosen))
+	for gid := range chosen {
+		out = append(out, gid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,218 @@
+package gtm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"myriad/internal/comm"
+)
+
+// edge builds one scripted waits-for edge between global transactions
+// (gid 0 = purely local) with synthetic branch ids.
+func edge(waiter uint64, waiterGID uint64, holder uint64, holderGID uint64) comm.WaitEdge {
+	return comm.WaitEdge{
+		Waiter: waiter, WaiterGID: waiterGID,
+		Holders: []uint64{holder}, HolderGIDs: []uint64{holderGID},
+		Resource: "t/r",
+	}
+}
+
+// TestDetectOnceWoundsYoungest: an AB/BA cycle between two global
+// transactions is broken by wounding the youngest (largest gid); the
+// survivor keeps running and the victim's branches are aborted.
+func TestDetectOnceWoundsYoungest(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+
+	t1 := c.Begin() // older
+	t2 := c.Begin() // younger
+	if _, err := t1.ExecSite(ctx, "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.ExecSite(ctx, "b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.ExecSite(ctx, "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.ExecSite(ctx, "b", "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Site a: t2's branch waits on t1's; site b: t1's waits on t2's.
+	p["a"].waits = []comm.WaitEdge{edge(2, t2.ID(), 1, t1.ID())}
+	p["b"].waits = []comm.WaitEdge{edge(1, t1.ID(), 2, t2.ID())}
+
+	wounded := c.DetectOnce(ctx)
+	if !reflect.DeepEqual(wounded, []uint64{t2.ID()}) {
+		t.Fatalf("wounded = %v, want [%d]", wounded, t2.ID())
+	}
+	if got := c.Stats.Wounded.Load(); got != 1 {
+		t.Fatalf("Stats.Wounded = %d", got)
+	}
+	// The victim's branches were aborted at both sites and further use
+	// fails with the retryable wound error.
+	if p["a"].aborts != 1 || p["b"].aborts != 1 {
+		t.Fatalf("victim aborts a=%d b=%d, want 1/1", p["a"].aborts, p["b"].aborts)
+	}
+	if _, err := t2.ExecSite(ctx, "a", "x"); !errors.Is(err, ErrWounded) || !errors.Is(err, ErrAborted) {
+		t.Fatalf("victim ExecSite = %v, want ErrWounded wrapping ErrAborted", err)
+	}
+	// The survivor commits normally.
+	p["a"].waits, p["b"].waits = nil, nil
+	if err := t1.Commit(ctx); err != nil {
+		t.Fatalf("survivor Commit = %v", err)
+	}
+	// A second pass wounds nobody: the victim is gone from the live set.
+	if again := c.DetectOnce(ctx); len(again) != 0 {
+		t.Fatalf("second pass wounded %v", again)
+	}
+}
+
+// TestDetectOnceCycleThroughLocal: a cycle routed through a purely
+// local transaction (g1 -> local -> g2 -> g1) still resolves by
+// wounding the youngest GLOBAL member; local transactions are never
+// victims.
+func TestDetectOnceCycleThroughLocal(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+
+	t1 := c.Begin()
+	t2 := c.Begin()
+	for _, txn := range []*Txn{t1, t2} {
+		if _, err := txn.ExecSite(ctx, "a", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All at site a: t1 waits on local 77, local 77 waits on t2, t2
+	// waits on t1.
+	p["a"].waits = []comm.WaitEdge{
+		edge(1, t1.ID(), 77, 0),
+		edge(77, 0, 2, t2.ID()),
+		edge(2, t2.ID(), 1, t1.ID()),
+	}
+	wounded := c.DetectOnce(ctx)
+	if !reflect.DeepEqual(wounded, []uint64{t2.ID()}) {
+		t.Fatalf("wounded = %v, want [%d]", wounded, t2.ID())
+	}
+	if t1.Active() != true {
+		t.Fatal("older transaction was wounded")
+	}
+}
+
+// TestDetectOnceNoCycle: waits without a cycle wound nobody, and a
+// purely local cycle is left to the sites' own timeouts.
+func TestDetectOnceNoCycle(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+	t1 := c.Begin()
+	t2 := c.Begin()
+	for _, txn := range []*Txn{t1, t2} {
+		if _, err := txn.ExecSite(ctx, "a", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A chain, not a cycle.
+	p["a"].waits = []comm.WaitEdge{edge(2, t2.ID(), 1, t1.ID())}
+	if w := c.DetectOnce(ctx); len(w) != 0 {
+		t.Fatalf("chain wounded %v", w)
+	}
+	// Local-only cycle: invisible to the coordinator's wound machinery.
+	p["a"].waits = []comm.WaitEdge{edge(50, 0, 51, 0), edge(51, 0, 50, 0)}
+	if w := c.DetectOnce(ctx); len(w) != 0 {
+		t.Fatalf("local cycle wounded %v", w)
+	}
+	if !t1.Active() || !t2.Active() {
+		t.Fatal("no-cycle pass killed a transaction")
+	}
+}
+
+// TestDetectOnceSiteErrorIgnored: an unreachable site hides its edges
+// but does not fail the pass — cycles visible without it still resolve.
+func TestDetectOnceSiteErrorIgnored(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+	t1 := c.Begin()
+	t2 := c.Begin()
+	for _, txn := range []*Txn{t1, t2} {
+		if _, err := txn.ExecSite(ctx, "a", "x"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := txn.ExecSite(ctx, "b", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p["a"].waits = []comm.WaitEdge{
+		edge(2, t2.ID(), 1, t1.ID()),
+		edge(1, t1.ID(), 2, t2.ID()),
+	}
+	p["b"].waitErr = fmt.Errorf("fake b: unreachable")
+	wounded := c.DetectOnce(ctx)
+	if !reflect.DeepEqual(wounded, []uint64{t2.ID()}) {
+		t.Fatalf("wounded = %v, want [%d]", wounded, t2.ID())
+	}
+}
+
+// TestDetectorBackground: the ticker-driven detector finds and wounds a
+// scripted cycle without any explicit DetectOnce call, and StopDetector
+// shuts it down cleanly (twice, idempotently).
+func TestDetectorBackground(t *testing.T) {
+	p, c := twoSites()
+	ctx := context.Background()
+	t1 := c.Begin()
+	t2 := c.Begin()
+	for _, txn := range []*Txn{t1, t2} {
+		if _, err := txn.ExecSite(ctx, "a", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p["a"].mu.Lock()
+	p["a"].waits = []comm.WaitEdge{
+		edge(2, t2.ID(), 1, t1.ID()),
+		edge(1, t1.ID(), 2, t2.ID()),
+	}
+	p["a"].mu.Unlock()
+
+	c.StartDetector(5 * time.Millisecond)
+	defer c.StopDetector()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats.Wounded.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background detector never wounded the cycle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !t1.Active() {
+		t.Fatal("background detector wounded the older transaction")
+	}
+	c.StopDetector()
+	c.StopDetector() // idempotent
+}
+
+// TestVictimsMultipleCycles: disjoint cycles each lose their own
+// youngest member in one pass.
+func TestVictimsMultipleCycles(t *testing.T) {
+	adj := map[string][]string{
+		globalNode(1): {globalNode(2)},
+		globalNode(2): {globalNode(1)},
+		globalNode(7): {globalNode(9)},
+		globalNode(9): {globalNode(7)},
+	}
+	if got := victims(adj); !reflect.DeepEqual(got, []uint64{2, 9}) {
+		t.Fatalf("victims = %v, want [2 9]", got)
+	}
+	// Self-loop-free, deterministic on shared membership: one victim
+	// breaks both overlapping cycles when it is the youngest in each.
+	adj = map[string][]string{
+		globalNode(1): {globalNode(5)},
+		globalNode(5): {globalNode(1), globalNode(3)},
+		globalNode(3): {globalNode(5)},
+	}
+	if got := victims(adj); !reflect.DeepEqual(got, []uint64{5}) {
+		t.Fatalf("victims = %v, want [5]", got)
+	}
+}

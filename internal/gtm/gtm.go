@@ -39,6 +39,12 @@ var (
 	// ErrDeadlockAbort wraps ErrAborted when the cause was a local
 	// query timeout (presumed global deadlock).
 	ErrDeadlockAbort = fmt.Errorf("%w: local timeout, presumed global deadlock", ErrAborted)
+	// ErrWounded wraps ErrAborted when the transaction was chosen as a
+	// deadlock victim — preempted by a site's wound-wait fast path or
+	// picked by the coordinator's global detector. Like
+	// ErrDeadlockAbort it is retryable: the conflicting transaction has
+	// won the conflict and a retry usually finds the locks free.
+	ErrWounded = fmt.Errorf("%w: chosen as deadlock victim (wounded)", ErrAborted)
 	// ErrPrepareFailed is returned by Commit when a participant voted
 	// no; the transaction has been rolled back everywhere.
 	ErrPrepareFailed = errors.New("gtm: a participant failed to prepare; transaction rolled back")
@@ -60,6 +66,17 @@ type ConnProvider interface {
 	Conn(site string) (gateway.Conn, bool)
 }
 
+// SiteLister is optionally implemented by a ConnProvider that knows the
+// federation's full site roster. The deadlock detector polls every
+// listed site; without it, only sites the live global transactions have
+// touched are polled. The fallback still finds every cycle involving
+// this coordinator's transactions — a cycle edge touching one of its
+// branches can only exist at a site that branch was opened at — but
+// sees fewer purely-local edges.
+type SiteLister interface {
+	Sites() []string
+}
+
 // Stats counts transaction outcomes (atomic; safe to read concurrently).
 // Every finished transaction lands in exactly one of Committed,
 // Aborted, or InDoubt; resolving an in-doubt transaction moves it from
@@ -72,6 +89,10 @@ type Stats struct {
 	TimeoutAborts atomic.Int64
 	PrepareNo     atomic.Int64
 	InDoubt       atomic.Int64
+	// Wounded counts aborts where the transaction was chosen as a
+	// deadlock victim (site wound-wait fast path or global detector);
+	// each is also counted in Aborted.
+	Wounded atomic.Int64
 }
 
 // KillPoint names a coordinator crash point for the recovery tests.
@@ -119,12 +140,29 @@ type Coordinator struct {
 	nextID atomic.Uint64
 	Stats  Stats
 
+	// liveMu guards live: every not-yet-terminal transaction by global
+	// id, so the deadlock detector (and the wound-wait fast path's error
+	// return) can find its victim. Entries retire when the transaction
+	// reaches a state the detector must not wound.
+	liveMu sync.Mutex
+	live   map[uint64]*Txn
+
+	// detMu guards the background detector's lifecycle.
+	detMu   sync.Mutex
+	detStop chan struct{}
+	detDone chan struct{}
+
 	// pendMu guards pend and log appends (the log itself also locks, but
 	// pend updates must be atomic with their records).
 	pendMu sync.Mutex
 	pend   map[uint64]*pendingGlobal
 	log    *wal.Log
 	path   string
+	opts   wal.Options // how the attached log was opened (compaction reuses it)
+
+	// compactBytes, when positive, compacts the coordinator log once it
+	// grows past this many bytes (see CompactLog).
+	compactBytes int64
 
 	kill atomic.Int32 // armed KillPoint
 	dead atomic.Bool  // a kill point fired; the coordinator is frozen
@@ -137,7 +175,7 @@ type Coordinator struct {
 // always-fsync appends, so a test run forces every federation through
 // the durable decision-logging path without touching call sites.
 func New(provider ConnProvider) *Coordinator {
-	c := &Coordinator{provider: provider, pend: make(map[uint64]*pendingGlobal)}
+	c := &Coordinator{provider: provider, pend: make(map[uint64]*pendingGlobal), live: make(map[uint64]*Txn)}
 	if v := os.Getenv("MYRIAD_TEST_DURABLE"); v != "" {
 		dir, err := os.MkdirTemp("", "myriad-coordlog-*")
 		if err != nil {
@@ -156,7 +194,7 @@ func New(provider ConnProvider) *Coordinator {
 // existing log after a crash; pair with Recover to re-drive what the
 // replay found unfinished.
 func NewWithLog(provider ConnProvider, path string, opts wal.Options) (*Coordinator, error) {
-	c := &Coordinator{provider: provider, pend: make(map[uint64]*pendingGlobal)}
+	c := &Coordinator{provider: provider, pend: make(map[uint64]*pendingGlobal), live: make(map[uint64]*Txn)}
 	if err := c.AttachLog(path, opts); err != nil {
 		return nil, err
 	}
@@ -206,6 +244,8 @@ type Txn struct {
 	branches map[string]branch // by site
 	// timedOut records that the abort was triggered by a local timeout.
 	timedOut bool
+	// wounded records that the abort was a deadlock-victim preemption.
+	wounded bool
 }
 
 type branch struct {
@@ -213,10 +253,49 @@ type branch struct {
 	id   uint64
 }
 
-// Begin opens a global transaction.
+// Begin opens a global transaction. Global ids are handed out
+// monotonically, so a smaller id means an older transaction — the
+// seniority order wound-wait preemption and victim selection use.
 func (c *Coordinator) Begin() *Txn {
 	c.Stats.Begun.Add(1)
-	return &Txn{c: c, id: c.nextID.Add(1), branches: make(map[string]branch)}
+	t := &Txn{c: c, id: c.nextID.Add(1), branches: make(map[string]branch)}
+	c.liveMu.Lock()
+	if c.live == nil {
+		c.live = make(map[uint64]*Txn)
+	}
+	c.live[t.id] = t
+	c.liveMu.Unlock()
+	return t
+}
+
+// retire drops a transaction from the live registry once it reaches a
+// state the deadlock detector must not wound.
+func (c *Coordinator) retire(t *Txn) {
+	c.liveMu.Lock()
+	delete(c.live, t.id)
+	c.liveMu.Unlock()
+}
+
+// Wound aborts the live global transaction gid as a deadlock victim.
+// It reports whether a still-active transaction was found and claimed;
+// once Commit has claimed the transaction the wound is a no-op (the
+// transaction is no longer waiting on locks, so it cannot be part of a
+// deadlock the detector needs to break).
+func (c *Coordinator) Wound(gid uint64) bool {
+	c.liveMu.Lock()
+	t := c.live[gid]
+	c.liveMu.Unlock()
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	claimed := t.state == stActive
+	t.mu.Unlock()
+	if !claimed {
+		return false
+	}
+	t.abortInternal(false, true)
+	return true
 }
 
 // ID returns the global transaction id.
@@ -254,7 +333,7 @@ func (t *Txn) branchFor(ctx context.Context, site string) (branch, error) {
 	if !ok {
 		return branch{}, fmt.Errorf("gtm: unknown site %q", site)
 	}
-	id, err := conn.Begin(ctx)
+	id, err := conn.Begin(ctx, t.id)
 	if err != nil {
 		return branch{}, fmt.Errorf("gtm: begin at %s: %w", site, err)
 	}
@@ -268,6 +347,9 @@ func (t *Txn) branchFor(ctx context.Context, site string) (branch, error) {
 func (t *Txn) doneErr() error {
 	switch t.state {
 	case stAborting, stAborted:
+		if t.wounded {
+			return ErrWounded
+		}
 		if t.timedOut {
 			return ErrDeadlockAbort
 		}
@@ -298,15 +380,20 @@ func (c *Coordinator) phaseTimeout() time.Duration {
 }
 
 // handleErr aborts the whole global transaction when a local operation
-// timed out — the paper's presumed-deadlock rule. The abort only takes
+// was wounded (this transaction lost a deadlock preemption) or timed
+// out — the paper's presumed-deadlock rule. The abort only takes
 // effect while the transaction is still active: once Commit has begun,
 // a stale timeout cannot roll back branches mid-phase.
 func (t *Txn) handleErr(err error) error {
 	if err == nil {
 		return nil
 	}
+	if errors.Is(err, gateway.ErrWounded) {
+		t.abortInternal(false, true)
+		return fmt.Errorf("%w (site error: %v)", ErrWounded, err)
+	}
 	if errors.Is(err, gateway.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
-		t.abortInternal(true)
+		t.abortInternal(true, false)
 		return fmt.Errorf("%w (site error: %v)", ErrDeadlockAbort, err)
 	}
 	return err
@@ -461,6 +548,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 		t.mu.Lock()
 		t.state = stInDoubt
 		t.mu.Unlock()
+		t.c.retire(t)
 		t.c.Stats.InDoubt.Add(1)
 		return fmt.Errorf("%w: %v", ErrInDoubt, commitErr)
 	}
@@ -468,6 +556,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 	t.mu.Lock()
 	t.state = stCommitted
 	t.mu.Unlock()
+	t.c.retire(t)
 	t.c.Stats.Committed.Add(1)
 	t.c.notifyCommit()
 	return nil
@@ -499,6 +588,7 @@ func (t *Txn) commitOnePhase(ctx context.Context, branches map[string]branch) er
 	t.mu.Lock()
 	t.state = stCommitted
 	t.mu.Unlock()
+	t.c.retire(t)
 	t.c.Stats.Committed.Add(1)
 	t.c.notifyCommit()
 	return nil
@@ -507,14 +597,14 @@ func (t *Txn) commitOnePhase(ctx context.Context, branches map[string]branch) er
 // Abort rolls back every branch. It is idempotent, and a no-op once
 // Commit has claimed the transaction.
 func (t *Txn) Abort(ctx context.Context) {
-	t.abortInternal(false)
+	t.abortInternal(false, false)
 }
 
-// abortInternal aborts an ACTIVE transaction (local timeouts and
-// explicit Abort). Any other state is someone else's transaction to
-// finish: Commit past stActive owns the outcome, and a terminal state
-// is final.
-func (t *Txn) abortInternal(timeout bool) {
+// abortInternal aborts an ACTIVE transaction (local timeouts, deadlock
+// wounds, and explicit Abort). Any other state is someone else's
+// transaction to finish: Commit past stActive owns the outcome, and a
+// terminal state is final.
+func (t *Txn) abortInternal(timeout, wounded bool) {
 	t.mu.Lock()
 	if t.state != stActive {
 		t.mu.Unlock()
@@ -522,12 +612,13 @@ func (t *Txn) abortInternal(timeout bool) {
 	}
 	t.state = stAborting
 	t.timedOut = timeout
+	t.wounded = wounded
 	branches := make(map[string]branch, len(t.branches))
 	for s, b := range t.branches {
 		branches[s] = b
 	}
 	t.mu.Unlock()
-	t.finishAbortClaimed(branches, timeout)
+	t.finishAbortClaimed(branches, timeout, wounded)
 }
 
 // finishAbort drives an abort from inside Commit (prepare failure or a
@@ -537,12 +628,12 @@ func (t *Txn) finishAbort(branches map[string]branch, timeout bool) {
 	t.state = stAborting
 	t.timedOut = timeout
 	t.mu.Unlock()
-	t.finishAbortClaimed(branches, timeout)
+	t.finishAbortClaimed(branches, timeout, false)
 }
 
 // finishAbortClaimed rolls back every branch and records the terminal
 // state; the caller has already moved the transaction to stAborting.
-func (t *Txn) finishAbortClaimed(branches map[string]branch, timeout bool) {
+func (t *Txn) finishAbortClaimed(branches map[string]branch, timeout, wounded bool) {
 	var wg sync.WaitGroup
 	var acked atomic.Bool
 	acked.Store(true)
@@ -563,9 +654,13 @@ func (t *Txn) finishAbortClaimed(branches map[string]branch, timeout bool) {
 	t.mu.Lock()
 	t.state = stAborted
 	t.mu.Unlock()
+	t.c.retire(t)
 	t.c.Stats.Aborted.Add(1)
 	if timeout {
 		t.c.Stats.TimeoutAborts.Add(1)
+	}
+	if wounded {
+		t.c.Stats.Wounded.Add(1)
 	}
 	// The global transaction is finished only if every participant heard
 	// the abort; otherwise the pending entry stays for Recover to

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"myriad/internal/comm"
 	"myriad/internal/gateway"
 	"myriad/internal/schema"
 	"myriad/internal/storage"
@@ -25,6 +26,10 @@ type fakeConn struct {
 	failPrepare bool
 	failExec    error
 	failCommit  error
+	// waits and waitErr script this site's WaitGraph answer for
+	// detector tests.
+	waits   []comm.WaitEdge
+	waitErr error
 	// stallPrepare makes Prepare block until its context expires — a
 	// wedged participant, from the coordinator's point of view.
 	stallPrepare bool
@@ -67,11 +72,16 @@ func (f *fakeConn) Exec(ctx context.Context, txn uint64, sql string) (int, error
 	}
 	return 1, nil
 }
-func (f *fakeConn) Begin(context.Context) (uint64, error) {
+func (f *fakeConn) Begin(context.Context, uint64) (uint64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.nextTxn++
 	return f.nextTxn, nil
+}
+func (f *fakeConn) WaitGraph(context.Context) ([]comm.WaitEdge, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.waits, f.waitErr
 }
 func (f *fakeConn) Prepare(ctx context.Context, txn uint64) error {
 	f.mu.Lock()

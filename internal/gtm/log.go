@@ -24,6 +24,9 @@ package gtm
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"myriad/internal/wal"
 )
@@ -57,6 +60,10 @@ func (c *Coordinator) AttachLog(path string, opts wal.Options) error {
 	if c.log != nil {
 		return fmt.Errorf("gtm: coordinator log already attached (%s)", c.path)
 	}
+	// Sweep the stray temp file a crash mid-compaction can leave: the
+	// rename never happened, so the real log is intact and the temp file
+	// is garbage.
+	os.Remove(path + ".tmp") //nolint:errcheck
 	var maxGID uint64
 	l, err := wal.Open(path, opts, func(rec *wal.Record) error {
 		switch rec.Kind {
@@ -81,6 +88,7 @@ func (c *Coordinator) AttachLog(path string, opts wal.Options) error {
 	}
 	c.log = l
 	c.path = path
+	c.opts = opts
 	if c.nextID.Load() < maxGID {
 		c.nextID.Store(maxGID)
 	}
@@ -160,7 +168,120 @@ func (c *Coordinator) logEnd(gid uint64) {
 		// Best-effort: a lost end record only costs an idempotent
 		// re-drive on the next recovery.
 		c.log.Append(&wal.Record{Kind: wal.RecCoordEnd, GID: gid}) //nolint:errcheck
+		if c.compactBytes > 0 && c.log.Size() >= c.compactBytes {
+			// Best-effort too: a failed compaction leaves the original
+			// log fully intact, just uncompacted.
+			c.compactLocked() //nolint:errcheck
+		}
 	}
+}
+
+// SetCompactBytes arms automatic coordinator-log compaction: once the
+// log grows past n bytes a finished transaction retires, the live
+// entries are rewritten into a fresh log and the retired ones dropped.
+// n <= 0 disables automatic compaction (CompactLog still works). The
+// counterpart of localdb's snapshot-driven WAL truncation, applied to
+// the coordinator's own log.
+func (c *Coordinator) SetCompactBytes(n int64) {
+	c.pendMu.Lock()
+	c.compactBytes = n
+	c.pendMu.Unlock()
+}
+
+// CompactLog rewrites the coordinator log so it holds exactly the live
+// pending entries (a begin record each, plus the decision for decided
+// ones) and nothing retired. The rewrite is crash-safe: the new log is
+// written beside the old one, fsynced, and renamed over it, so a crash
+// at any point leaves either the full old log or the complete new one
+// — replaying either yields the same pending table. No-op without an
+// attached log.
+func (c *Coordinator) CompactLog() error {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	return c.compactLocked()
+}
+
+// compactLocked does the rewrite; callers hold pendMu.
+func (c *Coordinator) compactLocked() error {
+	if c.log == nil {
+		return nil
+	}
+	tmp := c.path + ".tmp"
+	os.Remove(tmp) //nolint:errcheck
+	nl, err := wal.Open(tmp, c.opts, nil)
+	if err != nil {
+		return fmt.Errorf("gtm: compacting coordinator log: %w", err)
+	}
+	abandon := func(err error) error {
+		nl.Close()     //nolint:errcheck
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	// Keep LSNs monotone across the compaction: rewritten entries number
+	// past everything the old log ever held, so the compacted log is
+	// indistinguishable from one that simply never logged the retired
+	// transactions.
+	nl.AdvanceLSN(c.log.LastLSN())
+	// Preserve the id ceiling: replay advances the counter past the gids
+	// it sees, and compaction may have dropped the largest. An end record
+	// replays as a no-op delete, so it carries the ceiling for free — but
+	// it must precede the begin records, since the last-used gid may
+	// itself still be pending.
+	if last := c.nextID.Load(); last > 0 {
+		if _, err := nl.Append(&wal.Record{Kind: wal.RecCoordEnd, GID: last}); err != nil {
+			return abandon(fmt.Errorf("gtm: compacting coordinator log: %w", err))
+		}
+	}
+	gids := make([]uint64, 0, len(c.pend))
+	for gid := range c.pend {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		p := c.pend[gid]
+		if _, err := nl.Append(&wal.Record{Kind: wal.RecCoordBegin, GID: p.gid, Sites: p.sites, Branches: p.branches}); err != nil {
+			return abandon(fmt.Errorf("gtm: compacting coordinator log: %w", err))
+		}
+		if p.decided {
+			if _, err := nl.Append(&wal.Record{Kind: wal.RecCoordDecision, GID: p.gid, Commit: true}); err != nil {
+				return abandon(fmt.Errorf("gtm: compacting coordinator log: %w", err))
+			}
+		}
+	}
+	if err := nl.Close(); err != nil { // flush + fsync the rewrite
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("gtm: compacting coordinator log: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("gtm: compacting coordinator log: %w", err)
+	}
+	if err := syncDir(filepath.Dir(c.path)); err != nil {
+		return fmt.Errorf("gtm: compacting coordinator log: %w", err)
+	}
+	// The old handle still points at the unlinked file; nothing in it
+	// matters any more.
+	c.log.CloseNoFlush() //nolint:errcheck
+	reopened, err := wal.Open(c.path, c.opts, nil)
+	if err != nil {
+		c.log = nil
+		return fmt.Errorf("gtm: reopening compacted coordinator log: %w", err)
+	}
+	c.log = reopened
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Pending reports how many global transactions are begun-but-not-ended

@@ -1,0 +1,213 @@
+package gtm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"myriad/internal/wal"
+)
+
+func logSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestCompactLogShrinksAndReplaysEquivalent: compaction rewrites the
+// coordinator log down to its live entries, and a replay of the
+// compacted log is equivalent to a replay of the original — same
+// pending table, same Status answers for every branch, same next
+// global id.
+func TestCompactLogShrinksAndReplaysEquivalent(t *testing.T) {
+	p := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	c := bareCoord(p)
+	path := coordLogPath(t)
+	if err := c.AttachLog(path, wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A run of cleanly retired transactions: all compactable garbage.
+	for i := 0; i < 40; i++ {
+		txn := c.Begin()
+		txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+		txn.ExecSite(ctx, "b", "x") //nolint:errcheck
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One in-doubt transaction: decided (commit) but unacknowledged at b.
+	p["b"].failCommit = fmt.Errorf("fake b: down")
+	td := c.Begin()
+	td.ExecSite(ctx, "a", "x") //nolint:errcheck
+	td.ExecSite(ctx, "b", "x") //nolint:errcheck
+	if err := td.Commit(ctx); !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("Commit = %v, want ErrInDoubt", err)
+	}
+	p["b"].failCommit = nil
+	// One undecided transaction: the coordinator dies after prepare.
+	c.ArmKill(KillAfterPrepare)
+	tu := c.Begin()
+	tu.ExecSite(ctx, "a", "x") //nolint:errcheck
+	tu.ExecSite(ctx, "b", "x") //nolint:errcheck
+	if err := tu.Commit(ctx); !errors.Is(err, ErrCoordinatorKilled) {
+		t.Fatalf("Commit = %v, want ErrCoordinatorKilled", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := logSize(t, path)
+
+	// Compact a copy (recovery-style: replay, then compact).
+	path2 := path + ".copy"
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := NewWithLog(fakeProvider{"a": newFake("a"), "b": newFake("b")}, path2, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.CompactLog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfter := logSize(t, path2)
+	if sizeAfter >= sizeBefore {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", sizeBefore, sizeAfter)
+	}
+
+	// Replay both logs into fresh coordinators and compare.
+	pU := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	cU, err := NewWithLog(pU, path, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pC := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	cC, err := NewWithLog(pC, path2, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cU.Pending() != 2 || cC.Pending() != 2 {
+		t.Fatalf("pending uncompacted=%d compacted=%d, want 2/2", cU.Pending(), cC.Pending())
+	}
+	// Every branch either site ever issued answers identically.
+	for _, site := range []string{"a", "b"} {
+		for branch := uint64(1); branch <= 45; branch++ {
+			u, k := cU.Status(site, branch), cC.Status(site, branch)
+			if u != k {
+				t.Fatalf("Status(%s, %d): uncompacted %q, compacted %q", site, branch, u, k)
+			}
+		}
+	}
+	// The id ceiling survived compaction even though the retired gids
+	// are gone from the log.
+	idU, idC := cU.Begin().ID(), cC.Begin().ID()
+	if idU != idC {
+		t.Fatalf("next gid: uncompacted %d, compacted %d", idU, idC)
+	}
+	if idU <= tu.ID() {
+		t.Fatalf("compacted replay reissued gid %d (ceiling was %d)", idU, tu.ID())
+	}
+
+	// Recovery from the compacted log finishes the work: the decided
+	// transaction commits everywhere, the undecided one aborts.
+	if err := cC.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cC.Pending() != 0 {
+		t.Fatalf("pending = %d after recovery", cC.Pending())
+	}
+	if pC["a"].commits != 1 || pC["b"].commits != 1 {
+		t.Fatalf("recovered commits a=%d b=%d, want 1/1", pC["a"].commits, pC["b"].commits)
+	}
+	if pC["a"].aborts != 1 || pC["b"].aborts != 1 {
+		t.Fatalf("recovered aborts a=%d b=%d, want 1/1", pC["a"].aborts, pC["b"].aborts)
+	}
+}
+
+// TestCompactLogAutoTrigger: with SetCompactBytes armed, the log stays
+// bounded across a long run of retiring transactions, and the compacted
+// log still replays cleanly.
+func TestCompactLogAutoTrigger(t *testing.T) {
+	p := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	c := bareCoord(p)
+	path := coordLogPath(t)
+	if err := c.AttachLog(path, wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCompactBytes(512)
+	ctx := context.Background()
+	var last uint64
+	for i := 0; i < 100; i++ {
+		txn := c.Begin()
+		txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+		txn.ExecSite(ctx, "b", "x") //nolint:errcheck
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		last = txn.ID()
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 100 begin+decision+end triples would be tens of KB; the bounded
+	// log holds at most one uncompacted burst past the 512-byte trigger.
+	if size := logSize(t, path); size > 4096 {
+		t.Fatalf("auto-compacted log is %d bytes", size)
+	}
+	c2, err := NewWithLog(p, path, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Pending() != 0 {
+		t.Fatalf("pending = %d", c2.Pending())
+	}
+	if next := c2.Begin().ID(); next <= last {
+		t.Fatalf("reissued gid %d (already used %d)", next, last)
+	}
+}
+
+// TestCompactLogSweepsStrayTemp: a crash mid-compaction leaves a .tmp
+// beside the log; AttachLog removes it and replays the intact original.
+func TestCompactLogSweepsStrayTemp(t *testing.T) {
+	p := fakeProvider{"a": newFake("a"), "b": newFake("b")}
+	c := bareCoord(p)
+	path := coordLogPath(t)
+	if err := c.AttachLog(path, wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txn := c.Begin()
+	txn.ExecSite(ctx, "a", "x") //nolint:errcheck
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".tmp", []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewWithLog(p, path, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stray temp survived AttachLog: %v", err)
+	}
+	if c2.Pending() != 0 {
+		t.Fatalf("pending = %d", c2.Pending())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"myriad/internal/lockmgr"
 	"myriad/internal/schema"
@@ -57,6 +58,12 @@ type DB struct {
 	// federation's transport tests use it to prove that a pushed-down
 	// LIMIT terminates the server-side scan early.
 	scanRows atomic.Int64
+
+	// lockWait, when positive, caps every lock wait at that duration (as
+	// nanoseconds) independently of the request deadline — the deadlock
+	// backstop. Zero (the default) leaves lock waits bounded only by the
+	// request's own context deadline.
+	lockWait atomic.Int64
 
 	// budget bounds the memory of this database's blocking operators:
 	// the full-sort path spills sorted runs past it, and GROUP BY
@@ -197,14 +204,58 @@ func (db *DB) table(name string) (*storage.Table, error) {
 
 // Begin starts a transaction.
 func (db *DB) Begin() *Txn {
+	return db.BeginGlobal(0)
+}
+
+// BeginGlobal starts a transaction branch on behalf of the global
+// transaction gid (0 = purely local). The id tags the branch's locks
+// in the lock manager, so the site's waits-for edges carry the
+// branch→global mapping the coordinator's deadlock detector stitches
+// on, and age-based wound-wait preemption can compare priorities.
+func (db *DB) BeginGlobal(gid uint64) *Txn {
 	db.txnMu.Lock()
 	db.nextTxn++
 	id := db.nextTxn
-	tx := &Txn{db: db, id: id}
+	tx := &Txn{db: db, id: id, gid: gid}
 	db.txns[id] = tx
 	db.txnMu.Unlock()
+	if gid != 0 {
+		db.lm.SetPriority(id, gid)
+	}
 	return tx
 }
+
+// WaitGraph snapshots the live waits-for edges of this database's lock
+// table (waiter branch, blocking branches, resource, wait start), each
+// annotated with the global-transaction ids of global branches.
+func (db *DB) WaitGraph() []lockmgr.Edge {
+	return db.lm.WaitsFor()
+}
+
+// Wound marks the live transaction id as a deadlock victim: a parked
+// lock wait fails immediately with lockmgr.ErrWounded and any further
+// acquire before rollback fails the same way. No-op for unknown ids
+// (the branch already finished), so a wound racing a commit cannot
+// poison a reused transaction id.
+func (db *DB) Wound(id lockmgr.TxnID) bool {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	if _, live := db.txns[id]; !live {
+		return false
+	}
+	return db.lm.AbortWaiter(id)
+}
+
+// SetWoundWait toggles the lock manager's age-based preemption between
+// global branches (on by default); the coordinator's detector keeps
+// working either way.
+func (db *DB) SetWoundWait(on bool) { db.lm.SetWoundWait(on) }
+
+// SetLockWait caps every lock wait at d (0 restores the default:
+// bounded only by the request deadline). The cap is the deadlock
+// backstop of last resort — detection and wound-wait should fire long
+// before it.
+func (db *DB) SetLockWait(d time.Duration) { db.lockWait.Store(int64(d)) }
 
 // Resume returns the live transaction with the given id (used by the
 // gateway, which identifies transaction branches by id across requests).
@@ -348,6 +399,10 @@ type Txn struct {
 	// only committed state), so Commit must apply them, and Rollback has
 	// no undo work.
 	recovered bool
+	// gid is the owning global transaction's id (0 = purely local). It
+	// rides the prepare record so a recovered prepared branch keeps its
+	// place in the global waits-for graph.
+	gid uint64
 }
 
 // record registers one applied row mutation: the undo entry for
@@ -464,7 +519,7 @@ func (tx *Txn) Prepare() error {
 		return tx.checkActive()
 	}
 	if tx.db.wal != nil && len(tx.redo) > 0 {
-		rec := &wal.Record{Kind: wal.RecPrepare, Branch: uint64(tx.id), Ops: tx.redo, Locks: lockEntries(tx.db.lm.HeldLocks(tx.id))}
+		rec := &wal.Record{Kind: wal.RecPrepare, Branch: uint64(tx.id), GID: tx.gid, Ops: tx.redo, Locks: lockEntries(tx.db.lm.HeldLocks(tx.id))}
 		if _, err := tx.db.wal.AppendSync(rec); err != nil {
 			tx.rollbackLocked()
 			return fmt.Errorf("localdb %s: prepare log append: %w", tx.db.name, err)
@@ -720,9 +775,24 @@ func tableResource(name string) string { return "t:" + strings.ToLower(name) }
 func keyResource(table, key string) string { return "k:" + strings.ToLower(table) + ":" + key }
 
 func (tx *Txn) lockTable(ctx context.Context, name string, mode lockmgr.Mode) error {
-	return tx.db.lm.Acquire(ctx, tx.id, tableResource(name), mode)
+	return tx.acquire(ctx, tableResource(name), mode)
 }
 
 func (tx *Txn) lockKey(ctx context.Context, table, key string, mode lockmgr.Mode) error {
-	return tx.db.lm.Acquire(ctx, tx.id, keyResource(table, key), mode)
+	return tx.acquire(ctx, keyResource(table, key), mode)
+}
+
+// acquire takes one lock, capping the wait at the database's lock-wait
+// bound when one is configured. A wait that hits the cap (rather than
+// the request's own deadline) still surfaces as ErrTimeout — the
+// presumed-deadlock backstop.
+func (tx *Txn) acquire(ctx context.Context, resource string, mode lockmgr.Mode) error {
+	if lw := time.Duration(tx.db.lockWait.Load()); lw > 0 {
+		if dl, ok := ctx.Deadline(); !ok || time.Until(dl) > lw {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, lw)
+			defer cancel()
+		}
+	}
+	return tx.db.lm.Acquire(ctx, tx.id, resource, mode)
 }

@@ -63,6 +63,62 @@ func TestDistinctDedupBudget(t *testing.T) {
 	}
 }
 
+// TestDistinctAggregateBudget: a DISTINCT aggregate's dedup state is
+// budget-true — when a single group's distinct-argument set outgrows
+// the budget it spills through spill.Deduper instead of erroring past
+// the grouped allowance, and the result matches the unlimited run.
+func TestDistinctAggregateBudget(t *testing.T) {
+	ctx := context.Background()
+	check := func(t *testing.T, q string, vOf func(i int) *int64) {
+		t.Helper()
+		budget := spill.NewBudget(16, t.TempDir())
+		db := NewWithBudget("distinctagg", budget)
+		seedKV(t, db, 5000, vOf)
+		ref := NewWithBudget("distinctaggref", nil)
+		seedKV(t, ref, 5000, vOf)
+
+		want, err := ref.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%d rows, want %d", len(got.Rows), len(want.Rows))
+		}
+		for i := range want.Rows {
+			for c := range want.Rows[i] {
+				w, g := want.Rows[i][c], got.Rows[i][c]
+				if w.K != g.K || w.Text() != g.Text() {
+					t.Fatalf("row %d col %d: want %s, got %s", i, c, w, g)
+				}
+			}
+		}
+		if _, runs := budget.Stats(); runs == 0 {
+			t.Fatalf("%q under a 16-byte budget did not spill", q)
+		}
+		if used := budget.Used(); used != 0 {
+			t.Fatalf("budget not released: %d", used)
+		}
+	}
+
+	// A global aggregate is one group: its DISTINCT state alone
+	// outgrows the budget and spills.
+	t.Run("global", func(t *testing.T) {
+		check(t, `SELECT COUNT(DISTINCT v) AS dv, SUM(DISTINCT v) AS sv, MAX(v) AS mv FROM t`,
+			func(i int) *int64 { return i64(int64(i % 4000)) })
+	})
+
+	// Grouped: each group's DISTINCT set spills independently and the
+	// per-group results still match.
+	t.Run("grouped", func(t *testing.T) {
+		check(t, `SELECT v, COUNT(DISTINCT id) AS dids FROM t GROUP BY v ORDER BY v`,
+			func(i int) *int64 { return i64(int64(i % 3)) })
+	})
+}
+
 // TestUnionMaterializationBudget: the engine's UNION path streams —
 // UNION ALL never materializes a branch, and UNION's dedup spills past
 // the budget instead of failing fast, matching the unlimited run.

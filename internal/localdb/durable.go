@@ -223,9 +223,16 @@ func (db *DB) promoteRecovered() {
 			dirty:          true,
 			preparedLogged: true,
 			recovered:      true,
+			gid:            rec.GID,
 		}
 		db.dirtyTxns.Add(1)
 		db.txns[tx.id] = tx
+		if rec.GID != 0 {
+			// Keep the branch→global mapping: a live waiter blocked on a
+			// recovered prepared branch must show up in the global
+			// waits-for graph under the right global id.
+			db.lm.SetPriority(tx.id, rec.GID)
+		}
 		for _, lk := range rec.Locks {
 			db.lm.Regrant(tx.id, lk.Resource, lockmgr.Mode(lk.Mode))
 		}

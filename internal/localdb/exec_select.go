@@ -9,6 +9,7 @@ import (
 
 	"myriad/internal/lockmgr"
 	"myriad/internal/schema"
+	"myriad/internal/spill"
 	"myriad/internal/sqlparser"
 	"myriad/internal/value"
 )
@@ -953,40 +954,116 @@ type aggState struct {
 	sumI     int64
 	sumIsInt bool
 	min, max value.Value
-	seen     map[string]bool // DISTINCT tracking
+	distinct *distinctAcc // DISTINCT tracking (nil otherwise)
 	inited   bool
 }
 
-// distinctStateBytes approximates the map-entry overhead of one
-// DISTINCT-aggregate dedup key, matching spill's dedup accounting.
-const distinctStateBytes = 48
+// close releases a state's DISTINCT dedup resources, if any.
+func (st *aggState) close() {
+	if st != nil && st.distinct != nil {
+		st.distinct.close()
+		st.distinct = nil
+	}
+}
 
-// accumulate folds one input row into an aggregate state. It reports
-// how many bytes of DISTINCT dedup state the row added (zero for
-// non-distinct aggregates and duplicate values) so single-live-group
-// strategies can account that growth — the only part of their footprint
-// that scales with the group's row count — against the memory budget.
-func accumulate(st *aggState, spec *aggSpec, row []value.Value) (int64, error) {
+// distinctAcc tracks which argument values a DISTINCT aggregate has
+// already folded. Without a memory budget it is a plain map. Under a
+// budget it is a spill.Deduper: the dedup set is budget-accounted, and
+// once it outgrows the budget the remaining values spill to sort-based
+// dedup — first occurrences past the spill point are deferred and
+// folded at finalize time, so a single group's DISTINCT state never
+// errors past the budget, it spills like every other operator.
+type distinctAcc struct {
+	seen map[string]bool
+	ded  *spill.Deduper
+}
+
+func newDistinctAcc(budget *spill.Budget, what string) *distinctAcc {
+	if budget.Limit() > 0 {
+		return &distinctAcc{ded: spill.NewDeduper(budget, what)}
+	}
+	return &distinctAcc{seen: make(map[string]bool)}
+}
+
+// admit reports whether v is a first occurrence to fold now. Under a
+// budget, a first occurrence arriving after the dedup set spilled is
+// deferred (admit reports false) and surfaces from drain instead.
+func (a *distinctAcc) admit(v value.Value) (bool, error) {
+	k := rowKey([]value.Value{v})
+	if a.ded != nil {
+		return a.ded.Admit(k, schema.Row{v})
+	}
+	if a.seen[k] {
+		return false, nil
+	}
+	a.seen[k] = true
+	return true, nil
+}
+
+// drain feeds the deferred first occurrences (if any spilled) through
+// fold; call exactly once, after the group's input is exhausted.
+func (a *distinctAcc) drain(ctx context.Context, fold func(value.Value) error) error {
+	if a.ded == nil || !a.ded.Spilled() {
+		return nil
+	}
+	it, err := a.ded.Tail(ctx)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		rec, err := it.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			return nil
+		}
+		if err := fold(spill.TailRow(rec)[0]); err != nil {
+			return err
+		}
+	}
+}
+
+// close releases the dedup state (budget reservations and spill runs).
+func (a *distinctAcc) close() {
+	a.seen = nil
+	if a.ded != nil {
+		a.ded.Close()
+		a.ded = nil
+	}
+}
+
+// accumulate folds one input row into an aggregate state. A DISTINCT
+// aggregate folds each first occurrence exactly once; occurrences the
+// spilled dedup set deferred are folded later, when finalize drains
+// them.
+func accumulate(st *aggState, spec *aggSpec, row []value.Value) error {
 	if spec.fn.Star {
 		st.count++
-		return 0, nil
+		return nil
 	}
 	v, err := spec.argFn(row)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	if v.IsNull() {
-		return 0, nil
+		return nil
 	}
-	var added int64
 	if spec.distinct {
-		k := rowKey([]value.Value{v})
-		if st.seen[k] {
-			return 0, nil
+		emit, err := st.distinct.admit(v)
+		if err != nil {
+			return err
 		}
-		st.seen[k] = true
-		added = int64(len(k)) + distinctStateBytes
+		if !emit {
+			return nil
+		}
 	}
+	return foldValue(st, spec, v)
+}
+
+// foldValue applies one (non-null, dedup-admitted) value to the state.
+func foldValue(st *aggState, spec *aggSpec, v value.Value) error {
 	st.count++
 	switch spec.fn.Name {
 	case "SUM", "AVG":
@@ -999,7 +1076,7 @@ func accumulate(st *aggState, spec *aggSpec, row []value.Value) (int64, error) {
 			}
 			f, ok := v.Float()
 			if !ok {
-				return 0, fmt.Errorf("localdb: %s of non-numeric %s", spec.fn.Name, v.K)
+				return fmt.Errorf("localdb: %s of non-numeric %s", spec.fn.Name, v.K)
 			}
 			st.sumF += f
 		}
@@ -1018,10 +1095,25 @@ func accumulate(st *aggState, spec *aggSpec, row []value.Value) (int64, error) {
 			st.max = v
 		}
 	}
-	return added, nil
+	return nil
 }
 
-func finalize(st *aggState, spec *aggSpec) value.Value {
+// finalize computes the aggregate's result. For a DISTINCT aggregate it
+// first drains any dedup state that spilled (folding the deferred first
+// occurrences) and releases the state.
+func finalize(ctx context.Context, st *aggState, spec *aggSpec) (value.Value, error) {
+	if st.distinct != nil {
+		err := st.distinct.drain(ctx, func(v value.Value) error { return foldValue(st, spec, v) })
+		st.distinct.close()
+		st.distinct = nil
+		if err != nil {
+			return value.Null(), err
+		}
+	}
+	return finalValue(st, spec), nil
+}
+
+func finalValue(st *aggState, spec *aggSpec) value.Value {
 	switch spec.fn.Name {
 	case "COUNT":
 		return value.NewInt(st.count)

@@ -244,13 +244,14 @@ func (tx *Txn) groupPipeline(sel *sqlparser.Select, b *rowBinder, it rowIter, st
 // groupFolder folds input rows into one live group's aggregate states.
 // The stream and sort strategies hold exactly one folder's worth of
 // state at a time; only DISTINCT aggregates grow with the group's row
-// count, so that growth alone is accounted against the budget.
+// count, and their dedup state is a budget-true spill.Deduper — past
+// the budget it spills to sort-based dedup instead of erroring, so a
+// single huge group completes like any other budgeted operator.
 type groupFolder struct {
-	tx        *Txn
-	plan      *groupPlan
-	keys      []value.Value
-	states    []*aggState
-	seenBytes int64
+	tx     *Txn
+	plan   *groupPlan
+	keys   []value.Value
+	states []*aggState
 }
 
 func (f *groupFolder) open(keys []value.Value) {
@@ -262,26 +263,18 @@ func (f *groupFolder) open(keys []value.Value) {
 		}
 	}
 	for i, st := range f.states {
+		st.close()
 		*st = aggState{sumIsInt: true}
 		if f.plan.aggs[i].distinct {
-			st.seen = make(map[string]bool)
+			st.distinct = newDistinctAcc(f.tx.db.budget, "DISTINCT aggregate "+f.plan.aggs[i].key)
 		}
 	}
-	f.seenBytes = 0
 }
 
 func (f *groupFolder) fold(r schema.Row) error {
 	for i, spec := range f.plan.aggs {
-		added, err := accumulate(f.states[i], spec, r)
-		if err != nil {
+		if err := accumulate(f.states[i], spec, r); err != nil {
 			return err
-		}
-		if added > 0 && f.tx.db.budget.Limit() > 0 {
-			f.seenBytes += added
-			if f.tx.db.budget.ExceedsGrouped(f.seenBytes) {
-				return fmt.Errorf("localdb: DISTINCT aggregate %s (~%d bytes of per-group dedup state) exceeds the memory budget (%d bytes)",
-					spec.key, f.seenBytes, f.tx.db.budget.Limit())
-			}
 		}
 	}
 	return nil
@@ -290,15 +283,26 @@ func (f *groupFolder) fold(r schema.Row) error {
 // emit finalizes the live group into its group row and drops the
 // group's references; the aggState structs themselves are kept for the
 // next open, so steady-state grouping allocates only the output row.
-func (f *groupFolder) emit() schema.Row {
+func (f *groupFolder) emit(ctx context.Context) (schema.Row, error) {
 	grow := make(schema.Row, len(f.plan.keyStrs)+len(f.plan.aggs))
 	copy(grow, f.keys)
 	for i, spec := range f.plan.aggs {
-		grow[len(f.plan.keyStrs)+i] = finalize(f.states[i], spec)
-		f.states[i].seen = nil
+		v, err := finalize(ctx, f.states[i], spec)
+		if err != nil {
+			return nil, err
+		}
+		grow[len(f.plan.keyStrs)+i] = v
 	}
 	f.keys = nil
-	return grow
+	return grow, nil
+}
+
+// close releases any live group's dedup state (an iterator torn down
+// mid-group, e.g. by a LIMIT upstream).
+func (f *groupFolder) close() {
+	for _, st := range f.states {
+		st.close()
+	}
 }
 
 // streamGroupIter folds a pre-grouped input stream group-at-a-time. The
@@ -437,7 +441,10 @@ func (g *streamGroupIter) Next(ctx context.Context) ([]value.Value, error) {
 			return nil, err
 		}
 	}
-	out := g.folder.emit()
+	out, err := g.folder.emit(ctx)
+	if err != nil {
+		return nil, err
+	}
 	// The emitted group's key buffer is free again: recycle it.
 	if g.scratch == nil {
 		g.scratch = keys
@@ -451,6 +458,7 @@ func (g *streamGroupIter) Close() {
 	if !g.closed {
 		g.closed = true
 		g.child.Close()
+		g.folder.close()
 	}
 }
 
@@ -549,7 +557,7 @@ func (g *sortGroupIter) Next(ctx context.Context) ([]value.Value, error) {
 			if nk == 0 && !g.emitted {
 				g.emitted = true
 				g.folder.open(nil)
-				return g.folder.emit(), nil
+				return g.folder.emit(ctx)
 			}
 			return nil, nil
 		}
@@ -578,13 +586,14 @@ func (g *sortGroupIter) Next(ctx context.Context) ([]value.Value, error) {
 		}
 	}
 	g.emitted = true
-	return g.folder.emit(), nil
+	return g.folder.emit(ctx)
 }
 
 func (g *sortGroupIter) Close() {
 	if !g.closed {
 		g.closed = true
 		g.child.Close()
+		g.folder.close()
 		if g.src != nil {
 			g.src.Close()
 			g.src = nil
@@ -640,14 +649,14 @@ func (g *hashGroupIter) fill(ctx context.Context) error {
 			for i := range hg.states {
 				hg.states[i] = &aggState{sumIsInt: true}
 				if g.plan.aggs[i].distinct {
-					hg.states[i].seen = make(map[string]bool)
+					hg.states[i].distinct = newDistinctAcc(g.tx.db.budget, "DISTINCT aggregate "+g.plan.aggs[i].key)
 				}
 			}
 			byKey[gk] = hg
 			g.groups = append(g.groups, hg)
 		}
 		for i, spec := range g.plan.aggs {
-			if _, err := accumulate(hg.states[i], spec, r); err != nil {
+			if err := accumulate(hg.states[i], spec, r); err != nil {
 				return err
 			}
 		}
@@ -659,7 +668,7 @@ func (g *hashGroupIter) fill(ctx context.Context) error {
 		for i := range hg.states {
 			hg.states[i] = &aggState{sumIsInt: true}
 			if g.plan.aggs[i].distinct {
-				hg.states[i].seen = make(map[string]bool)
+				hg.states[i].distinct = newDistinctAcc(g.tx.db.budget, "DISTINCT aggregate "+g.plan.aggs[i].key)
 			}
 		}
 		g.groups = append(g.groups, hg)
@@ -694,7 +703,11 @@ func (g *hashGroupIter) Next(ctx context.Context) ([]value.Value, error) {
 	grow := make(schema.Row, len(g.plan.keyStrs)+len(g.plan.aggs))
 	copy(grow, hg.keys)
 	for i, spec := range g.plan.aggs {
-		grow[len(g.plan.keyStrs)+i] = finalize(hg.states[i], spec)
+		v, err := finalize(ctx, hg.states[i], spec)
+		if err != nil {
+			return nil, err
+		}
+		grow[len(g.plan.keyStrs)+i] = v
 	}
 	g.groups[g.pos-1] = nil // release the folded state as we go
 	return grow, nil
@@ -704,6 +717,14 @@ func (g *hashGroupIter) Close() {
 	if !g.closed {
 		g.closed = true
 		g.child.Close()
+		for _, hg := range g.groups {
+			if hg == nil {
+				continue
+			}
+			for _, st := range hg.states {
+				st.close()
+			}
+		}
 		g.groups = nil
 	}
 }

@@ -4,10 +4,22 @@
 //
 // Lock modes form the classic hierarchy: intention locks (IS, IX) at
 // table granularity combined with S/X row locks, plus table-level S/X
-// for scans and bulk writes. Waits respect context deadlines; a timeout
-// surfaces as ErrTimeout, which the gateway reports upward so the global
-// transaction manager can presume a (possibly global) deadlock and abort
-// the whole global transaction — exactly the paper's resolution policy.
+// for scans and bulk writes. Deadlocks are handled in three tiers:
+//
+//  1. Age-based preemption at wait time: branches of global
+//     transactions carry a priority (the global transaction id, older =
+//     smaller) via SetPriority; a younger global branch about to park
+//     behind an older one is refused immediately with ErrWounded, so a
+//     cycle between global transactions can never form locally.
+//  2. Detection: WaitsFor exposes the live waits-for edges, which the
+//     global transaction manager pulls from every site, stitches into
+//     the federation-wide graph, and resolves by wounding the youngest
+//     global transaction in any cycle (AbortWaiter fails its parked
+//     wait with ErrWounded without burning the timeout).
+//  3. Backstop: waits still respect context deadlines; a timeout
+//     surfaces as ErrTimeout and the caller aborts the transaction —
+//     the paper's presume-deadlock-on-timeout policy, now demoted from
+//     the primary mechanism to the last resort.
 package lockmgr
 
 import (
@@ -15,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Mode is a lock mode.
@@ -94,6 +107,14 @@ func upgrade(cur, want Mode) Mode {
 // The caller interprets it as a presumed deadlock.
 var ErrTimeout = errors.New("lockmgr: lock wait timeout (presumed deadlock)")
 
+// ErrWounded is returned when a lock wait is preempted because the
+// transaction was chosen as a deadlock victim: either the wound-wait
+// fast path refused to park a younger global branch behind an older
+// one, or AbortWaiter killed a parked wait on the coordinator's orders.
+// The transaction must abort; the client may retry it under a fresh
+// (younger) global id.
+var ErrWounded = errors.New("lockmgr: lock wait wounded (deadlock victim)")
+
 // ErrUpgradeDeadlock is returned without waiting when a lock upgrade is
 // provably doomed: another transaction already holds the resource AND
 // waits on an upgrade incompatible with the requester's current lock,
@@ -112,6 +133,18 @@ type Manager struct {
 	mu    sync.Mutex
 	locks map[string]*lockState
 	held  map[TxnID]map[string]Mode // for ReleaseAll and re-entry
+
+	// prios maps a transaction to its global-transaction id (0 = a
+	// purely local transaction). Ids are assigned monotonically by the
+	// coordinator, so smaller means older; the wound-wait fast path and
+	// the exported waits-for edges both read them.
+	prios map[TxnID]uint64
+	// wounded marks transactions chosen as deadlock victims: their
+	// parked waits were failed and any acquire they attempt before
+	// ReleaseAll fails too, so a victim mid-statement cannot re-park
+	// between the wound and its rollback.
+	wounded   map[TxnID]bool
+	woundWait bool
 }
 
 type lockState struct {
@@ -121,17 +154,45 @@ type lockState struct {
 }
 
 type waiter struct {
-	txn  TxnID
-	mode Mode
-	ch   chan struct{} // closed when granted
+	txn   TxnID
+	mode  Mode
+	ch    chan struct{} // closed when granted or wounded
+	err   error         // set (before ch closes) when wounded
+	since time.Time
 }
 
-// New returns an empty lock manager.
+// New returns an empty lock manager. Wound-wait preemption between
+// prioritized (global) transactions is on by default; SetWoundWait
+// disables it for deployments that prefer pure detection.
 func New() *Manager {
 	return &Manager{
-		locks: make(map[string]*lockState),
-		held:  make(map[TxnID]map[string]Mode),
+		locks:     make(map[string]*lockState),
+		held:      make(map[TxnID]map[string]Mode),
+		prios:     make(map[TxnID]uint64),
+		wounded:   make(map[TxnID]bool),
+		woundWait: true,
 	}
+}
+
+// SetPriority tags txn with its global transaction id (0 clears the
+// tag). Branches of global transactions set it at begin; ReleaseAll
+// clears it.
+func (m *Manager) SetPriority(txn TxnID, gid uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if gid == 0 {
+		delete(m.prios, txn)
+		return
+	}
+	m.prios[txn] = gid
+}
+
+// SetWoundWait toggles the age-based preemption fast path. Detection
+// via WaitsFor/AbortWaiter keeps working either way.
+func (m *Manager) SetWoundWait(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.woundWait = on
 }
 
 // Acquire blocks until txn holds resource in mode (or stronger), the
@@ -139,6 +200,10 @@ func New() *Manager {
 // released by ReleaseAll at commit/abort.
 func (m *Manager) Acquire(ctx context.Context, txn TxnID, resource string, mode Mode) error {
 	m.mu.Lock()
+	if m.wounded[txn] {
+		m.mu.Unlock()
+		return ErrWounded
+	}
 	ls, ok := m.locks[resource]
 	if !ok {
 		ls = &lockState{holders: make(map[TxnID]Mode)}
@@ -177,20 +242,36 @@ func (m *Manager) Acquire(ctx context.Context, txn TxnID, resource string, mode 
 			}
 		}
 	}
-	w := &waiter{txn: txn, mode: want, ch: make(chan struct{})}
+	// Wound-wait fast path: a younger global branch never parks behind
+	// an older one — it is refused here, its global transaction aborts,
+	// and the client retries under a fresh id. Since every surviving
+	// global-vs-global wait is then old-waits-on-young, no cycle made
+	// purely of global transactions can form at this site.
+	if m.woundWait {
+		if wgid := m.prios[txn]; wgid != 0 {
+			for _, b := range m.blockers(ls, txn, want, len(ls.waiters), true) {
+				if hgid := m.prios[b]; hgid != 0 && hgid < wgid {
+					m.mu.Unlock()
+					return ErrWounded
+				}
+			}
+		}
+	}
+	w := &waiter{txn: txn, mode: want, ch: make(chan struct{}), since: time.Now()}
 	ls.waiters = append(ls.waiters, w)
 	m.mu.Unlock()
 
 	select {
 	case <-w.ch:
-		return nil
+		return w.err
 	case <-ctx.Done():
 		m.mu.Lock()
-		// Remove from the queue unless already granted in the race.
+		// Remove from the queue unless already granted (or wounded) in
+		// the race.
 		select {
 		case <-w.ch:
 			m.mu.Unlock()
-			return nil
+			return w.err
 		default:
 		}
 		for i, q := range ls.waiters {
@@ -230,6 +311,121 @@ func (m *Manager) grantable(ls *lockState, txn TxnID, mode Mode) bool {
 		}
 	}
 	return true
+}
+
+// blockers returns the transactions a request by txn for mode cannot
+// proceed past: every other holder of an incompatible mode, plus the
+// queued waiters ahead of position pos (FIFO order means they must
+// leave the queue first). When conflictingOnly is set, queued waiters
+// count only if their requested mode conflicts — the wound-wait fast
+// path preempts on genuine conflicts, while the waits-for edges keep
+// every FIFO predecessor so cycle detection sees the true wait order.
+// Callers hold m.mu.
+func (m *Manager) blockers(ls *lockState, txn TxnID, mode Mode, pos int, conflictingOnly bool) []TxnID {
+	var out []TxnID
+	seen := make(map[TxnID]bool)
+	for other, held := range ls.holders {
+		if other == txn || compatible(mode, held) {
+			continue
+		}
+		if !seen[other] {
+			seen[other] = true
+			out = append(out, other)
+		}
+	}
+	for i := 0; i < pos && i < len(ls.waiters); i++ {
+		q := ls.waiters[i]
+		if q.txn == txn || seen[q.txn] {
+			continue
+		}
+		if conflictingOnly && compatible(mode, q.mode) {
+			continue
+		}
+		seen[q.txn] = true
+		out = append(out, q.txn)
+	}
+	return out
+}
+
+// Edge is one live waits-for edge: Waiter has been parked on Resource
+// since Since, unable to proceed past Holders (current holders of
+// conflicting modes plus FIFO queue predecessors). WaiterGID and
+// HolderGIDs carry the global-transaction ids registered via
+// SetPriority (0 = purely local), so the coordinator can stitch edges
+// from many sites into one graph keyed by global id.
+type Edge struct {
+	Waiter     TxnID
+	WaiterGID  uint64
+	Holders    []TxnID
+	HolderGIDs []uint64
+	Resource   string
+	Since      time.Time
+}
+
+// WaitsFor snapshots the live waits-for edges. Edges exist exactly
+// while a waiter is parked — they appear when Acquire enqueues, and
+// vanish when promote grants, a timeout removes the waiter, or
+// AbortWaiter wounds it — so a recovery-time Regrant (which installs
+// holders without waiting) can never leave a phantom edge behind.
+func (m *Manager) WaitsFor() []Edge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var edges []Edge
+	for resource, ls := range m.locks {
+		for i, w := range ls.waiters {
+			bs := m.blockers(ls, w.txn, w.mode, i, false)
+			if len(bs) == 0 {
+				// Transiently grantable (promote will get to it);
+				// an edge with no blockers is noise.
+				continue
+			}
+			gids := make([]uint64, len(bs))
+			for j, b := range bs {
+				gids[j] = m.prios[b]
+			}
+			edges = append(edges, Edge{
+				Waiter:     w.txn,
+				WaiterGID:  m.prios[w.txn],
+				Holders:    bs,
+				HolderGIDs: gids,
+				Resource:   resource,
+				Since:      w.since,
+			})
+		}
+	}
+	return edges
+}
+
+// AbortWaiter wounds txn as a deadlock victim: every wait it has
+// parked fails immediately with ErrWounded, and any acquire it
+// attempts before its locks are released fails the same way (closing
+// the race where the victim is between lock requests when the wound
+// lands). It reports whether a parked wait was actually failed. The
+// caller must follow with a rollback so ReleaseAll clears the wounded
+// mark.
+func (m *Manager) AbortWaiter(txn TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wounded[txn] = true
+	hit := false
+	for resource, ls := range m.locks {
+		for i := 0; i < len(ls.waiters); {
+			w := ls.waiters[i]
+			if w.txn != txn {
+				i++
+				continue
+			}
+			ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+			w.err = ErrWounded
+			close(w.ch)
+			hit = true
+		}
+		m.promote(resource, ls)
+		if len(ls.holders) == 0 && len(ls.waiters) == 0 {
+			delete(m.locks, resource)
+		}
+	}
+	return hit
 }
 
 // note records a held lock for ReleaseAll; callers hold m.mu.
@@ -288,6 +484,8 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 		}
 	}
 	delete(m.held, txn)
+	delete(m.prios, txn)
+	delete(m.wounded, txn)
 }
 
 // Holding returns the mode txn holds on resource (ok=false when none).

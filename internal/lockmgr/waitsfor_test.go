@@ -1,0 +1,248 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitParked spins until m has at least n live waits-for edges (a
+// goroutine's Acquire has actually enqueued), or fails the test.
+func waitParked(t *testing.T, m *Manager, n int) []Edge {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		edges := m.WaitsFor()
+		if len(edges) >= n {
+			return edges
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d waits-for edges (have %d)", n, len(edges))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWaitsForEdges(t *testing.T) {
+	m := New()
+	// Detection-only: the wound-wait fast path would refuse the young
+	// wait below before it ever parked.
+	m.SetWoundWait(false)
+	m.SetPriority(1, 10)
+	m.SetPriority(2, 20)
+
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.WaitsFor()) != 0 {
+		t.Fatal("edges with nobody waiting")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(bg(), 2, "r", X) }()
+	edges := waitParked(t, m, 1)
+	e := edges[0]
+	if e.Waiter != 2 || e.WaiterGID != 20 || e.Resource != "r" {
+		t.Fatalf("edge = %+v", e)
+	}
+	if len(e.Holders) != 1 || e.Holders[0] != 1 || e.HolderGIDs[0] != 10 {
+		t.Fatalf("edge holders = %+v", e)
+	}
+	if e.Since.IsZero() || time.Since(e.Since) < 0 {
+		t.Fatalf("edge since = %v", e.Since)
+	}
+
+	// Granting the wait removes the edge.
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(m.WaitsFor()) != 0 {
+		t.Fatal("edge survived its grant")
+	}
+	m.ReleaseAll(2)
+}
+
+// TestWaitsForQueuePredecessors: a waiter behind another queued waiter
+// reports the FIFO predecessor as a blocker too — the coordinator must
+// see the true wait order, not just lock holders.
+func TestWaitsForQueuePredecessors(t *testing.T) {
+	m := New()
+	m.SetWoundWait(false)
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	d2 := make(chan error, 1)
+	go func() { d2 <- m.Acquire(bg(), 2, "r", X) }()
+	waitParked(t, m, 1)
+	d3 := make(chan error, 1)
+	go func() { d3 <- m.Acquire(bg(), 3, "r", X) }()
+	edges := waitParked(t, m, 2)
+
+	var third *Edge
+	for i := range edges {
+		if edges[i].Waiter == 3 {
+			third = &edges[i]
+		}
+	}
+	if third == nil {
+		t.Fatalf("no edge for txn 3: %+v", edges)
+	}
+	seen := map[TxnID]bool{}
+	for _, h := range third.Holders {
+		seen[h] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("txn 3 blockers = %v, want holder 1 and queue predecessor 2", third.Holders)
+	}
+
+	m.ReleaseAll(1)
+	if err := <-d2; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if err := <-d3; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestAbortWaiterWoundsParkedWait(t *testing.T) {
+	m := New()
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(bg(), 2, "r", X) }()
+	waitParked(t, m, 1)
+
+	if !m.AbortWaiter(2) {
+		t.Fatal("AbortWaiter found no parked wait")
+	}
+	if err := <-done; !errors.Is(err, ErrWounded) {
+		t.Fatalf("parked wait returned %v, want ErrWounded", err)
+	}
+	// The wound sticks until rollback: re-acquire fails without parking.
+	if err := m.Acquire(bg(), 2, "other", S); !errors.Is(err, ErrWounded) {
+		t.Fatalf("post-wound acquire returned %v, want ErrWounded", err)
+	}
+	if len(m.WaitsFor()) != 0 {
+		t.Fatal("wounded waiter left an edge behind")
+	}
+	// ReleaseAll (the rollback) clears the mark; the txn id is reusable.
+	m.ReleaseAll(2)
+	if err := m.Acquire(bg(), 2, "other", S); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+
+	// Wounding a transaction with no parked wait reports false but still
+	// poisons its next acquire.
+	if m.AbortWaiter(3) {
+		t.Fatal("AbortWaiter(3) reported a parked wait")
+	}
+	if err := m.Acquire(bg(), 3, "r", S); !errors.Is(err, ErrWounded) {
+		t.Fatalf("acquire after no-wait wound returned %v", err)
+	}
+	m.ReleaseAll(3)
+}
+
+// TestWoundWaitFastPath: a younger global branch is refused immediately
+// when it would park behind an older global one; old-waits-on-young
+// still parks, and local (unprioritized) transactions are never
+// preempted.
+func TestWoundWaitFastPath(t *testing.T) {
+	m := New()
+	m.SetPriority(1, 10) // older global
+	m.SetPriority(2, 20) // younger global
+
+	if err := m.Acquire(bg(), 1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(bg(), 2, "r", X); !errors.Is(err, ErrWounded) {
+		t.Fatalf("young-waits-on-old returned %v, want ErrWounded", err)
+	}
+
+	// Old waiting on young parks normally.
+	if err := m.Acquire(bg(), 2, "s", X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(bg(), 1, "s", X) }()
+	waitParked(t, m, 1)
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+
+	// A local transaction is never wounded, and a global waiting on a
+	// local parks (the local holder carries no age to compare).
+	if err := m.Acquire(bg(), 3, "u", X); err != nil { // local holder
+		t.Fatal(err)
+	}
+	m.SetPriority(4, 40)
+	d4 := make(chan error, 1)
+	go func() { d4 <- m.Acquire(bg(), 4, "u", X) }()
+	waitParked(t, m, 1)
+	m.ReleaseAll(3)
+	if err := <-d4; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(4)
+
+	// With the fast path off, young-waits-on-old parks too.
+	m.SetWoundWait(false)
+	m.SetPriority(5, 10)
+	m.SetPriority(6, 20)
+	if err := m.Acquire(bg(), 5, "v", X); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Acquire(ctx, 6, "v", X); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("detection-only young wait returned %v, want ErrTimeout", err)
+	}
+	m.ReleaseAll(5)
+	m.ReleaseAll(6)
+}
+
+// TestRegrantLeavesNoPhantomEdges: recovery's Regrant installs holders
+// without queueing, so the waits-for snapshot stays empty — a detector
+// polling during recovery must not read restored locks as waits.
+func TestRegrantLeavesNoPhantomEdges(t *testing.T) {
+	m := New()
+	m.SetPriority(1, 10)
+	m.Regrant(1, "t/acct", IX)
+	m.Regrant(1, "t/acct/r1", X)
+	m.Regrant(1, "t/acct/r1", X) // idempotent re-merge
+	if len(m.WaitsFor()) != 0 {
+		t.Fatalf("Regrant produced waits-for edges: %+v", m.WaitsFor())
+	}
+	if mode, ok := m.Holding(1, "t/acct/r1"); !ok || mode != X {
+		t.Fatalf("regranted lock = %v, %v", mode, ok)
+	}
+
+	// A live waiter behind a regranted lock produces a normal edge with
+	// the recovered branch as holder — and only that edge.
+	m.SetPriority(2, 20)
+	m.SetWoundWait(false)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(bg(), 2, "t/acct/r1", S) }()
+	edges := waitParked(t, m, 1)
+	if len(edges) != 1 || edges[0].Waiter != 2 || edges[0].Holders[0] != 1 {
+		t.Fatalf("edges = %+v", edges)
+	}
+	// Releasing the recovered branch grants the waiter and clears the
+	// graph; no phantom edge survives for a cycle to be read from.
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(m.WaitsFor()) != 0 {
+		t.Fatal("edge survived the grant")
+	}
+	m.ReleaseAll(2)
+}

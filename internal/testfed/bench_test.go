@@ -2,13 +2,16 @@ package testfed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"myriad/internal/core"
 	"myriad/internal/executor"
+	"myriad/internal/gtm"
 	"myriad/internal/integration"
 )
 
@@ -287,6 +290,69 @@ func BenchmarkGlobalTxn2PC(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "commits/sec")
+	})
+}
+
+// BenchmarkDeadlockResolution measures how fast the federation turns an
+// AB/BA transfer deadlock back into forward progress: from the moment
+// the younger transaction closes the cycle to the survivor's commit.
+// fastpath uses site-local wound-wait (the younger waiter is refused at
+// enqueue, no detector involved); detector disables the fast path so
+// both waits genuinely park and the coordinator's waits-for stitch has
+// to find and wound the victim — its ns/op is dominated by the tick.
+func BenchmarkDeadlockResolution(b *testing.B) {
+	fx := newTwoPCFixture(b, false)
+	ctx := context.Background()
+
+	cycle := func(b *testing.B, park bool) {
+		t1 := fx.Fed.Begin() // older: survivor
+		t2 := fx.Fed.Begin() // younger: victim
+		if _, err := t1.ExecSite(ctx, "a", updAcct); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t2.ExecSite(ctx, "b", updAcct); err != nil {
+			b.Fatal(err)
+		}
+		if park {
+			done1 := make(chan error, 1)
+			go func() {
+				_, err := t1.ExecSite(ctx, "b", updAcct)
+				done1 <- err
+			}()
+			if _, err := t2.ExecSite(ctx, "a", updAcct); !errors.Is(err, gtm.ErrWounded) {
+				b.Fatalf("victim = %v, want ErrWounded", err)
+			}
+			if err := <-done1; err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := t2.ExecSite(ctx, "a", updAcct); !errors.Is(err, gtm.ErrWounded) {
+				b.Fatalf("victim = %v, want ErrWounded", err)
+			}
+			if _, err := t1.ExecSite(ctx, "b", updAcct); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := t1.Commit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("fastpath", func(b *testing.B) {
+		deadlockConfig(fx, []string{"a", "b"}, true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cycle(b, false)
+		}
+	})
+	b.Run("detector", func(b *testing.B) {
+		deadlockConfig(fx, []string{"a", "b"}, false)
+		fx.Fed.StartDeadlockDetector(10 * time.Millisecond)
+		defer fx.Fed.StopDeadlockDetector()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cycle(b, true)
+		}
 	})
 }
 

@@ -1,0 +1,403 @@
+package testfed
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"myriad/internal/gateway"
+	"myriad/internal/gtm"
+	"myriad/internal/localdb"
+)
+
+// The deadlock matrix: real AB/BA cycles and multi-site rings between
+// global transactions over live TCP sites, resolved by each tier of the
+// deadlock scheme — the site-local wound-wait fast path, the
+// coordinator's global waits-for detector, and (never, if the first two
+// work) the lock-wait timeout backstop. Every scenario must wound
+// exactly one victim per cycle, let the survivors commit, leave the
+// sites digest-converged, and resolve well inside the backstop.
+
+// lockWaitBound is the backstop each site is configured with; detection
+// must resolve cycles in under a quarter of it.
+const lockWaitBound = 8 * time.Second
+
+// deadlockConfig arms every fixture site with the lock-wait backstop
+// and selects fast-path preemption vs pure detection.
+func deadlockConfig(fx *Fixture, sites []string, woundWait bool) {
+	for _, s := range sites {
+		db := fx.Site(s).DB
+		db.SetLockWait(lockWaitBound)
+		db.SetWoundWait(woundWait)
+	}
+}
+
+// waitParkedEdges spins until the site's lock manager reports at least
+// n live waits-for edges — the moment a statement is genuinely parked.
+func waitParkedEdges(t *testing.T, db *localdb.DB, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(db.WaitGraph()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("site never parked %d waiter(s)", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWoundWaitFastPathTwoSite: the classic AB/BA transfer deadlock.
+// With wound-wait on (the default), the younger transaction is refused
+// the instant it would park behind the older one — no detector tick, no
+// timeout burned — and the older one commits.
+func TestWoundWaitFastPathTwoSite(t *testing.T) {
+	fx := newTwoPCFixture(t, false)
+	deadlockConfig(fx, []string{"a", "b"}, true)
+	ctx := context.Background()
+
+	t1 := fx.Fed.Begin() // older
+	t2 := fx.Fed.Begin() // younger
+	if _, err := t1.ExecSite(ctx, "a", updAcct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.ExecSite(ctx, "b", updAcct); err != nil {
+		t.Fatal(err)
+	}
+
+	// t2 closes the cycle: younger meets older's lock and is wounded on
+	// the spot.
+	start := time.Now()
+	_, err := t2.ExecSite(ctx, "a", updAcct)
+	elapsed := time.Since(start)
+	if !errors.Is(err, gtm.ErrWounded) {
+		t.Fatalf("younger ExecSite = %v, want ErrWounded", err)
+	}
+	if !errors.Is(err, gtm.ErrAborted) {
+		t.Fatalf("wound is not retryable: %v does not wrap ErrAborted", err)
+	}
+	if elapsed >= lockWaitBound/4 {
+		t.Fatalf("fast path took %v, want < %v", elapsed, lockWaitBound/4)
+	}
+
+	// The victim's branches are rolled back everywhere, so the survivor
+	// walks into b unobstructed and commits.
+	if _, err := t1.ExecSite(ctx, "b", updAcct); err != nil {
+		t.Fatalf("survivor ExecSite(b) = %v", err)
+	}
+	if err := t1.Commit(ctx); err != nil {
+		t.Fatalf("survivor Commit = %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, true))
+	if got := fx.Fed.Coordinator().Stats.Wounded.Load(); got != 1 {
+		t.Fatalf("Wounded stat = %d, want 1", got)
+	}
+}
+
+// TestDetectorResolvesTwoSiteCycle: the same AB/BA cycle with the fast
+// path disabled — both waits genuinely park, the background detector
+// stitches the two sites' edges, wounds the youngest, and the survivor
+// commits. Resolution must land well inside the timeout backstop.
+func TestDetectorResolvesTwoSiteCycle(t *testing.T) {
+	fx := newTwoPCFixture(t, false)
+	deadlockConfig(fx, []string{"a", "b"}, false)
+	fx.Fed.StartDeadlockDetector(50 * time.Millisecond)
+	defer fx.Fed.StopDeadlockDetector()
+	ctx := context.Background()
+
+	t1 := fx.Fed.Begin()
+	t2 := fx.Fed.Begin()
+	if _, err := t1.ExecSite(ctx, "a", updAcct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.ExecSite(ctx, "b", updAcct); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := t1.ExecSite(ctx, "b", updAcct)
+		done1 <- err
+	}()
+	go func() {
+		_, err := t2.ExecSite(ctx, "a", updAcct)
+		done2 <- err
+	}()
+
+	if err := <-done2; !errors.Is(err, gtm.ErrWounded) {
+		t.Fatalf("youngest = %v, want ErrWounded", err)
+	}
+	if err := <-done1; err != nil {
+		t.Fatalf("survivor ExecSite = %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed >= lockWaitBound/4 {
+		t.Fatalf("detection took %v, want < %v", elapsed, lockWaitBound/4)
+	}
+	if err := t1.Commit(ctx); err != nil {
+		t.Fatalf("survivor Commit = %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, true))
+	if got := fx.Fed.Coordinator().Stats.Wounded.Load(); got != 1 {
+		t.Fatalf("Wounded stat = %d, want exactly one victim", got)
+	}
+}
+
+// ringDigest is acctSeed with the transfer applied n times.
+func ringDigest(t *testing.T, n int) string {
+	t.Helper()
+	ref := localdb.NewScratch(nil)
+	for _, sql := range acctSeed() {
+		ref.MustExec(sql)
+	}
+	for i := 0; i < n; i++ {
+		ref.MustExec(`UPDATE acct SET bal = bal + 10 WHERE id = 1`)
+	}
+	return ref.StateDigest()
+}
+
+// TestDetectorResolvesThreeSiteRing: t1 holds a and wants b, t2 holds b
+// and wants c, t3 holds c and wants a — a three-site ring no single
+// site can see. The detector wounds only the youngest (t3); the other
+// two commit and every site converges.
+func TestDetectorResolvesThreeSiteRing(t *testing.T) {
+	specs := []SiteSpec{}
+	for _, name := range []string{"a", "b", "c"} {
+		specs = append(specs, SiteSpec{
+			Name: name, Setup: acctSeed(),
+			Exports: []gateway.Export{{Name: "ACCT", LocalTable: "acct"}},
+		})
+	}
+	fx := New(t, specs, nil)
+	deadlockConfig(fx, []string{"a", "b", "c"}, false)
+	fx.Fed.StartDeadlockDetector(50 * time.Millisecond)
+	defer fx.Fed.StopDeadlockDetector()
+	ctx := context.Background()
+
+	t1 := fx.Fed.Begin()
+	t2 := fx.Fed.Begin()
+	t3 := fx.Fed.Begin()
+	holds := []struct {
+		txn        *gtm.Txn
+		hold, want string
+	}{
+		{t1, "a", "b"},
+		{t2, "b", "c"},
+		{t3, "c", "a"},
+	}
+	for _, h := range holds {
+		if _, err := h.txn.ExecSite(ctx, h.hold, updAcct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	dones := make([]chan error, len(holds))
+	for i, h := range holds {
+		i, h := i, h
+		dones[i] = make(chan error, 1)
+		go func() {
+			_, err := h.txn.ExecSite(ctx, h.want, updAcct)
+			dones[i] <- err
+		}()
+	}
+
+	// Wounding t3 frees c, which unblocks t2's wait; t1's wait at b can
+	// only be granted once t2 commits and releases b — collect in that
+	// order, measuring resolution at the moment the ring is broken.
+	if err := <-dones[2]; !errors.Is(err, gtm.ErrWounded) {
+		t.Fatalf("youngest of the ring = %v, want ErrWounded", err)
+	}
+	if err := <-dones[1]; err != nil {
+		t.Fatalf("t2 ExecSite = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= lockWaitBound/4 {
+		t.Fatalf("ring detection took %v, want < %v", elapsed, lockWaitBound/4)
+	}
+	if err := t2.Commit(ctx); err != nil {
+		t.Fatalf("t2 Commit = %v", err)
+	}
+	if err := <-dones[0]; err != nil {
+		t.Fatalf("t1 ExecSite = %v", err)
+	}
+	if err := t1.Commit(ctx); err != nil {
+		t.Fatalf("t1 Commit = %v", err)
+	}
+	// t1 applied at a+b, t2 at b+c; t3 applied nowhere.
+	for site, n := range map[string]int{"a": 1, "b": 2, "c": 1} {
+		if got, want := fx.Site(site).DB.StateDigest(), ringDigest(t, n); got != want {
+			t.Fatalf("site %s digest\n got %s\nwant %s", site, got, want)
+		}
+	}
+	if got := fx.Fed.Coordinator().Stats.Wounded.Load(); got != 1 {
+		t.Fatalf("Wounded stat = %d, want exactly one victim for the ring", got)
+	}
+}
+
+// TestDeadlockWithCrashedParticipant: an AB/BA cycle is parked when one
+// site hard-crashes. The detector, now blind to that site's edges, must
+// not wound anyone on the partial graph; the crashed site's waiter
+// fails with a transport error, aborting that transaction clears the
+// cycle, and after restart the federation commits transfers normally.
+func TestDeadlockWithCrashedParticipant(t *testing.T) {
+	fx := newTwoPCFixture(t, false)
+	deadlockConfig(fx, []string{"a", "b"}, false)
+	ctx := context.Background()
+
+	t1 := fx.Fed.Begin()
+	t2 := fx.Fed.Begin()
+	if _, err := t1.ExecSite(ctx, "a", updAcct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.ExecSite(ctx, "b", updAcct); err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := t1.ExecSite(ctx, "b", updAcct)
+		done1 <- err
+	}()
+	go func() {
+		_, err := t2.ExecSite(ctx, "a", updAcct)
+		done2 <- err
+	}()
+	waitParkedEdges(t, fx.Site("a").DB, 1)
+	waitParkedEdges(t, fx.Site("b").DB, 1)
+
+	fx.Kill(t, "b")
+	// The detector starts only now, blind to the dead site: the graph it
+	// can assemble is a chain, never the cycle, and it must wound nobody.
+	fx.Fed.StartDeadlockDetector(50 * time.Millisecond)
+	defer fx.Fed.StopDeadlockDetector()
+	// t1's parked statement at the dead site fails with a transport
+	// error — not a wound, not a timeout — so t1 is still alive and its
+	// client aborts it, which unblocks t2's wait at a.
+	err1 := <-done1
+	if err1 == nil || errors.Is(err1, gtm.ErrWounded) || errors.Is(err1, gtm.ErrDeadlockAbort) {
+		t.Fatalf("parked statement at crashed site = %v, want a plain transport error", err1)
+	}
+	t1.Abort(ctx)
+	if err := <-done2; err != nil {
+		t.Fatalf("t2 ExecSite(a) after t1 aborted = %v", err)
+	}
+	// t2's branch at b died with the crash: commit fails phase one and
+	// aborts globally.
+	if err := t2.Commit(ctx); err == nil {
+		t.Fatal("t2 Commit succeeded with a crashed participant branch")
+	}
+	// Nobody was wounded off the partial waits-for graph.
+	if got := fx.Fed.Coordinator().Stats.Wounded.Load(); got != 0 {
+		t.Fatalf("Wounded stat = %d on a partial graph, want 0", got)
+	}
+
+	// The restarted site recovered (both transactions aborted: nothing
+	// applied); recovery re-drives the aborts the dead site never
+	// acknowledged, and a fresh transfer commits end to end.
+	fx.Restart(t, "b")
+	deadlockConfig(fx, []string{"b"}, false)
+	if err := fx.Fed.RecoverGlobal(ctx); err != nil {
+		t.Fatalf("RecoverGlobal after restart = %v", err)
+	}
+	if err := transfer(t, fx).Commit(ctx); err != nil {
+		t.Fatalf("transfer after restart = %v", err)
+	}
+	expectConverged(t, fx, acctDigest(t, true))
+}
+
+// TestDeadlockUnderFaultInjection: the AB/BA cycle with one site behind
+// a latency-injecting proxy — detector RPCs and the victim's abort both
+// ride the slow link. Resolution still lands inside the backstop and
+// the survivor commits.
+func TestDeadlockUnderFaultInjection(t *testing.T) {
+	fx := newTwoPCFixture(t, true) // b behind a fault proxy
+	deadlockConfig(fx, []string{"a", "b"}, false)
+	fx.Site("b").Proxy.SetDelay(40 * time.Millisecond)
+	fx.Fed.StartDeadlockDetector(50 * time.Millisecond)
+	defer fx.Fed.StopDeadlockDetector()
+	ctx := context.Background()
+
+	t1 := fx.Fed.Begin()
+	t2 := fx.Fed.Begin()
+	if _, err := t1.ExecSite(ctx, "a", updAcct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.ExecSite(ctx, "b", updAcct); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := t1.ExecSite(ctx, "b", updAcct)
+		done1 <- err
+	}()
+	go func() {
+		_, err := t2.ExecSite(ctx, "a", updAcct)
+		done2 <- err
+	}()
+
+	if err := <-done2; !errors.Is(err, gtm.ErrWounded) {
+		t.Fatalf("youngest = %v, want ErrWounded", err)
+	}
+	if err := <-done1; err != nil {
+		t.Fatalf("survivor ExecSite = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= lockWaitBound/4 {
+		t.Fatalf("detection over a slow link took %v, want < %v", elapsed, lockWaitBound/4)
+	}
+	if err := t1.Commit(ctx); err != nil {
+		t.Fatalf("survivor Commit = %v", err)
+	}
+	fx.Site("b").Proxy.SetDelay(0)
+	expectConverged(t, fx, acctDigest(t, true))
+	if got := fx.Fed.Coordinator().Stats.Wounded.Load(); got != 1 {
+		t.Fatalf("Wounded stat = %d, want 1", got)
+	}
+}
+
+// TestWoundedClientRetrySucceeds: the end-to-end client contract — a
+// wounded transaction retried under a fresh (younger... now older)
+// global id goes through, the pattern core.WithRetry encodes.
+func TestWoundedClientRetrySucceeds(t *testing.T) {
+	fx := newTwoPCFixture(t, false)
+	deadlockConfig(fx, []string{"a", "b"}, true)
+	ctx := context.Background()
+
+	t1 := fx.Fed.Begin()
+	if _, err := t1.ExecSite(ctx, "a", updAcct); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	err := fx.Fed.WithRetry(ctx, 5, func(txn *gtm.Txn) error {
+		attempts++
+		if attempts == 2 {
+			// The older transaction finishes before the retry, clearing
+			// the conflict — the normal life of a wounded victim.
+			if err := t1.Commit(ctx); err != nil {
+				return err
+			}
+		}
+		if _, err := txn.ExecSite(ctx, "b", updAcct); err != nil {
+			return err
+		}
+		// Attempt one walks into the older holder at a and is wounded.
+		_, err := txn.ExecSite(ctx, "a", updAcct)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("WithRetry = %v after %d attempts", err, attempts)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want a wounded first try and one retry", attempts)
+	}
+	// t1 applied at a only; the retried transfer applied at both.
+	for site, n := range map[string]int{"a": 2, "b": 1} {
+		if got, want := fx.Site(site).DB.StateDigest(), ringDigest(t, n); got != want {
+			t.Fatalf("site %s digest\n got %s\nwant %s", site, got, want)
+		}
+	}
+	if n := fx.Fed.Coordinator().Pending(); n != 0 {
+		t.Fatalf("coordinator still has %d pending global transaction(s)", n)
+	}
+}

@@ -25,6 +25,8 @@ import (
 //	                 uvarint nextra, then nextra further key columns
 //	prepare:       uvarint branch; ops as in commit;
 //	               uvarint nlocks, then per lock: string resource; byte mode
+//	               then, optionally (absent in pre-deadlock-detection
+//	               logs): uvarint gid (0 = branch of no global txn)
 //	abort:         uvarint branch
 //	coordBegin:    uvarint gid; uvarint nsites, then per site:
 //	                 string site; uvarint branch
@@ -61,6 +63,7 @@ func encodeRecord(r *Record) []byte {
 			b = appendString(b, lk.Resource)
 			b = append(b, lk.Mode)
 		}
+		b = binary.AppendUvarint(b, r.GID)
 	case RecAbort:
 		b = binary.AppendUvarint(b, r.Branch)
 	case RecCoordBegin:
@@ -310,6 +313,11 @@ func decodeRecord(payload []byte) (*Record, error) {
 			for i := uint64(0); i < nlocks && d.err == nil; i++ {
 				rec.Locks = append(rec.Locks, LockEntry{Resource: d.string(), Mode: d.byte()})
 			}
+		}
+		// The global id is a post-hoc addition; logs written before
+		// deadlock detection end right after the locks.
+		if d.err == nil && d.off < len(payload) {
+			rec.GID = d.uvarint()
 		}
 	case RecAbort:
 		rec.Branch = d.uvarint()
